@@ -1,0 +1,312 @@
+package cedr
+
+// Benchmarks regenerating the paper's evaluation artifacts, one per figure
+// or experiment (see DESIGN.md §4 for the index). Run:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute timings are hardware-dependent; the semantic shapes (who blocks,
+// who retracts, who forgets) are asserted by the unit tests in
+// internal/core. The benchmarks here measure the costs those shapes imply.
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/baseline"
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/delivery"
+	"repro/internal/event"
+	"repro/internal/history"
+	"repro/internal/operators"
+	"repro/internal/plan"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+	"repro/internal/workload"
+)
+
+// --- Figures 1–6, 10: the temporal model machinery ---
+
+func BenchmarkFigure1ConceptualModel(b *testing.B) {
+	tbl, _ := history.Figure1()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.CanonicalTo(3)
+	}
+}
+
+func BenchmarkFigure2TritemporalReduce(b *testing.B) {
+	tbl, _, _ := history.Figure2()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.Reduce()
+	}
+}
+
+func BenchmarkFigure5Canonicalization(b *testing.B) {
+	left, right, _ := history.Figure3()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !left.EquivalentTo(right, 3) {
+			b.Fatal("figure 5 equivalence broken")
+		}
+	}
+}
+
+func BenchmarkFigure6SyncPoints(b *testing.B) {
+	tbl, _ := history.Figure6()
+	ann := tbl.Annotate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = history.SyncPoints(ann)
+	}
+}
+
+func BenchmarkFigure10IdealTable(b *testing.B) {
+	src := workload.StockTicks(workload.DefaultTicks())
+	tbl := history.FromEvents(src)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tbl.Ideal().Star()
+	}
+}
+
+// --- Figure 8: consistency levels × orderliness ---
+
+func fig8Bench(b *testing.B, spec consistency.Spec, orderly bool) {
+	b.Helper()
+	cfg := core.DefaultFig8()
+	cfg.Events = 300
+	var src stream.Stream
+	for i := 0; i < cfg.Events; i++ {
+		vs := temporal.Time(i) * cfg.Spacing
+		src = append(src, event.NewInsert(event.ID(i+1), "E", vs, vs+cfg.Lifetime,
+			event.Payload{"g": int64(i % 5)}))
+	}
+	var dcfg delivery.Config
+	if orderly {
+		dcfg = delivery.Ordered(cfg.DenseCTIPeriod)
+	} else {
+		dcfg = delivery.Disordered(cfg.Seed, cfg.SparseCTI, cfg.StragglerDelay, cfg.StragglerProb)
+	}
+	delivered := delivery.Deliver(src, dcfg)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op := operators.NewAggregate(operators.Count, "", "g")
+		out, _ := consistency.RunStreams(op, spec, delivered)
+		if len(out) == 0 {
+			b.Fatal("no output")
+		}
+	}
+	b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkFigure8StrongOrdered(b *testing.B)    { fig8Bench(b, consistency.Strong(), true) }
+func BenchmarkFigure8StrongDisordered(b *testing.B) { fig8Bench(b, consistency.Strong(), false) }
+func BenchmarkFigure8MiddleOrdered(b *testing.B)    { fig8Bench(b, consistency.Middle(), true) }
+func BenchmarkFigure8MiddleDisordered(b *testing.B) { fig8Bench(b, consistency.Middle(), false) }
+func BenchmarkFigure8WeakOrdered(b *testing.B)      { fig8Bench(b, consistency.Weak(0), true) }
+func BenchmarkFigure8WeakDisordered(b *testing.B)   { fig8Bench(b, consistency.Weak(0), false) }
+
+// --- Figure 9: an interior point of the (B, M) spectrum ---
+
+func BenchmarkFigure9InteriorLevel(b *testing.B) {
+	fig8Bench(b, consistency.Level(30, 150), false)
+}
+
+// --- §3.1 end-to-end: the CIDR07 example through language+plan+engine ---
+
+func BenchmarkCIDR07EndToEnd(b *testing.B) {
+	src, _ := workload.MachineEvents(workload.DefaultMachines())
+	tenMin := 10 * temporal.Minute
+	delivered := delivery.Deliver(src, delivery.Ordered(tenMin))
+	const q = `
+EVENT MissedRestart
+WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours), RESTART AS z, 5 minutes)
+WHERE CorrelationKey(Machine_Id, EQUAL)
+SC(each, consume)`
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys := New()
+		query, err := sys.RegisterAt(q, Middle())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Run(delivered)
+		if len(query.Alerts()) == 0 {
+			b.Fatal("no alerts")
+		}
+	}
+	b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// --- §1 baseline comparison: throughput of the strawman vs CEDR ---
+
+func BenchmarkBaselinePointAggregate(b *testing.B) {
+	src := workload.StockTicks(workload.DefaultTicks())
+	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Second))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		baseline.RunPointAggregate(delivered, 10*temporal.Second, "price")
+	}
+	b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkCEDRAggregateStrong(b *testing.B) {
+	src := workload.StockTicks(workload.DefaultTicks())
+	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Second))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op := operators.NewAggregate(operators.Avg, "price", "symbol")
+		consistency.RunStreams(op, consistency.Strong(), delivered)
+	}
+	b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkPubSubRouting(b *testing.B) {
+	src := workload.StockTicks(workload.DefaultTicks())
+	ps := baseline.NewPubSub()
+	for s := 0; s < 8; s++ {
+		ps.Subscribe("TICK", nil)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, e := range src {
+			ps.Publish(e)
+		}
+	}
+}
+
+// --- Ablations ---
+
+// Incremental sequence matcher vs semi-naive re-derivation (the plan
+// rewrite `sequence-specialization`).
+func seqBench(b *testing.B, opts ...plan.Option) {
+	src, _ := workload.MachineEvents(workload.DefaultMachines())
+	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Minute))
+	const q = `EVENT Pairs WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 12 hours)
+WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
+	p, err := plan.Compile(q, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := consistency.NewMonitor(p.Stages[0].Clone(), consistency.Middle())
+		for _, e := range delivered {
+			m.Push(0, e)
+		}
+		m.Finish()
+	}
+	b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkAblationSequenceSpecialized(b *testing.B) { seqBench(b) }
+func BenchmarkAblationSequenceGeneric(b *testing.B) {
+	seqBench(b, plan.WithoutSpecialization())
+}
+
+// Consumption: the §1 claim that SEQUENCE without consumption has
+// multiplicative output.
+func consumptionBench(b *testing.B, mode algebra.SCMode) {
+	var src stream.Stream
+	n := 64
+	for i := 0; i < n; i++ {
+		src = append(src,
+			event.NewInsert(event.ID(2*i+1), "A", temporal.Time(2*i), temporal.Infinity, nil),
+			event.NewInsert(event.ID(2*i+2), "B", temporal.Time(2*i+1), temporal.Infinity, nil))
+	}
+	expr := algebra.SequenceExpr{Kids: []algebra.Expr{
+		algebra.TypeExpr{Type: "A", Alias: "a"}, algebra.TypeExpr{Type: "B", Alias: "b"},
+	}, W: temporal.Duration(4 * n)}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op := algebra.NewSequenceOp([]string{"A", "B"}, []string{"a", "b"},
+			expr.W, mode, "out")
+		total := 0
+		for _, e := range src {
+			total += len(op.Process(0, e))
+		}
+		if total == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkAblationConsumptionReuse(b *testing.B) {
+	consumptionBench(b, algebra.SCMode{})
+}
+func BenchmarkAblationConsumptionConsume(b *testing.B) {
+	consumptionBench(b, algebra.SCMode{Cons: algebra.Consume})
+}
+
+// Alignment-buffer ablation: monitor fast path (in-order) vs repair path
+// (every tenth event is a straggler).
+func BenchmarkMonitorFastPath(b *testing.B) {
+	src := workload.StockTicks(workload.DefaultTicks())
+	delivered := delivery.Deliver(src, delivery.Ordered(5*temporal.Second))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op := operators.NewSelect(func(event.Payload) bool { return true })
+		consistency.RunStreams(op, consistency.Middle(), delivered)
+	}
+	b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+func BenchmarkMonitorRepairPath(b *testing.B) {
+	src := workload.StockTicks(workload.DefaultTicks())
+	delivered := delivery.Deliver(src,
+		delivery.Disordered(5, 5*temporal.Second, 3*temporal.Second, 0.1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op := operators.NewSelect(func(event.Payload) bool { return true })
+		consistency.RunStreams(op, consistency.Middle(), delivered)
+	}
+	b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// --- Infrastructure ---
+
+func BenchmarkCompileQuery(b *testing.B) {
+	const q = `
+EVENT MissedRestart
+WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours), RESTART AS z, 5 minutes)
+WHERE {x.Machine_Id = y.Machine_Id} AND {x.Machine_Id = z.Machine_Id}
+SC(each, consume) CONSISTENCY middle`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Compile(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeliverySimulator(b *testing.B) {
+	src := workload.StockTicks(workload.DefaultTicks())
+	cfg := delivery.Disordered(9, 10*temporal.Second, 5*temporal.Second, 0.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := delivery.Deliver(src, cfg); len(out) == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+func BenchmarkJoinThroughput(b *testing.B) {
+	ticks := workload.StockTicks(workload.DefaultTicks())
+	news := workload.NewsEvents(workload.DefaultNews())
+	dt := delivery.Deliver(ticks, delivery.Ordered(10*temporal.Second))
+	dn := delivery.Deliver(news, delivery.Ordered(10*temporal.Second))
+	theta := func(l, r event.Payload) bool { return event.ValueEqual(l["symbol"], r["symbol"]) }
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		op := operators.NewJoin(theta)
+		consistency.RunStreams(op, consistency.Middle(), dt, dn)
+	}
+}

@@ -1,0 +1,220 @@
+// Package cedr is a Go implementation of CEDR (Complex Event Detection and
+// Response), the event streaming system of Barga, Goldstein, Ali and Hong,
+// "Consistent Streaming Through Time: A Vision for Event Stream
+// Processing", CIDR 2007.
+//
+// CEDR unifies data streams, complex event processing and pub/sub on a
+// temporal stream model with explicit consistency guarantees:
+//
+//   - Events carry validity intervals, not point timestamps; providers may
+//     modify and retract them after the fact.
+//   - Queries are written in a composable pattern language (SEQUENCE,
+//     UNLESS, NOT, CANCEL-WHEN, ...) with value correlation, instance
+//     selection/consumption, and temporal slicing.
+//   - Every query runs at a point on the (B, M) consistency spectrum —
+//     blocking time versus memory time — whose corners are the paper's
+//     strong, middle and weak levels. Out-of-order delivery is absorbed by
+//     blocking, or repaired with compensating retractions, or forgotten,
+//     according to the level.
+//
+// Quick start:
+//
+//	sys := cedr.New()
+//	q, err := sys.Register(`
+//	    EVENT MissedRestart
+//	    WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours),
+//	                RESTART AS z, 5 minutes)
+//	    WHERE CorrelationKey(Machine_Id, EQUAL)
+//	    CONSISTENCY middle`)
+//	...
+//	sys.Push(cedr.NewEvent(1, "INSTALL", at, cedr.Forever, cedr.Payload{"Machine_Id": "m1"}))
+//	sys.Finish()
+//	for _, alert := range q.Alerts() { ... }
+//
+// The implementation layers mirror the paper: internal/history holds the
+// tritemporal model and canonical-form machinery of §2/§4; internal/algebra
+// the pattern operators of §3; internal/operators the view-update run-time
+// algebra of §6; internal/consistency the monitor and level spectrum of
+// §4/§5.
+package cedr
+
+import (
+	"repro/internal/consistency"
+	"repro/internal/delivery"
+	"repro/internal/engine"
+	"repro/internal/event"
+	"repro/internal/plan"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+// Re-exported core types. The library is organized as internal packages
+// with this façade as the supported public surface.
+type (
+	// Event is a stream item: an insert, a retraction, or punctuation.
+	Event = event.Event
+	// Payload is an event's attribute map.
+	Payload = event.Payload
+	// ID identifies an event.
+	ID = event.ID
+	// Time is an instant of logical application time (milliseconds).
+	Time = temporal.Time
+	// Duration is a span of logical time.
+	Duration = temporal.Duration
+	// Stream is a finite physical event stream.
+	Stream = stream.Stream
+	// Spec is a consistency level: a point in the (B, M) spectrum.
+	Spec = consistency.Spec
+	// Metrics reports a monitor's blocking/state/output counters.
+	Metrics = consistency.Metrics
+	// DeliveryConfig controls the out-of-order delivery simulator.
+	DeliveryConfig = delivery.Config
+)
+
+// Forever is the infinite end time for events that remain valid until
+// retracted.
+const Forever = temporal.Infinity
+
+// Kind values for Event.Kind.
+const (
+	// Insert introduces a fact.
+	Insert = event.Insert
+	// Retract shrinks a previously inserted fact's lifetime.
+	Retract = event.Retract
+)
+
+// Named consistency levels (Section 4) and the spectrum constructor
+// (Figure 9).
+var (
+	// Strong blocks until provider guarantees align input; output is final.
+	Strong = consistency.Strong
+	// Middle emits optimistically and repairs with retractions.
+	Middle = consistency.Middle
+	// Weak emits optimistically and repairs at most m time units back.
+	Weak = consistency.Weak
+	// Level picks an interior point (B = blocking bound, M = memory bound).
+	Level = consistency.Level
+)
+
+// NewEvent builds an insert event valid over [vs, ve).
+func NewEvent(id ID, typ string, vs, ve Time, p Payload) Event {
+	return event.NewInsert(id, typ, vs, ve, p)
+}
+
+// NewRetraction builds a retraction shrinking event id's validity to
+// newEnd. Retracting to the event's start removes it entirely.
+func NewRetraction(id ID, typ string, vs, newEnd Time, p Payload) Event {
+	return event.NewRetract(id, typ, vs, newEnd, p)
+}
+
+// NewCTI builds the punctuation promising no later event with Sync before t
+// (a provider-declared sync point).
+func NewCTI(t Time) Event { return event.NewCTI(t) }
+
+// ParseDuration parses CEDR duration literals such as "12 hours".
+var ParseDuration = temporal.ParseDuration
+
+// Deliver runs a Sync-ordered logical stream through the simulated
+// transport, producing a physical arrival stream (possibly out of order,
+// punctuated with sync points).
+var Deliver = delivery.Deliver
+
+// OrderedDelivery returns a transport configuration with in-order delivery
+// and a sync point every period ticks.
+var OrderedDelivery = delivery.Ordered
+
+// DisorderedDelivery returns a transport with a two-point latency mixture:
+// stragglerProb of events arrive stragglerDelay late.
+var DisorderedDelivery = delivery.Disordered
+
+// System is a CEDR engine instance hosting standing queries.
+type System struct {
+	eng *engine.Engine
+}
+
+// New creates an empty system.
+func New() *System { return &System{eng: engine.New()} }
+
+// Register compiles CEDR query text and installs it as a standing query.
+func (s *System) Register(src string) (*Query, error) {
+	q, err := s.eng.RegisterText(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// RegisterAt registers a query with an explicit consistency level,
+// overriding any CONSISTENCY clause.
+func (s *System) RegisterAt(src string, spec Spec) (*Query, error) {
+	q, err := s.eng.RegisterText(src, plan.WithSpec(spec))
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// Push delivers one physical item to every registered query. The event's
+// CEDR arrival time is taken from its C interval (Deliver stamps it); for
+// hand-built events an unset arrival time is acceptable and treated as
+// monotone.
+func (s *System) Push(e Event) { s.eng.Push(e) }
+
+// Run pushes a whole physical stream and flushes.
+func (s *System) Run(in Stream) { s.eng.Run(in) }
+
+// Finish flushes all queries, completing their output histories.
+func (s *System) Finish() { s.eng.Finish() }
+
+// Query is a registered standing query.
+type Query struct {
+	q *engine.Query
+}
+
+// Name returns the query's EVENT name.
+func (q *Query) Name() string { return q.q.Name() }
+
+// Results returns everything emitted so far: inserts, retractions and
+// punctuation, in emission order.
+func (q *Query) Results() Stream { return q.q.Results() }
+
+// Alerts returns the net surviving detections: inserts that were not
+// subsequently retracted (compensated).
+func (q *Query) Alerts() []Event {
+	live := map[ID]Event{}
+	var order []ID
+	for _, e := range q.q.Results() {
+		if e.IsCTI() {
+			continue
+		}
+		if e.Kind == event.Retract {
+			if old, ok := live[e.ID]; ok && e.V.End <= old.V.Start {
+				delete(live, e.ID)
+			}
+			continue
+		}
+		if _, seen := live[e.ID]; !seen {
+			order = append(order, e.ID)
+		}
+		live[e.ID] = e
+	}
+	var out []Event
+	for _, id := range order {
+		if e, ok := live[id]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Metrics returns per-stage monitor metrics (stage 0 is the pattern).
+func (q *Query) Metrics() []Metrics { return q.q.Metrics() }
+
+// Subscribe registers a synchronous callback for every output item.
+func (q *Query) Subscribe(fn func(Event)) { q.q.Subscribe(fn) }
+
+// SetConsistency switches the query's consistency level at runtime.
+func (q *Query) SetConsistency(spec Spec) { q.q.SetSpec(spec) }
+
+// Explain renders the compiled plan.
+func (q *Query) Explain() string { return q.q.Plan().Explain() }

@@ -1,0 +1,108 @@
+package cedr
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+const missedRestart = `
+EVENT MissedRestart
+WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours),
+            RESTART AS z, 5 minutes)
+WHERE CorrelationKey(Machine_Id, EQUAL)
+SC(each, consume)
+CONSISTENCY middle`
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys := New()
+	q, err := sys.Register(missedRestart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name() != "MissedRestart" {
+		t.Errorf("name = %q", q.Name())
+	}
+	src, expected := workload.MachineEvents(workload.DefaultMachines())
+	sys.Run(Deliver(src, OrderedDelivery(MustDuration(t, "10 minutes"))))
+	if got := len(q.Alerts()); got != expected {
+		t.Errorf("alerts = %d, want %d", got, expected)
+	}
+	if q.Explain() == "" {
+		t.Error("Explain empty")
+	}
+	if len(q.Metrics()) == 0 {
+		t.Error("no metrics")
+	}
+}
+
+func MustDuration(t *testing.T, s string) Duration {
+	t.Helper()
+	d, err := ParseDuration(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPublicAPIConsistencyOverride(t *testing.T) {
+	sys := New()
+	q, err := sys.RegisterAt(missedRestart, Strong())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, expected := workload.MachineEvents(workload.DefaultMachines())
+	disordered := Deliver(src, DisorderedDelivery(7,
+		MustDuration(t, "10 minutes"), MustDuration(t, "3 minutes"), 0.3))
+	sys.Run(disordered)
+	if got := len(q.Alerts()); got != expected {
+		t.Errorf("strong alerts under disorder = %d, want %d", got, expected)
+	}
+	// Strong never compensates.
+	for _, m := range q.Metrics() {
+		if m.Compensations != 0 {
+			t.Errorf("strong emitted compensations: %+v", m)
+		}
+	}
+}
+
+func TestPublicAPIMiddleRepairsUnderDisorder(t *testing.T) {
+	sys := New()
+	q, err := sys.RegisterAt(missedRestart, Middle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, expected := workload.MachineEvents(workload.DefaultMachines())
+	disordered := Deliver(src, DisorderedDelivery(7,
+		MustDuration(t, "10 minutes"), MustDuration(t, "3 minutes"), 0.3))
+	sys.Run(disordered)
+	if got := len(q.Alerts()); got != expected {
+		t.Errorf("middle alerts under disorder = %d, want %d", got, expected)
+	}
+}
+
+func TestPublicAPIRetraction(t *testing.T) {
+	sys := New()
+	q, err := sys.Register(`EVENT Hot WHEN ANY(READING r) WHERE {r.temp > 90}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen int
+	q.Subscribe(func(e Event) {
+		if !e.IsCTI() {
+			seen++
+		}
+	})
+	sys.Push(NewEvent(1, "READING", 10, Forever, Payload{"temp": int64(95)}))
+	sys.Finish()
+	if len(q.Alerts()) != 1 || seen == 0 {
+		t.Errorf("alerts = %d, callbacks = %d", len(q.Alerts()), seen)
+	}
+}
+
+func TestPublicAPIBadQuery(t *testing.T) {
+	sys := New()
+	if _, err := sys.Register("EVENT nope"); err == nil {
+		t.Error("bad query accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Command cedr runs a CEDR query over an event file.
+//
+//	cedr -query q.cedr -events events.csv [-consistency strong|middle|weak] \
+//	     [-cti 1000] [-metrics]
+//
+// The event file is CSV: one event per line,
+//
+//	kind,id,type,vs,ve,field=value,...
+//
+// where kind is "insert", "retract" or "cti" (cti lines use only vs), and
+// ve may be "inf". Values parse as int64 when possible, otherwise float64,
+// otherwise string. Lines starting with '#' are comments. Events are
+// pushed in file order with arrival times 0,1,2,...; pass -cti N to inject
+// a provider sync point every N ticks of Sync time instead of reading CTIs
+// from the file.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	cedr "repro"
+	"repro/internal/delivery"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+func main() {
+	queryPath := flag.String("query", "", "path to the .cedr query file")
+	eventsPath := flag.String("events", "", "path to the CSV event file")
+	level := flag.String("consistency", "", "override: strong, middle, weak")
+	weakM := flag.Int64("weakM", 0, "memory bound (ticks) for -consistency weak")
+	ctiEvery := flag.Int64("cti", 0, "inject a sync point every N ticks of Sync time")
+	showMetrics := flag.Bool("metrics", false, "print monitor metrics")
+	explain := flag.Bool("explain", false, "print the compiled plan and exit")
+	flag.Parse()
+
+	if *queryPath == "" || (*eventsPath == "" && !*explain) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*queryPath)
+	must(err)
+
+	sys := cedr.New()
+	var q *cedr.Query
+	switch *level {
+	case "":
+		q, err = sys.Register(string(src))
+	case "strong":
+		q, err = sys.RegisterAt(string(src), cedr.Strong())
+	case "middle":
+		q, err = sys.RegisterAt(string(src), cedr.Middle())
+	case "weak":
+		q, err = sys.RegisterAt(string(src), cedr.Weak(temporal.Duration(*weakM)))
+	default:
+		must(fmt.Errorf("unknown consistency level %q", *level))
+	}
+	must(err)
+
+	if *explain {
+		fmt.Print(q.Explain())
+		return
+	}
+
+	events, err := readEvents(*eventsPath)
+	must(err)
+	if *ctiEvery > 0 {
+		events = delivery.Deliver(events.SortBySync(),
+			delivery.Ordered(temporal.Duration(*ctiEvery)))
+	} else {
+		events = events.WithArrivalTimes()
+	}
+
+	q.Subscribe(func(e cedr.Event) {
+		if e.IsCTI() {
+			return
+		}
+		fmt.Printf("%s\n", e)
+	})
+	sys.Run(events)
+
+	alerts := q.Alerts()
+	fmt.Printf("-- %d surviving detection(s)\n", len(alerts))
+	if *showMetrics {
+		for i, m := range q.Metrics() {
+			fmt.Printf("-- stage %d: in=%d out=%d retractions=%d blocked=%d maxState=%d replays=%d dropped=%d\n",
+				i, m.InputEvents, m.OutputEvents(), m.OutputRetractions,
+				m.BlockedEvents, m.MaxState, m.Replays, m.Dropped)
+		}
+	}
+}
+
+func readEvents(path string) (stream.Stream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out stream.Stream
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
+		}
+		out = append(out, ev)
+	}
+	return out, sc.Err()
+}
+
+func parseLine(line string) (cedr.Event, error) {
+	parts := strings.Split(line, ",")
+	kind := strings.ToLower(strings.TrimSpace(parts[0]))
+	if kind == "cti" {
+		if len(parts) < 2 {
+			return cedr.Event{}, fmt.Errorf("cti needs a timestamp")
+		}
+		t, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
+		if err != nil {
+			return cedr.Event{}, err
+		}
+		return cedr.NewCTI(cedr.Time(t)), nil
+	}
+	if len(parts) < 5 {
+		return cedr.Event{}, fmt.Errorf("need kind,id,type,vs,ve")
+	}
+	id, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64)
+	if err != nil {
+		return cedr.Event{}, fmt.Errorf("bad id: %v", err)
+	}
+	typ := strings.TrimSpace(parts[2])
+	vs, err := strconv.ParseInt(strings.TrimSpace(parts[3]), 10, 64)
+	if err != nil {
+		return cedr.Event{}, fmt.Errorf("bad vs: %v", err)
+	}
+	ve := cedr.Forever
+	if s := strings.TrimSpace(parts[4]); s != "inf" && s != "∞" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return cedr.Event{}, fmt.Errorf("bad ve: %v", err)
+		}
+		ve = cedr.Time(v)
+	}
+	payload := cedr.Payload{}
+	for _, kv := range parts[5:] {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		i := strings.IndexByte(kv, '=')
+		if i < 0 {
+			return cedr.Event{}, fmt.Errorf("bad field %q", kv)
+		}
+		payload[kv[:i]] = parseValue(kv[i+1:])
+	}
+	switch kind {
+	case "insert":
+		return cedr.NewEvent(cedr.ID(id), typ, cedr.Time(vs), ve, payload), nil
+	case "retract":
+		return cedr.NewRetraction(cedr.ID(id), typ, cedr.Time(vs), ve, payload), nil
+	}
+	return cedr.Event{}, fmt.Errorf("unknown kind %q", kind)
+}
+
+func parseValue(s string) any {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cedr:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+// Command cedrbench regenerates the paper's evaluation artifacts:
+//
+//	cedrbench -fig 8       # Figure 8: consistency × orderliness tradeoffs
+//	cedrbench -fig 9       # Figure 9: the (B, M) consistency spectrum
+//	cedrbench -baselines   # Section 1: CEDR vs point-DSMS vs pub/sub
+//	cedrbench -ablations   # DESIGN.md ablations (consumption, …)
+//	cedrbench              # everything
+//
+// Absolute numbers depend on the simulated transport; the shapes — who
+// blocks, who retracts, who forgets, who stays exact — are the paper's
+// claims and are asserted by the test suite (internal/core).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (8 or 9; 0 = all)")
+	baselines := flag.Bool("baselines", false, "run the Section 1 baseline comparison")
+	ablations := flag.Bool("ablations", false, "run the design ablations")
+	seed := flag.Int64("seed", 42, "delivery-simulator seed")
+	flag.Parse()
+
+	all := *fig == 0 && !*baselines && !*ablations
+
+	if *fig == 8 || all {
+		cfg := core.DefaultFig8()
+		cfg.Seed = *seed
+		fmt.Println("Figure 8 — consistency tradeoffs (grouped count over a disordered stream)")
+		fmt.Println("paper's qualitative claims: strong blocks under disorder; middle trades")
+		fmt.Println("blocking for retraction volume at equal state; weak shrinks state and")
+		fmt.Println("output by forgetting — and is the only level that loses correctness.")
+		fmt.Println()
+		fmt.Print(core.FormatFig8(core.Figure8(cfg)))
+		fmt.Println()
+	}
+	if *fig == 9 || all {
+		cfg := core.DefaultFig8()
+		cfg.Seed = *seed
+		cfg.Events = 300
+		fmt.Println("Figure 9 — the (B, M) consistency spectrum (meaningful triangle B <= M)")
+		fmt.Println("corners: (0,0) weakest; (0,∞) middle; (∞,∞) strong.")
+		fmt.Println()
+		fmt.Print(core.FormatFig9(core.Figure9(cfg, core.DefaultFig9Axis())))
+		fmt.Println()
+	}
+	if *baselines || all {
+		fmt.Println("Section 1 — comparison against the paper's strawmen")
+		fmt.Println()
+		fmt.Print(core.FormatBaseline(core.BaselineComparison(*seed)))
+		fmt.Println()
+	}
+	if *ablations || all {
+		fmt.Println("Ablation — instance consumption (SEQUENCE over n A/B pairs)")
+		for _, n := range []int{8, 32, 128} {
+			reuse, consume := core.ConsumptionAblation(n)
+			fmt.Printf("  n=%4d   reuse: %6d outputs   consume: %4d outputs\n", n, reuse, consume)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Command figures regenerates the paper's worked-example tables
+// (Figures 1–6 and 10) from the live model code in internal/history, so the
+// printed rows can be compared against the paper verbatim.
+//
+// Usage:
+//
+//	figures            # print every figure
+//	figures -fig 5     # print one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/history"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number to print (0 = all)")
+	flag.Parse()
+
+	printers := map[int]func(){
+		1: figure1, 2: figure2, 3: figure3, 4: figure4,
+		5: figure5, 6: figure6, 7: figure7, 10: figure10,
+	}
+	if *fig != 0 {
+		p, ok := printers[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "figures: no figure %d (have 1-7, 10)\n", *fig)
+			os.Exit(1)
+		}
+		p()
+		return
+	}
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 10} {
+		printers[n]()
+		fmt.Println()
+	}
+}
+
+func figure1() {
+	t, labels := history.Figure1()
+	fmt.Println("Figure 1. Example – Conceptual stream representation")
+	fmt.Print(t.FormatConceptual(labels))
+}
+
+func figure2() {
+	t, idL, kL := history.Figure2()
+	fmt.Println("Figure 2. Example – Tritemporal history table")
+	fmt.Print(t.FormatTritemporal(idL, kL))
+}
+
+func figure3() {
+	l, r, kL := history.Figure3()
+	fmt.Println("Figure 3. Example – Two history tables")
+	fmt.Print(l.FormatOccurrence(kL))
+	fmt.Println()
+	fmt.Print(r.FormatOccurrence(kL))
+}
+
+func figure4() {
+	l, r, kL := history.Figure3()
+	fmt.Println("Figure 4. Example – Two reduced history tables")
+	fmt.Print(l.Reduce().FormatOccurrence(kL))
+	fmt.Println()
+	fmt.Print(r.Reduce().FormatOccurrence(kL))
+}
+
+func figure5() {
+	l, r, kL := history.Figure3()
+	fmt.Println("Figure 5. Example – Two canonical history tables (to 3)")
+	fmt.Print(l.CanonicalTo(3).FormatOccurrence(kL))
+	fmt.Println()
+	fmt.Print(r.CanonicalTo(3).FormatOccurrence(kL))
+	fmt.Printf("logically equivalent to 3: %v; at 3: %v\n",
+		l.EquivalentTo(r, 3), l.EquivalentAt(r, 3))
+}
+
+func figure6() {
+	t, kL := history.Figure6()
+	ann := t.Annotate()
+	fmt.Println("Figure 6. Example – Annotated history table")
+	fmt.Print(history.FormatAnnotated(ann, kL))
+	fmt.Printf("sync points: %v\n", history.SyncPoints(ann))
+}
+
+func figure7() {
+	fmt.Println("Figure 7. Anatomy of a CEDR operator")
+	fmt.Println(`
+              ┌───────────────────────────────────┐
+ guarantees   │ consistency monitor               │  consistency
+ on input ──► │   ┌───────────────────┐           │  guarantees ──►
+ time         │   │ alignment buffer  │           │
+              │   └───────┬───────────┘           │
+ stream of    │           ▼                       │  stream of
+ input state  │   ┌───────────────────┐  operator │  output state
+ updates ───► │   │ operational module│◄─ state   │  updates ──►
+              │   └───────────────────┘           │
+              └───────────────────────────────────┘
+ (implemented by internal/consistency.Monitor wrapping an operators.Op)`)
+}
+
+func figure10() {
+	t, idL := history.Figure10()
+	fmt.Println("Figure 10. Example – Unitemporal ideal history table")
+	fmt.Print(t.FormatUnitemporal(idL))
+}

@@ -1,0 +1,53 @@
+// Quickstart: register a CEDR query, push events, read detections.
+//
+// The query watches temperature readings and raises a composite event when
+// a sensor goes hot and is not cooled within 10 seconds — the simplest use
+// of UNLESS-style negation with value correlation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	cedr "repro"
+)
+
+func main() {
+	sys := cedr.New()
+	q, err := sys.Register(`
+EVENT StuckHot
+WHEN UNLESS(HOT h, COOL c, 10 seconds)
+WHERE {h.sensor = c.sensor}
+CONSISTENCY middle`)
+	if err != nil {
+		panic(err)
+	}
+
+	q.Subscribe(func(e cedr.Event) {
+		if !e.IsCTI() {
+			fmt.Printf("  output: %s\n", e)
+		}
+	})
+
+	sec := cedr.Time(1000) // one logical second
+	events := cedr.Stream{
+		// Sensor A goes hot at t=1s and cools at t=4s: no alert.
+		cedr.NewEvent(1, "HOT", 1*sec, cedr.Forever, cedr.Payload{"sensor": "A"}),
+		cedr.NewEvent(2, "COOL", 4*sec, cedr.Forever, cedr.Payload{"sensor": "A"}),
+		// Sensor B goes hot at t=2s and never cools: alert.
+		cedr.NewEvent(3, "HOT", 2*sec, cedr.Forever, cedr.Payload{"sensor": "B"}),
+		// Sensor C cools, but only after 15s: alert.
+		cedr.NewEvent(4, "HOT", 5*sec, cedr.Forever, cedr.Payload{"sensor": "C"}),
+		cedr.NewEvent(5, "COOL", 20*sec, cedr.Forever, cedr.Payload{"sensor": "C"}),
+	}
+
+	// Simulated delivery stamps arrival times and injects provider sync
+	// points every 5 seconds of application time.
+	sys.Run(cedr.Deliver(events, cedr.OrderedDelivery(5*1000)))
+
+	fmt.Printf("alerts: %d (want 2: sensors B and C)\n", len(q.Alerts()))
+	for _, a := range q.Alerts() {
+		fmt.Printf("  %v stuck hot since t=%v\n", a.Payload["h.sensor"], a.V.Start)
+	}
+}

@@ -1,0 +1,70 @@
+// Sentiment: the paper's §1 trading-floor application — "extracts events
+// from live news feeds and correlates these events with market indicators
+// to infer market sentiment". Each news event has a short shelf life, and
+// the query "must identify a trading opportunity as soon as possible with
+// the information available at that time; late events may result in a
+// retraction."
+//
+// That sentence is the middle consistency level: the pattern below fires
+// the moment a strong-sentiment news item coincides with a price move on
+// the same symbol, and if a straggler reveals the detection was premature,
+// the engine retracts it. The subscriber sees both the optimistic signal
+// and any compensation — exactly what an automated trading program needs.
+//
+//	go run ./examples/sentiment
+package main
+
+import (
+	"fmt"
+
+	cedr "repro"
+	"repro/internal/workload"
+)
+
+const signalQuery = `
+EVENT TradingSignal
+WHEN ALL(NEWS n, TICK t, 15 seconds)
+WHERE CorrelationKey(symbol, EQUAL) AND {n.sentiment > 0}
+SC(each, consume)
+CONSISTENCY middle`
+
+func main() {
+	sys := cedr.New()
+	q, err := sys.Register(signalQuery)
+	if err != nil {
+		panic(err)
+	}
+
+	signals, compensations := 0, 0
+	q.Subscribe(func(e cedr.Event) {
+		switch {
+		case e.IsCTI():
+		case e.Kind == cedr.Insert:
+			signals++
+		case e.Kind == cedr.Retract:
+			compensations++
+		}
+	})
+
+	news := workload.NewsEvents(workload.DefaultNews())
+	ticks := workload.StockTicks(workload.DefaultTicks())
+	merged := append(append(cedr.Stream{}, news...), ticks...).SortBySync()
+
+	tenSec, _ := cedr.ParseDuration("10 seconds")
+	fiveSec, _ := cedr.ParseDuration("5 seconds")
+	delivered := cedr.Deliver(merged, cedr.DisorderedDelivery(17, tenSec, fiveSec, 0.2))
+	sys.Run(delivered)
+
+	fmt.Printf("events: %d (news %d, ticks %d)\n", len(merged), len(news), len(ticks))
+	fmt.Printf("optimistic signals emitted: %d\n", signals)
+	fmt.Printf("compensating retractions:   %d\n", compensations)
+	fmt.Printf("surviving signals:          %d\n", len(q.Alerts()))
+	for i, a := range q.Alerts() {
+		if i == 3 {
+			fmt.Printf("  ...\n")
+			break
+		}
+		fmt.Printf("  %v: positive news (sentiment %.2f) with market activity at t=%v\n",
+			a.Payload["n.symbol"], a.Payload["n.sentiment"], a.V.Start)
+	}
+}

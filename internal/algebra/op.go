@@ -1,0 +1,455 @@
+package algebra
+
+import (
+	"repro/internal/event"
+	"repro/internal/operators"
+	"repro/internal/temporal"
+)
+
+// PatternOp is the streaming implementation of a WHEN-clause expression: an
+// operators.Op (single input port carrying all event types) that maintains
+// a scope-pruned store of primitive events and emits composite events as
+// detections finalize.
+//
+// The implementation is semi-naive: on each advance it re-derives the
+// expression's denotation over the live store and emits the matches that
+// (a) have become certain (FinalizeAt covered by the frontier), and (b)
+// have not been emitted before. SC modes prune both output and state:
+// consumed contributors leave the store immediately — the paper's argument
+// for why selection/consumption makes operators like SEQUENCE affordable.
+// Scope bounds (every operator has a time-based scope w) prune the rest.
+//
+// Retractions: pattern semantics reference only contributor occurrence
+// times (Vs), so lifetime-shrinking retractions are no-ops; a full removal
+// (retraction to an empty lifetime) deletes the contributor, retracts every
+// emitted output it participated in, and revives instances it had blocked
+// or consumed.
+type PatternOp struct {
+	Expr    Expr
+	Mode    SCMode
+	OutType string
+
+	store    map[event.ID]event.Event
+	consumed map[event.ID]bool
+	emitted  map[event.ID]Match
+	frontier temporal.Time
+	scope    temporal.Duration
+}
+
+// NewPatternOp builds the streaming operator for expr. outType names the
+// composite events it emits.
+func NewPatternOp(expr Expr, mode SCMode, outType string) *PatternOp {
+	if outType == "" {
+		outType = "composite"
+	}
+	scope := expr.MaxScope()
+	if scope <= 0 {
+		scope = 1
+	}
+	return &PatternOp{
+		Expr:     expr,
+		Mode:     mode,
+		OutType:  outType,
+		store:    map[event.ID]event.Event{},
+		consumed: map[event.ID]bool{},
+		emitted:  map[event.ID]Match{},
+		frontier: temporal.MinTime,
+		scope:    scope,
+	}
+}
+
+// Name implements operators.Op.
+func (p *PatternOp) Name() string { return "pattern:" + p.Expr.String() }
+
+// Arity implements operators.Op.
+func (p *PatternOp) Arity() int { return 1 }
+
+// available lists the unconsumed stored events.
+func (p *PatternOp) available() []event.Event {
+	out := make([]event.Event, 0, len(p.store))
+	for id, e := range p.store {
+		if !p.consumed[id] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// mature emits every not-yet-emitted match whose FinalizeAt the frontier
+// covers, in deterministic commit order, honoring the SC mode.
+func (p *PatternOp) mature() []event.Event {
+	ms := ApplySC(Denote(p.Expr, p.available()), p.Mode)
+	var outs []event.Event
+	for _, m := range ms {
+		if m.FinalizeAt > p.frontier {
+			continue
+		}
+		if _, done := p.emitted[m.ID]; done {
+			continue
+		}
+		p.emitted[m.ID] = m
+		if p.Mode.Cons == Consume {
+			for _, id := range m.CBT {
+				p.consumed[id] = true
+				delete(p.store, id) // consumed instances never contribute again
+			}
+		}
+		outs = append(outs, m.Event(p.OutType))
+	}
+	return outs
+}
+
+// Process implements operators.Op.
+func (p *PatternOp) Process(_ int, e event.Event) []event.Event {
+	if e.Kind == event.Retract {
+		if !e.V.Empty() {
+			return nil // lifetime shrink: pattern semantics see only Vs
+		}
+		return p.remove(e.ID)
+	}
+	if e.V.Start > p.frontier {
+		p.frontier = e.V.Start
+	}
+	p.store[e.ID] = e.Clone()
+	return p.mature()
+}
+
+// remove handles a full removal of a primitive event: retract dependent
+// outputs, un-consume their other contributors, re-derive.
+func (p *PatternOp) remove(id event.ID) []event.Event {
+	if _, ok := p.store[id]; !ok && !p.consumed[id] {
+		return nil
+	}
+	delete(p.store, id)
+	wasConsumed := p.consumed[id]
+	delete(p.consumed, id)
+
+	var outs []event.Event
+	for outID, m := range p.emitted {
+		contains := false
+		for _, c := range m.CBT {
+			if c == id {
+				contains = true
+				break
+			}
+		}
+		if !contains {
+			continue
+		}
+		r := m.Event(p.OutType)
+		r.Kind = event.Retract
+		r.V.End = r.V.Start
+		outs = append(outs, r)
+		delete(p.emitted, outID)
+		if wasConsumed || p.Mode.Cons == Consume {
+			for _, c := range m.CBT {
+				if c != id {
+					delete(p.consumed, c)
+				}
+			}
+		}
+	}
+	// Removal (of a blocker or of a consumer's contributor) can make other
+	// instances qualify.
+	outs = append(outs, p.mature()...)
+	return outs
+}
+
+// Advance implements operators.Op: move the certainty frontier, emit
+// finalized detections, prune state beyond every operator scope.
+func (p *PatternOp) Advance(t temporal.Time) []event.Event {
+	if t > p.frontier {
+		p.frontier = t
+	}
+	outs := p.mature()
+	if !p.frontier.IsInfinite() {
+		horizon := p.frontier.Add(-p.scope)
+		for id, e := range p.store {
+			if e.V.Start < horizon {
+				delete(p.store, id)
+				delete(p.consumed, id)
+			}
+		}
+		for id, m := range p.emitted {
+			if m.LastVs < horizon {
+				delete(p.emitted, id)
+			}
+		}
+	} else {
+		p.store = map[event.ID]event.Event{}
+		p.consumed = map[event.ID]bool{}
+	}
+	return outs
+}
+
+// OutputGuarantee implements operators.Op: an input guarantee at t
+// finalizes every output anchored after t − scope; compensations for
+// still-repairable detections can reach back at most one full scope.
+func (p *PatternOp) OutputGuarantee(t temporal.Time) temporal.Time {
+	if t.IsInfinite() {
+		return t
+	}
+	return t.Add(-p.scope)
+}
+
+// StateSize implements operators.Op.
+func (p *PatternOp) StateSize() int { return len(p.store) + len(p.emitted) }
+
+// Clone implements operators.Op.
+func (p *PatternOp) Clone() operators.Op {
+	c := NewPatternOp(p.Expr, p.Mode, p.OutType)
+	c.frontier = p.frontier
+	for id, e := range p.store {
+		c.store[id] = e.Clone()
+	}
+	for id, v := range p.consumed {
+		c.consumed[id] = v
+	}
+	for id, m := range p.emitted {
+		c.emitted[id] = m
+	}
+	return c
+}
+
+// SequenceOp is a specialized incremental implementation of
+// SEQUENCE(T1, ..., Tk, w) over plain event types: a partial-match chain
+// store advanced in arrival (Vs) order, instead of re-deriving the full
+// denotation per step. It exists as the optimized counterpart for the
+// ablation benchmarks (incremental vs semi-naive pattern matching) and
+// supports the same consume-mode pruning.
+type SequenceOp struct {
+	Types   []string
+	W       temporal.Duration
+	Mode    SCMode
+	OutType string
+	Pred    func(event.Payload) bool // over the merged namespaced payload
+	Aliases []string
+
+	partials [][]event.Event // partials[i]: matches of length i+1
+	frontier temporal.Time
+}
+
+// NewSequenceOp builds the specialized sequence matcher.
+func NewSequenceOp(types []string, aliases []string, w temporal.Duration, mode SCMode, outType string) *SequenceOp {
+	if outType == "" {
+		outType = "composite"
+	}
+	if len(aliases) == 0 {
+		aliases = types
+	}
+	return &SequenceOp{
+		Types:    types,
+		W:        w,
+		Mode:     mode,
+		OutType:  outType,
+		Aliases:  aliases,
+		partials: make([][]event.Event, len(types)),
+		frontier: temporal.MinTime,
+	}
+}
+
+// Name implements operators.Op.
+func (s *SequenceOp) Name() string { return "sequence" }
+
+// Arity implements operators.Op.
+func (s *SequenceOp) Arity() int { return 1 }
+
+func (s *SequenceOp) merged(chain []event.Event) event.Payload {
+	p := event.Payload{}
+	for i, e := range chain {
+		prefix := s.Aliases[i]
+		for k, v := range e.Payload {
+			p[prefix+"."+k] = v
+		}
+	}
+	return p
+}
+
+// Process implements operators.Op. Events must arrive in Vs order (the
+// consistency monitor guarantees it); each event extends existing partial
+// chains whose next expected type matches.
+func (s *SequenceOp) Process(_ int, e event.Event) []event.Event {
+	if e.Kind == event.Retract {
+		// Full removals arrive as stragglers and are handled by monitor
+		// replay; shrinks are no-ops for Vs-only semantics.
+		if e.V.Empty() {
+			s.dropContributor(e.ID)
+		}
+		return nil
+	}
+	if e.V.Start > s.frontier {
+		s.frontier = e.V.Start
+	}
+	var outs []event.Event
+	k := len(s.Types)
+	consumedNow := map[event.ID]bool{}
+	// Extend longest chains first so an event cannot extend a chain it just
+	// created.
+	for i := k - 2; i >= 0; i-- {
+		if s.Types[i+1] != e.Type {
+			continue
+		}
+		// partials[i] stores flattened chains of i+1 events each; commit in
+		// chronicle order (earliest anchor first), matching ApplySC.
+		chains := s.chains(i)
+		sortChains(chains)
+		for _, chain := range chains {
+			if consumedNow[e.ID] {
+				break // the trigger itself was consumed by an earlier commit
+			}
+			if anyConsumed(chain, consumedNow) {
+				continue
+			}
+			first := chain[0]
+			if !(chain[len(chain)-1].V.Start < e.V.Start) ||
+				e.V.Start.Sub(first.V.Start) > s.W {
+				continue
+			}
+			ext := append(append([]event.Event{}, chain...), e.Clone())
+			if i+1 == k-1 {
+				// Complete.
+				p := s.merged(ext)
+				if s.Pred != nil && !s.Pred(p) {
+					continue
+				}
+				ids := make([]event.ID, len(ext))
+				mids := make([]event.ID, len(ext))
+				for j, c := range ext {
+					ids[j] = c.ID
+					mids[j] = event.Pair(c.ID) // primitive match IDs, as the generic evaluator derives them
+				}
+				out := event.Event{
+					ID:      event.Pair(mids...),
+					Kind:    event.Insert,
+					Type:    s.OutType,
+					V:       temporal.NewInterval(e.V.Start, first.V.Start.Add(s.W)),
+					O:       temporal.From(e.V.Start),
+					RT:      first.V.Start,
+					CBT:     ids,
+					Payload: p,
+				}
+				outs = append(outs, out)
+				if s.Mode.Cons == Consume {
+					for _, c := range ext {
+						consumedNow[c.ID] = true
+						s.dropContributor(c.ID)
+					}
+				}
+			} else {
+				s.partials[i+1] = append(s.partials[i+1], ext...)
+			}
+		}
+	}
+	if s.Types[0] == e.Type {
+		s.partials[0] = append(s.partials[0], e.Clone())
+	}
+	return outs
+}
+
+func sortChains(chains [][]event.Event) {
+	for i := 1; i < len(chains); i++ {
+		for j := i; j > 0 && chains[j][0].V.Start < chains[j-1][0].V.Start; j-- {
+			chains[j], chains[j-1] = chains[j-1], chains[j]
+		}
+	}
+}
+
+func anyConsumed(chain []event.Event, consumed map[event.ID]bool) bool {
+	for _, c := range chain {
+		if consumed[c.ID] {
+			return true
+		}
+	}
+	return false
+}
+
+// chains reconstructs the chain list at level i from the flattened storage.
+func (s *SequenceOp) chains(i int) [][]event.Event {
+	width := i + 1
+	flat := s.partials[i]
+	var out [][]event.Event
+	for j := 0; j+width <= len(flat); j += width {
+		out = append(out, flat[j:j+width])
+	}
+	return out
+}
+
+func (s *SequenceOp) dropContributor(id event.ID) {
+	for lvl := range s.partials {
+		width := lvl + 1
+		flat := s.partials[lvl]
+		var kept []event.Event
+		for j := 0; j+width <= len(flat); j += width {
+			chain := flat[j : j+width]
+			has := false
+			for _, c := range chain {
+				if c.ID == id {
+					has = true
+					break
+				}
+			}
+			if !has {
+				kept = append(kept, chain...)
+			}
+		}
+		s.partials[lvl] = kept
+	}
+}
+
+// Advance implements operators.Op: prune chains whose scope has expired.
+func (s *SequenceOp) Advance(t temporal.Time) []event.Event {
+	if t > s.frontier {
+		s.frontier = t
+	}
+	if s.frontier.IsInfinite() {
+		s.partials = make([][]event.Event, len(s.Types))
+		return nil
+	}
+	horizon := s.frontier.Add(-s.W)
+	for lvl := range s.partials {
+		width := lvl + 1
+		flat := s.partials[lvl]
+		var kept []event.Event
+		for j := 0; j+width <= len(flat); j += width {
+			if flat[j].V.Start >= horizon {
+				kept = append(kept, flat[j:j+width]...)
+			}
+		}
+		s.partials[lvl] = kept
+	}
+	return nil
+}
+
+// OutputGuarantee implements operators.Op.
+func (s *SequenceOp) OutputGuarantee(t temporal.Time) temporal.Time {
+	if t.IsInfinite() {
+		return t
+	}
+	return t.Add(-s.W)
+}
+
+// StateSize implements operators.Op.
+func (s *SequenceOp) StateSize() int {
+	n := 0
+	for lvl, flat := range s.partials {
+		width := lvl + 1
+		n += len(flat) / width
+	}
+	return n
+}
+
+// Clone implements operators.Op.
+func (s *SequenceOp) Clone() operators.Op {
+	c := NewSequenceOp(s.Types, s.Aliases, s.W, s.Mode, s.OutType)
+	c.Pred = s.Pred
+	c.frontier = s.frontier
+	c.partials = make([][]event.Event, len(s.partials))
+	for i, flat := range s.partials {
+		cp := make([]event.Event, len(flat))
+		for j, e := range flat {
+			cp[j] = e.Clone()
+		}
+		c.partials[i] = cp
+	}
+	return c
+}

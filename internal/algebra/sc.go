@@ -1,0 +1,154 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+)
+
+// Selection picks which qualifying instances produce output (§3.2 "instance
+// selection").
+type Selection uint8
+
+// Selection policies.
+const (
+	// SelectEach outputs every qualifying combination.
+	SelectEach Selection = iota
+	// SelectFirst keeps, among instances detected at the same instant,
+	// only the one anchored at the earliest first contributor.
+	SelectFirst
+	// SelectLast keeps only the one anchored at the latest first
+	// contributor (the most recent partial match).
+	SelectLast
+)
+
+// Consumption decides whether contributors may participate in future
+// outputs (§3.2 "instance consumption").
+type Consumption uint8
+
+// Consumption policies.
+const (
+	// Reuse leaves contributors available to later instances.
+	Reuse Consumption = iota
+	// Consume removes an output's contributors from further matching —
+	// the policy that keeps operators like SEQUENCE from producing output
+	// multiplicative in the input size.
+	Consume
+)
+
+// SCMode bundles an instance selection and consumption policy. In CEDR the
+// SC mode is decoupled from operator semantics and specified per query
+// (§3.2); the zero value (each, reuse) is the unconstrained denotation.
+type SCMode struct {
+	Sel  Selection
+	Cons Consumption
+}
+
+// String implements fmt.Stringer.
+func (m SCMode) String() string {
+	sel := [...]string{"each", "first", "last"}[m.Sel]
+	cons := [...]string{"reuse", "consume"}[m.Cons]
+	return fmt.Sprintf("sc(%s,%s)", sel, cons)
+}
+
+// ParseSelection converts language syntax to a Selection.
+func ParseSelection(s string) (Selection, error) {
+	switch s {
+	case "", "each", "EACH":
+		return SelectEach, nil
+	case "first", "FIRST":
+		return SelectFirst, nil
+	case "last", "LAST":
+		return SelectLast, nil
+	}
+	return 0, fmt.Errorf("algebra: unknown selection policy %q", s)
+}
+
+// ParseConsumption converts language syntax to a Consumption.
+func ParseConsumption(s string) (Consumption, error) {
+	switch s {
+	case "", "reuse", "REUSE":
+		return Reuse, nil
+	case "consume", "CONSUME":
+		return Consume, nil
+	}
+	return 0, fmt.Errorf("algebra: unknown consumption policy %q", s)
+}
+
+// ApplySC filters a finalize-ordered match list under the SC mode,
+// committing detections in deterministic (FinalizeAt, Vs, ID) order — the
+// order in which a streaming evaluation commits them. Selection and
+// consumption interleave per detection group: instances whose contributors
+// an earlier commit consumed are no longer candidates when their group's
+// selection runs, exactly as in the incremental evaluation where consumed
+// instances leave the store immediately.
+func ApplySC(ms []Match, mode SCMode) []Match {
+	if mode.Sel == SelectEach && mode.Cons == Reuse {
+		return ms
+	}
+	sortMatches(ms)
+	consumed := map[event.ID]bool{}
+	viable := func(m Match) bool {
+		if mode.Cons != Consume {
+			return true
+		}
+		for _, id := range m.CBT {
+			if consumed[id] {
+				return false
+			}
+		}
+		return true
+	}
+	commit := func(m Match) {
+		if mode.Cons == Consume {
+			for _, id := range m.CBT {
+				consumed[id] = true
+			}
+		}
+	}
+
+	var out []Match
+	for i := 0; i < len(ms); {
+		j := i
+		for j < len(ms) && ms[j].FinalizeAt == ms[i].FinalizeAt && ms[j].LastVs == ms[i].LastVs {
+			j++
+		}
+		group := ms[i:j]
+		i = j
+		if mode.Sel == SelectEach {
+			for _, m := range group {
+				if viable(m) {
+					commit(m)
+					out = append(out, m)
+				}
+			}
+			continue
+		}
+		var best *Match
+		for gi := range group {
+			c := group[gi]
+			if !viable(c) {
+				continue
+			}
+			if best == nil {
+				best = &group[gi]
+				continue
+			}
+			switch mode.Sel {
+			case SelectFirst:
+				if c.FirstVs < best.FirstVs || (c.FirstVs == best.FirstVs && c.ID < best.ID) {
+					best = &group[gi]
+				}
+			case SelectLast:
+				if c.FirstVs > best.FirstVs || (c.FirstVs == best.FirstVs && c.ID < best.ID) {
+					best = &group[gi]
+				}
+			}
+		}
+		if best != nil {
+			commit(*best)
+			out = append(out, *best)
+		}
+	}
+	return out
+}

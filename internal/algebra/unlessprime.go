@@ -1,0 +1,98 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// UnlessPrimeExpr is the paper's UNLESS' variant — UNLESS(E1, E2, n, w) in
+// the §3.3.2 operator table: the start of the negation scope is not E1's
+// own occurrence but that of E1's n-th contributor (1-based), giving
+// queries control over where the non-occurrence window anchors.
+//
+// Per the table: E1 survives iff there is no (correlated) E2 with
+// cbt[n].Vs < e2.Vs < cbt[n].Vs + w, and the output's start valid time is
+// the later of E1's start and the end of the negation scope. The paper
+// itself leaves UNLESS' "open to discussion"; this is the literal reading.
+type UnlessPrimeExpr struct {
+	A    Expr
+	B    Expr
+	N    int // 1-based contributor index anchoring the negation scope
+	W    temporal.Duration
+	Corr CorrPred
+}
+
+// MaxScope implements Expr.
+func (u UnlessPrimeExpr) MaxScope() temporal.Duration {
+	return u.W + maxDur(u.A.MaxScope(), u.B.MaxScope())
+}
+
+// String implements Expr.
+func (u UnlessPrimeExpr) String() string {
+	return fmt.Sprintf("UNLESS(%s, %s, %d, %s)", u.A, u.B, u.N, u.W)
+}
+
+// Validate performs the compile-time check the paper requires: the
+// sequence specified by E1's cbt[] must have length at least n. It can
+// only be checked statically when A is a flat sequence.
+func (u UnlessPrimeExpr) Validate() error {
+	if u.N < 1 {
+		return fmt.Errorf("algebra: UNLESS' contributor index %d must be >= 1", u.N)
+	}
+	if seq, ok := u.A.(SequenceExpr); ok && u.N > len(seq.Kids) {
+		return fmt.Errorf("algebra: UNLESS' index %d exceeds sequence length %d",
+			u.N, len(seq.Kids))
+	}
+	return nil
+}
+
+func evalUnlessPrime(u UnlessPrimeExpr, store []event.Event) []Match {
+	// Contributor occurrence times, looked up by primitive event ID.
+	vsOf := make(map[event.ID]temporal.Time, len(store))
+	for _, e := range store {
+		if e.Kind == event.Insert {
+			vsOf[e.ID] = e.V.Start
+		}
+	}
+	as := eval(u.A, store)
+	bs := eval(u.B, store)
+	var out []Match
+	for _, a := range as {
+		if u.N > len(a.CBT) {
+			continue // runtime arity mismatch: no anchor, no output
+		}
+		anchor, ok := vsOf[a.CBT[u.N-1]]
+		if !ok {
+			continue
+		}
+		scopeEnd := anchor.Add(u.W)
+		blocked := false
+		for _, b := range bs {
+			if anchor < b.V.Start && b.V.Start < scopeEnd &&
+				(u.Corr == nil || u.Corr(a.Payload, b.Payload)) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		m := a
+		m.ID = event.Pair(a.ID, event.ID(u.N))
+		vs := temporal.Max(a.V.Start, scopeEnd)
+		ve := a.FirstVs.Add(u.W)
+		if ve <= vs {
+			ve = vs.Add(1) // degenerate scopes still mark the detection instant
+		}
+		m.V = temporal.NewInterval(vs, ve)
+		fin := scopeEnd
+		if a.FinalizeAt > fin {
+			fin = a.FinalizeAt
+		}
+		m.FinalizeAt = fin
+		out = append(out, m)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package algebra
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func TestUnlessPrimeAnchorsAtContributor(t *testing.T) {
+	// UNLESS'(SEQUENCE(A, B, 100), C, n=1, w=10): the negation scope starts
+	// at the FIRST contributor (the A), not at the sequence's detection.
+	expr := UnlessPrimeExpr{
+		A: SequenceExpr{Kids: []Expr{typ("A", "a"), typ("B", "b")}, W: 100},
+		B: typ("C", "c"), N: 1, W: 10,
+	}
+	if err := expr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// C at 5 is inside (0, 10) — the scope anchored at A@0 — so it blocks,
+	// even though it is far from the detection at B@50.
+	store := []event.Event{ev(1, "A", 0), ev(2, "B", 50), ev(3, "C", 5)}
+	if ms := Denote(expr, store); len(ms) != 0 {
+		t.Fatalf("C inside the anchored scope must block: %+v", ms)
+	}
+	// C at 30 is outside (0, 10): no block. With plain UNLESS anchored at
+	// the detection, the same C would be irrelevant for a different reason;
+	// the distinguishing case is C at 55, inside the detection-anchored
+	// window but outside the contributor-anchored one.
+	store = []event.Event{ev(1, "A", 0), ev(2, "B", 50), ev(3, "C", 55)}
+	ms := Denote(expr, store)
+	if len(ms) != 1 {
+		t.Fatalf("C outside the anchored scope must not block: %+v", ms)
+	}
+	// Output start: the later of E1's Vs (50) and the scope end (10) = 50.
+	if ms[0].V.Start != 50 {
+		t.Errorf("output Vs = %v, want 50", ms[0].V.Start)
+	}
+	// Contrast: plain UNLESS anchored at the detection IS blocked by C@55.
+	plain := UnlessExpr{
+		A: SequenceExpr{Kids: []Expr{typ("A", "a"), typ("B", "b")}, W: 100},
+		B: typ("C", "c"), W: 10,
+	}
+	if ms := Denote(plain, store); len(ms) != 0 {
+		t.Fatalf("plain UNLESS must block on C@55: %+v", ms)
+	}
+}
+
+func TestUnlessPrimeSecondContributor(t *testing.T) {
+	expr := UnlessPrimeExpr{
+		A: SequenceExpr{Kids: []Expr{typ("A", "a"), typ("B", "b")}, W: 100},
+		B: typ("C", "c"), N: 2, W: 10,
+	}
+	// Scope anchored at B@50: C@55 blocks, C@5 does not.
+	store := []event.Event{ev(1, "A", 0), ev(2, "B", 50), ev(3, "C", 55)}
+	if ms := Denote(expr, store); len(ms) != 0 {
+		t.Fatal("C within the B-anchored scope must block")
+	}
+	store[2] = ev(3, "C", 5)
+	if ms := Denote(expr, store); len(ms) != 1 {
+		t.Fatal("C before the sequence must not block")
+	}
+}
+
+func TestUnlessPrimeFinalizeAtScopeEnd(t *testing.T) {
+	expr := UnlessPrimeExpr{
+		A: SequenceExpr{Kids: []Expr{typ("A", "a"), typ("B", "b")}, W: 100},
+		B: typ("C", "c"), N: 1, W: 10,
+	}
+	store := []event.Event{ev(1, "A", 0), ev(2, "B", 50)}
+	ms := Denote(expr, store)
+	if len(ms) != 1 {
+		t.Fatal("expected one match")
+	}
+	// The detection (B@50) already happens after the negation scope closes
+	// (10), so certainty arrives with the detection itself.
+	if ms[0].FinalizeAt != 50 {
+		t.Errorf("FinalizeAt = %v, want 50", ms[0].FinalizeAt)
+	}
+}
+
+func TestUnlessPrimeValidation(t *testing.T) {
+	bad := UnlessPrimeExpr{
+		A: SequenceExpr{Kids: []Expr{typ("A", ""), typ("B", "")}, W: 10},
+		B: typ("C", ""), N: 3, W: 5,
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("index beyond sequence length must be rejected")
+	}
+	if err := (UnlessPrimeExpr{A: typ("A", ""), B: typ("C", ""), N: 0, W: 5}).Validate(); err == nil {
+		t.Error("index 0 must be rejected")
+	}
+	if (UnlessPrimeExpr{A: typ("A", ""), B: typ("B", ""), N: 1, W: 5}).String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestUnlessPrimeStreaming(t *testing.T) {
+	// The generic PatternOp executes UNLESS' via the shared denotation.
+	expr := UnlessPrimeExpr{
+		A: SequenceExpr{Kids: []Expr{typ("A", "a"), typ("B", "b")}, W: 100},
+		B: typ("C", "c"), N: 1, W: 10,
+	}
+	op := NewPatternOp(expr, SCMode{}, "out")
+	var outs []event.Event
+	outs = append(outs, op.Process(0, ev(1, "A", 0))...)
+	// The scope (anchored at A@0, closing at 10) is already past when the
+	// detection completes at B@50, so the output finalizes immediately.
+	outs = append(outs, op.Process(0, ev(2, "B", 50))...)
+	outs = append(outs, op.Advance(200)...)
+	if len(outs) != 1 {
+		t.Fatalf("streaming UNLESS' outputs = %v", outs)
+	}
+}

@@ -1,0 +1,225 @@
+// Package baseline implements the comparator systems of the paper's
+// Section 1 analysis: a point-tuple data-stream engine in the style of
+// STREAM/Aurora (no validity intervals, no retractions, late tuples
+// dropped) and a stateless pub/sub matcher. The benchmarks run the same
+// workloads through these baselines to reproduce the paper's qualitative
+// comparisons: the point engine loses accuracy under disorder and cannot
+// express negation or consumption; pub/sub can only filter.
+package baseline
+
+import (
+	"repro/internal/event"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+// PointTuple is the baseline's event model: a timestamped point, not an
+// interval.
+type PointTuple struct {
+	TS      temporal.Time
+	Type    string
+	Payload event.Payload
+}
+
+// PointEngine is an in-order point-stream processor: tuples are processed
+// in arrival order, and any tuple older than the maximum timestamp seen is
+// dropped (the "ignore late data" policy the paper contrasts with CEDR's
+// retraction machinery).
+type PointEngine struct {
+	watermark temporal.Time
+	Dropped   int
+	Processed int
+}
+
+// NewPointEngine creates the baseline engine.
+func NewPointEngine() *PointEngine {
+	return &PointEngine{watermark: temporal.MinTime}
+}
+
+// Accept admits a tuple in arrival order, returning false for dropped
+// (late) tuples.
+func (pe *PointEngine) Accept(t PointTuple) bool {
+	if t.TS < pe.watermark {
+		pe.Dropped++
+		return false
+	}
+	pe.watermark = t.TS
+	pe.Processed++
+	return true
+}
+
+// FromEvent converts a CEDR event to the baseline's point model, losing the
+// validity interval (the paper: existing systems "model stream tuples as
+// points").
+func FromEvent(e event.Event) PointTuple {
+	return PointTuple{TS: e.V.Start, Type: e.Type, Payload: e.Payload}
+}
+
+// SlidingAgg computes a CQL-style sliding aggregate over the last window of
+// point tuples, emitting one result per accepted tuple.
+type SlidingAgg struct {
+	Window temporal.Duration
+	Field  string
+	engine *PointEngine
+	buf    []PointTuple
+}
+
+// NewSlidingAgg builds a sliding-average operator over the window.
+func NewSlidingAgg(window temporal.Duration, field string) *SlidingAgg {
+	return &SlidingAgg{Window: window, Field: field, engine: NewPointEngine()}
+}
+
+// Result is one baseline aggregate output.
+type Result struct {
+	TS    temporal.Time
+	Value float64
+	N     int
+}
+
+// Push admits a tuple and returns the window aggregate, if the tuple was
+// accepted.
+func (sa *SlidingAgg) Push(t PointTuple) (Result, bool) {
+	if !sa.engine.Accept(t) {
+		return Result{}, false
+	}
+	sa.buf = append(sa.buf, t)
+	lo := t.TS.Add(-sa.Window)
+	i := 0
+	for i < len(sa.buf) && sa.buf[i].TS <= lo {
+		i++
+	}
+	sa.buf = sa.buf[i:]
+	sum, n := 0.0, 0
+	for _, b := range sa.buf {
+		if v, ok := event.Num(b.Payload[sa.Field]); ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return Result{TS: t.TS}, true
+	}
+	return Result{TS: t.TS, Value: sum / float64(n), N: n}, true
+}
+
+// Dropped reports how many late tuples the engine discarded.
+func (sa *SlidingAgg) Dropped() int { return sa.engine.Dropped }
+
+// SequenceDetector is the baseline's sequence matcher: contiguous type
+// matching over accepted (in-order) tuples with a time scope, no
+// consumption control, no retraction. It mirrors what the paper says point
+// systems can do — and mispredicts when events arrive out of order.
+type SequenceDetector struct {
+	Types  []string
+	W      temporal.Duration
+	Corr   string // attribute that must match across contributors ("" = none)
+	engine *PointEngine
+	open   [][]PointTuple
+	Found  int
+}
+
+// NewSequenceDetector builds the baseline matcher.
+func NewSequenceDetector(types []string, w temporal.Duration, corr string) *SequenceDetector {
+	return &SequenceDetector{Types: types, W: w, Corr: corr, engine: NewPointEngine()}
+}
+
+// Push admits a tuple and returns completed matches.
+func (sd *SequenceDetector) Push(t PointTuple) [][]PointTuple {
+	if !sd.engine.Accept(t) {
+		return nil
+	}
+	var done [][]PointTuple
+	var kept [][]PointTuple
+	for _, chain := range sd.open {
+		if t.TS.Sub(chain[0].TS) > sd.W {
+			continue // expired
+		}
+		next := len(chain)
+		if sd.Types[next] == t.Type &&
+			(sd.Corr == "" || event.ValueEqual(chain[0].Payload[sd.Corr], t.Payload[sd.Corr])) {
+			ext := append(append([]PointTuple{}, chain...), t)
+			if len(ext) == len(sd.Types) {
+				done = append(done, ext)
+				sd.Found++
+				continue
+			}
+			kept = append(kept, ext)
+		}
+		kept = append(kept, chain)
+	}
+	sd.open = kept
+	if sd.Types[0] == t.Type {
+		sd.open = append(sd.open, []PointTuple{t})
+	}
+	return done
+}
+
+// Dropped reports how many late tuples were discarded.
+func (sd *SequenceDetector) Dropped() int { return sd.engine.Dropped }
+
+// Subscription is a pub/sub predicate: type plus attribute equalities.
+type Subscription struct {
+	ID    int
+	Type  string
+	Where event.Payload // attribute → required value
+}
+
+// PubSub is the stateless publish/subscribe baseline: it routes events to
+// matching subscriptions but, as the paper notes, "lacks the ability to
+// carry out computation other than filtering".
+type PubSub struct {
+	subs []Subscription
+	// Delivered counts matched (sub, event) pairs.
+	Delivered int
+}
+
+// NewPubSub creates an empty broker.
+func NewPubSub() *PubSub { return &PubSub{} }
+
+// Subscribe registers a subscription and returns its id.
+func (ps *PubSub) Subscribe(typ string, where event.Payload) int {
+	id := len(ps.subs)
+	ps.subs = append(ps.subs, Subscription{ID: id, Type: typ, Where: where})
+	return id
+}
+
+// Publish matches an event against all subscriptions, returning the ids of
+// those it reaches. Matching is stateless: no joins, no windows, no
+// ordering concerns.
+func (ps *PubSub) Publish(e event.Event) []int {
+	var out []int
+	for _, s := range ps.subs {
+		if s.Type != "" && s.Type != e.Type {
+			continue
+		}
+		ok := true
+		for k, v := range s.Where {
+			if !event.ValueEqual(e.Payload[k], v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, s.ID)
+			ps.Delivered++
+		}
+	}
+	return out
+}
+
+// RunPointAggregate drives a physical (possibly disordered) stream through
+// the baseline sliding aggregate, returning results and drop count — used
+// by the benchmarks for the accuracy comparison against CEDR levels.
+func RunPointAggregate(s stream.Stream, window temporal.Duration, field string) ([]Result, int) {
+	agg := NewSlidingAgg(window, field)
+	var out []Result
+	for _, e := range s {
+		if e.IsCTI() || e.Kind != event.Insert {
+			continue // the baseline has no notion of punctuation or retraction
+		}
+		if r, ok := agg.Push(FromEvent(e)); ok {
+			out = append(out, r)
+		}
+	}
+	return out, agg.Dropped()
+}

@@ -1,0 +1,111 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/delivery"
+	"repro/internal/event"
+	"repro/internal/temporal"
+	"repro/internal/workload"
+)
+
+func TestPointEngineDropsLate(t *testing.T) {
+	pe := NewPointEngine()
+	if !pe.Accept(PointTuple{TS: 10}) || !pe.Accept(PointTuple{TS: 20}) {
+		t.Fatal("in-order tuples rejected")
+	}
+	if pe.Accept(PointTuple{TS: 15}) {
+		t.Fatal("late tuple accepted")
+	}
+	if pe.Dropped != 1 || pe.Processed != 2 {
+		t.Errorf("counters: %+v", pe)
+	}
+}
+
+func TestSlidingAgg(t *testing.T) {
+	agg := NewSlidingAgg(10, "x")
+	r1, ok := agg.Push(PointTuple{TS: 0, Payload: event.Payload{"x": int64(4)}})
+	if !ok || r1.Value != 4 {
+		t.Fatalf("r1 = %+v", r1)
+	}
+	r2, _ := agg.Push(PointTuple{TS: 5, Payload: event.Payload{"x": int64(8)}})
+	if r2.Value != 6 || r2.N != 2 {
+		t.Fatalf("r2 = %+v", r2)
+	}
+	// Window slides: tuple at 0 leaves by 11.
+	r3, _ := agg.Push(PointTuple{TS: 11, Payload: event.Payload{"x": int64(2)}})
+	if r3.N != 2 || r3.Value != 5 {
+		t.Fatalf("r3 = %+v", r3)
+	}
+}
+
+// The paper's core criticism: under disorder, a drop-late point engine
+// loses data, and its results diverge; CEDR's strong/middle levels do not.
+func TestBaselineLosesDataUnderDisorder(t *testing.T) {
+	src := workload.StockTicks(workload.DefaultTicks())
+	ordered := delivery.Deliver(src, delivery.Ordered(0))
+	disordered := delivery.Deliver(src, delivery.Disordered(3, 0, 10*temporal.Second, 0.3))
+
+	_, d0 := RunPointAggregate(ordered, 10*temporal.Second, "price")
+	_, d1 := RunPointAggregate(disordered, 10*temporal.Second, "price")
+	if d0 != 0 {
+		t.Errorf("ordered run dropped %d", d0)
+	}
+	if d1 == 0 {
+		t.Error("disordered run should drop tuples")
+	}
+}
+
+func TestSequenceDetector(t *testing.T) {
+	sd := NewSequenceDetector([]string{"A", "B"}, 10, "k")
+	sd.Push(PointTuple{TS: 0, Type: "A", Payload: event.Payload{"k": "x"}})
+	done := sd.Push(PointTuple{TS: 5, Type: "B", Payload: event.Payload{"k": "x"}})
+	if len(done) != 1 {
+		t.Fatalf("matches = %d", len(done))
+	}
+	// Wrong correlation key.
+	sd.Push(PointTuple{TS: 20, Type: "A", Payload: event.Payload{"k": "x"}})
+	done = sd.Push(PointTuple{TS: 22, Type: "B", Payload: event.Payload{"k": "y"}})
+	if len(done) != 0 {
+		t.Fatal("correlation ignored")
+	}
+	// Out of scope.
+	sd.Push(PointTuple{TS: 40, Type: "A", Payload: event.Payload{"k": "x"}})
+	done = sd.Push(PointTuple{TS: 60, Type: "B", Payload: event.Payload{"k": "x"}})
+	if len(done) != 0 {
+		t.Fatal("scope ignored")
+	}
+}
+
+func TestSequenceDetectorMissesLateEvents(t *testing.T) {
+	// A arrives late (after B): the baseline finds nothing — the behaviour
+	// the paper contrasts with CEDR's alignment/repair.
+	sd := NewSequenceDetector([]string{"A", "B"}, 10, "")
+	sd.Push(PointTuple{TS: 5, Type: "B"})
+	sd.Push(PointTuple{TS: 0, Type: "A"}) // dropped: late
+	if sd.Found != 0 {
+		t.Fatal("baseline should have missed the disordered match")
+	}
+	if sd.Dropped() != 1 {
+		t.Errorf("dropped = %d", sd.Dropped())
+	}
+}
+
+func TestPubSub(t *testing.T) {
+	ps := NewPubSub()
+	s1 := ps.Subscribe("TICK", event.Payload{"symbol": "SYM1"})
+	s2 := ps.Subscribe("TICK", nil)
+	s3 := ps.Subscribe("NEWS", nil)
+	got := ps.Publish(event.NewInsert(1, "TICK", 0, 1, event.Payload{"symbol": "SYM1"}))
+	if len(got) != 2 || got[0] != s1 || got[1] != s2 {
+		t.Errorf("matches = %v", got)
+	}
+	got = ps.Publish(event.NewInsert(2, "TICK", 0, 1, event.Payload{"symbol": "SYM9"}))
+	if len(got) != 1 || got[0] != s2 {
+		t.Errorf("matches = %v", got)
+	}
+	if ps.Delivered != 3 {
+		t.Errorf("delivered = %d", ps.Delivered)
+	}
+	_ = s3
+}

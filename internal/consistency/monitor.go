@@ -1,0 +1,596 @@
+package consistency
+
+import (
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/operators"
+	"repro/internal/temporal"
+)
+
+// Monitor is the consistency monitor of Figure 7: it wraps an operational
+// module (an operators.Op) and upholds a consistency level under
+// out-of-order physical arrival.
+//
+//	           ┌──────────────────────────────┐
+//	input ───► │ consistency monitor          │
+//	guarantees │   alignment buffer           │ ───► output
+//	           │   checkpoint + input log     │      + output guarantees
+//	           │   operational module (Op)    │
+//	           └──────────────────────────────┘
+//
+// Mechanics, by level:
+//
+//   - Blocking (B > 0): out-of-order events wait in the alignment buffer
+//     until an input guarantee (CTI) covers them — or until the stream's
+//     Sync frontier has passed them by more than B, at which point they are
+//     processed optimistically.
+//
+//   - Optimism (B < ∞): events are fed to the operator immediately, with
+//     the operator speculatively advanced to each event's Sync time so that
+//     blocking operators (difference, aggregation) emit early output.
+//
+//   - Repair (M > 0): the monitor keeps a checkpoint of the operator as of
+//     the last input guarantee plus the log of every input since. When a
+//     straggler arrives, the operator is rolled back to the checkpoint and
+//     the log is replayed with the straggler in its proper place; the
+//     difference between the previously emitted output and the replayed
+//     output is emitted as compensating retractions and insertions.
+//
+//   - Forgetting (M < ∞): stragglers older than M behind the frontier are
+//     dropped (the weak level's license to leave earlier state wrong), and
+//     repair state older than M is folded irrevocably into the checkpoint.
+//
+// At common sync points all levels have output the same state, which is
+// what makes the levels seamlessly switchable (Section 5); the tests verify
+// this.
+type Monitor struct {
+	op   operators.Op // live operator
+	ckpt operators.Op // operator state as of the last absorbed guarantee
+	spec Spec
+
+	log     []logItem
+	emitted map[event.ID]netFact
+	gen     map[event.ID]uint64
+	buffer  []bufEntry
+
+	portG         []temporal.Time
+	guarantee     temporal.Time
+	frontier      temporal.Time // max Sync observed (incl. buffered)
+	processedSync temporal.Time // max Sync fed to the live operator
+	seq           int
+	now           temporal.Time // current CEDR time
+
+	met Metrics
+}
+
+type logItem struct {
+	marker bool
+	t      temporal.Time // marker guarantee time (the Advance argument)
+	// key is the marker's position in the replay order. A guarantee that
+	// arrives after the operator has optimistically advanced beyond it was
+	// a no-op live, so it must replay at its live position (the processed
+	// frontier at push time), not at its own timestamp — otherwise replay
+	// would advance the operator at a point the live run never did.
+	key  temporal.Time
+	port int
+	ev   event.Event
+	seq  int
+	// opt records whether the live path speculatively advanced the
+	// operator before this event (true at non-blocking levels). Replay and
+	// checkpointing must reproduce the same calls even if the level has
+	// changed since, so the policy travels with the item.
+	opt bool
+}
+
+func (li logItem) sync() temporal.Time {
+	if li.marker {
+		return li.key
+	}
+	return li.ev.Sync()
+}
+
+type bufEntry struct {
+	port    int
+	ev      event.Event
+	arrival temporal.Time
+	seq     int
+}
+
+type netFact struct {
+	ev  event.Event // net emitted fact (V is the current net interval)
+	gen uint64      // generation used in the physical output ID
+}
+
+// Metrics quantifies the three axes of Figure 8 — blocking, state size and
+// output size — plus the repair machinery's activity.
+type Metrics struct {
+	InputEvents int
+	InputCTIs   int
+
+	OutputInserts     int
+	OutputRetractions int
+	OutputCTIs        int
+
+	// Compensations counts retractions emitted to repair optimistic output
+	// (a subset of OutputRetractions).
+	Compensations int
+	// Dropped counts stragglers forgotten because they were older than M.
+	Dropped int
+	// Violations counts events that arrived in violation of a provider
+	// guarantee; they are rejected.
+	Violations int
+	// Replays counts checkpoint rollbacks.
+	Replays int
+
+	// BlockedEvents and TotalBlocking measure alignment-buffer residency in
+	// CEDR time.
+	BlockedEvents int
+	TotalBlocking temporal.Duration
+
+	// MaxState is the high-water mark of buffer + log + operator state.
+	MaxState int
+	CurState int
+}
+
+// OutputEvents is the total number of data items emitted.
+func (m Metrics) OutputEvents() int { return m.OutputInserts + m.OutputRetractions }
+
+// MeanBlocking is the average CEDR-time residency of blocked events.
+func (m Metrics) MeanBlocking() float64 {
+	if m.BlockedEvents == 0 {
+		return 0
+	}
+	return float64(m.TotalBlocking) / float64(m.BlockedEvents)
+}
+
+// NewMonitor wraps op with a consistency monitor at the given level.
+func NewMonitor(op operators.Op, spec Spec) *Monitor {
+	portG := make([]temporal.Time, op.Arity())
+	for i := range portG {
+		portG[i] = temporal.MinTime
+	}
+	return &Monitor{
+		op:            op,
+		ckpt:          op.Clone(),
+		spec:          spec,
+		emitted:       map[event.ID]netFact{},
+		gen:           map[event.ID]uint64{},
+		portG:         portG,
+		guarantee:     temporal.MinTime,
+		frontier:      temporal.MinTime,
+		processedSync: temporal.MinTime,
+	}
+}
+
+// Spec returns the monitor's consistency level.
+func (m *Monitor) Spec() Spec { return m.spec }
+
+// Metrics returns a snapshot of the monitor's counters.
+func (m *Monitor) Metrics() Metrics { return m.met }
+
+// Guarantee returns the current combined input guarantee.
+func (m *Monitor) Guarantee() temporal.Time { return m.guarantee }
+
+// SetSpec switches the consistency level at runtime. The paper observes
+// that at common sync points every level holds the same output state, so
+// switching at a sync point is seamless; switching between sync points
+// changes only how pending and future input is treated. A loosened blocking
+// bound may release buffered events, which are returned.
+func (m *Monitor) SetSpec(s Spec) []event.Event {
+	m.spec = s
+	out := m.releaseTimedOut()
+	m.trimMemory()
+	m.sampleState()
+	return m.stamp(out)
+}
+
+// Push delivers one physical stream item (data or CTI) to port. The item's
+// C.Start must carry its CEDR arrival time. It returns the physical output
+// items, stamped with the current CEDR time.
+func (m *Monitor) Push(port int, e event.Event) []event.Event {
+	if port < 0 || port >= len(m.portG) {
+		return nil
+	}
+	if e.C.Start > m.now {
+		m.now = e.C.Start
+	}
+	var out []event.Event
+	if e.IsCTI() {
+		m.met.InputCTIs++
+		out = m.pushCTI(port, e.Sync())
+	} else {
+		m.met.InputEvents++
+		out = m.pushData(port, e)
+	}
+	m.trimMemory()
+	m.sampleState()
+	return m.stamp(out)
+}
+
+func (m *Monitor) pushCTI(port int, t temporal.Time) []event.Event {
+	if t > m.portG[port] {
+		m.portG[port] = t
+	}
+	g := m.portG[0]
+	for _, pg := range m.portG[1:] {
+		if pg < g {
+			g = pg
+		}
+	}
+	if g <= m.guarantee {
+		return nil
+	}
+	m.guarantee = g
+	if g > m.frontier {
+		m.frontier = g
+	}
+	var out []event.Event
+	// Clean releases: buffered events covered by the guarantee, in Sync
+	// order.
+	out = append(out, m.releaseCovered(g)...)
+	// Record and apply the guarantee itself, positioned where the live
+	// operator actually executes it.
+	key := g
+	if m.processedSync > key {
+		key = m.processedSync
+	}
+	m.log = append(m.log, logItem{marker: true, t: g, key: key, seq: m.nextSeq()})
+	m.sortLog()
+	out = append(out, m.emit(m.op.Advance(g))...)
+	// Absorb everything the guarantee finalizes into the checkpoint.
+	m.checkpointTo(g)
+	// Timed-out releases may also be due (the guarantee moved the frontier).
+	out = append(out, m.releaseTimedOut()...)
+	og := m.op.OutputGuarantee(g)
+	m.met.OutputCTIs++
+	out = append(out, event.NewCTI(og))
+	return out
+}
+
+func (m *Monitor) pushData(port int, e event.Event) []event.Event {
+	if e.Sync() < m.guarantee {
+		m.met.Violations++
+		return nil
+	}
+	if e.Sync() > m.frontier {
+		m.frontier = e.Sync()
+	}
+	// Weak levels forget stragglers beyond the memory horizon.
+	if m.spec.M != Unbounded && e.Sync() < m.frontier.Add(-m.spec.M) {
+		m.met.Dropped++
+		return nil
+	}
+	var out []event.Event
+	if m.spec.B > 0 && e.Sync() >= m.processedSync {
+		// In-order so far: hold for possible stragglers.
+		m.buffer = append(m.buffer, bufEntry{port: port, ev: e, arrival: m.now, seq: m.nextSeq()})
+		sort.SliceStable(m.buffer, func(i, j int) bool {
+			return m.buffer[i].ev.Sync() < m.buffer[j].ev.Sync()
+		})
+	} else {
+		out = append(out, m.admit(port, e)...)
+	}
+	out = append(out, m.releaseTimedOut()...)
+	return out
+}
+
+// releaseCovered processes buffered events whose Sync the guarantee covers.
+func (m *Monitor) releaseCovered(g temporal.Time) []event.Event {
+	var out []event.Event
+	i := 0
+	for ; i < len(m.buffer); i++ {
+		if m.buffer[i].ev.Sync() > g {
+			break
+		}
+		be := m.buffer[i]
+		m.met.BlockedEvents++
+		m.met.TotalBlocking += m.now.Sub(be.arrival)
+		out = append(out, m.admit(be.port, be.ev)...)
+	}
+	m.buffer = m.buffer[i:]
+	return out
+}
+
+// releaseTimedOut processes buffered events whose blocking budget B has
+// been exhausted by frontier progress.
+func (m *Monitor) releaseTimedOut() []event.Event {
+	if m.spec.B == Unbounded {
+		return nil
+	}
+	var out []event.Event
+	i := 0
+	for ; i < len(m.buffer); i++ {
+		be := m.buffer[i]
+		if be.ev.Sync().Add(m.spec.B) >= m.frontier {
+			break
+		}
+		m.met.BlockedEvents++
+		m.met.TotalBlocking += m.now.Sub(be.arrival)
+		out = append(out, m.admit(be.port, be.ev)...)
+	}
+	m.buffer = m.buffer[i:]
+	return out
+}
+
+// admit feeds one event to the live operator, via the fast path when it is
+// in order and via checkpoint replay when it is a straggler.
+func (m *Monitor) admit(port int, e event.Event) []event.Event {
+	li := logItem{port: port, ev: e, seq: m.nextSeq(), opt: m.spec.B != Unbounded}
+	if e.Sync() >= m.processedSync {
+		// Fast path.
+		m.log = append(m.log, li)
+		var out []event.Event
+		if li.opt {
+			out = append(out, m.emit(m.op.Advance(e.Sync()))...)
+		}
+		out = append(out, m.emit(m.op.Process(port, e))...)
+		m.processedSync = e.Sync()
+		return out
+	}
+	// Straggler: rollback and replay.
+	m.met.Replays++
+	m.log = append(m.log, li)
+	m.sortLog()
+	fresh := m.ckpt.Clone()
+	newEmitted := map[event.ID]netFact{}
+	m.replayInto(fresh, newEmitted)
+	m.op = fresh
+	deltas := m.diff(newEmitted)
+	m.emitted = newEmitted
+	return deltas
+}
+
+// replayInto runs the whole log through a fresh operator, folding outputs
+// into tbl, using exactly the advance policy the live path uses so the
+// result is bit-identical to an equivalent in-order run.
+func (m *Monitor) replayInto(fresh operators.Op, tbl map[event.ID]netFact) {
+	for _, item := range m.log {
+		if item.marker {
+			foldInto(tbl, fresh.Advance(item.t))
+			continue
+		}
+		if item.opt {
+			foldInto(tbl, fresh.Advance(item.ev.Sync()))
+		}
+		foldInto(tbl, fresh.Process(item.port, item.ev))
+	}
+}
+
+// sortLog restores the log's (Sync, seq) order after an append.
+func (m *Monitor) sortLog() {
+	sort.SliceStable(m.log, func(i, j int) bool {
+		si, sj := m.log[i].sync(), m.log[j].sync()
+		if si != sj {
+			return si < sj
+		}
+		return m.log[i].seq < m.log[j].seq
+	})
+}
+
+// checkpointTo absorbs every log item with Sync <= g into the checkpoint
+// operator (with the same advance policy the live path used, so the two
+// stay identical) and silently rebuilds the net-emitted table from the
+// remaining suffix.
+func (m *Monitor) checkpointTo(g temporal.Time) {
+	cut := 0
+	for cut < len(m.log) && m.log[cut].sync() <= g {
+		item := m.log[cut]
+		if item.marker {
+			m.ckpt.Advance(item.t)
+		} else {
+			if item.opt {
+				m.ckpt.Advance(item.ev.Sync())
+			}
+			m.ckpt.Process(item.port, item.ev)
+		}
+		cut++
+	}
+	if cut == 0 {
+		return
+	}
+	m.log = append([]logItem{}, m.log[cut:]...)
+	m.rebuildEmitted()
+}
+
+// rebuildEmitted recomputes the net-emitted table as the fold of the log
+// suffix over a clone of the checkpoint, preserving generations.
+// Generations of facts that became final are forgotten.
+func (m *Monitor) rebuildEmitted() {
+	fresh := m.ckpt.Clone()
+	newEmitted := map[event.ID]netFact{}
+	m.replayInto(fresh, newEmitted)
+	for id, nf := range newEmitted {
+		if old, ok := m.emitted[id]; ok {
+			nf.gen = old.gen
+			newEmitted[id] = nf
+		} else if g, ok := m.gen[id]; ok {
+			nf.gen = g
+			newEmitted[id] = nf
+		}
+	}
+	m.emitted = newEmitted
+}
+
+// trimMemory enforces the M bound: log items older than frontier − M are
+// folded into the checkpoint and become unrepairable.
+func (m *Monitor) trimMemory() {
+	if m.spec.M == Unbounded {
+		return
+	}
+	horizon := m.frontier.Add(-m.spec.M)
+	if len(m.log) > 0 && m.log[0].sync() < horizon {
+		m.checkpointTo(horizon)
+	}
+}
+
+// emit records freshly produced operator output in the net-emitted table
+// and rewrites IDs with the fact's current generation, so that a removed-
+// and-reinserted fact never reuses a physical ID (the paper's new-K-chain
+// rule from Figure 2).
+func (m *Monitor) emit(outs []event.Event) []event.Event {
+	if len(outs) == 0 {
+		return nil
+	}
+	rewritten := make([]event.Event, 0, len(outs))
+	for _, e := range outs {
+		gid := m.genOf(e.ID)
+		if e.Kind == event.Retract {
+			m.met.OutputRetractions++
+			if nf, ok := m.emitted[e.ID]; ok {
+				if e.V.End <= nf.ev.V.Start {
+					m.gen[e.ID] = nf.gen + 1 // retire this generation
+					delete(m.emitted, e.ID)
+				} else {
+					nf.ev.V.End = e.V.End
+					m.emitted[e.ID] = nf
+				}
+			}
+		} else {
+			m.met.OutputInserts++
+			m.emitted[e.ID] = netFact{ev: e.Clone(), gen: gid}
+		}
+		r := e.Clone()
+		r.ID = event.Pair(e.ID, event.ID(gid))
+		rewritten = append(rewritten, r)
+	}
+	return rewritten
+}
+
+func (m *Monitor) genOf(id event.ID) uint64 {
+	if nf, ok := m.emitted[id]; ok {
+		return nf.gen
+	}
+	return m.gen[id]
+}
+
+// foldInto applies operator outputs to a net-fact table without emitting.
+func foldInto(tbl map[event.ID]netFact, outs []event.Event) {
+	for _, e := range outs {
+		if e.Kind == event.Retract {
+			if nf, ok := tbl[e.ID]; ok {
+				if e.V.End <= nf.ev.V.Start {
+					delete(tbl, e.ID)
+				} else {
+					nf.ev.V.End = e.V.End
+					tbl[e.ID] = nf
+				}
+			}
+			continue
+		}
+		tbl[e.ID] = netFact{ev: e.Clone()}
+	}
+}
+
+// diff compares the previously emitted net facts against the replayed net
+// facts and produces the compensating physical deltas: retractions for
+// facts that shrank or vanished, fresh inserts (under a bumped generation)
+// for facts that appeared or changed shape.
+func (m *Monitor) diff(next map[event.ID]netFact) []event.Event {
+	ids := make([]event.ID, 0, len(m.emitted)+len(next))
+	seen := map[event.ID]bool{}
+	for id := range m.emitted {
+		ids = append(ids, id)
+		seen[id] = true
+	}
+	for id := range next {
+		if !seen[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var out []event.Event
+	for _, id := range ids {
+		old, hadOld := m.emitted[id]
+		nw, hasNew := next[id]
+		switch {
+		case hadOld && !hasNew:
+			r := old.ev.Clone()
+			r.Kind = event.Retract
+			r.V.End = r.V.Start
+			r.ID = event.Pair(id, event.ID(old.gen))
+			out = append(out, r)
+			m.met.OutputRetractions++
+			m.met.Compensations++
+			m.gen[id] = old.gen + 1
+		case !hadOld && hasNew:
+			ng := m.gen[id]
+			ins := nw.ev.Clone()
+			ins.ID = event.Pair(id, event.ID(ng))
+			nw.gen = ng
+			next[id] = nw
+			out = append(out, ins)
+			m.met.OutputInserts++
+		case old.ev.SameFact(nw.ev):
+			nw.gen = old.gen
+			next[id] = nw
+		case nw.ev.V.Start == old.ev.V.Start && nw.ev.V.End < old.ev.V.End && nw.ev.Payload.Equal(old.ev.Payload):
+			r := old.ev.Clone()
+			r.Kind = event.Retract
+			r.V.End = nw.ev.V.End
+			r.ID = event.Pair(id, event.ID(old.gen))
+			out = append(out, r)
+			m.met.OutputRetractions++
+			m.met.Compensations++
+			nw.gen = old.gen
+			next[id] = nw
+		default:
+			// Shape changed: remove and reinsert under a new generation.
+			r := old.ev.Clone()
+			r.Kind = event.Retract
+			r.V.End = r.V.Start
+			r.ID = event.Pair(id, event.ID(old.gen))
+			out = append(out, r)
+			m.met.OutputRetractions++
+			m.met.Compensations++
+			ng := old.gen + 1
+			ins := nw.ev.Clone()
+			ins.ID = event.Pair(id, event.ID(ng))
+			out = append(out, ins)
+			m.met.OutputInserts++
+			nw.gen = ng
+			next[id] = nw
+			m.gen[id] = ng
+		}
+	}
+	return out
+}
+
+// stamp sets the CEDR time of emitted items to the current arrival instant.
+func (m *Monitor) stamp(outs []event.Event) []event.Event {
+	for i := range outs {
+		outs[i].C = temporal.From(m.now)
+	}
+	return outs
+}
+
+func (m *Monitor) nextSeq() int {
+	m.seq++
+	return m.seq
+}
+
+func (m *Monitor) sampleState() {
+	cur := len(m.buffer) + len(m.log) + m.op.StateSize() + m.ckpt.StateSize()
+	m.met.CurState = cur
+	if cur > m.met.MaxState {
+		m.met.MaxState = cur
+	}
+}
+
+// Finish closes the stream: it releases every buffered event (as if a final
+// guarantee covered the whole stream) and advances the operator to
+// infinity, flushing blocking operators. The returned items complete the
+// output history.
+func (m *Monitor) Finish() []event.Event {
+	var out []event.Event
+	for _, be := range m.buffer {
+		out = append(out, m.admit(be.port, be.ev)...)
+	}
+	m.buffer = nil
+	out = append(out, m.emit(m.op.Advance(temporal.Infinity))...)
+	m.met.OutputCTIs++
+	out = append(out, event.NewCTI(temporal.Infinity))
+	m.sampleState()
+	return m.stamp(out)
+}

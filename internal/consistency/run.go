@@ -1,0 +1,52 @@
+package consistency
+
+import (
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/operators"
+	"repro/internal/stream"
+)
+
+// RunStreams executes an operator under a consistency monitor over physical
+// input streams (one per port), merging them by CEDR arrival time. It is
+// the single-operator execution harness used by tests, benchmarks and the
+// engine's leaf pipelines. The final Finish flushes the monitor so the
+// output history is complete.
+func RunStreams(op operators.Op, spec Spec, inputs ...stream.Stream) (stream.Stream, Metrics) {
+	m := NewMonitor(op, spec)
+	out := FeedMerged(m, inputs...)
+	out = append(out, m.Finish()...)
+	return out, m.Metrics()
+}
+
+// FeedMerged pushes the per-port physical streams into the monitor in
+// global CEDR arrival order (ties broken by port, then stream position) and
+// returns the outputs produced so far, without finishing.
+func FeedMerged(m *Monitor, inputs ...stream.Stream) stream.Stream {
+	type tagged struct {
+		port int
+		pos  int
+		ev   event.Event
+	}
+	var all []tagged
+	for port, in := range inputs {
+		for pos, e := range in {
+			all = append(all, tagged{port, pos, e})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].ev.C.Start != all[j].ev.C.Start {
+			return all[i].ev.C.Start < all[j].ev.C.Start
+		}
+		if all[i].port != all[j].port {
+			return all[i].port < all[j].port
+		}
+		return all[i].pos < all[j].pos
+	})
+	var out stream.Stream
+	for _, t := range all {
+		out = append(out, m.Push(t.port, t.ev)...)
+	}
+	return out
+}

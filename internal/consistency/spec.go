@@ -1,0 +1,78 @@
+// Package consistency implements Sections 4 and 5 of the paper: the
+// spectrum of consistency levels and the consistency monitor that upholds
+// them.
+//
+// A consistency level is a point (M, B) in the two-dimensional space of
+// Figure 9: M is the maximum memory time (how far into the past the
+// operator is willing to remember, and therefore repair), B the maximum
+// blocking time (how long an event may be held in the alignment buffer
+// waiting for stragglers). The named levels are the corners:
+//
+//	strong  = (M=∞, B=∞)  — align by blocking; output is final
+//	middle  = (M=∞, B=0)  — emit optimistically; repair with retractions
+//	weak    = (M<∞, B=0)  — optimistic, and free to forget old mistakes
+//
+// Only the triangle B <= M is meaningful: blocking longer than one is
+// willing to remember has no effect (the paper's "lower right triangle").
+package consistency
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/temporal"
+)
+
+// Unbounded is the infinite duration used for the strong/middle corners.
+const Unbounded temporal.Duration = math.MaxInt64
+
+// Spec is a consistency level: a point in the (M, B) spectrum. Both bounds
+// are in application (Sync) time.
+type Spec struct {
+	// B is the maximum blocking time: an event may wait in the alignment
+	// buffer until the stream's Sync frontier passes its own Sync time by
+	// more than B; after that it is processed optimistically.
+	B temporal.Duration
+	// M is the maximum memory time: state needed to repair output older
+	// than M behind the frontier is discarded, and late events older than
+	// that are forgotten rather than repaired.
+	M temporal.Duration
+}
+
+// Strong returns the highest consistency level: block until provider
+// guarantees align the input, remember everything.
+func Strong() Spec { return Spec{B: Unbounded, M: Unbounded} }
+
+// Middle returns the middle level: never block, remember everything, repair
+// optimistic output with retractions.
+func Middle() Spec { return Spec{B: 0, M: Unbounded} }
+
+// Weak returns a weak level: never block, remember (and repair) only m time
+// units into the past. Weak(0) is the memoryless corner.
+func Weak(m temporal.Duration) Spec { return Spec{B: 0, M: m} }
+
+// Level returns a point in the interior of the spectrum, clamping to the
+// meaningful triangle B <= M.
+func Level(b, m temporal.Duration) Spec {
+	if b > m {
+		b = m
+	}
+	return Spec{B: b, M: m}
+}
+
+// Blocking reports whether the level ever holds events back.
+func (s Spec) Blocking() bool { return s.B > 0 }
+
+// Name renders the level in the paper's vocabulary.
+func (s Spec) Name() string {
+	switch {
+	case s.B == Unbounded && s.M == Unbounded:
+		return "strong"
+	case s.B == 0 && s.M == Unbounded:
+		return "middle"
+	case s.B == 0:
+		return fmt.Sprintf("weak(M=%d)", int64(s.M))
+	default:
+		return fmt.Sprintf("level(B=%d,M=%d)", int64(s.B), int64(s.M))
+	}
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/consistency"
+)
+
+// The Figure 8 shape assertions: the qualitative relations the paper's
+// table states must hold in the measured data.
+func TestFigure8Shape(t *testing.T) {
+	rows := Figure8(DefaultFig8())
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(level, orderliness string) Fig8Row {
+		for _, r := range rows {
+			if r.Level == level && r.Orderliness == orderliness {
+				return r
+			}
+		}
+		t.Fatalf("missing row %s/%s", level, orderliness)
+		return Fig8Row{}
+	}
+	sLow, mLow, wLow := get("strong", "low"), get("middle", "low"), get("weak(M=0)", "low")
+	sHigh, mHigh := get("strong", "high"), get("middle", "high")
+
+	// Strong blocks under disorder; middle and weak never do.
+	if sLow.MeanBlocking <= 0 {
+		t.Error("strong/low should block")
+	}
+	if mLow.MeanBlocking != 0 || wLow.MeanBlocking != 0 {
+		t.Error("middle/weak must not block")
+	}
+	// Middle's output exceeds strong's under disorder (retractions).
+	if mLow.Outputs <= sLow.Outputs || mLow.Retractions == 0 {
+		t.Errorf("middle/low outputs %d vs strong %d, retr %d",
+			mLow.Outputs, sLow.Outputs, mLow.Retractions)
+	}
+	// Weak forgets and stays small.
+	if wLow.Dropped == 0 {
+		t.Error("weak(0)/low should drop stragglers")
+	}
+	if wLow.MaxState > mLow.MaxState {
+		t.Error("weak state should not exceed middle state")
+	}
+	// Strong and middle are exact everywhere; weak is exact only when
+	// ordered.
+	if !sLow.Correct || !mLow.Correct || !sHigh.Correct || !mHigh.Correct {
+		t.Error("strong/middle must converge")
+	}
+	if wLow.Correct {
+		t.Error("weak(0) under heavy disorder should not be exact")
+	}
+	if FormatFig8(rows) == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	cfg := DefaultFig8()
+	cfg.Events = 300
+	pts := Figure9(cfg, DefaultFig9Axis())
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	// Corners: (B=∞ impossible unless M=∞) — the strong corner is
+	// (Unbounded, Unbounded); it blocks and never retracts.
+	var strong, middle, weak *Fig9Point
+	for i := range pts {
+		p := &pts[i]
+		if p.B == consistency.Unbounded && p.M == consistency.Unbounded {
+			strong = p
+		}
+		if p.B == 0 && p.M == consistency.Unbounded {
+			middle = p
+		}
+		if p.B == 0 && p.M == 0 {
+			weak = p
+		}
+	}
+	if strong == nil || middle == nil || weak == nil {
+		t.Fatal("missing corners")
+	}
+	if !strong.Correct || strong.Retractions != 0 {
+		t.Errorf("strong corner: %+v", strong)
+	}
+	if !middle.Correct || middle.Retractions == 0 {
+		t.Errorf("middle corner: %+v", middle)
+	}
+	if weak.Correct || weak.Dropped == 0 {
+		t.Errorf("weak corner: %+v", weak)
+	}
+	// Everything with unbounded memory converges.
+	for _, p := range pts {
+		if p.M == consistency.Unbounded && !p.Correct {
+			t.Errorf("point (B=%v, M=∞) diverged", p.B)
+		}
+	}
+	if FormatFig9(pts) == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestBaselineComparisonShape(t *testing.T) {
+	rows := BaselineComparison(11)
+	byName := map[string]BaselineRow{}
+	for _, r := range rows {
+		byName[r.System] = r
+	}
+	if !byName["CEDR strong"].Correct || !byName["CEDR middle"].Correct {
+		t.Error("CEDR strong/middle must be exact")
+	}
+	if byName["point-DSMS"].Correct || byName["point-DSMS"].Dropped == 0 {
+		t.Errorf("point baseline should drop and diverge: %+v", byName["point-DSMS"])
+	}
+	if byName["CEDR strong"].Dropped != 0 {
+		t.Error("CEDR must not drop")
+	}
+	if FormatBaseline(rows) == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestConsumptionAblation(t *testing.T) {
+	reuse, consume := ConsumptionAblation(10)
+	if reuse != 55 || consume != 10 {
+		t.Errorf("reuse=%d consume=%d, want 55/10", reuse, consume)
+	}
+}

@@ -1,0 +1,166 @@
+// Package delivery simulates the unreliable event transport of Section 2 of
+// the paper: "When events produced by the event provider are delivered into
+// CEDR, they can become out of order, due to unreliable network protocols,
+// system crash recovery, and other anomalies in the physical world."
+//
+// The simulator takes a logically ordered stream (sorted by Sync time),
+// assigns each event a delivery latency drawn from a configurable,
+// deterministic distribution, stamps CEDR arrival times, and re-sorts by
+// arrival. It also injects provider-declared sync points (CTI punctuation)
+// at a configurable occurrence-time period — the paper's "orderliness is
+// measured in terms of the frequency of application declared sync points"
+// knob from Figure 8.
+package delivery
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+// Latency models the per-event delivery delay distribution.
+type Latency struct {
+	// Base is the minimum delay applied to every event.
+	Base temporal.Duration
+	// Jitter is the half-open upper bound on uniform extra delay
+	// ([0, Jitter)); zero means deterministic delivery.
+	Jitter temporal.Duration
+	// StragglerProb is the probability that an event is a straggler and
+	// additionally incurs StragglerDelay. This two-point mixture produces
+	// the "significantly out of order" streams of Figure 8.
+	StragglerProb  float64
+	StragglerDelay temporal.Duration
+}
+
+// Config controls one simulated delivery.
+type Config struct {
+	Seed    int64
+	Latency Latency
+	// CTIPeriod is the occurrence-time period at which the provider
+	// declares sync points. Zero disables punctuation.
+	CTIPeriod temporal.Duration
+	// DuplicateProb duplicates an event with this probability, modelling
+	// at-least-once transports.
+	DuplicateProb float64
+}
+
+// Ordered returns a configuration for perfectly ordered, punctuated
+// delivery: unit latency, a sync point every period ticks.
+func Ordered(period temporal.Duration) Config {
+	return Config{Latency: Latency{Base: 1}, CTIPeriod: period}
+}
+
+// Disordered returns a configuration with heavy reordering: a two-point
+// latency mixture where stragglerProb of events are late by stragglerDelay.
+func Disordered(seed int64, period, stragglerDelay temporal.Duration, stragglerProb float64) Config {
+	return Config{
+		Seed: seed,
+		Latency: Latency{
+			Base:           1,
+			Jitter:         stragglerDelay / 4,
+			StragglerProb:  stragglerProb,
+			StragglerDelay: stragglerDelay,
+		},
+		CTIPeriod: period,
+	}
+}
+
+type arrival struct {
+	ev  event.Event
+	at  temporal.Time
+	seq int
+}
+
+// Deliver runs the source stream (which must be in Sync order; use
+// Stream.SortBySync if unsure) through the simulated network and returns the
+// physical arrival stream with CEDR times stamped.
+//
+// Punctuation is valid by construction: a CTI with guarantee time t is
+// emitted only after every event with Sync < t has been delivered, matching
+// the contract that providers only declare sync points they can honor.
+func Deliver(src stream.Stream, cfg Config) stream.Stream {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var arr []arrival
+	seq := 0
+	maxArrivalUpTo := temporal.MinTime // max arrival time among events emitted so far
+
+	emit := func(e event.Event, at temporal.Time) {
+		arr = append(arr, arrival{ev: e, at: at, seq: seq})
+		seq++
+		if at > maxArrivalUpTo {
+			maxArrivalUpTo = at
+		}
+	}
+
+	nextCTI := temporal.Time(cfg.CTIPeriod)
+	for _, e := range src {
+		if e.IsCTI() {
+			continue // the simulator owns punctuation
+		}
+		// Declare any sync points that precede this event's Sync time.
+		for cfg.CTIPeriod > 0 && e.Sync() >= nextCTI {
+			emit(event.NewCTI(nextCTI), maxArrivalUpTo.Add(1))
+			nextCTI = nextCTI.Add(cfg.CTIPeriod)
+		}
+		lat := cfg.Latency.Base
+		if cfg.Latency.Jitter > 0 {
+			lat += temporal.Duration(rng.Int63n(int64(cfg.Latency.Jitter)))
+		}
+		if cfg.Latency.StragglerProb > 0 && rng.Float64() < cfg.Latency.StragglerProb {
+			lat += cfg.Latency.StragglerDelay
+		}
+		at := e.Sync().Add(lat)
+		emit(e, at)
+		if cfg.DuplicateProb > 0 && rng.Float64() < cfg.DuplicateProb {
+			extra := temporal.Duration(1)
+			if cfg.Latency.Jitter > 0 {
+				extra += temporal.Duration(rng.Int63n(int64(cfg.Latency.Jitter)))
+			}
+			emit(e.Clone(), at.Add(extra))
+		}
+	}
+	// Trailing punctuation: close out the stream with a final sync point.
+	if cfg.CTIPeriod > 0 && len(src) > 0 {
+		last := src[len(src)-1].Sync().Add(1)
+		emit(event.NewCTI(last), maxArrivalUpTo.Add(1))
+	}
+
+	// CTIs must not be overtaken by events they cover; fix up any CTI whose
+	// covered events arrive after it.
+	fixPunctuation(arr)
+
+	sort.SliceStable(arr, func(i, j int) bool {
+		if arr[i].at != arr[j].at {
+			return arr[i].at < arr[j].at
+		}
+		return arr[i].seq < arr[j].seq
+	})
+	out := make(stream.Stream, len(arr))
+	for i, a := range arr {
+		e := a.ev
+		e.C = temporal.From(a.at)
+		out[i] = e
+	}
+	return out
+}
+
+// fixPunctuation delays each CTI until after the arrival of every data event
+// its guarantee covers, keeping punctuation truthful under reordering.
+func fixPunctuation(arr []arrival) {
+	for i := range arr {
+		if !arr[i].ev.IsCTI() {
+			continue
+		}
+		t := arr[i].ev.Sync()
+		latest := arr[i].at
+		for j := range arr {
+			if !arr[j].ev.IsCTI() && arr[j].ev.Sync() < t && arr[j].at >= latest {
+				latest = arr[j].at.Add(1)
+			}
+		}
+		arr[i].at = latest
+	}
+}

@@ -1,0 +1,126 @@
+package delivery
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+func source(n int) stream.Stream {
+	s := make(stream.Stream, 0, n)
+	for i := 0; i < n; i++ {
+		vs := temporal.Time(i * 10)
+		s = append(s, event.NewInsert(event.ID(i), "A", vs, vs+5, nil))
+	}
+	return s
+}
+
+func TestOrderedDeliveryIsInOrder(t *testing.T) {
+	out := Deliver(source(50), Ordered(20))
+	st := stream.Measure(out)
+	if st.Disordered() {
+		t.Fatalf("ordered config produced disorder: %+v", st)
+	}
+	if st.Events != 50 {
+		t.Errorf("events = %d", st.Events)
+	}
+	if st.CTIs == 0 {
+		t.Error("no punctuation injected")
+	}
+}
+
+func TestDisorderedDeliveryReorders(t *testing.T) {
+	out := Deliver(source(200), Disordered(7, 100, 200, 0.3))
+	st := stream.Measure(out)
+	if !st.Disordered() {
+		t.Fatal("disordered config produced ordered stream")
+	}
+	if st.Events != 200 {
+		t.Errorf("lost events: %d", st.Events)
+	}
+}
+
+func TestDeliveryDeterministic(t *testing.T) {
+	cfg := Disordered(42, 50, 100, 0.2)
+	a := Deliver(source(100), cfg)
+	b := Deliver(source(100), cfg)
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic length")
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].C != b[i].C || a[i].Kind != b[i].Kind {
+			t.Fatalf("item %d differs between runs", i)
+		}
+	}
+}
+
+// The fundamental soundness property: punctuation is never violated. After a
+// CTI with guarantee time t arrives, no data event with Sync < t may arrive.
+func TestPunctuationNeverViolated(t *testing.T) {
+	for _, cfg := range []Config{
+		Ordered(10),
+		Disordered(1, 25, 300, 0.5),
+		Disordered(99, 5, 50, 0.9),
+		{Seed: 3, Latency: Latency{Base: 1, Jitter: 100}, CTIPeriod: 7, DuplicateProb: 0.3},
+	} {
+		out := Deliver(source(300), cfg)
+		guarantee := temporal.MinTime
+		for i, e := range out {
+			if e.IsCTI() {
+				if e.Sync() > guarantee {
+					guarantee = e.Sync()
+				}
+				continue
+			}
+			if e.Sync() < guarantee {
+				t.Fatalf("cfg %+v: item %d (%v) violates guarantee %v", cfg, i, e, guarantee)
+			}
+		}
+	}
+}
+
+func TestArrivalTimesMonotone(t *testing.T) {
+	out := Deliver(source(100), Disordered(5, 30, 80, 0.4))
+	for i := 1; i < len(out); i++ {
+		if out[i].C.Start < out[i-1].C.Start {
+			t.Fatalf("arrival order not monotone at %d", i)
+		}
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	cfg := Config{Seed: 8, Latency: Latency{Base: 1}, DuplicateProb: 1.0}
+	out := Deliver(source(10), cfg)
+	if st := stream.Measure(out); st.Events != 20 {
+		t.Errorf("expected every event duplicated, got %d", st.Events)
+	}
+}
+
+func TestDeliverPreservesLogicalContent(t *testing.T) {
+	// Whatever the disorder, the delivered stream must be logically
+	// equivalent to the source: same multiset of data facts.
+	src := source(100)
+	out := Deliver(src, Disordered(13, 40, 500, 0.6))
+	seen := map[event.ID]int{}
+	for _, e := range out.Events() {
+		seen[e.ID]++
+	}
+	for _, e := range src {
+		if seen[e.ID] != 1 {
+			t.Fatalf("event %d delivered %d times", e.ID, seen[e.ID])
+		}
+	}
+}
+
+func TestRetractionsTravelToo(t *testing.T) {
+	src := stream.Stream{
+		event.NewInsert(1, "A", 0, 100, nil),
+		event.NewRetract(1, "A", 0, 50, nil), // Sync = 50
+	}
+	out := Deliver(src, Ordered(0))
+	if st := stream.Measure(out); st.Retractions != 1 {
+		t.Error("retraction lost in delivery")
+	}
+}

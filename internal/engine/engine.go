@@ -1,0 +1,238 @@
+// Package engine executes CEDR query plans: it fans incoming physical
+// events out to registered standing queries, drives each query's pipelined
+// chain of consistency-monitored operators, and collects outputs and
+// metrics. Queries may run synchronously (deterministic, used by tests and
+// benchmarks) or as a goroutine-per-stage pipeline connected by channels.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/consistency"
+	"repro/internal/event"
+	"repro/internal/plan"
+	"repro/internal/stream"
+)
+
+// Engine hosts standing queries.
+type Engine struct {
+	mu      sync.Mutex
+	queries []*Query
+}
+
+// New creates an empty engine.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Register compiles the plan into a standing query.
+func (e *Engine) Register(p *plan.Plan) *Query {
+	q := &Query{name: p.Name, plan: p}
+	for _, op := range p.Stages {
+		q.monitors = append(q.monitors, consistency.NewMonitor(op, p.Spec))
+	}
+	e.mu.Lock()
+	e.queries = append(e.queries, q)
+	e.mu.Unlock()
+	return q
+}
+
+// RegisterText compiles CEDR query text and registers it.
+func (e *Engine) RegisterText(src string, opts ...plan.Option) (*Query, error) {
+	p, err := plan.Compile(src, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return e.Register(p), nil
+}
+
+// Queries lists the registered queries.
+func (e *Engine) Queries() []*Query {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]*Query(nil), e.queries...)
+}
+
+// Query returns the named query, if registered.
+func (e *Engine) Query(name string) (*Query, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, q := range e.queries {
+		if q.name == name {
+			return q, true
+		}
+	}
+	return nil, false
+}
+
+// Push delivers one physical item to every registered query.
+func (e *Engine) Push(ev event.Event) {
+	for _, q := range e.Queries() {
+		q.Push(ev)
+	}
+}
+
+// Finish flushes every query.
+func (e *Engine) Finish() {
+	for _, q := range e.Queries() {
+		q.Finish()
+	}
+}
+
+// Run pushes an entire physical stream and finishes; a convenience for
+// finite workloads.
+func (e *Engine) Run(s stream.Stream) {
+	for _, ev := range s {
+		e.Push(ev)
+	}
+	e.Finish()
+}
+
+// Query is one standing query: a chain of consistency monitors.
+type Query struct {
+	name     string
+	plan     *plan.Plan
+	monitors []*consistency.Monitor
+
+	mu      sync.Mutex
+	results stream.Stream
+	subs    []func(event.Event)
+}
+
+// Name returns the query's registered name.
+func (q *Query) Name() string { return q.name }
+
+// Plan returns the compiled plan.
+func (q *Query) Plan() *plan.Plan { return q.plan }
+
+// Subscribe adds a callback invoked for every output item (including
+// punctuation). Callbacks run synchronously on the pushing goroutine.
+func (q *Query) Subscribe(fn func(event.Event)) {
+	q.mu.Lock()
+	q.subs = append(q.subs, fn)
+	q.mu.Unlock()
+}
+
+// Push feeds one physical item through the monitor chain and returns the
+// final-stage outputs.
+func (q *Query) Push(ev event.Event) []event.Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	batch := []event.Event{ev}
+	for _, m := range q.monitors {
+		var next []event.Event
+		for _, item := range batch {
+			next = append(next, m.Push(0, item)...)
+		}
+		batch = next
+		if len(batch) == 0 {
+			return nil
+		}
+	}
+	q.deliver(batch)
+	return batch
+}
+
+// Finish flushes the chain: each stage's Finish output cascades through the
+// remaining stages.
+func (q *Query) Finish() []event.Event {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var final []event.Event
+	for i := range q.monitors {
+		batch := q.monitors[i].Finish()
+		for j := i + 1; j < len(q.monitors); j++ {
+			var next []event.Event
+			for _, item := range batch {
+				next = append(next, q.monitors[j].Push(0, item)...)
+			}
+			batch = next
+		}
+		final = append(final, batch...)
+	}
+	q.deliver(final)
+	return final
+}
+
+func (q *Query) deliver(items []event.Event) {
+	q.results = append(q.results, items...)
+	for _, fn := range q.subs {
+		for _, it := range items {
+			fn(it)
+		}
+	}
+}
+
+// Results returns everything the query has emitted so far (data and
+// punctuation), in emission order.
+func (q *Query) Results() stream.Stream {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append(stream.Stream(nil), q.results...)
+}
+
+// Metrics returns per-stage monitor metrics.
+func (q *Query) Metrics() []consistency.Metrics {
+	out := make([]consistency.Metrics, len(q.monitors))
+	for i, m := range q.monitors {
+		out[i] = m.Metrics()
+	}
+	return out
+}
+
+// SetSpec switches every stage to a new consistency level at runtime
+// (Section 5's consistency-sensitive adaptation); released buffered output
+// cascades through the chain.
+func (q *Query) SetSpec(s consistency.Spec) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, m := range q.monitors {
+		batch := m.SetSpec(s)
+		for j := i + 1; j < len(q.monitors); j++ {
+			var next []event.Event
+			for _, item := range batch {
+				next = append(next, q.monitors[j].Push(0, item)...)
+			}
+			batch = next
+		}
+		q.deliver(batch)
+	}
+}
+
+// RunPipelined executes the query over a finite source as a goroutine-per-
+// stage pipeline connected by channels — the paper's pipelined execution
+// plan — and returns the collected output. The query must be freshly
+// registered (no interleaved Push use).
+func (q *Query) RunPipelined(src stream.Stream, buf int) stream.Stream {
+	if buf <= 0 {
+		buf = 64
+	}
+	in := src.Chan(buf)
+	for _, m := range q.monitors {
+		m := m
+		out := make(chan event.Event, buf)
+		go func(in <-chan event.Event, out chan<- event.Event) {
+			defer close(out)
+			for ev := range in {
+				for _, o := range m.Push(0, ev) {
+					out <- o
+				}
+			}
+			for _, o := range m.Finish() {
+				out <- o
+			}
+		}(in, out)
+		in = out
+	}
+	results := stream.Collect(in)
+	q.mu.Lock()
+	q.results = append(q.results, results...)
+	q.mu.Unlock()
+	return results
+}
+
+// String implements fmt.Stringer.
+func (q *Query) String() string {
+	return fmt.Sprintf("query %s: %s", q.name, q.plan.Spec.Name())
+}

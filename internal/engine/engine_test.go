@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/delivery"
+	"repro/internal/event"
+	"repro/internal/plan"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+	"repro/internal/workload"
+)
+
+const monitorQuery = `
+EVENT MissedRestart
+WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours),
+            RESTART AS z, 5 minutes)
+WHERE CorrelationKey(Machine_Id, EQUAL)
+SC(each, consume)
+`
+
+func run(t *testing.T, src string, s stream.Stream, opts ...plan.Option) *Query {
+	t.Helper()
+	e := New()
+	q, err := e.RegisterText(src, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(s)
+	return q
+}
+
+func alerts(q *Query) int {
+	n := 0
+	for _, ev := range q.Results().Events() {
+		if ev.Kind == event.Insert {
+			n++
+		}
+	}
+	return n
+}
+
+func TestEndToEndCIDR07OnOrderedDelivery(t *testing.T) {
+	src, expected := workload.MachineEvents(workload.DefaultMachines())
+	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Minute))
+	q := run(t, monitorQuery, delivered)
+	if got := alerts(q); got != expected {
+		t.Errorf("alerts = %d, want %d", got, expected)
+	}
+}
+
+func TestEndToEndConvergesUnderDisorder(t *testing.T) {
+	src, expected := workload.MachineEvents(workload.DefaultMachines())
+	for _, spec := range []consistency.Spec{consistency.Strong(), consistency.Middle()} {
+		delivered := delivery.Deliver(src,
+			delivery.Disordered(11, int64ToDur(10*temporal.Minute), 2*temporal.Minute, 0.3))
+		q := run(t, monitorQuery, delivered, plan.WithSpec(spec))
+		// Net alerts: inserts minus retractions must equal the expected
+		// count once the stream completes.
+		net := 0
+		for _, ev := range q.Results().Events() {
+			if ev.Kind == event.Insert {
+				net++
+			} else {
+				net--
+			}
+		}
+		if net != expected {
+			t.Errorf("%s: net alerts = %d, want %d", spec.Name(), net, expected)
+		}
+	}
+}
+
+func int64ToDur(d temporal.Duration) temporal.Duration { return d }
+
+func TestPipelinedMatchesSynchronous(t *testing.T) {
+	src, _ := workload.MachineEvents(workload.DefaultMachines())
+	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Minute))
+
+	e := New()
+	sync, err := e.RegisterText(monitorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(delivered)
+
+	e2 := New()
+	piped, err := e2.RegisterText(monitorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := piped.RunPipelined(delivered, 16)
+
+	a, b := sync.Results().Events(), out.Events()
+	if len(a) != len(b) {
+		t.Fatalf("sync %d vs pipelined %d outputs", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Kind != b[i].Kind {
+			t.Fatalf("output %d differs", i)
+		}
+	}
+}
+
+func TestSubscribeCallback(t *testing.T) {
+	src, expected := workload.MachineEvents(workload.DefaultMachines())
+	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Minute))
+	e := New()
+	q, err := e.RegisterText(monitorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	q.Subscribe(func(ev event.Event) {
+		if !ev.IsCTI() && ev.Kind == event.Insert {
+			got++
+		}
+	})
+	e.Run(delivered)
+	if got != expected {
+		t.Errorf("callback alerts = %d, want %d", got, expected)
+	}
+}
+
+func TestMultipleQueriesShareInput(t *testing.T) {
+	src, expected := workload.MachineEvents(workload.DefaultMachines())
+	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Minute))
+	e := New()
+	q1, err := e.RegisterText(monitorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.RegisterText(`EVENT AnyInstall WHEN ANY(INSTALL i)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(delivered)
+	if alerts(q1) != expected {
+		t.Errorf("q1 alerts = %d, want %d", alerts(q1), expected)
+	}
+	cfg := workload.DefaultMachines()
+	wantInstalls := cfg.Machines * cfg.Cycles
+	if alerts(q2) != wantInstalls {
+		t.Errorf("q2 outputs = %d, want %d", alerts(q2), wantInstalls)
+	}
+	if _, ok := e.Query("MissedRestart"); !ok {
+		t.Error("query lookup failed")
+	}
+	if _, ok := e.Query("nope"); ok {
+		t.Error("phantom query found")
+	}
+}
+
+func TestRuntimeSpecSwitch(t *testing.T) {
+	src, expected := workload.MachineEvents(workload.DefaultMachines())
+	delivered := delivery.Deliver(src,
+		delivery.Disordered(5, 10*temporal.Minute, 2*temporal.Minute, 0.25))
+	e := New()
+	q, err := e.RegisterText(monitorQuery, plan.WithSpec(consistency.Middle()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range delivered {
+		q.Push(ev)
+		if i == len(delivered)/2 {
+			q.SetSpec(consistency.Strong())
+		}
+	}
+	q.Finish()
+	net := 0
+	for _, ev := range q.Results().Events() {
+		if ev.Kind == event.Insert {
+			net++
+		} else {
+			net--
+		}
+	}
+	if net != expected {
+		t.Errorf("net alerts after switch = %d, want %d", net, expected)
+	}
+}
+
+func TestPlanSpecializationFires(t *testing.T) {
+	p, err := plan.Compile(`EVENT Seq WHEN SEQUENCE(A a, B b, 10)
+WHERE {a.k = b.k}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rewrites) == 0 || p.Rewrites[0] != "sequence-specialization" {
+		t.Errorf("rewrites = %v", p.Rewrites)
+	}
+	if p.Stages[0].Name() != "sequence" {
+		t.Errorf("stage 0 = %s", p.Stages[0].Name())
+	}
+	generic, err := plan.Compile(`EVENT Seq WHEN SEQUENCE(A a, B b, 10)`,
+		plan.WithoutSpecialization())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(generic.Rewrites) != 0 {
+		t.Errorf("specialization not disabled: %v", generic.Rewrites)
+	}
+	if p.Explain() == "" || generic.Explain() == "" {
+		t.Error("Explain empty")
+	}
+}
+
+// The specialized and generic plans must produce identical detections.
+func TestSpecializedPlanEquivalence(t *testing.T) {
+	src, _ := workload.MachineEvents(workload.DefaultMachines())
+	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Minute))
+	const q = `EVENT InstallShutdown WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 12 hours)
+WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
+	fast := run(t, q, delivered)
+	slow := run(t, q, delivered, plan.WithoutSpecialization())
+	if alerts(fast) == 0 || alerts(fast) != alerts(slow) {
+		t.Errorf("fast = %d, slow = %d", alerts(fast), alerts(slow))
+	}
+}
+
+func TestOutputClauseProjection(t *testing.T) {
+	src, _ := workload.MachineEvents(workload.DefaultMachines())
+	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Minute))
+	q := run(t, `EVENT Pairs WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 12 hours)
+WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)
+OUTPUT x.Machine_Id AS machine`, delivered)
+	evs := q.Results().Events()
+	if len(evs) == 0 {
+		t.Fatal("no outputs")
+	}
+	for _, ev := range evs {
+		if ev.Kind != event.Insert {
+			continue
+		}
+		if _, ok := ev.Payload["machine"]; !ok {
+			t.Fatalf("projected payload missing field: %v", ev.Payload)
+		}
+		if len(ev.Payload) != 1 {
+			t.Fatalf("projection kept extra fields: %v", ev.Payload)
+		}
+	}
+}
+
+func TestSlicedQuery(t *testing.T) {
+	var src stream.Stream
+	for i := 0; i < 20; i++ {
+		src = append(src, event.NewInsert(event.ID(i+1), "A",
+			temporal.Time(i*10), temporal.Time(i*10+5), nil))
+	}
+	delivered := delivery.Deliver(src, delivery.Ordered(50))
+	q := run(t, `EVENT Sliced WHEN ANY(A a) # [50, 100)`, delivered)
+	for _, ev := range q.Results().Events() {
+		if ev.V.Start < 50 || ev.V.End > 100 {
+			t.Fatalf("output outside slice: %v", ev.V)
+		}
+	}
+	if alerts(q) == 0 {
+		t.Fatal("slice removed everything")
+	}
+}

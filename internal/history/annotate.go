@@ -1,0 +1,123 @@
+package history
+
+import (
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// AnnRow is one entry of an annotated history table (Figure 6): the history
+// row plus the computed Sync column. For insertions Sync = Os; for
+// retractions Sync = Oe.
+type AnnRow struct {
+	BiRow
+	Sync         temporal.Time
+	IsRetraction bool
+}
+
+// Annotate computes the annotated form of the table. Rows are classified by
+// their K chains in CEDR-time order: the first entry of each chain is the
+// insertion, every later entry a retraction.
+func (t BiTable) Annotate() []AnnRow {
+	order := make([]int, len(t))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return t[order[a]].C.Start < t[order[b]].C.Start
+	})
+	seen := make(map[event.ID]bool, len(t))
+	out := make([]AnnRow, len(t))
+	for _, i := range order {
+		r := t[i]
+		ann := AnnRow{BiRow: r}
+		if seen[r.K] {
+			ann.IsRetraction = true
+			ann.Sync = r.O.End
+		} else {
+			seen[r.K] = true
+			ann.Sync = r.O.Start
+		}
+		out[i] = ann
+	}
+	return out
+}
+
+// SyncPoint is a pair of occurrence time and CEDR time (to, T) that cleanly
+// separates past from future in both time domains simultaneously
+// (Definition 2).
+type SyncPoint struct {
+	To temporal.Time // occurrence time
+	T  temporal.Time // CEDR time
+}
+
+// IsSyncPoint checks Definition 2 directly: for each entry e, either
+// e.Cs <= T and e.Sync <= to, or e.Cs > T and e.Sync > to.
+func IsSyncPoint(rows []AnnRow, p SyncPoint) bool {
+	for _, e := range rows {
+		before := e.C.Start <= p.T && e.Sync <= p.To
+		after := e.C.Start > p.T && e.Sync > p.To
+		if !before && !after {
+			return false
+		}
+	}
+	return true
+}
+
+// SyncPoints enumerates the sync points induced by the table's arrival
+// order: one candidate per prefix of the CEDR-time-sorted rows (including
+// the empty prefix is omitted; the full table always yields a final sync
+// point at its maximum Sync). The returned points are sorted by CEDR time.
+func SyncPoints(rows []AnnRow) []SyncPoint {
+	order := make([]int, len(rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return rows[order[a]].C.Start < rows[order[b]].C.Start
+	})
+	var out []SyncPoint
+	for cut := 1; cut <= len(order); cut++ {
+		// T separates prefix [0,cut) from suffix [cut,len).
+		if cut < len(order) && rows[order[cut]].C.Start == rows[order[cut-1]].C.Start {
+			continue // cannot split simultaneous arrivals
+		}
+		maxPrefix := temporal.MinTime
+		for _, i := range order[:cut] {
+			maxPrefix = temporal.Max(maxPrefix, rows[i].Sync)
+		}
+		minSuffix := temporal.Infinity
+		for _, i := range order[cut:] {
+			minSuffix = temporal.Min(minSuffix, rows[i].Sync)
+		}
+		if maxPrefix < minSuffix || cut == len(order) {
+			p := SyncPoint{To: maxPrefix, T: rows[order[cut-1]].C.Start}
+			if IsSyncPoint(rows, p) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// InOrder reports whether the stream described by the annotated rows has no
+// out-of-order events: the global ordering by Cs is identical to the global
+// ordering by the compound key <Sync, Cs> (the intuition the paper gives for
+// the Sync column).
+func InOrder(rows []AnnRow) bool {
+	byCs := make([]int, len(rows))
+	for i := range byCs {
+		byCs[i] = i
+	}
+	sort.SliceStable(byCs, func(a, b int) bool {
+		return rows[byCs[a]].C.Start < rows[byCs[b]].C.Start
+	})
+	for k := 1; k < len(byCs); k++ {
+		prev, cur := rows[byCs[k-1]], rows[byCs[k]]
+		if cur.Sync < prev.Sync {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,89 @@
+package history
+
+import (
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// This file constructs the worked examples of the paper as live model
+// objects. They are exported so that cmd/figures can print them and the
+// golden tests can verify every row against the paper verbatim.
+
+// Identifiers used across the figures: lowercase e0/e1 are event IDs,
+// uppercase E0–E2 are retraction-chain keys (the K column of Figure 2).
+const (
+	IDe0 event.ID = 0
+	IDe1 event.ID = 1
+	KE0  event.ID = 10
+	KE1  event.ID = 11
+	KE2  event.ID = 12
+)
+
+const inf = temporal.Infinity
+
+func iv(s, e temporal.Time) temporal.Interval { return temporal.NewInterval(s, e) }
+
+// Figure1 is the conceptual bitemporal stream representation of Section 2:
+// at time 1 event e0 is inserted with validity [1, ∞); at time 2 its
+// validity is modified to [1, 10); at time 3 it is modified to [1, 5) and e1
+// is inserted with validity [4, 9).
+func Figure1() (BiTable, Names) {
+	t := BiTable{
+		{ID: IDe0, V: iv(1, inf), O: iv(1, 2)},
+		{ID: IDe0, V: iv(1, 10), O: iv(2, 3)},
+		{ID: IDe0, V: iv(1, 5), O: iv(3, inf)},
+		{ID: IDe1, V: iv(4, 9), O: iv(3, inf)},
+	}
+	return t, Labels(int(IDe0), "e0", int(IDe1), "e1")
+}
+
+// Figure2 is the tritemporal history table of Section 4, modeling a
+// retraction and a modification simultaneously: the CEDR-time-2 entry put
+// the valid-time change at occurrence time 5, which later turns out to be
+// wrong (it should be 3) and is repaired by the entries at CEDR times 4–6.
+func Figure2() (BiTable, Names, Names) {
+	t := BiTable{
+		{ID: IDe0, K: KE0, V: iv(1, inf), O: iv(1, 5), C: iv(1, 4)},
+		{ID: IDe0, K: KE1, V: iv(1, 10), O: iv(5, inf), C: iv(2, 6)},
+		{ID: IDe0, K: KE0, V: iv(1, inf), O: iv(1, 3), C: iv(4, inf)},
+		{ID: IDe0, K: KE1, V: iv(1, 10), O: iv(5, 5), C: iv(5, inf)},
+		{ID: IDe0, K: KE2, V: iv(1, 10), O: iv(3, inf), C: iv(6, inf)},
+	}
+	idLabels := Labels(int(IDe0), "e0")
+	kLabels := Labels(int(KE0), "E0", int(KE1), "E1", int(KE2), "E2")
+	return t, idLabels, kLabels
+}
+
+// Figure3 is the pair of non-canonical history tables of Section 4. The two
+// underlying streams deliver the same logical content (E0's occurrence end
+// shrinks to 3) in different packagings and orders.
+func Figure3() (left, right BiTable, kLabels Names) {
+	left = BiTable{
+		{ID: IDe0, K: KE0, O: iv(1, 5), C: iv(1, 3)},
+		{ID: IDe0, K: KE0, O: iv(1, 3), C: iv(3, inf)},
+	}
+	right = BiTable{
+		{ID: IDe0, K: KE0, O: iv(1, inf), C: iv(1, 2)},
+		{ID: IDe0, K: KE0, O: iv(1, 5), C: iv(2, inf)},
+	}
+	return left, right, Labels(int(KE0), "E0")
+}
+
+// Figure6 is the annotated history table example of Section 4: an insert
+// with Sync = Os = 1 and a retraction with Sync = Oe = 5.
+func Figure6() (BiTable, Names) {
+	t := BiTable{
+		{ID: IDe0, K: KE0, O: iv(1, 10), C: iv(0, 7)},
+		{ID: IDe0, K: KE0, O: iv(1, 5), C: iv(7, 10)},
+	}
+	return t, Labels(int(KE0), "E0")
+}
+
+// Figure10 is the unitemporal ideal history table of Section 6.
+func Figure10() (UniTable, Names) {
+	t := UniTable{
+		{ID: IDe0, V: iv(1, 5), Payload: event.Payload{"P": "P1"}},
+		{ID: IDe1, V: iv(4, 9), Payload: event.Payload{"P": "P2"}},
+	}
+	return t, Labels(int(IDe0), "E0", int(IDe1), "E1")
+}

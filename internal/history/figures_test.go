@@ -1,0 +1,204 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/temporal"
+)
+
+// The golden tests in this file verify that the model reproduces the paper's
+// worked examples (Figures 1–6 and 10) row for row.
+
+func rowsOf(s string) []string {
+	var out []string
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		out = append(out, strings.Join(strings.Fields(line), " "))
+	}
+	return out
+}
+
+func wantRows(t *testing.T, got string, want []string) {
+	t.Helper()
+	g := rowsOf(got)
+	if len(g) != len(want) {
+		t.Fatalf("row count = %d, want %d\n%s", len(g), len(want), got)
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Errorf("row %d = %q, want %q", i, g[i], want[i])
+		}
+	}
+}
+
+func TestFigure1Golden(t *testing.T) {
+	table, labels := Figure1()
+	wantRows(t, table.FormatConceptual(labels), []string{
+		"ID Vs Ve Os Oe",
+		"e0 1 ∞ 1 2",
+		"e0 1 10 2 3",
+		"e0 1 5 3 ∞",
+		"e1 4 9 3 ∞",
+	})
+}
+
+func TestFigure2Golden(t *testing.T) {
+	table, idL, kL := Figure2()
+	wantRows(t, table.FormatTritemporal(idL, kL), []string{
+		"ID Vs Ve Os Oe Cs Ce K",
+		"e0 1 ∞ 1 5 1 4 E0",
+		"e0 1 10 5 ∞ 2 6 E1",
+		"e0 1 ∞ 1 3 4 ∞ E0",
+		"e0 1 10 5 5 5 ∞ E1",
+		"e0 1 10 3 ∞ 6 ∞ E2",
+	})
+}
+
+func TestFigure3Golden(t *testing.T) {
+	left, right, kL := Figure3()
+	wantRows(t, left.FormatOccurrence(kL), []string{
+		"K Os Oe Cs Ce",
+		"E0 1 5 1 3",
+		"E0 1 3 3 ∞",
+	})
+	wantRows(t, right.FormatOccurrence(kL), []string{
+		"K Os Oe Cs Ce",
+		"E0 1 ∞ 1 2",
+		"E0 1 5 2 ∞",
+	})
+}
+
+// Figure 4: reduction retains, per K, only the entry with earliest Oe.
+func TestFigure4ReductionGolden(t *testing.T) {
+	left, right, kL := Figure3()
+	wantRows(t, left.Reduce().FormatOccurrence(kL), []string{
+		"K Os Oe Cs Ce",
+		"E0 1 3 3 ∞",
+	})
+	wantRows(t, right.Reduce().FormatOccurrence(kL), []string{
+		"K Os Oe Cs Ce",
+		"E0 1 5 2 ∞",
+	})
+}
+
+// Figure 5: truncation to occurrence time 3 yields the canonical tables.
+func TestFigure5CanonicalGolden(t *testing.T) {
+	left, right, kL := Figure3()
+	wantRows(t, left.CanonicalTo(3).FormatOccurrence(kL), []string{
+		"K Os Oe Cs Ce",
+		"E0 1 3 3 ∞",
+	})
+	wantRows(t, right.CanonicalTo(3).FormatOccurrence(kL), []string{
+		"K Os Oe Cs Ce",
+		"E0 1 3 2 ∞",
+	})
+}
+
+// "the two streams associated with the two tables in Figure 3 are logically
+// equivalent to 3 and at 3."
+func TestFigure3LogicalEquivalence(t *testing.T) {
+	left, right, _ := Figure3()
+	if !left.EquivalentTo(right, 3) {
+		t.Error("Figure 3 streams must be logically equivalent to 3")
+	}
+	if !left.EquivalentAt(right, 3) {
+		t.Error("Figure 3 streams must be logically equivalent at 3")
+	}
+	// They are NOT equivalent to 5: left's chain ends at 3, right's at 5.
+	if left.EquivalentTo(right, 5) {
+		t.Error("Figure 3 streams must differ to 5")
+	}
+}
+
+func TestFigure6AnnotatedGolden(t *testing.T) {
+	table, kL := Figure6()
+	wantRows(t, FormatAnnotated(table.Annotate(), kL), []string{
+		"K Sync Os Oe Cs Ce",
+		"E0 1 1 10 0 7",
+		"E0 5 1 5 7 10",
+	})
+}
+
+func TestFigure6SyncPoints(t *testing.T) {
+	table, _ := Figure6()
+	ann := table.Annotate()
+	pts := SyncPoints(ann)
+	if len(pts) != 2 {
+		t.Fatalf("sync points = %v, want 2", pts)
+	}
+	if pts[0] != (SyncPoint{To: 1, T: 0}) {
+		t.Errorf("first sync point = %v", pts[0])
+	}
+	if pts[1] != (SyncPoint{To: 5, T: 7}) {
+		t.Errorf("final sync point = %v", pts[1])
+	}
+	for _, p := range pts {
+		if !IsSyncPoint(ann, p) {
+			t.Errorf("enumerated point %v rejected by Definition 2", p)
+		}
+	}
+	// A point that splits occurrence time but not CEDR time is not a sync
+	// point.
+	if IsSyncPoint(ann, SyncPoint{To: 1, T: 8}) {
+		t.Error("(1, 8) must not be a sync point")
+	}
+}
+
+func TestFigure10Golden(t *testing.T) {
+	table, idL := Figure10()
+	wantRows(t, table.FormatUnitemporal(idL), []string{
+		"ID Vs Ve Payload",
+		"E0 1 5 P1",
+		"E1 4 9 P2",
+	})
+}
+
+// Figure 2 narrative: "the net effect of all this is that at CEDR time 3,
+// the stream ... contains two events, an insert and a modification that
+// changes the valid time at occurrence time 5. At CEDR time 7, the stream
+// describes the same valid time change, except at occurrence time 3."
+func TestFigure2Narrative(t *testing.T) {
+	table, _, _ := Figure2()
+	// State as of CEDR time 3: only entries with Cs <= 3.
+	var at3 BiTable
+	for _, r := range table {
+		if r.C.Start <= 3 {
+			at3 = append(at3, r)
+		}
+	}
+	red := at3.Reduce()
+	if len(red) != 2 {
+		t.Fatalf("reduced table at CEDR 3 has %d rows, want 2", len(red))
+	}
+	// E0 chain live over [1,5); E1 (the modification) from 5 on.
+	if red[0].O != temporal.NewInterval(1, 5) {
+		t.Errorf("insert occurrence = %v, want [1, 5)", red[0].O)
+	}
+	if red[1].O != temporal.NewInterval(5, temporal.Infinity) {
+		t.Errorf("modification occurrence = %v, want [5, ∞)", red[1].O)
+	}
+
+	// Full table: E1 chain fully removed (empty occurrence interval),
+	// E0 ends at 3, E2 runs [3, ∞) — same change, now at occurrence time 3.
+	red = table.Reduce()
+	byK := map[string]temporal.Interval{}
+	for _, r := range red {
+		switch r.K {
+		case KE0:
+			byK["E0"] = r.O
+		case KE1:
+			byK["E1"] = r.O
+		case KE2:
+			byK["E2"] = r.O
+		}
+	}
+	if byK["E0"] != temporal.NewInterval(1, 3) {
+		t.Errorf("E0 final occurrence = %v, want [1, 3)", byK["E0"])
+	}
+	if !byK["E1"].Empty() {
+		t.Errorf("E1 must be fully removed, got %v", byK["E1"])
+	}
+	if byK["E2"] != temporal.NewInterval(3, temporal.Infinity) {
+		t.Errorf("E2 occurrence = %v, want [3, ∞)", byK["E2"])
+	}
+}

@@ -1,0 +1,159 @@
+package history
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/temporal"
+)
+
+// Formatting helpers that render history tables in the layout the paper's
+// figures use, so that cmd/figures and the golden tests can reproduce
+// Figures 1–6 and 10 verbatim from live model objects.
+
+// names maps row keys to the paper's event labels (e0, E0, ...). The caller
+// supplies it because the figures label rows differently (ID column in
+// Figures 1 and 10, K column in Figures 2–6).
+type Names map[uint64]string
+
+func padCell(s string, w int) string {
+	if len([]rune(s)) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len([]rune(s)))
+}
+
+func renderTable(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len([]rune(h))
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if n := len([]rune(c)); n > width[i] {
+				width[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	for i, h := range header {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(padCell(h, width[i]))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(padCell(c, width[i]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func ft(t temporal.Time) string { return t.String() }
+
+// FormatConceptual renders a bitemporal table in the Figure 1 layout:
+// ID Vs Ve Os Oe, using label for the ID column.
+func (t BiTable) FormatConceptual(label Names) string {
+	rows := make([][]string, len(t))
+	for i, r := range t {
+		rows[i] = []string{
+			label[uint64(r.ID)],
+			ft(r.V.Start), ft(r.V.End), ft(r.O.Start), ft(r.O.End),
+		}
+	}
+	return renderTable([]string{"ID", "Vs", "Ve", "Os", "Oe"}, rows)
+}
+
+// FormatTritemporal renders the Figure 2 layout:
+// ID Vs Ve Os Oe Cs Ce K — with event labels for ID and chain labels for K.
+func (t BiTable) FormatTritemporal(idLabel, kLabel Names) string {
+	rows := make([][]string, len(t))
+	for i, r := range t {
+		rows[i] = []string{
+			idLabel[uint64(r.ID)],
+			ft(r.V.Start), ft(r.V.End),
+			ft(r.O.Start), ft(r.O.End),
+			ft(r.C.Start), ft(r.C.End),
+			kLabel[uint64(r.K)],
+		}
+	}
+	return renderTable([]string{"ID", "Vs", "Ve", "Os", "Oe", "Cs", "Ce", "K"}, rows)
+}
+
+// FormatOccurrence renders the Figures 3–5 layout: K Os Oe Cs Ce (valid time
+// and ID omitted, as the paper does when discussing retractions).
+func (t BiTable) FormatOccurrence(kLabel Names) string {
+	rows := make([][]string, len(t))
+	for i, r := range t {
+		rows[i] = []string{
+			kLabel[uint64(r.K)],
+			ft(r.O.Start), ft(r.O.End),
+			ft(r.C.Start), ft(r.C.End),
+		}
+	}
+	return renderTable([]string{"K", "Os", "Oe", "Cs", "Ce"}, rows)
+}
+
+// FormatAnnotated renders the Figure 6 layout: K Sync Os Oe Cs Ce.
+func FormatAnnotated(rows []AnnRow, kLabel Names) string {
+	cells := make([][]string, len(rows))
+	for i, r := range rows {
+		cells[i] = []string{
+			kLabel[uint64(r.K)],
+			ft(r.Sync),
+			ft(r.O.Start), ft(r.O.End),
+			ft(r.C.Start), ft(r.C.End),
+		}
+	}
+	return renderTable([]string{"K", "Sync", "Os", "Oe", "Cs", "Ce"}, cells)
+}
+
+// FormatUnitemporal renders the Figure 10 layout: ID Vs Ve Payload.
+func (t UniTable) FormatUnitemporal(idLabel Names) string {
+	rows := make([][]string, len(t))
+	for i, r := range t {
+		payload := r.Payload.Key()
+		if len(r.Payload) == 1 {
+			for _, v := range r.Payload {
+				payload = fmt.Sprintf("%v", v)
+			}
+		}
+		if payload == "" {
+			payload = "-"
+		}
+		rows[i] = []string{
+			idLabel[uint64(r.ID)],
+			ft(r.V.Start), ft(r.V.End),
+			payload,
+		}
+	}
+	return renderTable([]string{"ID", "Vs", "Ve", "Payload"}, rows)
+}
+
+// Labels builds a names map from id→label pairs; a convenience for figures
+// code and tests.
+func Labels(pairs ...any) Names {
+	if len(pairs)%2 != 0 {
+		panic("history.Labels: odd argument count")
+	}
+	m := make(Names, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		var id uint64
+		switch v := pairs[i].(type) {
+		case int:
+			id = uint64(v)
+		case uint64:
+			id = v
+		default:
+			panic(fmt.Sprintf("history.Labels: bad id type %T", pairs[i]))
+		}
+		m[id] = pairs[i+1].(string)
+	}
+	return m
+}

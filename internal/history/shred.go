@@ -1,0 +1,39 @@
+package history
+
+import (
+	"fmt"
+
+	"repro/internal/temporal"
+)
+
+// Shred computes the shredded canonical form of §3.3.2: starting from the
+// canonical table R*, each tuple with occurrence interval [Os, Oe) is
+// replaced by Oe−Os tuples identical in every attribute except that each
+// carries a unit-length slice of the original occurrence interval, and their
+// union is [Os, Oe).
+//
+// Tuples with infinite Oe cannot be enumerated; horizon caps the shredding,
+// and an error is returned if any interval would extend past it by an
+// unbounded amount (Oe = ∞ with horizon = ∞).
+func (t BiTable) Shred(to temporal.Time, horizon temporal.Time) (BiTable, error) {
+	canon := t.CanonicalTo(to)
+	var out BiTable
+	for _, r := range canon {
+		end := r.O.End
+		if end.IsInfinite() {
+			if horizon.IsInfinite() {
+				return nil, fmt.Errorf("history: cannot shred unbounded occurrence interval %v without a horizon", r.O)
+			}
+			end = horizon
+		}
+		if end > horizon {
+			end = horizon
+		}
+		for s := r.O.Start; s < end; s++ {
+			piece := r
+			piece.O = temporal.NewInterval(s, s.Add(1))
+			out = append(out, piece)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,48 @@
+package history
+
+import (
+	"repro/internal/temporal"
+)
+
+// Temporal slicing at the model level (§3.2): for Q @ [to1, to2) # [tv1,
+// tv2), among the tuples of Q's bitemporal output, keep only those valid
+// between tv1 and tv2 and occurring between to1 and to2. The run-time
+// (unitemporal) counterpart is operators.Slice; these methods implement the
+// full bitemporal semantics for history-table analysis.
+
+// SliceOccurrence keeps the rows whose occurrence interval intersects
+// [to1, to2), clipping their occurrence intervals to the window.
+func (t BiTable) SliceOccurrence(to1, to2 temporal.Time) BiTable {
+	win := temporal.NewInterval(to1, to2)
+	out := make(BiTable, 0, len(t))
+	for _, r := range t {
+		iv := r.O.Intersect(win)
+		if iv.Empty() {
+			continue
+		}
+		r.O = iv
+		out = append(out, r)
+	}
+	return out
+}
+
+// SliceValid keeps the rows whose validity interval intersects [tv1, tv2),
+// clipping their validity intervals to the window.
+func (t BiTable) SliceValid(tv1, tv2 temporal.Time) BiTable {
+	win := temporal.NewInterval(tv1, tv2)
+	out := make(BiTable, 0, len(t))
+	for _, r := range t {
+		iv := r.V.Intersect(win)
+		if iv.Empty() {
+			continue
+		}
+		r.V = iv
+		out = append(out, r)
+	}
+	return out
+}
+
+// Slice applies both slicing dimensions: Q @ [to1, to2) # [tv1, tv2).
+func (t BiTable) Slice(to1, to2, tv1, tv2 temporal.Time) BiTable {
+	return t.SliceOccurrence(to1, to2).SliceValid(tv1, tv2)
+}

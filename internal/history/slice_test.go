@@ -1,0 +1,55 @@
+package history
+
+import (
+	"testing"
+
+	"repro/internal/temporal"
+)
+
+func TestSliceOccurrence(t *testing.T) {
+	tbl, _, _ := Figure2()
+	sliced := tbl.SliceOccurrence(2, 4)
+	// Rows with occurrence intervals intersecting [2, 4): the E0 chain
+	// entries ([1,5) and [1,3)), the E2 entry ([3,∞)); not the E1 entries
+	// ([5,∞) and the empty [5,5)).
+	if len(sliced) != 3 {
+		t.Fatalf("rows = %d: %+v", len(sliced), sliced)
+	}
+	for _, r := range sliced {
+		if r.O.Start < 2 || r.O.End > 4 {
+			t.Errorf("occurrence not clipped: %v", r.O)
+		}
+	}
+}
+
+func TestSliceValid(t *testing.T) {
+	tbl, _ := Figure1()
+	sliced := tbl.SliceValid(6, 12)
+	// Validity windows intersecting [6, 12): e0's [1,∞) and [1,10), e1's
+	// [4,9); not e0's [1,5).
+	if len(sliced) != 3 {
+		t.Fatalf("rows = %d: %+v", len(sliced), sliced)
+	}
+	for _, r := range sliced {
+		if r.V.Start < 6 || r.V.End > 12 {
+			t.Errorf("validity not clipped: %v", r.V)
+		}
+	}
+}
+
+func TestSliceBothDimensions(t *testing.T) {
+	tbl, _, _ := Figure2()
+	sliced := tbl.Slice(1, temporal.Infinity, 1, 10)
+	for _, r := range sliced {
+		if r.V.End > 10 {
+			t.Errorf("valid slice leaked: %v", r.V)
+		}
+	}
+	if len(sliced) == 0 {
+		t.Fatal("slice removed everything")
+	}
+	// Empty windows empty the table.
+	if got := tbl.Slice(0, 0, 0, 0); len(got) != 0 {
+		t.Errorf("empty window kept %d rows", len(got))
+	}
+}

@@ -1,0 +1,94 @@
+package lang
+
+import (
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// Query is the parsed form of an EVENT registration.
+type Query struct {
+	Name string
+	When PatternNode
+	// Where is the conjunction of WHERE-clause predicates, prior to
+	// predicate injection.
+	Where []Pred
+	// Output is the optional OUTPUT clause (instance transformation); nil
+	// means detected instances are output directly.
+	Output []OutputField
+	// SC is the instance selection and consumption mode.
+	SC SCClause
+	// Consistency is the optional per-query consistency clause.
+	Consistency *ConsistencyClause
+	// OccSlice and ValSlice are the optional @ / # temporal slicing
+	// windows.
+	OccSlice *[2]temporal.Time
+	ValSlice *[2]temporal.Time
+}
+
+// PatternNode is a node of the WHEN-clause pattern syntax tree.
+type PatternNode interface{ pattern() }
+
+// TypeNode references an event type, optionally aliased (AS).
+type TypeNode struct {
+	Type  string
+	Alias string
+}
+
+func (TypeNode) pattern() {}
+
+// OpNode is an n-ary pattern operator application.
+type OpNode struct {
+	Op   string // SEQUENCE, ALL, ANY, ATLEAST, ATMOST, UNLESS, NOT, CANCEL-WHEN
+	N    int    // ATLEAST/ATMOST count
+	Kids []PatternNode
+	W    temporal.Duration
+}
+
+func (OpNode) pattern() {}
+
+// Term is one side of a comparison predicate: either an alias.attribute
+// reference or a literal.
+type Term struct {
+	Alias string
+	Attr  string
+	Lit   event.Value
+	IsLit bool
+}
+
+// Pred is a WHERE-clause predicate.
+type Pred struct {
+	// Cmp form: {x.a op y.b} or {x.a op literal}.
+	L, R Term
+	Op   string // = != < <= > >=
+
+	// CorrelationKey form: CorrelationKey(attr, EQUAL) or
+	// [attr Equal 'literal'].
+	CorrAttr string
+	CorrMode string      // EQUAL, UNIQUE
+	CorrLit  event.Value // non-nil for the [attr Equal 'lit'] shorthand
+}
+
+// IsCorrKey reports whether the predicate is a correlation-key shorthand.
+func (p Pred) IsCorrKey() bool { return p.CorrAttr != "" }
+
+// OutputField is one projection of the OUTPUT clause.
+type OutputField struct {
+	Alias string
+	Attr  string
+	As    string
+}
+
+// SCClause is the parsed SC mode.
+type SCClause struct {
+	Selection   string // each (default), first, last
+	Consumption string // reuse (default), consume
+}
+
+// ConsistencyClause is the per-query consistency specification: a named
+// level, or an interior point of the (B, M) spectrum.
+type ConsistencyClause struct {
+	Level string // strong, middle, weak, level
+	B, M  temporal.Duration
+	HasM  bool
+	HasB  bool
+}

@@ -1,0 +1,56 @@
+package lang
+
+// Grammar
+//
+// The paper (§3.1) specifies the CEDR language by example; this is the
+// concrete grammar the package implements. Keywords are case-insensitive;
+// event type names, aliases and attributes are case-sensitive. "--" starts
+// a comment running to end of line.
+//
+//	query       = "EVENT" name "WHEN" pattern clause* .
+//	clause      = "WHERE" pred { "AND" pred }
+//	            | "OUTPUT" field { "," field }
+//	            | "SC" "(" selection "," consumption ")"
+//	            | "CONSISTENCY" level
+//	            | "@" window          (occurrence-time slice)
+//	            | "#" window          (valid-time slice) .
+//
+//	pattern     = type [ "AS" alias | alias ]
+//	            | "SEQUENCE"    "(" pattern { "," pattern } "," dur ")"
+//	            | "ALL"         "(" pattern { "," pattern } "," dur ")"
+//	            | "ANY"         "(" pattern { "," pattern } ")"
+//	            | "ATLEAST" "(" n "," pattern { "," pattern } "," dur ")"
+//	            | "ATMOST"  "(" n "," pattern { "," pattern } "," dur ")"
+//	            | "UNLESS"      "(" pattern "," pattern "," dur ")"
+//	            | "NOT"         "(" pattern "," sequence ")"
+//	            | "CANCEL-WHEN" "(" pattern "," pattern ")" .
+//
+//	pred        = "{" term cmp term "}"
+//	            | "CorrelationKey" "(" attr "," ("EQUAL" | "UNIQUE") ")"
+//	            | "[" attr "Equal" literal "]" .
+//	term        = alias "." attr | literal .
+//	cmp         = "=" | "!=" | "<" | "<=" | ">" | ">=" .
+//
+//	field       = alias [ "." attr ] [ "AS" name ] .
+//	selection   = "each" | "first" | "last" .
+//	consumption = "reuse" | "consume" .
+//	level       = "strong" | "middle" | "weak" [ "(" dur ")" ]
+//	            | "level" "(" dur "," dur ")"      (B, M of Figure 9) .
+//	window      = "[" int "," int ")" .
+//	dur         = int [ unit ]     e.g. "12 hours", "5 minutes", "300" .
+//
+// The example of §3.1 parses verbatim:
+//
+//	EVENT CIDR07_Example
+//	WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours),
+//	            RESTART AS z, 5 minutes)
+//	WHERE {x.Machine_Id = y.Machine_Id} AND
+//	      {x.Machine_Id = z.Machine_Id}
+//
+// Predicate injection (§3.2): WHERE predicates that reference only aliases
+// bound in the positive part of the pattern become a filter over the
+// composite output; predicates that reference an alias bound under a
+// negation operator (UNLESS's second argument, NOT's first, CANCEL-WHEN's
+// second) are injected into that operator — the non-occurrence is then of
+// correlated events only, which is the semantics the paper's
+// CIDR07_Example requires.

@@ -1,0 +1,268 @@
+package lang
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+const cidr07 = `
+EVENT CIDR07_Example
+WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours),
+            RESTART AS z, 5 minutes)
+WHERE {x.Machine_Id = y.Machine_Id} AND
+      {x.Machine_Id = z.Machine_Id}
+`
+
+func TestParseCIDR07Example(t *testing.T) {
+	q, err := Parse(cidr07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Name != "CIDR07_Example" {
+		t.Errorf("name = %q", q.Name)
+	}
+	unless, ok := q.When.(OpNode)
+	if !ok || unless.Op != "UNLESS" {
+		t.Fatalf("top = %#v", q.When)
+	}
+	if unless.W != 5*temporal.Minute {
+		t.Errorf("UNLESS scope = %v", unless.W)
+	}
+	seq, ok := unless.Kids[0].(OpNode)
+	if !ok || seq.Op != "SEQUENCE" || seq.W != 12*temporal.Hour {
+		t.Fatalf("inner = %#v", unless.Kids[0])
+	}
+	if in := seq.Kids[0].(TypeNode); in.Type != "INSTALL" || in.Alias != "x" {
+		t.Errorf("first contributor = %#v", in)
+	}
+	if sh := seq.Kids[1].(TypeNode); sh.Type != "SHUTDOWN" || sh.Alias != "y" {
+		t.Errorf("second contributor = %#v", sh)
+	}
+	if z := unless.Kids[1].(TypeNode); z.Type != "RESTART" || z.Alias != "z" {
+		t.Errorf("negated = %#v", z)
+	}
+	if len(q.Where) != 2 {
+		t.Errorf("predicates = %d", len(q.Where))
+	}
+}
+
+// End to end: the compiled §3.1 query detects exactly the machine that
+// shut down after an install and failed to restart within 5 minutes.
+func TestCompileAndRunCIDR07(t *testing.T) {
+	an, err := Compile(cidr07)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, m := temporal.Hour, temporal.Minute
+	mk := func(id event.ID, typ string, at temporal.Duration, machine string) event.Event {
+		return event.NewInsert(id, typ, temporal.Time(at), temporal.Infinity,
+			event.Payload{"Machine_Id": machine})
+	}
+	store := []event.Event{
+		mk(1, "INSTALL", 0, "m1"),
+		mk(2, "SHUTDOWN", 1*h, "m1"),
+		mk(3, "RESTART", 1*h+2*m, "m1"), // in time: no alert
+		mk(4, "INSTALL", 2*h, "m2"),
+		mk(5, "SHUTDOWN", 3*h, "m2"),
+		mk(6, "RESTART", 3*h+30*m, "m2"), // too late: alert
+		mk(7, "INSTALL", 5*h, "m3"),
+		mk(8, "SHUTDOWN", 5*h+1*m, "m3"),
+		mk(9, "RESTART", 5*h+2*m, "m1"), // wrong machine: m3 alerts too
+	}
+	ms := algebra.ApplySC(algebra.Denote(an.Expr, store), an.Mode)
+	if len(ms) != 2 {
+		t.Fatalf("alerts = %d, want 2: %+v", len(ms), ms)
+	}
+	machines := map[any]bool{}
+	for _, m := range ms {
+		machines[m.Payload["x.Machine_Id"]] = true
+	}
+	if !machines["m2"] || !machines["m3"] {
+		t.Errorf("alert machines = %v, want m2 and m3", machines)
+	}
+}
+
+func TestCorrelationKeyShorthand(t *testing.T) {
+	an, err := Compile(`
+EVENT E WHEN UNLESS(SEQUENCE(A a, B b, 100), C c, 50)
+WHERE CorrelationKey(mid, EQUAL)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id event.ID, typ string, vs temporal.Time, mid string) event.Event {
+		return event.NewInsert(id, typ, vs, temporal.Infinity, event.Payload{"mid": mid})
+	}
+	// A/B on m1 with a C on m2 inside the window: the C must not block.
+	store := []event.Event{
+		mk(1, "A", 0, "m1"), mk(2, "B", 10, "m1"), mk(3, "C", 20, "m2"),
+	}
+	ms := algebra.ApplySC(algebra.Denote(an.Expr, store), an.Mode)
+	if len(ms) != 1 {
+		t.Fatalf("cross-machine C must not block: %+v", ms)
+	}
+	// Same machine: blocked.
+	store[2].Payload["mid"] = "m1"
+	ms = algebra.ApplySC(algebra.Denote(an.Expr, store), an.Mode)
+	if len(ms) != 0 {
+		t.Fatalf("same-machine C must block: %+v", ms)
+	}
+}
+
+func TestLiteralEquivalenceTest(t *testing.T) {
+	an, err := Compile(`EVENT E WHEN SEQUENCE(A a, B b, 100) WHERE [mid Equal 'BARGA_XP03']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id event.ID, typ string, vs temporal.Time, mid string) event.Event {
+		return event.NewInsert(id, typ, vs, temporal.Infinity, event.Payload{"mid": mid})
+	}
+	store := []event.Event{mk(1, "A", 0, "BARGA_XP03"), mk(2, "B", 5, "BARGA_XP03")}
+	if ms := algebra.Denote(an.Expr, store); len(ms) != 1 {
+		t.Fatalf("literal equivalence should match: %+v", ms)
+	}
+	store[1].Payload["mid"] = "OTHER"
+	if ms := algebra.Denote(an.Expr, store); len(ms) != 0 {
+		t.Fatalf("literal equivalence should reject: %+v", ms)
+	}
+}
+
+func TestParseSCModeAndConsistency(t *testing.T) {
+	q, err := Parse(`EVENT E WHEN SEQUENCE(A a, B b, 10)
+SC(first, consume) CONSISTENCY weak(500)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.SC.Selection != "first" || q.SC.Consumption != "consume" {
+		t.Errorf("SC = %+v", q.SC)
+	}
+	if q.Consistency == nil || q.Consistency.Level != "weak" || q.Consistency.M != 500 {
+		t.Errorf("consistency = %+v", q.Consistency)
+	}
+	q, err = Parse(`EVENT E WHEN ANY(A) CONSISTENCY level(10, 100)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Consistency.B != 10 || q.Consistency.M != 100 {
+		t.Errorf("level = %+v", q.Consistency)
+	}
+}
+
+func TestParseSlicing(t *testing.T) {
+	q, err := Parse(`EVENT E WHEN ANY(A) @ [10, 50) # [20, 40)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Slice == nil || *an.Slice != temporal.NewInterval(20, 40) {
+		t.Errorf("slice = %v, want [20, 40) (intersection)", an.Slice)
+	}
+}
+
+func TestParseOutputClause(t *testing.T) {
+	an, err := Compile(`EVENT E WHEN SEQUENCE(A a, B b, 10) OUTPUT a.x AS ax, b.y`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.OutputMap == nil {
+		t.Fatal("no output map")
+	}
+	got := an.OutputMap(event.Payload{"a.x": int64(1), "b.y": int64(2)})
+	if got["ax"] != int64(1) || got["y"] != int64(2) {
+		t.Errorf("output = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"WHEN ANY(A)",
+		"EVENT E",
+		"EVENT E WHEN",
+		"EVENT E WHEN SEQUENCE(A, B)",         // missing scope
+		"EVENT E WHEN UNLESS(A, B, C, 10)",    // arity
+		"EVENT E WHEN NOT(A, B)",              // NOT needs SEQUENCE
+		"EVENT E WHEN ANY(A) WHERE {x.a = }",  // bad term
+		"EVENT E WHEN ANY(A) CONSISTENCY odd", // bad level
+		"EVENT E WHEN ANY(A) WHERE {q.a = 1}", // unknown alias
+		"EVENT E WHEN SEQUENCE(A a, B b, 10) OUTPUT z.f", // unknown output alias
+		"EVENT E WHEN ANY(A) @ [10, 50",                  // bad window
+		"EVENT E WHEN ANY(A) WHERE CorrelationKey(m, SIDEWAYS)",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestNegatedAliasRejectedInOutput(t *testing.T) {
+	_, err := Compile(`EVENT E WHEN UNLESS(A a, B b, 10) OUTPUT b.x`)
+	if err == nil {
+		t.Fatal("OUTPUT of negated alias must be rejected")
+	}
+}
+
+func TestPredicateOnTwoNegationScopesRejected(t *testing.T) {
+	_, err := Compile(`
+EVENT E WHEN UNLESS(UNLESS(A a, B b, 10), C c, 20)
+WHERE {b.x = c.x}`)
+	if err == nil {
+		t.Fatal("correlating two negation scopes must be rejected")
+	}
+}
+
+func TestCommentsAndStrings(t *testing.T) {
+	q, err := Parse(`
+-- monitoring query
+EVENT E WHEN ANY(A) -- trailing comment
+WHERE [mid Equal 'BARGA_XP03']`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].CorrLit != "BARGA_XP03" {
+		t.Errorf("literal = %v", q.Where[0].CorrLit)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex("EVENT E WHEN ~"); err == nil {
+		t.Error("bad character accepted")
+	}
+	if _, err := lex("EVENT E WHERE 'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+}
+
+func TestParseUnlessPrime(t *testing.T) {
+	// The 4-argument UNLESS' form from the §3.3.2 table: the negation
+	// scope anchors at the n-th contributor of E1.
+	an, err := Compile(`
+EVENT E WHEN UNLESS(SEQUENCE(A a, B b, 100), C c, 1, 10)
+WHERE {a.k = c.k}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, ok := an.Expr.(algebra.UnlessPrimeExpr)
+	if !ok {
+		t.Fatalf("expr = %T", an.Expr)
+	}
+	if up.N != 1 || up.W != 10 {
+		t.Errorf("N=%d W=%v", up.N, up.W)
+	}
+	if up.Corr == nil {
+		t.Error("correlation predicate not injected")
+	}
+	// Static arity check: index beyond the sequence length.
+	if _, err := Compile(`EVENT E WHEN UNLESS(SEQUENCE(A a, B b, 100), C c, 5, 10)`); err == nil {
+		t.Error("UNLESS' index beyond sequence length must be rejected")
+	}
+	if _, err := Compile(`EVENT E WHEN UNLESS(SEQUENCE(A a, B b, 100), C c, 0, 10)`); err == nil {
+		t.Error("UNLESS' index 0 must be rejected")
+	}
+}

@@ -1,0 +1,154 @@
+// Package lang implements the CEDR query language of Section 3: the
+// EVENT / WHEN / WHERE / OUTPUT registration syntax, with pattern operators,
+// value correlation (including the CorrelationKey shorthand), SC modes, a
+// per-query consistency clause, and temporal slicing. The paper specifies
+// the language by example; the concrete grammar is documented in doc.go.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) { } [ ] , . @ #
+	tokOp    // = != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the query text. CEDR keywords are case-insensitive
+// identifiers; event type names and attribute names are case-sensitive.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "")
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '-' && l.peekAt(1) == '-': // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '\'' || c == '"':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("(){}[],.@#", rune(c)):
+			l.emit(tokPunct, string(c))
+			l.pos++
+		case c == '=':
+			l.emit(tokOp, "=")
+			l.pos++
+		case c == '!' && l.peekAt(1) == '=':
+			l.emit(tokOp, "!=")
+			l.pos += 2
+		case c == '<' || c == '>':
+			op := string(c)
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				op += "="
+				l.pos++
+			}
+			l.emit(tokOp, op)
+		default:
+			return nil, fmt.Errorf("lang: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) peekAt(n int) byte {
+	if l.pos+n < len(l.src) {
+		return l.src[l.pos+n]
+	}
+	return 0
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) emit(k tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: k, text: text, pos: l.pos})
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	// "CANCEL-WHEN" lexes as one identifier thanks to '-' in idents; strip
+	// any trailing '-' that belongs to punctuation usage.
+	for strings.HasSuffix(text, "-") {
+		text = text[:len(text)-1]
+		l.pos--
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: text, pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("lang: unterminated string starting at offset %d", start)
+}

@@ -1,0 +1,454 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// Analysis is the semantic-analysis result: the bound pattern algebra
+// expression with every WHERE predicate injected at its correct operator
+// (§3.2 "predicate injection"), the SC mode, the optional output
+// transformation, and the optional slicing window.
+type Analysis struct {
+	Query *Query
+	Expr  algebra.Expr
+	Mode  algebra.SCMode
+	// OutputMap is the OUTPUT-clause instance transformation over the
+	// composite (namespaced) payload; nil means pass-through.
+	OutputMap func(event.Payload) event.Payload
+	// Slice is the intersection of the @ and # windows; nil if unsliced.
+	Slice *temporal.Interval
+}
+
+// site identifies where an alias is bound: site 0 is the positive part of
+// the pattern; each negation operator (UNLESS's B, NOT's E, CANCEL-WHEN's
+// E2) is a numbered negative site.
+type binding struct {
+	site   int
+	prefix string
+}
+
+// Analyze binds and checks a parsed query.
+func Analyze(q *Query) (*Analysis, error) {
+	a := &Analysis{Query: q}
+
+	// Pass 1: enumerate negation sites and bind aliases.
+	b := &binder{aliases: map[string]binding{}}
+	if err := b.scan(q.When, 0); err != nil {
+		return nil, err
+	}
+
+	// Pass 2: classify predicates.
+	positive, corrs, err := b.classify(q.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 3: build the algebra expression with injected predicates.
+	b.siteSeq = 0
+	expr, err := b.build(q.When, corrs)
+	if err != nil {
+		return nil, err
+	}
+	if len(positive) > 0 {
+		preds := positive
+		expr = algebra.FilterExpr{
+			Kid:  expr,
+			Pred: func(p event.Payload) bool { return evalAll(preds, p) },
+			Desc: describePreds(q.Where),
+		}
+	}
+	a.Expr = expr
+
+	sel, err := algebra.ParseSelection(q.SC.Selection)
+	if err != nil {
+		return nil, err
+	}
+	cons, err := algebra.ParseConsumption(q.SC.Consumption)
+	if err != nil {
+		return nil, err
+	}
+	a.Mode = algebra.SCMode{Sel: sel, Cons: cons}
+
+	if len(q.Output) > 0 {
+		fields := q.Output
+		for _, f := range fields {
+			if f.Attr != "" {
+				if _, ok := b.aliases[f.Alias]; !ok {
+					return nil, fmt.Errorf("lang: OUTPUT references unknown alias %q", f.Alias)
+				}
+				if b.aliases[f.Alias].site != 0 {
+					return nil, fmt.Errorf("lang: OUTPUT cannot reference negated alias %q", f.Alias)
+				}
+			}
+		}
+		a.OutputMap = func(p event.Payload) event.Payload {
+			out := event.Payload{}
+			for _, f := range fields {
+				key := f.Alias
+				if f.Attr != "" {
+					key = f.Alias + "." + f.Attr
+				}
+				name := f.As
+				if name == "" {
+					if f.Attr != "" {
+						name = f.Attr
+					} else {
+						name = f.Alias
+					}
+				}
+				out[name] = p[key]
+			}
+			return out
+		}
+	}
+
+	if q.OccSlice != nil || q.ValSlice != nil {
+		win := temporal.NewInterval(temporal.MinTime, temporal.Infinity)
+		if q.OccSlice != nil {
+			win = win.Intersect(temporal.NewInterval(q.OccSlice[0], q.OccSlice[1]))
+		}
+		if q.ValSlice != nil {
+			win = win.Intersect(temporal.NewInterval(q.ValSlice[0], q.ValSlice[1]))
+		}
+		a.Slice = &win
+	}
+	return a, nil
+}
+
+type binder struct {
+	aliases map[string]binding
+	sites   int // negation sites discovered (site 0 is positive)
+	siteSeq int // rebuild counter for pass 3
+}
+
+// scan walks the pattern, assigning aliases to sites. site is the innermost
+// enclosing negation site (0 = positive part).
+func (b *binder) scan(n PatternNode, site int) error {
+	switch x := n.(type) {
+	case TypeNode:
+		prefix := x.Alias
+		if prefix == "" {
+			prefix = x.Type
+		}
+		if prev, dup := b.aliases[prefix]; dup && prev.site != site {
+			return fmt.Errorf("lang: alias %q bound in conflicting contexts", prefix)
+		}
+		b.aliases[prefix] = binding{site: site, prefix: prefix}
+		return nil
+	case OpNode:
+		switch x.Op {
+		case "UNLESS", "UNLESS'", "NOT", "CANCEL-WHEN":
+			// First child is positive (relative to the current site), the
+			// second is a fresh negative site — except NOT, whose first
+			// child is the negated expression.
+			b.sites++
+			neg := b.sites
+			posKid, negKid := x.Kids[0], x.Kids[1]
+			if x.Op == "NOT" {
+				posKid, negKid = x.Kids[1], x.Kids[0]
+			}
+			if err := b.scan(posKid, site); err != nil {
+				return err
+			}
+			return b.scan(negKid, neg)
+		default:
+			for _, k := range x.Kids {
+				if err := b.scan(k, site); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("lang: unknown pattern node %T", n)
+}
+
+// predFn evaluates a positive predicate over a composite payload.
+type predFn func(event.Payload) bool
+
+// classify splits WHERE predicates into positive filters and per-site
+// correlation predicates.
+func (b *binder) classify(preds []Pred) ([]predFn, map[int][]algebra.CorrPred, error) {
+	var positive []predFn
+	corrs := map[int][]algebra.CorrPred{}
+	for _, pred := range preds {
+		if pred.IsCorrKey() {
+			pos, siteCorrs := b.corrKeyPredicates(pred)
+			positive = append(positive, pos)
+			for s := 1; s <= b.sites; s++ {
+				corrs[s] = append(corrs[s], siteCorrs)
+			}
+			continue
+		}
+		lSite, err := b.termSite(pred.L)
+		if err != nil {
+			return nil, nil, err
+		}
+		rSite, err := b.termSite(pred.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case lSite == 0 && rSite == 0:
+			positive = append(positive, comparePred(pred, false, false))
+		case lSite > 0 && rSite > 0 && lSite != rSite:
+			return nil, nil, fmt.Errorf("lang: predicate correlates two different negation scopes")
+		default:
+			site := lSite
+			if site == 0 {
+				site = rSite
+			}
+			corrs[site] = append(corrs[site],
+				corrComparePred(pred, lSite > 0, rSite > 0))
+		}
+	}
+	return positive, corrs, nil
+}
+
+func (b *binder) termSite(t Term) (int, error) {
+	if t.IsLit {
+		return 0, nil
+	}
+	bind, ok := b.aliases[t.Alias]
+	if !ok {
+		return 0, fmt.Errorf("lang: unknown alias %q in WHERE clause", t.Alias)
+	}
+	return bind.site, nil
+}
+
+// corrKeyPredicates expands CorrelationKey(attr, EQUAL|UNIQUE) (or the
+// [attr Equal 'lit'] shorthand) into a positive equivalence test plus a
+// correlation predicate for negation sites.
+func (b *binder) corrKeyPredicates(pred Pred) (predFn, algebra.CorrPred) {
+	attr, mode, lit := pred.CorrAttr, pred.CorrMode, pred.CorrLit
+	suffix := "." + attr
+	values := func(p event.Payload) []event.Value {
+		var vs []event.Value
+		for k, v := range p {
+			if strings.HasSuffix(k, suffix) {
+				vs = append(vs, v)
+			}
+		}
+		return vs
+	}
+	pos := func(p event.Payload) bool {
+		vs := values(p)
+		if mode == "UNIQUE" {
+			for i := range vs {
+				for j := i + 1; j < len(vs); j++ {
+					if event.ValueEqual(vs[i], vs[j]) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for i := 1; i < len(vs); i++ {
+			if !event.ValueEqual(vs[0], vs[i]) {
+				return false
+			}
+		}
+		if lit != nil && len(vs) > 0 && !event.ValueEqual(vs[0], lit) {
+			return false
+		}
+		return true
+	}
+	corr := func(posP, negP event.Payload) bool {
+		nvs := values(negP)
+		pvs := values(posP)
+		if mode == "UNIQUE" {
+			for _, nv := range nvs {
+				for _, pv := range pvs {
+					if event.ValueEqual(nv, pv) {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		for _, nv := range nvs {
+			if lit != nil && !event.ValueEqual(nv, lit) {
+				return false
+			}
+			for _, pv := range pvs {
+				if !event.ValueEqual(nv, pv) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	return pos, corr
+}
+
+func termValue(t Term, p event.Payload) event.Value {
+	if t.IsLit {
+		return t.Lit
+	}
+	return p[t.Alias+"."+t.Attr]
+}
+
+func compareValues(op string, l, r event.Value) bool {
+	switch op {
+	case "=":
+		return event.ValueEqual(l, r)
+	case "!=":
+		return !event.ValueEqual(l, r)
+	case "<":
+		return event.ValueLess(l, r)
+	case "<=":
+		return event.ValueLess(l, r) || event.ValueEqual(l, r)
+	case ">":
+		return event.ValueLess(r, l)
+	case ">=":
+		return event.ValueLess(r, l) || event.ValueEqual(l, r)
+	}
+	return false
+}
+
+func comparePred(pred Pred, lNeg, rNeg bool) predFn {
+	return func(p event.Payload) bool {
+		return compareValues(pred.Op, termValue(pred.L, p), termValue(pred.R, p))
+	}
+}
+
+func corrComparePred(pred Pred, lNeg, rNeg bool) algebra.CorrPred {
+	return func(pos, neg event.Payload) bool {
+		lp, rp := pos, pos
+		if lNeg {
+			lp = neg
+		}
+		if rNeg {
+			rp = neg
+		}
+		return compareValues(pred.Op, termValue(pred.L, lp), termValue(pred.R, rp))
+	}
+}
+
+func evalAll(preds []predFn, p event.Payload) bool {
+	for _, f := range preds {
+		if !f(p) {
+			return false
+		}
+	}
+	return true
+}
+
+func describePreds(preds []Pred) string {
+	parts := make([]string, 0, len(preds))
+	for _, p := range preds {
+		if p.IsCorrKey() {
+			parts = append(parts, fmt.Sprintf("CorrelationKey(%s, %s)", p.CorrAttr, p.CorrMode))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("{%s %s %s}", termString(p.L), p.Op, termString(p.R)))
+	}
+	return strings.Join(parts, " AND ")
+}
+
+func termString(t Term) string {
+	if t.IsLit {
+		return fmt.Sprintf("%v", t.Lit)
+	}
+	return t.Alias + "." + t.Attr
+}
+
+// build constructs the algebra expression, attaching per-site correlation
+// predicates to their negation operators. Sites are numbered in the same
+// order scan discovered them.
+func (b *binder) build(n PatternNode, corrs map[int][]algebra.CorrPred) (algebra.Expr, error) {
+	switch x := n.(type) {
+	case TypeNode:
+		return algebra.TypeExpr{Type: x.Type, Alias: x.Alias}, nil
+	case OpNode:
+		switch x.Op {
+		case "UNLESS", "UNLESS'", "NOT", "CANCEL-WHEN":
+			b.siteSeq++
+			site := b.siteSeq
+			posKid, negKid := x.Kids[0], x.Kids[1]
+			if x.Op == "NOT" {
+				posKid, negKid = x.Kids[1], x.Kids[0]
+			}
+			pos, err := b.build(posKid, corrs)
+			if err != nil {
+				return nil, err
+			}
+			neg, err := b.build(negKid, corrs)
+			if err != nil {
+				return nil, err
+			}
+			corr := conjoinCorr(corrs[site])
+			switch x.Op {
+			case "UNLESS":
+				return algebra.UnlessExpr{A: pos, B: neg, W: x.W, Corr: corr}, nil
+			case "UNLESS'":
+				up := algebra.UnlessPrimeExpr{A: pos, B: neg, N: x.N, W: x.W, Corr: corr}
+				if err := up.Validate(); err != nil {
+					return nil, err
+				}
+				return up, nil
+			case "NOT":
+				seq, ok := pos.(algebra.SequenceExpr)
+				if !ok {
+					return nil, fmt.Errorf("lang: NOT scope must be a SEQUENCE")
+				}
+				return algebra.NotExpr{Neg: neg, Seq: seq, Corr: corr}, nil
+			default:
+				return algebra.CancelWhenExpr{E: pos, Cancel: neg, Corr: corr}, nil
+			}
+		}
+		kids := make([]algebra.Expr, len(x.Kids))
+		for i, k := range x.Kids {
+			kid, err := b.build(k, corrs)
+			if err != nil {
+				return nil, err
+			}
+			kids[i] = kid
+		}
+		switch x.Op {
+		case "SEQUENCE":
+			return algebra.SequenceExpr{Kids: kids, W: x.W}, nil
+		case "ALL":
+			return algebra.All(x.W, kids...), nil
+		case "ANY":
+			return algebra.Any(kids...), nil
+		case "ATLEAST":
+			return algebra.AtLeastExpr{N: x.N, Kids: kids, W: x.W}, nil
+		case "ATMOST":
+			return algebra.AtMostExpr{N: x.N, Kids: kids, W: x.W}, nil
+		}
+		return nil, fmt.Errorf("lang: unknown operator %q", x.Op)
+	}
+	return nil, fmt.Errorf("lang: unknown pattern node %T", n)
+}
+
+func conjoinCorr(cs []algebra.CorrPred) algebra.CorrPred {
+	if len(cs) == 0 {
+		return nil
+	}
+	if len(cs) == 1 {
+		return cs[0]
+	}
+	return func(pos, neg event.Payload) bool {
+		for _, c := range cs {
+			if !c(pos, neg) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// Compile is the front door: parse + analyze.
+func Compile(src string) (*Analysis, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(q)
+}

@@ -1,0 +1,337 @@
+package operators
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/event"
+	"repro/internal/history"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+// This file property-tests the paper's two semantic guarantees:
+//
+// Definition 6 (well-behavedness): for inputs logically equivalent to
+// infinity, outputs are logically equivalent to infinity. We check it by
+// delivering random fact sets through different physical packagings —
+// exact inserts vs optimistic inserts later repaired by retractions — and
+// comparing the folded streaming output against the denotational reference
+// applied to the ideal history table.
+//
+// Definition 11 (view-update compliance): operators must be insensitive to
+// how state changes are packaged — a lifetime chopped into several meeting
+// insert events must act like one event with the merged lifetime. True for
+// σ, π, ∪, ⋈, −, aggregates; deliberately false for AlterLifetime.
+
+// genFacts builds a random ideal table of n facts over small times.
+func genFacts(rng *rand.Rand, n int, payloads int) history.UniTable {
+	tbl := make(history.UniTable, 0, n)
+	for i := 0; i < n; i++ {
+		vs := temporal.Time(rng.Intn(30))
+		ve := vs + temporal.Time(rng.Intn(20)+1)
+		p := event.Payload{
+			"g": int64(rng.Intn(payloads)),
+			"x": int64(rng.Intn(10)),
+		}
+		tbl = append(tbl, history.UniRow{ID: event.ID(i + 1), V: iv2(vs, ve), Payload: p})
+	}
+	return tbl
+}
+
+func iv2(s, e temporal.Time) temporal.Interval { return temporal.NewInterval(s, e) }
+
+// asExactStream delivers each fact as a single precise insert.
+func asExactStream(tbl history.UniTable, typ string) stream.Stream {
+	var s stream.Stream
+	for _, r := range tbl {
+		s = append(s, event.NewInsert(r.ID, typ, r.V.Start, r.V.End, r.Payload.Clone()))
+	}
+	return s
+}
+
+// asRetractingStream delivers roughly half the facts optimistically — an
+// insert valid forever, later repaired by a retraction to the true end.
+func asRetractingStream(rng *rand.Rand, tbl history.UniTable, typ string) stream.Stream {
+	var s stream.Stream
+	for _, r := range tbl {
+		if rng.Intn(2) == 0 {
+			s = append(s, event.NewInsert(r.ID, typ, r.V.Start, r.V.End, r.Payload.Clone()))
+			continue
+		}
+		s = append(s, event.NewInsert(r.ID, typ, r.V.Start, temporal.Infinity, r.Payload.Clone()))
+		s = append(s, event.NewRetract(r.ID, typ, r.V.Start, r.V.End, r.Payload.Clone()))
+	}
+	return s
+}
+
+// asChoppedStream chops each fact's lifetime into 1–3 meeting pieces with
+// distinct IDs — the Definition 11 packaging variation.
+func asChoppedStream(rng *rand.Rand, tbl history.UniTable, typ string) stream.Stream {
+	var s stream.Stream
+	next := event.ID(1000)
+	for _, r := range tbl {
+		dur := int64(r.V.Duration())
+		cuts := rng.Intn(3)
+		points := []temporal.Time{r.V.Start}
+		for c := 0; c < cuts; c++ {
+			points = append(points, r.V.Start+temporal.Time(rng.Int63n(dur)))
+		}
+		points = append(points, r.V.End)
+		// sort cut points
+		for i := 0; i < len(points); i++ {
+			for j := i + 1; j < len(points); j++ {
+				if points[j] < points[i] {
+					points[i], points[j] = points[j], points[i]
+				}
+			}
+		}
+		for i := 0; i+1 < len(points); i++ {
+			if points[i] == points[i+1] {
+				continue
+			}
+			s = append(s, event.NewInsert(next, typ, points[i], points[i+1], r.Payload.Clone()))
+			next++
+		}
+	}
+	return s
+}
+
+// eagerRun advances the operator to every event's Sync time before
+// processing it — maximal punctuation density. The choice of advance points
+// must not change the output table.
+func eagerRun(op Op, inputs ...stream.Stream) stream.Stream {
+	type tagged struct {
+		port int
+		ev   event.Event
+	}
+	var all []tagged
+	for port, in := range inputs {
+		for _, e := range in {
+			all = append(all, tagged{port, e})
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].ev.Sync() < all[i].ev.Sync() {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	var out stream.Stream
+	for _, t := range all {
+		out = append(out, op.Advance(t.ev.Sync())...)
+		out = append(out, op.Process(t.port, t.ev)...)
+	}
+	out = append(out, op.Advance(temporal.Infinity)...)
+	return out
+}
+
+type opCase struct {
+	name  string
+	make  func() Op
+	ref   func(in []history.UniTable) history.UniTable
+	arity int
+}
+
+func cases() []opCase {
+	sel := func(p event.Payload) bool { v, _ := event.Num(p["x"]); return v >= 5 }
+	proj := func(p event.Payload) event.Payload {
+		v, _ := event.Num(p["x"])
+		return event.Payload{"y": v + 1}
+	}
+	theta := func(l, r event.Payload) bool { return event.ValueEqual(l["g"], r["g"]) }
+	return []opCase{
+		{"select", func() Op { return NewSelect(sel) },
+			func(in []history.UniTable) history.UniTable { return RefSelect(sel, in[0]) }, 1},
+		{"project", func() Op { return NewProject(proj) },
+			func(in []history.UniTable) history.UniTable { return RefProject(proj, in[0]) }, 1},
+		{"union", func() Op { return NewUnion() },
+			func(in []history.UniTable) history.UniTable { return RefUnion(in[0], in[1]) }, 2},
+		{"join", func() Op { return NewJoin(theta) },
+			func(in []history.UniTable) history.UniTable { return RefJoin(theta, "right.", in[0], in[1]) }, 2},
+		{"difference", func() Op { return NewDifference() },
+			func(in []history.UniTable) history.UniTable { return RefDifference(in[0], in[1]) }, 2},
+		{"count", func() Op { return NewAggregate(Count, "", "g") },
+			func(in []history.UniTable) history.UniTable {
+				return RefAggregate(Count, "", "g", "value", in[0].Ideal())
+			}, 1},
+		{"sum", func() Op { return NewAggregate(Sum, "x", "g") },
+			func(in []history.UniTable) history.UniTable {
+				return RefAggregate(Sum, "x", "g", "value", in[0].Ideal())
+			}, 1},
+		{"max", func() Op { return NewAggregate(Max, "x", "") },
+			func(in []history.UniTable) history.UniTable {
+				return RefAggregate(Max, "x", "", "value", in[0].Ideal())
+			}, 1},
+		{"window", func() Op { return Window(8) },
+			func(in []history.UniTable) history.UniTable {
+				w := Window(8)
+				return RefAlterLifetime(w.FVs, w.FDur, in[0].Ideal())
+			}, 1},
+		{"inserts", func() Op { return Inserts() },
+			func(in []history.UniTable) history.UniTable {
+				op := Inserts()
+				return RefAlterLifetime(op.FVs, op.FDur, in[0].Ideal())
+			}, 1},
+		{"deletes", func() Op { return Deletes() },
+			func(in []history.UniTable) history.UniTable {
+				op := Deletes()
+				return RefAlterLifetime(op.FVs, op.FDur, in[0].Ideal())
+			}, 1},
+	}
+}
+
+// TestWellBehavedExactDelivery: streaming over exact inserts matches the
+// denotation.
+func TestWellBehavedExactDelivery(t *testing.T) {
+	for _, c := range cases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				tables := make([]history.UniTable, c.arity)
+				streams := make([]stream.Stream, c.arity)
+				for i := range tables {
+					tables[i] = genFacts(rng, 12, 3)
+					streams[i] = asExactStream(tables[i], "T")
+				}
+				got := OutputTable(RunAligned(c.make(), streams...))
+				want := c.ref(tables)
+				return got.EquivalentStar(want)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestWellBehavedRetractingDelivery: optimistic inserts + retractions
+// converge to the same denotation (Definition 6 across packagings with
+// retractions).
+func TestWellBehavedRetractingDelivery(t *testing.T) {
+	for _, c := range cases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				tables := make([]history.UniTable, c.arity)
+				streams := make([]stream.Stream, c.arity)
+				for i := range tables {
+					tables[i] = genFacts(rng, 10, 3)
+					streams[i] = asRetractingStream(rng, tables[i], "T")
+				}
+				got := OutputTable(RunAligned(c.make(), streams...))
+				want := c.ref(tables)
+				return got.EquivalentStar(want)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestAdvancePlacementIrrelevant: output must not depend on where input
+// guarantees fall (eager per-event advancing vs one final advance).
+func TestAdvancePlacementIrrelevant(t *testing.T) {
+	for _, c := range cases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				tables := make([]history.UniTable, c.arity)
+				streams := make([]stream.Stream, c.arity)
+				for i := range tables {
+					tables[i] = genFacts(rng, 10, 3)
+					streams[i] = asRetractingStream(rng, tables[i], "T")
+				}
+				lazy := OutputTable(RunAligned(c.make(), streams...))
+				eager := OutputTable(eagerRun(c.make(), streams...))
+				return lazy.EquivalentStar(eager)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestViewUpdateCompliance: chopped lifetimes act like merged lifetimes for
+// the view-update-compliant operators (Definition 11).
+func TestViewUpdateCompliance(t *testing.T) {
+	sel := func(p event.Payload) bool { v, _ := event.Num(p["x"]); return v >= 3 }
+	theta := func(l, r event.Payload) bool { return event.ValueEqual(l["g"], r["g"]) }
+	compliant := []opCase{
+		{"select", func() Op { return NewSelect(sel) }, nil, 1},
+		{"project", func() Op {
+			return NewProject(func(p event.Payload) event.Payload { return p.Clone() })
+		}, nil, 1},
+		{"union", func() Op { return NewUnion() }, nil, 2},
+		{"join", func() Op { return NewJoin(theta) }, nil, 2},
+		{"difference", func() Op { return NewDifference() }, nil, 2},
+		{"count", func() Op { return NewAggregate(Count, "", "g") }, nil, 1},
+		{"avg", func() Op { return NewAggregate(Avg, "x", "g") }, nil, 1},
+	}
+	for _, c := range compliant {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				tables := make([]history.UniTable, c.arity)
+				whole := make([]stream.Stream, c.arity)
+				chopped := make([]stream.Stream, c.arity)
+				for i := range tables {
+					tables[i] = genFacts(rng, 8, 2)
+					whole[i] = asExactStream(tables[i], "T")
+					chopped[i] = asChoppedStream(rng, tables[i], "T")
+				}
+				a := OutputTable(RunAligned(c.make(), whole...))
+				b := OutputTable(RunAligned(c.make(), chopped...))
+				return a.EquivalentStar(b)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestAlterLifetimeNotViewUpdateCompliant exhibits the witness the paper
+// describes: chopping a lifetime changes a window's output, because the
+// window re-anchors at each piece's Vs.
+func TestAlterLifetimeNotViewUpdateCompliant(t *testing.T) {
+	p := event.Payload{"s": "w"}
+	whole := stream.Stream{event.NewInsert(1, "T", 0, 10, p)}
+	chopped := stream.Stream{
+		event.NewInsert(2, "T", 0, 5, p),
+		event.NewInsert(3, "T", 5, 10, p),
+	}
+	a := OutputTable(RunAligned(Window(3), whole))
+	b := OutputTable(RunAligned(Window(3), chopped))
+	if a.EquivalentStar(b) {
+		t.Fatal("Window should NOT be view-update compliant (paper §6)")
+	}
+	// Sanity: the whole version clips to [0,3); the chopped version
+	// produces [0,3) and [5,8).
+	if len(a.Ideal().Star()) != 1 || len(b.Ideal().Star()) != 2 {
+		t.Errorf("unexpected shapes: %+v vs %+v", a.Ideal().Star(), b.Ideal().Star())
+	}
+}
+
+// TestDifferenceUnblocksOnlyWithGuarantee demonstrates why difference is a
+// blocking operator: no output may appear before an input guarantee covers
+// it, because a future right insert could invalidate it.
+func TestDifferenceUnblocksOnlyWithGuarantee(t *testing.T) {
+	op := NewDifference()
+	outs := op.Process(0, ins(1, 0, 10, pay("s", "a")))
+	if len(outs) != 0 {
+		t.Fatal("difference must not emit before a guarantee")
+	}
+	outs = op.Advance(4)
+	if len(outs) != 1 || outs[0].V != iv2(0, 4) {
+		t.Fatalf("difference must emit the covered prefix: %v", outs)
+	}
+}

@@ -1,0 +1,162 @@
+package operators
+
+import (
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// Join is Definition 9: the θ-join of two streams under view-update
+// semantics. Each output carries the intersection of the contributors'
+// validity intervals and the concatenation of their payloads:
+//
+//	⋈θ(S1, S2) = {(max Vs, min Ve, p1 ⧺ p2) | e1 ∈ E(S1), e2 ∈ E(S2),
+//	              Vs < Ve, θ(p1, p2)}
+//
+// The implementation is a symmetric join: each side stores its live events;
+// an insert probes the other side, a retraction shrinks previously emitted
+// outputs. State is trimmed using input guarantees: once all future input
+// has Sync >= t, stored events whose validity ends by t can never join a
+// future insert (whose Vs >= t) and can be dropped.
+type Join struct {
+	Theta ThetaJoin
+	// RightPrefix disambiguates colliding payload field names from the
+	// right input ("right." by default).
+	RightPrefix string
+
+	state [2]map[event.ID]event.Event
+}
+
+// NewJoin builds a θ-join.
+func NewJoin(theta ThetaJoin) *Join {
+	return &Join{
+		Theta:       theta,
+		RightPrefix: "right.",
+		state:       [2]map[event.ID]event.Event{{}, {}},
+	}
+}
+
+// Name implements Op.
+func (j *Join) Name() string { return "join" }
+
+// Arity implements Op.
+func (j *Join) Arity() int { return 2 }
+
+// Process implements Op.
+func (j *Join) Process(port int, e event.Event) []event.Event {
+	if e.Kind == event.Retract {
+		return j.retract(port, e)
+	}
+	other := 1 - port
+	var out []event.Event
+	for _, s := range j.state[other] {
+		if iv := e.V.Intersect(s.V); !iv.Empty() {
+			l, r := e, s
+			if port == 1 {
+				l, r = s, e
+			}
+			if j.Theta(l.Payload, r.Payload) {
+				out = append(out, j.pair(l, r, iv))
+			}
+		}
+	}
+	j.state[port][e.ID] = e.Clone()
+	return out
+}
+
+func (j *Join) retract(port int, e event.Event) []event.Event {
+	old, ok := j.state[port][e.ID]
+	if !ok {
+		return nil
+	}
+	other := 1 - port
+	var out []event.Event
+	for _, s := range j.state[other] {
+		oldOut := old.V.Intersect(s.V)
+		if oldOut.Empty() {
+			continue
+		}
+		newOut := temporal.NewInterval(e.V.Start, e.V.End).Intersect(s.V)
+		if newOut == oldOut {
+			continue
+		}
+		l, r := old, s
+		if port == 1 {
+			l, r = s, old
+		}
+		if !j.Theta(l.Payload, r.Payload) {
+			continue
+		}
+		prev := j.pair(l, r, oldOut)
+		end := newOut.End
+		if newOut.Empty() {
+			end = oldOut.Start // full removal
+		}
+		out = append(out, retractTo(prev, end))
+	}
+	if e.V.Empty() {
+		delete(j.state[port], e.ID)
+	} else {
+		upd := old
+		upd.V.End = e.V.End
+		j.state[port][e.ID] = upd
+	}
+	return out
+}
+
+// pair constructs a join output event from the two contributors.
+func (j *Join) pair(l, r event.Event, iv temporal.Interval) event.Event {
+	p := make(event.Payload, len(l.Payload)+len(r.Payload))
+	for k, v := range l.Payload {
+		p[k] = v
+	}
+	for k, v := range r.Payload {
+		if _, clash := p[k]; clash {
+			p[j.RightPrefix+k] = v
+		} else {
+			p[k] = v
+		}
+	}
+	return event.Event{
+		ID:      event.Pair(l.ID, r.ID),
+		Kind:    event.Insert,
+		Type:    "join",
+		V:       iv,
+		O:       temporal.From(iv.Start),
+		RT:      temporal.Min(l.RT, r.RT),
+		CBT:     []event.ID{l.ID, r.ID},
+		Payload: p,
+	}
+}
+
+// Advance implements Op: stored events that end by t can never overlap a
+// future insert, and no future retraction (Sync >= t) can shrink them
+// further in a way that affects output.
+func (j *Join) Advance(t temporal.Time) []event.Event {
+	for port := 0; port < 2; port++ {
+		for id, s := range j.state[port] {
+			if s.V.End <= t {
+				delete(j.state[port], id)
+			}
+		}
+	}
+	return nil
+}
+
+// OutputGuarantee implements Op: every output interval starts at the max of
+// contributor starts, and retraction Syncs cannot regress below t.
+func (j *Join) OutputGuarantee(t temporal.Time) temporal.Time { return t }
+
+// StateSize implements Op.
+func (j *Join) StateSize() int { return len(j.state[0]) + len(j.state[1]) }
+
+// Clone implements Op.
+func (j *Join) Clone() Op {
+	c := &Join{Theta: j.Theta, RightPrefix: j.RightPrefix}
+	c.state = [2]map[event.ID]event.Event{{}, {}}
+	for port := 0; port < 2; port++ {
+		for id, e := range j.state[port] {
+			c.state[port][id] = e.Clone()
+		}
+	}
+	return c
+}

@@ -1,0 +1,71 @@
+// Package operators implements the run-time operator algebra of Section 6 of
+// the paper: selection, projection, join, union, difference, grouped
+// aggregation — all with view-update semantics (Definitions 7–11) — and the
+// one non-view-update-compliant operator AlterLifetime (Definition 12), from
+// which windows and the Inserts/Deletes separators are derived.
+//
+// Every operator is an "operational module" in the sense of Figure 7: it
+// assumes its input arrives aligned (in Sync order — inserts ordered by Vs,
+// retractions by their new Ve) and produces the output deltas of the view it
+// computes. The consistency monitor (internal/consistency) wraps operators
+// to uphold a consistency level under out-of-order physical arrival.
+//
+// Each operator also implements a denotational reference (reference.go)
+// taken verbatim from the paper's definitions; property tests check the
+// incremental implementations against the references (well-behavedness,
+// Definition 6) and check view-update compliance (Definition 11).
+package operators
+
+import (
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// Op is a streaming operator: the operational module of Figure 7.
+//
+// The contract: Process and Advance calls are interleaved such that every
+// data event passed to Process(port, e) has e.Sync() >= t for the largest t
+// previously passed to Advance. Advance(t) promises that all future input
+// on every port has Sync >= t. Under that contract the operator's
+// cumulative output, folded into a history table, equals the operator's
+// denotational semantics applied to the input history.
+type Op interface {
+	// Name identifies the operator for plans and metrics.
+	Name() string
+	// Arity is the number of input ports (1 or 2).
+	Arity() int
+	// Process consumes one aligned data event and returns output deltas.
+	Process(port int, e event.Event) []event.Event
+	// Advance consumes an input guarantee: all future input has
+	// Sync >= t. The operator may finalize and emit buffered output and
+	// may discard state that the guarantee makes unreachable.
+	Advance(t temporal.Time) []event.Event
+	// OutputGuarantee translates an input guarantee into the guarantee
+	// that holds on the output stream once Advance(t) has returned.
+	OutputGuarantee(t temporal.Time) temporal.Time
+	// StateSize reports the number of retained items, the paper's "state
+	// size" axis in Figure 8.
+	StateSize() int
+	// Clone deep-copies the operator and its state. The consistency
+	// monitor checkpoints operators by cloning.
+	Clone() Op
+}
+
+// Predicate evaluates a payload filter (Definition 8's boolean function f).
+type Predicate func(event.Payload) bool
+
+// Mapper transforms payloads (Definition 7's function f; it cannot touch
+// timestamps).
+type Mapper func(event.Payload) event.Payload
+
+// ThetaJoin evaluates Definition 9's θ over two payloads.
+type ThetaJoin func(left, right event.Payload) bool
+
+// retractTo builds the retraction delta that shrinks an emitted output
+// event to newEnd (full removal when newEnd <= V.Start).
+func retractTo(out event.Event, newEnd temporal.Time) event.Event {
+	r := out.Clone()
+	r.Kind = event.Retract
+	r.V.End = newEnd
+	return r
+}

@@ -1,0 +1,456 @@
+package operators
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+func ins(id event.ID, vs, ve temporal.Time, p event.Payload) event.Event {
+	return event.NewInsert(id, "T", vs, ve, p)
+}
+
+func ret(id event.ID, vs, newVE temporal.Time, p event.Payload) event.Event {
+	return event.NewRetract(id, "T", vs, newVE, p)
+}
+
+func pay(k string, v event.Value) event.Payload { return event.Payload{k: v} }
+
+func TestSelectFilters(t *testing.T) {
+	op := NewSelect(func(p event.Payload) bool { v, _ := event.Num(p["x"]); return v > 5 })
+	out := RunAligned(op, stream.Stream{
+		ins(1, 0, 10, pay("x", int64(7))),
+		ins(2, 0, 10, pay("x", int64(3))),
+	})
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 1 || tbl[0].Payload["x"] != int64(7) {
+		t.Fatalf("select output: %+v", tbl)
+	}
+	if op.StateSize() != 0 {
+		t.Error("select must be stateless")
+	}
+}
+
+func TestSelectPassesRetractions(t *testing.T) {
+	op := NewSelect(func(event.Payload) bool { return true })
+	out := RunAligned(op, stream.Stream{
+		ins(1, 0, 10, nil),
+		ret(1, 0, 4, nil),
+	})
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 1 || tbl[0].V != temporal.NewInterval(0, 4) {
+		t.Fatalf("retraction not applied: %+v", tbl)
+	}
+}
+
+func TestProjectTransforms(t *testing.T) {
+	op := NewProject(func(p event.Payload) event.Payload {
+		v, _ := event.Num(p["x"])
+		return pay("y", v*2)
+	})
+	out := RunAligned(op, stream.Stream{ins(1, 0, 5, pay("x", int64(3)))})
+	tbl := OutputTable(out)
+	if len(tbl) != 1 || tbl[0].Payload["y"] != float64(6) {
+		t.Fatalf("project output: %+v", tbl)
+	}
+}
+
+func TestUnionKeepsPortsApart(t *testing.T) {
+	op := NewUnion()
+	// Same input ID on both ports must not collide in the output.
+	a := op.Process(0, ins(1, 0, 5, pay("s", "left")))
+	b := op.Process(1, ins(1, 2, 8, pay("s", "right")))
+	if a[0].ID == b[0].ID {
+		t.Fatal("union output IDs collide across ports")
+	}
+}
+
+func TestJoinIntersectsLifetimes(t *testing.T) {
+	op := NewJoin(func(l, r event.Payload) bool { return l["k"] == r["k"] })
+	out := RunAligned(op,
+		stream.Stream{ins(1, 0, 10, event.Payload{"k": "a", "l": int64(1)})},
+		stream.Stream{ins(2, 4, 20, event.Payload{"k": "a", "r": int64(2)})},
+	)
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 1 {
+		t.Fatalf("join outputs = %d, want 1", len(tbl))
+	}
+	if tbl[0].V != temporal.NewInterval(4, 10) {
+		t.Errorf("join interval = %v, want [4, 10)", tbl[0].V)
+	}
+	if tbl[0].Payload["l"] != int64(1) || tbl[0].Payload["r"] != int64(2) {
+		t.Errorf("join payload = %v", tbl[0].Payload)
+	}
+}
+
+func TestJoinRespectsTheta(t *testing.T) {
+	op := NewJoin(func(l, r event.Payload) bool { return l["k"] == r["k"] })
+	out := RunAligned(op,
+		stream.Stream{ins(1, 0, 10, pay("k", "a"))},
+		stream.Stream{ins(2, 0, 10, pay("k", "b"))},
+	)
+	if len(OutputTable(out)) != 0 {
+		t.Error("join must respect theta")
+	}
+}
+
+func TestJoinNoTemporalOverlapNoOutput(t *testing.T) {
+	op := NewJoin(func(l, r event.Payload) bool { return true })
+	out := RunAligned(op,
+		stream.Stream{ins(1, 0, 5, nil)},
+		stream.Stream{ins(2, 5, 10, nil)},
+	)
+	if len(OutputTable(out)) != 0 {
+		t.Error("half-open intervals [0,5) and [5,10) must not join")
+	}
+}
+
+func TestJoinPayloadCollision(t *testing.T) {
+	op := NewJoin(func(l, r event.Payload) bool { return true })
+	out := RunAligned(op,
+		stream.Stream{ins(1, 0, 5, pay("x", int64(1)))},
+		stream.Stream{ins(2, 0, 5, pay("x", int64(2)))},
+	)
+	tbl := OutputTable(out)
+	if tbl[0].Payload["x"] != int64(1) || tbl[0].Payload["right.x"] != int64(2) {
+		t.Errorf("collision handling: %v", tbl[0].Payload)
+	}
+}
+
+func TestJoinRetractionShrinksOutput(t *testing.T) {
+	op := NewJoin(func(l, r event.Payload) bool { return true })
+	out := RunAligned(op,
+		stream.Stream{ins(1, 0, 10, pay("s", "l")), ret(1, 0, 6, pay("s", "l"))},
+		stream.Stream{ins(2, 0, 20, pay("s", "r"))},
+	)
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 1 || tbl[0].V != temporal.NewInterval(0, 6) {
+		t.Fatalf("join after retraction: %+v", tbl)
+	}
+}
+
+func TestJoinRetractionRemovesOutput(t *testing.T) {
+	op := NewJoin(func(l, r event.Payload) bool { return true })
+	out := RunAligned(op,
+		stream.Stream{ins(1, 0, 10, nil), ret(1, 0, 2, nil)},
+		stream.Stream{ins(2, 5, 20, nil)},
+	)
+	// After the retraction, [0,2) no longer overlaps [5,20).
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 0 {
+		t.Fatalf("output should be fully retracted: %+v", tbl)
+	}
+}
+
+func TestJoinStateTrimming(t *testing.T) {
+	op := NewJoin(func(l, r event.Payload) bool { return true })
+	op.Process(0, ins(1, 0, 5, nil))
+	op.Process(1, ins(2, 0, 7, nil))
+	if op.StateSize() != 2 {
+		t.Fatalf("state = %d", op.StateSize())
+	}
+	op.Advance(6)
+	if op.StateSize() != 1 {
+		t.Errorf("state after advance = %d, want 1 (left [0,5) dropped)", op.StateSize())
+	}
+	op.Advance(8)
+	if op.StateSize() != 0 {
+		t.Errorf("state after advance = %d, want 0", op.StateSize())
+	}
+}
+
+func TestDifferenceSubtracts(t *testing.T) {
+	op := NewDifference()
+	p := pay("s", "a")
+	out := RunAligned(op,
+		stream.Stream{ins(1, 0, 10, p)},
+		stream.Stream{ins(2, 3, 6, p)},
+	)
+	tbl := OutputTable(out).Ideal().SortByVs()
+	if len(tbl) != 2 {
+		t.Fatalf("pieces = %d, want 2: %+v", len(tbl), tbl)
+	}
+	if tbl[0].V != temporal.NewInterval(0, 3) || tbl[1].V != temporal.NewInterval(6, 10) {
+		t.Errorf("pieces: %v %v", tbl[0].V, tbl[1].V)
+	}
+}
+
+func TestDifferenceOnlyMatchingPayloadSubtracts(t *testing.T) {
+	op := NewDifference()
+	out := RunAligned(op,
+		stream.Stream{ins(1, 0, 10, pay("s", "a"))},
+		stream.Stream{ins(2, 3, 6, pay("s", "b"))},
+	)
+	tbl := OutputTable(out).Ideal().Star()
+	if len(tbl) != 1 || tbl[0].V != temporal.NewInterval(0, 10) {
+		t.Fatalf("non-matching payload must not subtract: %+v", tbl)
+	}
+}
+
+func TestDifferenceIncrementalAdvanceEqualsOneShot(t *testing.T) {
+	p := pay("s", "a")
+	left := stream.Stream{ins(1, 0, 30, p)}
+	right := stream.Stream{ins(2, 5, 12, p), ins(3, 20, 25, p)}
+
+	oneShot := OutputTable(RunAligned(NewDifference(), left, right))
+
+	op := NewDifference()
+	var out stream.Stream
+	out = append(out, op.Process(0, left[0])...)
+	out = append(out, op.Process(1, right[0])...)
+	out = append(out, op.Advance(15)...)
+	out = append(out, op.Process(1, right[1])...)
+	out = append(out, op.Advance(40)...)
+	out = append(out, op.Advance(temporal.Infinity)...)
+	incr := OutputTable(out)
+
+	if !oneShot.EquivalentStar(incr) {
+		t.Errorf("one-shot:\n%+v\nincremental:\n%+v", oneShot.Ideal().Star(), incr.Ideal().Star())
+	}
+}
+
+func TestAggregateCountSegments(t *testing.T) {
+	op := NewAggregate(Count, "", "")
+	out := RunAligned(op, stream.Stream{
+		ins(1, 0, 10, nil),
+		ins(2, 5, 15, nil),
+	})
+	tbl := OutputTable(out).Ideal().SortByVs()
+	// count = 1 on [0,5), 2 on [5,10), 1 on [10,15).
+	want := []struct {
+		iv temporal.Interval
+		n  int64
+	}{
+		{temporal.NewInterval(0, 5), 1},
+		{temporal.NewInterval(5, 10), 2},
+		{temporal.NewInterval(10, 15), 1},
+	}
+	if len(tbl) != len(want) {
+		t.Fatalf("segments = %d, want %d: %+v", len(tbl), len(want), tbl)
+	}
+	for i, w := range want {
+		if tbl[i].V != w.iv || tbl[i].Payload["value"] != w.n {
+			t.Errorf("segment %d = %v %v, want %v %v", i, tbl[i].V, tbl[i].Payload["value"], w.iv, w.n)
+		}
+	}
+}
+
+func TestAggregateCoalescesEqualSegments(t *testing.T) {
+	op := NewAggregate(Count, "", "")
+	// Two events that overlap exactly: count constant 2 over the overlap,
+	// 1 on each side — but the two 1-segments differ in position. Adjacent
+	// equal values coalesce.
+	out := RunAligned(op, stream.Stream{
+		ins(1, 0, 10, nil),
+		ins(2, 0, 10, nil),
+	})
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 1 || tbl[0].Payload["value"] != int64(2) {
+		t.Fatalf("want one coalesced segment, got %+v", tbl)
+	}
+}
+
+func TestAggregateSumAvgMinMax(t *testing.T) {
+	mk := func(kind AggKind) event.Value {
+		op := NewAggregate(kind, "x", "")
+		out := RunAligned(op, stream.Stream{
+			ins(1, 0, 10, pay("x", int64(4))),
+			ins(2, 0, 10, pay("x", int64(10))),
+		})
+		tbl := OutputTable(out).Ideal()
+		if len(tbl) != 1 {
+			t.Fatalf("%v segments = %d", kind, len(tbl))
+		}
+		return tbl[0].Payload["value"]
+	}
+	if v := mk(Sum); v != float64(14) {
+		t.Errorf("sum = %v", v)
+	}
+	if v := mk(Avg); v != float64(7) {
+		t.Errorf("avg = %v", v)
+	}
+	if v := mk(Min); v != float64(4) {
+		t.Errorf("min = %v", v)
+	}
+	if v := mk(Max); v != float64(10) {
+		t.Errorf("max = %v", v)
+	}
+}
+
+func TestAggregateGroupBy(t *testing.T) {
+	op := NewAggregate(Count, "", "g")
+	out := RunAligned(op, stream.Stream{
+		ins(1, 0, 10, pay("g", "a")),
+		ins(2, 0, 10, pay("g", "a")),
+		ins(3, 0, 10, pay("g", "b")),
+	})
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 2 {
+		t.Fatalf("groups = %d: %+v", len(tbl), tbl)
+	}
+	for _, r := range tbl {
+		switch r.Payload["g"] {
+		case "a":
+			if r.Payload["value"] != int64(2) {
+				t.Errorf("group a = %v", r.Payload["value"])
+			}
+		case "b":
+			if r.Payload["value"] != int64(1) {
+				t.Errorf("group b = %v", r.Payload["value"])
+			}
+		default:
+			t.Errorf("unexpected group %v", r.Payload["g"])
+		}
+	}
+}
+
+func TestAggregateRetraction(t *testing.T) {
+	op := NewAggregate(Count, "", "")
+	out := RunAligned(op, stream.Stream{
+		ins(1, 0, temporal.Infinity, nil),
+		ret(1, 0, 5, nil),
+	})
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 1 || tbl[0].V != temporal.NewInterval(0, 5) {
+		t.Fatalf("count after retraction: %+v", tbl)
+	}
+}
+
+func TestWindowClips(t *testing.T) {
+	op := Window(5)
+	out := RunAligned(op, stream.Stream{
+		ins(1, 0, 100, pay("s", "long")),
+		ins(2, 10, 12, pay("s", "short")),
+	})
+	tbl := OutputTable(out).Ideal().SortByVs()
+	if tbl[0].V != temporal.NewInterval(0, 5) {
+		t.Errorf("long event window = %v, want [0, 5)", tbl[0].V)
+	}
+	if tbl[1].V != temporal.NewInterval(10, 12) {
+		t.Errorf("short event window = %v, want [10, 12)", tbl[1].V)
+	}
+}
+
+func TestWindowRetractionWithinWindowShrinks(t *testing.T) {
+	op := Window(5)
+	out := RunAligned(op, stream.Stream{
+		ins(1, 0, 100, nil),
+		ret(1, 0, 3, nil),
+	})
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 1 || tbl[0].V != temporal.NewInterval(0, 3) {
+		t.Fatalf("window after retraction: %+v", tbl)
+	}
+}
+
+func TestWindowRetractionBeyondWindowNoop(t *testing.T) {
+	op := Window(5)
+	var out stream.Stream
+	out = append(out, op.Process(0, ins(1, 0, 100, nil))...)
+	deltas := op.Process(0, ret(1, 0, 50, nil))
+	if len(deltas) != 0 {
+		t.Fatalf("retraction beyond window must not emit: %v", deltas)
+	}
+	_ = out
+}
+
+func TestHopWindowSnaps(t *testing.T) {
+	op := HopWindow(10, 10)
+	out := RunAligned(op, stream.Stream{ins(1, 13, 14, nil)})
+	tbl := OutputTable(out)
+	if tbl[0].V != temporal.NewInterval(10, 20) {
+		t.Errorf("hop window = %v, want [10, 20)", tbl[0].V)
+	}
+}
+
+func TestInsertsIgnoresRetractions(t *testing.T) {
+	op := Inserts()
+	out := RunAligned(op, stream.Stream{
+		ins(1, 3, 10, nil),
+		ret(1, 3, 5, nil),
+	})
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 1 || tbl[0].V != temporal.From(3) {
+		t.Fatalf("Inserts = %+v, want [3, ∞)", tbl)
+	}
+}
+
+func TestDeletesEmitsAtKnownEnd(t *testing.T) {
+	op := Deletes()
+	out := RunAligned(op, stream.Stream{ins(1, 3, 10, nil)})
+	tbl := OutputTable(out)
+	if len(tbl) != 1 || tbl[0].V != temporal.From(10) {
+		t.Fatalf("Deletes = %+v, want [10, ∞)", tbl)
+	}
+}
+
+func TestDeletesOfForeverEventIsEmpty(t *testing.T) {
+	op := Deletes()
+	out := RunAligned(op, stream.Stream{ins(1, 3, temporal.Infinity, nil)})
+	if len(OutputTable(out)) != 0 {
+		t.Error("delete of a never-deleted event must not appear")
+	}
+}
+
+func TestDeletesMovesOnRetraction(t *testing.T) {
+	op := Deletes()
+	out := RunAligned(op, stream.Stream{
+		ins(1, 3, 10, nil),
+		ret(1, 3, 7, nil),
+	})
+	tbl := OutputTable(out).Ideal()
+	// The delete point moved from 10 to 7: old output removed entirely,
+	// new output [7, ∞) inserted.
+	if len(tbl) != 1 || tbl[0].V != temporal.From(7) {
+		t.Fatalf("Deletes after retraction = %+v", tbl)
+	}
+}
+
+func TestDeletesCreatedByRetractionOfForeverEvent(t *testing.T) {
+	op := Deletes()
+	out := RunAligned(op, stream.Stream{
+		ins(1, 3, temporal.Infinity, nil),
+		ret(1, 3, 8, nil),
+	})
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 1 || tbl[0].V != temporal.From(8) {
+		t.Fatalf("Deletes = %+v, want [8, ∞)", tbl)
+	}
+}
+
+func TestFullRetractionRemovesEverything(t *testing.T) {
+	// Retraction to an empty lifetime removes the fact; dependent outputs
+	// of every operator must vanish.
+	full := func(op Op, inputs ...stream.Stream) int {
+		return len(OutputTable(RunAligned(op, inputs...)).Ideal())
+	}
+	in := stream.Stream{ins(1, 0, 10, pay("x", int64(9))), ret(1, 0, 0, pay("x", int64(9)))}
+	if n := full(NewSelect(func(event.Payload) bool { return true }), in); n != 0 {
+		t.Errorf("select kept %d", n)
+	}
+	if n := full(Window(5), in); n != 0 {
+		t.Errorf("window kept %d", n)
+	}
+	if n := full(NewAggregate(Count, "", ""), in); n != 0 {
+		t.Errorf("aggregate kept %d", n)
+	}
+	other := stream.Stream{ins(2, 0, 10, pay("y", int64(1)))}
+	if n := full(NewJoin(func(l, r event.Payload) bool { return true }), in, other); n != 0 {
+		t.Errorf("join kept %d", n)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	op := NewJoin(func(l, r event.Payload) bool { return true })
+	op.Process(0, ins(1, 0, 10, nil))
+	cl := op.Clone().(*Join)
+	op.Process(0, ins(2, 0, 10, nil))
+	if cl.StateSize() != 1 {
+		t.Errorf("clone state = %d, want 1", cl.StateSize())
+	}
+	if op.StateSize() != 2 {
+		t.Errorf("original state = %d, want 2", op.StateSize())
+	}
+}

@@ -1,0 +1,261 @@
+package operators
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/history"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+// This file contains executable transcriptions of the paper's denotational
+// operator semantics (Definitions 7–12), evaluated over unitemporal ideal
+// history tables. They are the oracle the incremental operators are
+// property-tested against: Definition 6 (well-behavedness) demands that an
+// operator's cumulative streaming output be logically equivalent to the
+// denotation of its input's ideal history table.
+
+// renumber assigns fresh unique IDs to reference-output rows so that
+// history.UniTable.Ideal's per-ID reduction (meant to fold retraction
+// chains) treats each denoted fact as distinct.
+func renumber(t history.UniTable) history.UniTable {
+	for i := range t {
+		t[i].ID = event.ID(i + 1)
+	}
+	return t
+}
+
+// RefSelect is Definition 8.
+func RefSelect(pred Predicate, in history.UniTable) history.UniTable {
+	var out history.UniTable
+	for _, r := range in {
+		if pred(r.Payload) {
+			out = append(out, history.UniRow{V: r.V, Payload: r.Payload.Clone()})
+		}
+	}
+	return renumber(out)
+}
+
+// RefProject is Definition 7.
+func RefProject(fn Mapper, in history.UniTable) history.UniTable {
+	var out history.UniTable
+	for _, r := range in {
+		out = append(out, history.UniRow{V: r.V, Payload: fn(r.Payload)})
+	}
+	return renumber(out)
+}
+
+// RefJoin is Definition 9.
+func RefJoin(theta ThetaJoin, rightPrefix string, left, right history.UniTable) history.UniTable {
+	var out history.UniTable
+	for _, l := range left {
+		for _, r := range right {
+			iv := l.V.Intersect(r.V)
+			if iv.Empty() || !theta(l.Payload, r.Payload) {
+				continue
+			}
+			p := make(event.Payload, len(l.Payload)+len(r.Payload))
+			for k, v := range l.Payload {
+				p[k] = v
+			}
+			for k, v := range r.Payload {
+				if _, clash := p[k]; clash {
+					p[rightPrefix+k] = v
+				} else {
+					p[k] = v
+				}
+			}
+			out = append(out, history.UniRow{V: iv, Payload: p})
+		}
+	}
+	return renumber(out)
+}
+
+// RefUnion is the bag union of the two view histories.
+func RefUnion(left, right history.UniTable) history.UniTable {
+	out := make(history.UniTable, 0, len(left)+len(right))
+	for _, r := range left {
+		out = append(out, history.UniRow{V: r.V, Payload: r.Payload.Clone()})
+	}
+	for _, r := range right {
+		out = append(out, history.UniRow{V: r.V, Payload: r.Payload.Clone()})
+	}
+	return renumber(out)
+}
+
+// RefDifference is relational difference under view-update semantics: each
+// left lifetime minus the union of the matching right lifetimes.
+func RefDifference(left, right history.UniTable) history.UniTable {
+	var out history.UniTable
+	for _, l := range left {
+		var cover []temporal.Interval
+		for _, r := range right {
+			if r.Payload.Key() == l.Payload.Key() && !r.V.Empty() {
+				cover = append(cover, r.V)
+			}
+		}
+		for _, piece := range subtractAll(l.V, cover) {
+			if !piece.Empty() {
+				out = append(out, history.UniRow{V: piece, Payload: l.Payload.Clone()})
+			}
+		}
+	}
+	return renumber(out)
+}
+
+// RefAggregate is grouped aggregation as a piecewise-constant view history.
+func RefAggregate(kind AggKind, field, groupBy, as string, in history.UniTable) history.UniTable {
+	groups := map[string]history.UniTable{}
+	var keys []string
+	for _, r := range in {
+		if r.V.Empty() {
+			continue
+		}
+		k := ""
+		if groupBy != "" {
+			k = fmt.Sprintf("%v", r.Payload[groupBy])
+		}
+		if _, ok := groups[k]; !ok {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	sort.Strings(keys)
+	var out history.UniTable
+	for _, k := range keys {
+		rows := groups[k]
+		sort.Slice(rows, func(i, j int) bool {
+			if rows[i].V.Start != rows[j].V.Start {
+				return rows[i].V.Start < rows[j].V.Start
+			}
+			return rows[i].ID < rows[j].ID
+		})
+		boundSet := map[temporal.Time]bool{}
+		for _, r := range rows {
+			boundSet[r.V.Start] = true
+			boundSet[r.V.End] = true
+		}
+		bounds := make([]temporal.Time, 0, len(boundSet))
+		for b := range boundSet {
+			bounds = append(bounds, b)
+		}
+		sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+		for i := 0; i+1 < len(bounds); i++ {
+			seg := temporal.NewInterval(bounds[i], bounds[i+1])
+			val, n := refFold(kind, field, rows, seg)
+			if n == 0 {
+				continue
+			}
+			p := event.Payload{as: val}
+			if groupBy != "" {
+				p[groupBy] = k
+			}
+			out = append(out, history.UniRow{V: seg, Payload: p})
+		}
+	}
+	return renumber(out)
+}
+
+func refFold(kind AggKind, field string, rows history.UniTable, seg temporal.Interval) (event.Value, int) {
+	var sum, minV, maxV float64
+	n := 0
+	for _, r := range rows {
+		if r.V.Intersect(seg) != seg {
+			continue
+		}
+		v := 0.0
+		if kind != Count {
+			f, ok := event.Num(r.Payload[field])
+			if !ok {
+				continue
+			}
+			v = f
+		}
+		if n == 0 {
+			minV, maxV = v, v
+		} else {
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		return nil, 0
+	}
+	switch kind {
+	case Count:
+		return int64(n), n
+	case Sum:
+		return sum, n
+	case Min:
+		return minV, n
+	case Max:
+		return maxV, n
+	case Avg:
+		return sum / float64(n), n
+	default:
+		return nil, 0
+	}
+}
+
+// RefAlterLifetime is Definition 12.
+func RefAlterLifetime(fvs TimeFn, fdur DurFn, in history.UniTable) history.UniTable {
+	var out history.UniTable
+	for _, r := range in {
+		e := event.Event{V: r.V, Payload: r.Payload}
+		vs := fvs(e)
+		if vs.IsInfinite() {
+			continue
+		}
+		iv := temporal.NewInterval(vs, vs.Add(fdur(e)))
+		if iv.Empty() {
+			continue
+		}
+		out = append(out, history.UniRow{V: iv, Payload: r.Payload.Clone()})
+	}
+	return renumber(out)
+}
+
+// RunAligned drives an operator over already-aligned inputs: the per-port
+// streams are merged in Sync order (simultaneous items keep port order),
+// processed, and a final Advance(∞) flushes blocking operators. It returns
+// the physical output stream. This is the execution a strongly consistent
+// monitor produces; tests use it to validate the operational modules in
+// isolation.
+func RunAligned(op Op, inputs ...stream.Stream) stream.Stream {
+	type tagged struct {
+		port int
+		ev   event.Event
+	}
+	var all []tagged
+	for port, in := range inputs {
+		for _, e := range in {
+			if e.IsCTI() {
+				continue
+			}
+			all = append(all, tagged{port, e})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		return all[i].ev.Sync() < all[j].ev.Sync()
+	})
+	var out stream.Stream
+	for _, t := range all {
+		out = append(out, op.Process(t.port, t.ev)...)
+	}
+	out = append(out, op.Advance(temporal.Infinity)...)
+	return out
+}
+
+// OutputTable folds a physical output stream into its unitemporal history
+// table — the object the denotational references produce.
+func OutputTable(out stream.Stream) history.UniTable {
+	return history.FromEvents(out)
+}

@@ -1,0 +1,66 @@
+package operators
+
+import (
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// Slice implements the temporal slicing of §3.2 (the @ and # constructs):
+// it clips every output lifetime to a window, discarding events that fall
+// entirely outside it. In the unitemporal run-time setting of Section 6,
+// where occurrence and valid time are merged, both slicing dimensions
+// reduce to valid-time clipping, so a query's "@ [a, b) # [c, d)" compiles
+// to the intersection of the two windows.
+//
+// Slicing is stateless: inserts clip directly, and a retraction clips the
+// same way its insert did, so the pair stays correlated.
+type Slice struct {
+	Win temporal.Interval
+}
+
+// NewSlice builds a slicing operator over the window [start, end).
+func NewSlice(win temporal.Interval) *Slice { return &Slice{Win: win} }
+
+// Name implements Op.
+func (s *Slice) Name() string { return "slice" }
+
+// Arity implements Op.
+func (s *Slice) Arity() int { return 1 }
+
+// Process implements Op.
+func (s *Slice) Process(_ int, e event.Event) []event.Event {
+	clippedStart := temporal.Max(e.V.Start, s.Win.Start)
+	if e.Kind == event.Insert {
+		iv := e.V.Intersect(s.Win)
+		if iv.Empty() {
+			return nil
+		}
+		out := e.Clone()
+		out.V = iv
+		return []event.Event{out}
+	}
+	// Retraction: the original insert clipped to [clippedStart, ...); if
+	// that was empty, there is nothing downstream to retract.
+	if clippedStart >= s.Win.End {
+		return nil
+	}
+	newEnd := temporal.Min(e.V.End, s.Win.End)
+	if newEnd < clippedStart {
+		newEnd = clippedStart // full removal of the clipped fact
+	}
+	out := e.Clone()
+	out.V = temporal.Interval{Start: clippedStart, End: newEnd}
+	return []event.Event{out}
+}
+
+// Advance implements Op.
+func (s *Slice) Advance(temporal.Time) []event.Event { return nil }
+
+// OutputGuarantee implements Op.
+func (s *Slice) OutputGuarantee(t temporal.Time) temporal.Time { return t }
+
+// StateSize implements Op.
+func (s *Slice) StateSize() int { return 0 }
+
+// Clone implements Op.
+func (s *Slice) Clone() Op { c := *s; return &c }

@@ -1,0 +1,89 @@
+package operators
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+func TestSliceClipsInserts(t *testing.T) {
+	op := NewSlice(temporal.NewInterval(10, 20))
+	out := RunAligned(op, stream.Stream{
+		ins(1, 0, 15, nil),  // clipped to [10, 15)
+		ins(2, 12, 18, nil), // inside: untouched
+		ins(3, 0, 5, nil),   // outside: dropped
+		ins(4, 25, 30, nil), // outside: dropped
+	})
+	tbl := OutputTable(out).SortByVs()
+	if len(tbl) != 2 {
+		t.Fatalf("outputs = %d: %+v", len(tbl), tbl)
+	}
+	if tbl[0].V != temporal.NewInterval(10, 15) || tbl[1].V != temporal.NewInterval(12, 18) {
+		t.Errorf("clipping wrong: %v %v", tbl[0].V, tbl[1].V)
+	}
+}
+
+func TestSliceRetractionStaysCorrelated(t *testing.T) {
+	op := NewSlice(temporal.NewInterval(10, 20))
+	out := RunAligned(op, stream.Stream{
+		ins(1, 0, 30, nil),
+		ret(1, 0, 15, nil), // shrink into the window
+	})
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 1 || tbl[0].V != temporal.NewInterval(10, 15) {
+		t.Fatalf("sliced retraction: %+v", tbl)
+	}
+}
+
+func TestSliceRetractionBelowWindowRemoves(t *testing.T) {
+	op := NewSlice(temporal.NewInterval(10, 20))
+	out := RunAligned(op, stream.Stream{
+		ins(1, 0, 30, nil),
+		ret(1, 0, 5, nil), // new end below the window: clipped fact vanishes
+	})
+	tbl := OutputTable(out).Ideal()
+	if len(tbl) != 0 {
+		t.Fatalf("fact should vanish: %+v", tbl)
+	}
+}
+
+func TestSliceRetractionOfDroppedInsertIsSilent(t *testing.T) {
+	op := NewSlice(temporal.NewInterval(10, 20))
+	// Insert entirely after the window was dropped; its retraction must
+	// not produce output either.
+	if outs := op.Process(0, ins(1, 25, 40, nil)); len(outs) != 0 {
+		t.Fatal("insert outside window leaked")
+	}
+	if outs := op.Process(0, ret(1, 25, 30, nil)); len(outs) != 0 {
+		t.Fatal("retraction outside window leaked")
+	}
+}
+
+func TestSliceIsWellBehaved(t *testing.T) {
+	// Slicing commutes with retraction folding: slice(fold(stream)) ==
+	// fold(slice(stream)).
+	win := temporal.NewInterval(5, 25)
+	src := stream.Stream{
+		ins(1, 0, 30, pay("s", "a")),
+		ret(1, 0, 18, pay("s", "a")),
+		ins(2, 10, 22, pay("s", "b")),
+		ins(3, 26, 40, pay("s", "c")),
+	}
+	streamed := OutputTable(RunAligned(NewSlice(win), src))
+
+	var direct []event.Event
+	for _, r := range OutputTable(src).Ideal() {
+		iv := r.V.Intersect(win)
+		if iv.Empty() {
+			continue
+		}
+		direct = append(direct, event.Event{ID: r.ID, Kind: event.Insert, V: iv, Payload: r.Payload})
+	}
+	want := OutputTable(direct)
+	if !streamed.EquivalentStar(want) {
+		t.Errorf("slice not well behaved:\n got %+v\nwant %+v",
+			streamed.Ideal().Star(), want.Ideal().Star())
+	}
+}

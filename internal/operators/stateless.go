@@ -1,0 +1,109 @@
+package operators
+
+import (
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// Select is Definition 8: σf(S) = {(Vs, Ve, Payload) | e ∈ E(S), f(Payload)}.
+// It is stateless: a retraction passes the same predicate its insert passed.
+type Select struct {
+	Pred Predicate
+}
+
+// NewSelect builds a selection operator.
+func NewSelect(pred Predicate) *Select { return &Select{Pred: pred} }
+
+// Name implements Op.
+func (s *Select) Name() string { return "select" }
+
+// Arity implements Op.
+func (s *Select) Arity() int { return 1 }
+
+// Process implements Op.
+func (s *Select) Process(_ int, e event.Event) []event.Event {
+	if !s.Pred(e.Payload) {
+		return nil
+	}
+	return []event.Event{e}
+}
+
+// Advance implements Op; selection buffers nothing.
+func (s *Select) Advance(temporal.Time) []event.Event { return nil }
+
+// OutputGuarantee implements Op.
+func (s *Select) OutputGuarantee(t temporal.Time) temporal.Time { return t }
+
+// StateSize implements Op.
+func (s *Select) StateSize() int { return 0 }
+
+// Clone implements Op.
+func (s *Select) Clone() Op { c := *s; return &c }
+
+// Project is Definition 7: πf(S) = {(Vs, Ve, f(Payload)) | e ∈ E(S)}. f may
+// change the payload schema but cannot affect the timestamp attributes.
+type Project struct {
+	Fn Mapper
+}
+
+// NewProject builds a generalized-projection operator.
+func NewProject(fn Mapper) *Project { return &Project{Fn: fn} }
+
+// Name implements Op.
+func (p *Project) Name() string { return "project" }
+
+// Arity implements Op.
+func (p *Project) Arity() int { return 1 }
+
+// Process implements Op. The mapper is deterministic, so retractions map to
+// retractions of the mapped payload.
+func (p *Project) Process(_ int, e event.Event) []event.Event {
+	out := e.Clone()
+	out.Payload = p.Fn(e.Payload)
+	return []event.Event{out}
+}
+
+// Advance implements Op.
+func (p *Project) Advance(temporal.Time) []event.Event { return nil }
+
+// OutputGuarantee implements Op.
+func (p *Project) OutputGuarantee(t temporal.Time) temporal.Time { return t }
+
+// StateSize implements Op.
+func (p *Project) StateSize() int { return 0 }
+
+// Clone implements Op.
+func (p *Project) Clone() Op { c := *p; return &c }
+
+// Union merges two streams with view-update (bag) semantics. Output IDs are
+// derived from (input ID, port) so the two sides cannot collide and
+// retractions stay correlated with their inserts.
+type Union struct{}
+
+// NewUnion builds a union operator.
+func NewUnion() *Union { return &Union{} }
+
+// Name implements Op.
+func (u *Union) Name() string { return "union" }
+
+// Arity implements Op.
+func (u *Union) Arity() int { return 2 }
+
+// Process implements Op.
+func (u *Union) Process(port int, e event.Event) []event.Event {
+	out := e.Clone()
+	out.ID = event.Pair(e.ID, event.ID(port))
+	return []event.Event{out}
+}
+
+// Advance implements Op.
+func (u *Union) Advance(temporal.Time) []event.Event { return nil }
+
+// OutputGuarantee implements Op.
+func (u *Union) OutputGuarantee(t temporal.Time) temporal.Time { return t }
+
+// StateSize implements Op.
+func (u *Union) StateSize() int { return 0 }
+
+// Clone implements Op.
+func (u *Union) Clone() Op { c := *u; return &c }

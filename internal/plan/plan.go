@@ -1,0 +1,168 @@
+// Package plan compiles analyzed CEDR queries into executable physical
+// plans: a chain of run-time operators, each to be wrapped in a consistency
+// monitor, plus the query's consistency specification. It applies the
+// logical-to-physical rewrites the paper attributes to the optimizer:
+// specialized operator selection (the incremental sequence matcher when the
+// pattern shape allows it) and stateless-stage reordering.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/algebra"
+	"repro/internal/consistency"
+	"repro/internal/lang"
+	"repro/internal/operators"
+	"repro/internal/temporal"
+)
+
+// Plan is an executable query plan: a unary operator chain. Stage 0
+// consumes the input stream; each later stage consumes the previous
+// monitor's output.
+type Plan struct {
+	Name   string
+	Stages []operators.Op
+	Spec   consistency.Spec
+	// Rewrites records which optimizer rules fired, for Explain.
+	Rewrites []string
+}
+
+// Option adjusts plan construction.
+type Option func(*config)
+
+type config struct {
+	spec       *consistency.Spec
+	noSpecial  bool
+	outputName string
+}
+
+// WithSpec overrides the query's consistency clause.
+func WithSpec(s consistency.Spec) Option {
+	return func(c *config) { c.spec = &s }
+}
+
+// WithoutSpecialization disables the specialized-operator rewrite; the
+// ablation benchmarks use it to compare the generic semi-naive pattern
+// evaluator against the incremental matcher.
+func WithoutSpecialization() Option {
+	return func(c *config) { c.noSpecial = true }
+}
+
+// FromAnalysis compiles an analyzed query.
+func FromAnalysis(an *lang.Analysis, opts ...Option) (*Plan, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	p := &Plan{Name: an.Query.Name}
+
+	// Pattern stage: prefer the specialized incremental sequence matcher
+	// when the expression is a (possibly filtered) flat sequence of types.
+	if op, ok := specializeSequence(an, cfg); ok {
+		p.Stages = append(p.Stages, op)
+		p.Rewrites = append(p.Rewrites, "sequence-specialization")
+	} else {
+		p.Stages = append(p.Stages, algebra.NewPatternOp(an.Expr, an.Mode, an.Query.Name))
+	}
+
+	// Slice before projection: both are stateless, and slicing first
+	// discards events the projection would otherwise transform.
+	if an.Slice != nil {
+		p.Stages = append(p.Stages, operators.NewSlice(*an.Slice))
+		if an.OutputMap != nil {
+			p.Rewrites = append(p.Rewrites, "slice-pushdown")
+		}
+	}
+	if an.OutputMap != nil {
+		p.Stages = append(p.Stages, operators.NewProject(operators.Mapper(an.OutputMap)))
+	}
+
+	p.Spec = resolveSpec(an, cfg)
+	return p, nil
+}
+
+func resolveSpec(an *lang.Analysis, cfg config) consistency.Spec {
+	if cfg.spec != nil {
+		return *cfg.spec
+	}
+	c := an.Query.Consistency
+	if c == nil {
+		return consistency.Middle()
+	}
+	switch c.Level {
+	case "strong":
+		return consistency.Strong()
+	case "middle":
+		return consistency.Middle()
+	case "weak":
+		m := temporal.Duration(0)
+		if c.HasM {
+			m = c.M
+		}
+		return consistency.Weak(m)
+	default:
+		b, m := c.B, consistency.Unbounded
+		if c.HasM {
+			m = c.M
+		}
+		return consistency.Level(b, m)
+	}
+}
+
+// specializeSequence recognizes SEQUENCE(T1, ..., Tk, w), optionally
+// wrapped in a FilterExpr, over plain event types.
+func specializeSequence(an *lang.Analysis, cfg config) (operators.Op, bool) {
+	if cfg.noSpecial {
+		return nil, false
+	}
+	expr := an.Expr
+	var pred func(p map[string]any) bool
+	_ = pred
+	var filter *algebra.FilterExpr
+	if f, ok := expr.(algebra.FilterExpr); ok {
+		filter = &f
+		expr = f.Kid
+	}
+	seq, ok := expr.(algebra.SequenceExpr)
+	if !ok {
+		return nil, false
+	}
+	types := make([]string, len(seq.Kids))
+	aliases := make([]string, len(seq.Kids))
+	for i, k := range seq.Kids {
+		t, ok := k.(algebra.TypeExpr)
+		if !ok {
+			return nil, false
+		}
+		types[i] = t.Type
+		aliases[i] = t.Prefix()
+	}
+	op := algebra.NewSequenceOp(types, aliases, seq.W, an.Mode, an.Query.Name)
+	if filter != nil {
+		op.Pred = filter.Pred
+	}
+	return op, true
+}
+
+// Explain renders the plan.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s [%s]\n", p.Name, p.Spec.Name())
+	for i, s := range p.Stages {
+		fmt.Fprintf(&b, "  %d: %s\n", i, s.Name())
+	}
+	if len(p.Rewrites) > 0 {
+		fmt.Fprintf(&b, "  rewrites: %s\n", strings.Join(p.Rewrites, ", "))
+	}
+	return b.String()
+}
+
+// Compile is the front door: CEDR text to executable plan.
+func Compile(src string, opts ...Option) (*Plan, error) {
+	an, err := lang.Compile(src)
+	if err != nil {
+		return nil, err
+	}
+	return FromAnalysis(an, opts...)
+}

@@ -1,0 +1,123 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/temporal"
+)
+
+func TestSpecResolutionFromClause(t *testing.T) {
+	cases := []struct {
+		src  string
+		want consistency.Spec
+	}{
+		{`EVENT E WHEN ANY(A) CONSISTENCY strong`, consistency.Strong()},
+		{`EVENT E WHEN ANY(A) CONSISTENCY middle`, consistency.Middle()},
+		{`EVENT E WHEN ANY(A) CONSISTENCY weak(500)`, consistency.Weak(500)},
+		{`EVENT E WHEN ANY(A) CONSISTENCY weak`, consistency.Weak(0)},
+		{`EVENT E WHEN ANY(A) CONSISTENCY level(10, 100)`, consistency.Level(10, 100)},
+		{`EVENT E WHEN ANY(A)`, consistency.Middle()}, // default
+	}
+	for _, c := range cases {
+		p, err := Compile(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if p.Spec != c.want {
+			t.Errorf("%s: spec = %+v, want %+v", c.src, p.Spec, c.want)
+		}
+	}
+}
+
+func TestSpecOverrideWins(t *testing.T) {
+	p, err := Compile(`EVENT E WHEN ANY(A) CONSISTENCY strong`,
+		WithSpec(consistency.Weak(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Spec != consistency.Weak(7) {
+		t.Errorf("override lost: %+v", p.Spec)
+	}
+}
+
+func TestStageShapes(t *testing.T) {
+	// Pattern only.
+	p, err := Compile(`EVENT E WHEN UNLESS(A a, B b, 10)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stages) != 1 {
+		t.Errorf("stages = %d", len(p.Stages))
+	}
+	// Pattern + slice + project.
+	p, err = Compile(`EVENT E WHEN SEQUENCE(A a, B b, 10) OUTPUT a.x # [0, 100)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Stages) != 3 {
+		t.Fatalf("stages = %d, want pattern+slice+project", len(p.Stages))
+	}
+	if p.Stages[1].Name() != "slice" || p.Stages[2].Name() != "project" {
+		t.Errorf("stage order: %s, %s (slice must precede project)",
+			p.Stages[1].Name(), p.Stages[2].Name())
+	}
+	found := false
+	for _, r := range p.Rewrites {
+		if r == "slice-pushdown" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("slice-pushdown not recorded: %v", p.Rewrites)
+	}
+}
+
+func TestSpecializationConditions(t *testing.T) {
+	// Flat type sequence: specialized.
+	p, _ := Compile(`EVENT E WHEN SEQUENCE(A a, B b, 10)`)
+	if p.Stages[0].Name() != "sequence" {
+		t.Error("flat sequence not specialized")
+	}
+	// Nested operator inside: not specializable.
+	p, _ = Compile(`EVENT E WHEN SEQUENCE(ANY(A x), B b, 10)`)
+	if p.Stages[0].Name() == "sequence" {
+		t.Error("nested sequence wrongly specialized")
+	}
+	// Negation on top: not specializable.
+	p, _ = Compile(`EVENT E WHEN UNLESS(A a, B b, 10)`)
+	if p.Stages[0].Name() == "sequence" {
+		t.Error("UNLESS wrongly specialized")
+	}
+}
+
+func TestExplainMentionsEverything(t *testing.T) {
+	p, err := Compile(`EVENT Watch WHEN SEQUENCE(A a, B b, 10) CONSISTENCY strong`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Explain()
+	for _, want := range []string{"Watch", "strong", "sequence", "rewrites"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompileErrorPropagates(t *testing.T) {
+	if _, err := Compile(`EVENT broken WHEN`); err == nil {
+		t.Error("parse error swallowed")
+	}
+}
+
+func TestUnboundedLevelClamp(t *testing.T) {
+	p, err := Compile(`EVENT E WHEN ANY(A) CONSISTENCY level(100)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// level(B) with no M: M defaults to unbounded, B kept.
+	if p.Spec.B != temporal.Duration(100) || p.Spec.M != consistency.Unbounded {
+		t.Errorf("spec = %+v", p.Spec)
+	}
+}

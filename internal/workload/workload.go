@@ -1,0 +1,211 @@
+// Package workload generates the synthetic event workloads the experiments
+// run on: the machine-lifecycle telemetry behind the paper's §3.1
+// monitoring example, and the financial streams (ticks, trades, portfolio
+// updates, news) behind the three motivating applications of §1. All
+// generators are seeded and deterministic; they produce logical source
+// streams in Sync (occurrence) order, ready for internal/delivery.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/event"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+// Machines configures the machine-lifecycle generator.
+type Machines struct {
+	Seed     int64
+	Machines int
+	// Cycles is the number of install→shutdown cycles per machine.
+	Cycles int
+	// RestartDeadline is the §3.1 alert window ("5 minutes").
+	RestartDeadline temporal.Duration
+	// MissProb is the probability a machine misses its restart deadline
+	// (producing one expected alert).
+	MissProb float64
+	// CycleGap separates successive cycles.
+	CycleGap temporal.Duration
+}
+
+// DefaultMachines is a moderate default configuration.
+func DefaultMachines() Machines {
+	return Machines{
+		Seed:            1,
+		Machines:        10,
+		Cycles:          5,
+		RestartDeadline: 5 * temporal.Minute,
+		MissProb:        0.3,
+		CycleGap:        30 * temporal.Minute,
+	}
+}
+
+// MachineEvents generates INSTALL/SHUTDOWN/RESTART telemetry. It returns
+// the stream (Sync-ordered) and the number of alerts the §3.1 query should
+// raise (machines that missed the restart deadline).
+func MachineEvents(cfg Machines) (stream.Stream, int) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := event.NewGenerator(1)
+	var s stream.Stream
+	expected := 0
+	for m := 0; m < cfg.Machines; m++ {
+		id := fmt.Sprintf("m%03d", m)
+		at := temporal.Time(int64(m) * int64(temporal.Minute))
+		for c := 0; c < cfg.Cycles; c++ {
+			payload := event.Payload{"Machine_Id": id}
+			s = append(s, event.NewInsert(gen.Next(), "INSTALL", at, temporal.Infinity, payload.Clone()))
+			at = at.Add(temporal.Duration(rng.Int63n(int64(2*temporal.Hour))) + temporal.Minute)
+			s = append(s, event.NewInsert(gen.Next(), "SHUTDOWN", at, temporal.Infinity, payload.Clone()))
+			if rng.Float64() < cfg.MissProb {
+				// Missed restart: reboot well after the deadline.
+				expected++
+				at = at.Add(cfg.RestartDeadline * 4)
+			} else {
+				at = at.Add(temporal.Duration(rng.Int63n(int64(cfg.RestartDeadline)-1) + 1))
+			}
+			s = append(s, event.NewInsert(gen.Next(), "RESTART", at, temporal.Infinity, payload.Clone()))
+			at = at.Add(cfg.CycleGap)
+		}
+	}
+	return s.SortBySync(), expected
+}
+
+// Ticks configures the market-data generator.
+type Ticks struct {
+	Seed     int64
+	Symbols  int
+	PerSym   int
+	Interval temporal.Duration
+	// Lifetime is each quote's validity (how long a price is current).
+	Lifetime temporal.Duration
+	Base     float64
+	Vol      float64
+}
+
+// DefaultTicks is a moderate default configuration.
+func DefaultTicks() Ticks {
+	return Ticks{Seed: 2, Symbols: 4, PerSym: 200, Interval: temporal.Second,
+		Lifetime: 5 * temporal.Second, Base: 100, Vol: 0.8}
+}
+
+// StockTicks generates per-symbol random-walk quotes. Each tick is valid
+// until refreshed (Lifetime).
+func StockTicks(cfg Ticks) stream.Stream {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := event.NewGenerator(1000)
+	var s stream.Stream
+	for sym := 0; sym < cfg.Symbols; sym++ {
+		name := fmt.Sprintf("SYM%d", sym)
+		price := cfg.Base + float64(sym)*10
+		at := temporal.Time(int64(sym) * 100)
+		for i := 0; i < cfg.PerSym; i++ {
+			price += (rng.Float64() - 0.5) * 2 * cfg.Vol
+			s = append(s, event.NewInsert(gen.Next(), "TICK", at, at.Add(cfg.Lifetime),
+				event.Payload{"symbol": name, "price": price}))
+			at = at.Add(cfg.Interval)
+		}
+	}
+	return s.SortBySync()
+}
+
+// Trades configures the trade/confirmation generator.
+type Trades struct {
+	Seed    int64
+	Count   int
+	Symbols int
+	// ConfirmDelay bounds how long a confirmation may trail its trade.
+	ConfirmDelay temporal.Duration
+	// UnconfirmedProb is the probability a trade is never confirmed (the
+	// compliance example's churn candidates).
+	UnconfirmedProb float64
+}
+
+// DefaultTrades is a moderate default configuration.
+func DefaultTrades() Trades {
+	return Trades{Seed: 3, Count: 150, Symbols: 4,
+		ConfirmDelay: 30 * temporal.Second, UnconfirmedProb: 0.15}
+}
+
+// TradeEvents generates TRADE events followed (usually) by CONFIRM events
+// sharing an order id. It returns the stream and the number of trades left
+// unconfirmed.
+func TradeEvents(cfg Trades) (stream.Stream, int) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := event.NewGenerator(50000)
+	var s stream.Stream
+	unconfirmed := 0
+	at := temporal.Time(0)
+	for i := 0; i < cfg.Count; i++ {
+		at = at.Add(temporal.Duration(rng.Int63n(int64(5*temporal.Second)) + 1))
+		order := fmt.Sprintf("ord-%04d", i)
+		sym := fmt.Sprintf("SYM%d", rng.Intn(cfg.Symbols))
+		qty := int64(rng.Intn(900) + 100)
+		s = append(s, event.NewInsert(gen.Next(), "TRADE", at, temporal.Infinity,
+			event.Payload{"order": order, "symbol": sym, "qty": qty}))
+		if rng.Float64() < cfg.UnconfirmedProb {
+			unconfirmed++
+			continue
+		}
+		delay := temporal.Duration(rng.Int63n(int64(cfg.ConfirmDelay)-1) + 1)
+		s = append(s, event.NewInsert(gen.Next(), "CONFIRM", at.Add(delay), temporal.Infinity,
+			event.Payload{"order": order, "symbol": sym, "qty": qty}))
+	}
+	return s.SortBySync(), unconfirmed
+}
+
+// News configures the news-sentiment generator for the §1 market-sentiment
+// application.
+type News struct {
+	Seed    int64
+	Count   int
+	Symbols int
+	Gap     temporal.Duration
+	// ShelfLife is the short validity the paper attributes to news events.
+	ShelfLife temporal.Duration
+}
+
+// DefaultNews is a moderate default configuration.
+func DefaultNews() News {
+	return News{Seed: 4, Count: 80, Symbols: 4, Gap: 10 * temporal.Second,
+		ShelfLife: 20 * temporal.Second}
+}
+
+// NewsEvents generates NEWS events with a sentiment score in [-1, 1] and a
+// short shelf life.
+func NewsEvents(cfg News) stream.Stream {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	gen := event.NewGenerator(90000)
+	var s stream.Stream
+	at := temporal.Time(0)
+	for i := 0; i < cfg.Count; i++ {
+		at = at.Add(temporal.Duration(rng.Int63n(int64(cfg.Gap))) + 1)
+		s = append(s, event.NewInsert(gen.Next(), "NEWS", at, at.Add(cfg.ShelfLife),
+			event.Payload{
+				"symbol":    fmt.Sprintf("SYM%d", rng.Intn(cfg.Symbols)),
+				"sentiment": rng.Float64()*2 - 1,
+			}))
+	}
+	return s.SortBySync()
+}
+
+// Corrections rewrites a fraction of a stream's facts as optimistic
+// insert-then-retract pairs: the provider first reports a lifetime of
+// forever, then corrects it to the true end — the §2 application-driven
+// modification pattern that exercises retraction paths end to end.
+func Corrections(seed int64, frac float64, s stream.Stream) stream.Stream {
+	rng := rand.New(rand.NewSource(seed))
+	var out stream.Stream
+	for _, e := range s {
+		if e.IsCTI() || e.Kind != event.Insert || e.V.End.IsInfinite() || rng.Float64() >= frac {
+			out = append(out, e)
+			continue
+		}
+		opt := e.Clone()
+		opt.V.End = temporal.Infinity
+		out = append(out, opt)
+		out = append(out, event.NewRetract(e.ID, e.Type, e.V.Start, e.V.End, e.Payload.Clone()))
+	}
+	return out.SortBySync()
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/event"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+func TestMachineEventsShape(t *testing.T) {
+	cfg := DefaultMachines()
+	s, expected := MachineEvents(cfg)
+	if len(s) != cfg.Machines*cfg.Cycles*3 {
+		t.Errorf("events = %d, want %d", len(s), cfg.Machines*cfg.Cycles*3)
+	}
+	if expected <= 0 || expected >= cfg.Machines*cfg.Cycles {
+		t.Errorf("expected alerts = %d out of %d cycles", expected, cfg.Machines*cfg.Cycles)
+	}
+	if stream.Measure(s).Disordered() {
+		t.Error("source must be Sync-ordered")
+	}
+	// Deterministic.
+	s2, e2 := MachineEvents(cfg)
+	if e2 != expected || len(s2) != len(s) {
+		t.Error("generator not deterministic")
+	}
+	for i := range s {
+		if !s[i].SameFact(s2[i]) {
+			t.Fatalf("event %d differs between runs", i)
+		}
+	}
+}
+
+func TestMachineEventsAlertSemantics(t *testing.T) {
+	// Every cycle has exactly one INSTALL, SHUTDOWN, RESTART per machine,
+	// and missed restarts are spaced beyond the deadline.
+	cfg := DefaultMachines()
+	s, expected := MachineEvents(cfg)
+	byType := map[string]int{}
+	for _, e := range s {
+		byType[e.Type]++
+	}
+	n := cfg.Machines * cfg.Cycles
+	if byType["INSTALL"] != n || byType["SHUTDOWN"] != n || byType["RESTART"] != n {
+		t.Errorf("type counts: %v", byType)
+	}
+	// Count shutdowns whose next restart (same machine) is late.
+	late := 0
+	lastShutdown := map[any]temporal.Time{}
+	for _, e := range s {
+		m := e.Payload["Machine_Id"]
+		switch e.Type {
+		case "SHUTDOWN":
+			lastShutdown[m] = e.V.Start
+		case "RESTART":
+			if sd, ok := lastShutdown[m]; ok {
+				if e.V.Start.Sub(sd) >= cfg.RestartDeadline {
+					late++
+				}
+				delete(lastShutdown, m)
+			}
+		}
+	}
+	if late != expected {
+		t.Errorf("late restarts = %d, expected %d", late, expected)
+	}
+}
+
+func TestStockTicks(t *testing.T) {
+	cfg := DefaultTicks()
+	s := StockTicks(cfg)
+	if len(s) != cfg.Symbols*cfg.PerSym {
+		t.Errorf("ticks = %d", len(s))
+	}
+	syms := map[any]int{}
+	for _, e := range s {
+		if e.Type != "TICK" {
+			t.Fatalf("bad type %q", e.Type)
+		}
+		if e.V.Duration() != cfg.Lifetime {
+			t.Fatalf("tick lifetime = %v", e.V.Duration())
+		}
+		if _, ok := event.Num(e.Payload["price"]); !ok {
+			t.Fatal("tick without numeric price")
+		}
+		syms[e.Payload["symbol"]]++
+	}
+	if len(syms) != cfg.Symbols {
+		t.Errorf("symbols = %d", len(syms))
+	}
+}
+
+func TestTradeEvents(t *testing.T) {
+	cfg := DefaultTrades()
+	s, unconfirmed := TradeEvents(cfg)
+	trades, confirms := 0, 0
+	for _, e := range s {
+		switch e.Type {
+		case "TRADE":
+			trades++
+		case "CONFIRM":
+			confirms++
+		}
+	}
+	if trades != cfg.Count {
+		t.Errorf("trades = %d", trades)
+	}
+	if confirms != cfg.Count-unconfirmed {
+		t.Errorf("confirms = %d, want %d", confirms, cfg.Count-unconfirmed)
+	}
+	if unconfirmed == 0 {
+		t.Error("expected some unconfirmed trades")
+	}
+}
+
+func TestNewsEvents(t *testing.T) {
+	s := NewsEvents(DefaultNews())
+	for _, e := range s {
+		v, ok := event.Num(e.Payload["sentiment"])
+		if !ok || v < -1 || v > 1 {
+			t.Fatalf("sentiment out of range: %v", e.Payload)
+		}
+	}
+}
+
+func TestCorrections(t *testing.T) {
+	src := StockTicks(DefaultTicks())
+	cor := Corrections(9, 0.5, src)
+	st := stream.Measure(cor)
+	if st.Retractions == 0 {
+		t.Fatal("no retractions generated")
+	}
+	if st.Events != len(src)+st.Retractions {
+		t.Errorf("events = %d, want %d + %d", st.Events, len(src), st.Retractions)
+	}
+	// The corrected stream's ideal history equals the original's.
+	if stream.Measure(cor).Disordered() {
+		t.Error("corrections must stay Sync-ordered")
+	}
+}
