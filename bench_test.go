@@ -10,6 +10,7 @@ package cedr
 // internal/core. The benchmarks here measure the costs those shapes imply.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/algebra"
@@ -78,12 +79,9 @@ func fig8Bench(b *testing.B, spec consistency.Spec, orderly bool) {
 	b.Helper()
 	cfg := core.DefaultFig8()
 	cfg.Events = 300
-	var src stream.Stream
-	for i := 0; i < cfg.Events; i++ {
-		vs := temporal.Time(i) * cfg.Spacing
-		src = append(src, event.NewInsert(event.ID(i+1), "E", vs, vs+cfg.Lifetime,
-			event.Payload{"g": int64(i % 5)}))
-	}
+	src := workload.UniformEvents(workload.Uniform{
+		Seed: cfg.Seed, Events: cfg.Events, Groups: 5,
+		Spacing: cfg.Spacing, Lifetime: temporal.Duration(cfg.Lifetime)})
 	var dcfg delivery.Config
 	if orderly {
 		dcfg = delivery.Ordered(cfg.DenseCTIPeriod)
@@ -268,6 +266,55 @@ func BenchmarkMonitorRepairPath(b *testing.B) {
 		consistency.RunStreams(op, consistency.Middle(), delivered)
 	}
 	b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// --- Monitor scaling: events × straggler rate × consistency level ---
+
+// BenchmarkMonitorScaling sweeps the consistency monitor across stream
+// volume, disorder intensity and consistency level over the reusable
+// high-volume workload generator, so hot-path regressions show up as a
+// grid, not a single point. Stragglers are delayed by 30 events' worth of
+// Sync time — deep enough to force snapshot-rollback repairs at repairing
+// levels.
+func BenchmarkMonitorScaling(b *testing.B) {
+	levels := []struct {
+		name string
+		spec consistency.Spec
+	}{
+		{"strong", consistency.Strong()},
+		{"middle", consistency.Middle()},
+		{"weak", consistency.Weak(0)},
+	}
+	for _, events := range []int{1000, 4000} {
+		cfg := workload.DefaultUniform()
+		cfg.Events = events
+		src := workload.UniformEvents(cfg)
+		for _, stragglers := range []float64{0, 0.1, 0.3} {
+			var dcfg delivery.Config
+			if stragglers == 0 {
+				dcfg = delivery.Ordered(20 * temporal.Duration(cfg.Spacing))
+			} else {
+				dcfg = delivery.Disordered(cfg.Seed, 100*temporal.Duration(cfg.Spacing),
+					30*temporal.Duration(cfg.Spacing), stragglers)
+			}
+			delivered := delivery.Deliver(src, dcfg)
+			for _, lv := range levels {
+				name := fmt.Sprintf("events=%d/stragglers=%d%%/%s",
+					events, int(stragglers*100), lv.name)
+				b.Run(name, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						op := operators.NewAggregate(operators.Count, "", "g")
+						out, _ := consistency.RunStreams(op, lv.spec, delivered)
+						if len(out) == 0 {
+							b.Fatal("no output")
+						}
+					}
+					b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+				})
+			}
+		}
+	}
 }
 
 // --- Infrastructure ---

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/core"
+	"repro/internal/delivery"
+	"repro/internal/event"
+	"repro/internal/operators"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+	"repro/internal/workload"
+)
+
+// BenchResult is the machine-readable record emitted per benchmark as
+// BENCH_<name>.json — the contract CI and future PRs consume to track the
+// performance trajectory (see ROADMAP.md "Performance").
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	EventsPerS  float64 `json:"events_per_sec,omitempty"`
+	BytesPerOp  int64   `json:"bytes_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+}
+
+// runBenchSuite executes the monitor-centric benchmark set in-process via
+// testing.Benchmark and writes one BENCH_*.json per entry into dir.
+func runBenchSuite(dir string, seed int64) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	type entry struct {
+		name   string
+		events int // delivered items, for events/s; 0 = not reported
+		bench  func(b *testing.B)
+	}
+
+	fig8 := func(spec consistency.Spec, orderly bool) (stream.Stream, func(b *testing.B)) {
+		cfg := core.DefaultFig8()
+		cfg.Events = 300
+		cfg.Seed = seed
+		src := workload.UniformEvents(workload.Uniform{
+			Seed: cfg.Seed, Events: cfg.Events, Groups: 5,
+			Spacing: cfg.Spacing, Lifetime: temporal.Duration(cfg.Lifetime)})
+		var dcfg delivery.Config
+		if orderly {
+			dcfg = delivery.Ordered(cfg.DenseCTIPeriod)
+		} else {
+			dcfg = delivery.Disordered(cfg.Seed, cfg.SparseCTI, cfg.StragglerDelay, cfg.StragglerProb)
+		}
+		delivered := delivery.Deliver(src, dcfg)
+		return delivered, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op := operators.NewAggregate(operators.Count, "", "g")
+				out, _ := consistency.RunStreams(op, spec, delivered)
+				if len(out) == 0 {
+					b.Fatal("no output")
+				}
+			}
+		}
+	}
+
+	monitor := func(disordered bool) (stream.Stream, func(b *testing.B)) {
+		src := workload.StockTicks(workload.DefaultTicks())
+		var dcfg delivery.Config
+		if disordered {
+			dcfg = delivery.Disordered(seed, 5*temporal.Second, 3*temporal.Second, 0.1)
+		} else {
+			dcfg = delivery.Ordered(5 * temporal.Second)
+		}
+		delivered := delivery.Deliver(src, dcfg)
+		return delivered, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				op := operators.NewSelect(func(event.Payload) bool { return true })
+				consistency.RunStreams(op, consistency.Middle(), delivered)
+			}
+		}
+	}
+
+	var entries []entry
+	for _, lv := range []struct {
+		name string
+		spec consistency.Spec
+	}{
+		{"strong", consistency.Strong()},
+		{"middle", consistency.Middle()},
+		{"weak", consistency.Weak(0)},
+	} {
+		for _, orderly := range []bool{true, false} {
+			suffix := "disordered"
+			if orderly {
+				suffix = "ordered"
+			}
+			delivered, fn := fig8(lv.spec, orderly)
+			entries = append(entries, entry{
+				name:   fmt.Sprintf("figure8_%s_%s", lv.name, suffix),
+				events: len(delivered),
+				bench:  fn,
+			})
+		}
+	}
+	fastDelivered, fastFn := monitor(false)
+	entries = append(entries, entry{name: "monitor_fast_path", events: len(fastDelivered), bench: fastFn})
+	repairDelivered, repairFn := monitor(true)
+	entries = append(entries, entry{name: "monitor_repair_path", events: len(repairDelivered), bench: repairFn})
+
+	for _, e := range entries {
+		res := testing.Benchmark(e.bench)
+		out := BenchResult{
+			Name:        e.name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		if e.events > 0 && res.T > 0 {
+			out.EventsPerS = float64(e.events) * float64(res.N) / res.T.Seconds()
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "BENCH_"+strings.ReplaceAll(e.name, "/", "_")+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%-32s %12.0f ns/op %12.0f events/s %8d allocs/op  -> %s\n",
+			e.name, out.NsPerOp, out.EventsPerS, out.AllocsPerOp, path)
+	}
+	return nil
+}

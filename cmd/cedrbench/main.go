@@ -4,7 +4,8 @@
 //	cedrbench -fig 9       # Figure 9: the (B, M) consistency spectrum
 //	cedrbench -baselines   # Section 1: CEDR vs point-DSMS vs pub/sub
 //	cedrbench -ablations   # DESIGN.md ablations (consumption, …)
-//	cedrbench              # everything
+//	cedrbench -bench       # micro-benchmarks -> machine-readable BENCH_*.json
+//	cedrbench              # everything (tables only; -bench stays opt-in)
 //
 // Absolute numbers depend on the simulated transport; the shapes — who
 // blocks, who retracts, who forgets, who stays exact — are the paper's
@@ -14,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"repro/internal/core"
 )
@@ -22,8 +24,18 @@ func main() {
 	fig := flag.Int("fig", 0, "figure to regenerate (8 or 9; 0 = all)")
 	baselines := flag.Bool("baselines", false, "run the Section 1 baseline comparison")
 	ablations := flag.Bool("ablations", false, "run the design ablations")
+	bench := flag.Bool("bench", false, "run monitor micro-benchmarks and write BENCH_*.json")
+	benchOut := flag.String("benchout", ".", "directory for BENCH_*.json files")
 	seed := flag.Int64("seed", 42, "delivery-simulator seed")
 	flag.Parse()
+
+	if *bench {
+		if err := runBenchSuite(*benchOut, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	all := *fig == 0 && !*baselines && !*ablations
 

@@ -1,6 +1,7 @@
 package consistency
 
 import (
+	"slices"
 	"sort"
 
 	"repro/internal/event"
@@ -32,10 +33,11 @@ import (
 //
 //   - Repair (M > 0): the monitor keeps a checkpoint of the operator as of
 //     the last input guarantee plus the log of every input since. When a
-//     straggler arrives, the operator is rolled back to the checkpoint and
-//     the log is replayed with the straggler in its proper place; the
-//     difference between the previously emitted output and the replayed
-//     output is emitted as compensating retractions and insertions.
+//     straggler arrives, the operator is rolled back to a snapshot taken at
+//     or before the straggler's position and the log suffix is replayed
+//     with the straggler in its proper place; the difference between the
+//     previously emitted output and the replayed output is emitted as
+//     compensating retractions and insertions.
 //
 //   - Forgetting (M < ∞): stragglers older than M behind the frontier are
 //     dropped (the weak level's license to leave earlier state wrong), and
@@ -43,26 +45,76 @@ import (
 //
 // At common sync points all levels have output the same state, which is
 // what makes the levels seamlessly switchable (Section 5); the tests verify
-// this.
+// this against a frozen reference implementation, item for item.
+//
+// Hot-path representation invariants (the performance work of ISSUE 1):
+//
+//   - log[head:] is the live window, sorted by (sync, seq). Items before
+//     head are absorbed into the checkpoint; the window is compacted
+//     amortizedly instead of copied per checkpoint. New items enter by
+//     binary-search insertion — the window is already sorted.
+//
+//   - Every net-emitted fact records the (sync, seq) key of the log item
+//     whose output produced it (netFact.srcSync/srcSeq). Absorbing a log
+//     prefix into the checkpoint then reduces to dropping facts whose
+//     source key is covered — an O(table) filter instead of the former
+//     full-log replay.
+//
+//   - Repair snapshots: every snapEvery admitted items the monitor clones
+//     the operator and the net-fact table. A straggler replays from the
+//     nearest snapshot at or before its position instead of from the
+//     checkpoint, making repair O(straggler depth + snapEvery) rather than
+//     O(items since the last guarantee). Snapshot state is a derived cache
+//     and is excluded from the Metrics state-size axis.
+//
+//   - The slices returned by Push, SetSpec and Finish alias an internal
+//     buffer and are valid only until the next call on this monitor;
+//     callers must copy what they keep. All in-repo callers already append
+//     the items elsewhere.
 type Monitor struct {
 	op   operators.Op // live operator
 	ckpt operators.Op // operator state as of the last absorbed guarantee
 	spec Spec
 
-	log     []logItem
-	emitted map[event.ID]netFact
+	log     []logItem // log[head:] is the live window, sorted by (sync, seq)
+	head    int
+	emitted map[event.ID]*netFact
 	gen     map[event.ID]uint64
-	buffer  []bufEntry
+	buffer  []bufEntry // alignment buffer, sorted by Sync (stable by seq)
 
 	portG         []temporal.Time
 	guarantee     temporal.Time
 	frontier      temporal.Time // max Sync observed (incl. buffered)
 	processedSync temporal.Time // max Sync fed to the live operator
+	absSync       temporal.Time // (sync, seq) key of the last log item folded
+	absSeq        int           // into the checkpoint
 	seq           int
 	now           temporal.Time // current CEDR time
 
+	snaps     []snapshot // repair snapshots, ascending boundary
+	sinceSnap int
+	dirty     []event.ID              // ids touched by the current repair fold
+	spare     map[event.ID]*netFact   // reusable replay table (swapped with emitted)
+	tblPool   []map[event.ID]*netFact // recycled snapshot tables
+
+	out       []event.Event // reusable output buffer (valid until next call)
+	diffIDs   []event.ID    // reusable diff scratch
+	ckptState int           // cached ckpt.StateSize(), changes only on checkpoint
+	stateless bool          // op implements operators.Stateless
+
 	met Metrics
 }
+
+const (
+	// snapEvery is the repair-snapshot cadence in admitted items.
+	snapEvery = 24
+	// maxSnaps bounds retained snapshots; the oldest are dropped first
+	// (deep stragglers fall back to the checkpoint).
+	maxSnaps = 16
+	// compactAt triggers log-window compaction once the absorbed prefix
+	// outweighs the live window.
+	compactAt = 64
+)
 
 type logItem struct {
 	marker bool
@@ -97,9 +149,39 @@ type bufEntry struct {
 	seq     int
 }
 
+// netFact entries are stored by pointer and shared freely between the live
+// table, the spare table, and snapshot tables — a netFact is immutable once
+// published; every update replaces the pointer (copy-on-write). This keeps
+// table copies allocation-free pointer shares (a by-value map element this
+// large would be stored indirectly by the runtime and heap-allocate on
+// every assignment, including pure copies).
 type netFact struct {
 	ev  event.Event // net emitted fact (V is the current net interval)
 	gen uint64      // generation used in the physical output ID
+	// srcSync/srcSeq identify the log item whose output produced the fact.
+	// An item is absorbed into the checkpoint exactly when its key is <=
+	// the absorbed boundary, so "fact is final" is a key comparison.
+	srcSync temporal.Time
+	srcSeq  int
+}
+
+// keyLE reports (a, as) <= (b, bs) in the log's (sync, seq) order.
+func keyLE(a temporal.Time, as int, b temporal.Time, bs int) bool {
+	return a < b || (a == b && as <= bs)
+}
+
+// snapshot is a repair cache entry: the operator state and net-fact table
+// as of the log prefix ending at boundary (bSync, bSeq).
+type snapshot struct {
+	bSync temporal.Time
+	bSeq  int
+	// absSync/absSeq record the checkpoint boundary at creation time; when
+	// it still matches the monitor's, the table holds no absorbed facts and
+	// repair can skip the staleness filter.
+	absSync temporal.Time
+	absSeq  int
+	op      operators.Op
+	tbl     map[event.ID]*netFact
 }
 
 // Metrics quantifies the three axes of Figure 8 — blocking, state size and
@@ -150,16 +232,21 @@ func NewMonitor(op operators.Op, spec Spec) *Monitor {
 	for i := range portG {
 		portG[i] = temporal.MinTime
 	}
+	ckpt := op.Clone()
+	_, stateless := op.(operators.Stateless)
 	return &Monitor{
+		stateless:     stateless,
 		op:            op,
-		ckpt:          op.Clone(),
+		ckpt:          ckpt,
 		spec:          spec,
-		emitted:       map[event.ID]netFact{},
+		emitted:       map[event.ID]*netFact{},
 		gen:           map[event.ID]uint64{},
 		portG:         portG,
 		guarantee:     temporal.MinTime,
 		frontier:      temporal.MinTime,
 		processedSync: temporal.MinTime,
+		absSync:       temporal.MinTime,
+		ckptState:     ckpt.StateSize(),
 	}
 }
 
@@ -176,18 +263,21 @@ func (m *Monitor) Guarantee() temporal.Time { return m.guarantee }
 // that at common sync points every level holds the same output state, so
 // switching at a sync point is seamless; switching between sync points
 // changes only how pending and future input is treated. A loosened blocking
-// bound may release buffered events, which are returned.
+// bound may release buffered events, which are returned. The returned slice
+// is valid until the next call on this monitor.
 func (m *Monitor) SetSpec(s Spec) []event.Event {
 	m.spec = s
-	out := m.releaseTimedOut()
+	m.out = m.out[:0]
+	m.releaseTimedOut()
 	m.trimMemory()
 	m.sampleState()
-	return m.stamp(out)
+	return m.stampOut()
 }
 
 // Push delivers one physical stream item (data or CTI) to port. The item's
 // C.Start must carry its CEDR arrival time. It returns the physical output
-// items, stamped with the current CEDR time.
+// items, stamped with the current CEDR time. The returned slice is valid
+// until the next call on this monitor.
 func (m *Monitor) Push(port int, e event.Event) []event.Event {
 	if port < 0 || port >= len(m.portG) {
 		return nil
@@ -195,20 +285,20 @@ func (m *Monitor) Push(port int, e event.Event) []event.Event {
 	if e.C.Start > m.now {
 		m.now = e.C.Start
 	}
-	var out []event.Event
+	m.out = m.out[:0]
 	if e.IsCTI() {
 		m.met.InputCTIs++
-		out = m.pushCTI(port, e.Sync())
+		m.pushCTI(port, e.Sync())
 	} else {
 		m.met.InputEvents++
-		out = m.pushData(port, e)
+		m.pushData(port, e)
 	}
 	m.trimMemory()
 	m.sampleState()
-	return m.stamp(out)
+	return m.stampOut()
 }
 
-func (m *Monitor) pushCTI(port int, t temporal.Time) []event.Event {
+func (m *Monitor) pushCTI(port int, t temporal.Time) {
 	if t > m.portG[port] {
 		m.portG[port] = t
 	}
@@ -219,39 +309,37 @@ func (m *Monitor) pushCTI(port int, t temporal.Time) []event.Event {
 		}
 	}
 	if g <= m.guarantee {
-		return nil
+		return
 	}
 	m.guarantee = g
 	if g > m.frontier {
 		m.frontier = g
 	}
-	var out []event.Event
 	// Clean releases: buffered events covered by the guarantee, in Sync
 	// order.
-	out = append(out, m.releaseCovered(g)...)
+	m.releaseCovered(g)
 	// Record and apply the guarantee itself, positioned where the live
 	// operator actually executes it.
 	key := g
 	if m.processedSync > key {
 		key = m.processedSync
 	}
-	m.log = append(m.log, logItem{marker: true, t: g, key: key, seq: m.nextSeq()})
-	m.sortLog()
-	out = append(out, m.emit(m.op.Advance(g))...)
+	sq := m.nextSeq()
+	m.insertLog(logItem{marker: true, t: g, key: key, seq: sq})
+	m.emit(key, sq, m.op.Advance(g))
 	// Absorb everything the guarantee finalizes into the checkpoint.
 	m.checkpointTo(g)
 	// Timed-out releases may also be due (the guarantee moved the frontier).
-	out = append(out, m.releaseTimedOut()...)
+	m.releaseTimedOut()
 	og := m.op.OutputGuarantee(g)
 	m.met.OutputCTIs++
-	out = append(out, event.NewCTI(og))
-	return out
+	m.out = append(m.out, event.NewCTI(og))
 }
 
-func (m *Monitor) pushData(port int, e event.Event) []event.Event {
+func (m *Monitor) pushData(port int, e event.Event) {
 	if e.Sync() < m.guarantee {
 		m.met.Violations++
-		return nil
+		return
 	}
 	if e.Sync() > m.frontier {
 		m.frontier = e.Sync()
@@ -259,25 +347,26 @@ func (m *Monitor) pushData(port int, e event.Event) []event.Event {
 	// Weak levels forget stragglers beyond the memory horizon.
 	if m.spec.M != Unbounded && e.Sync() < m.frontier.Add(-m.spec.M) {
 		m.met.Dropped++
-		return nil
+		return
 	}
-	var out []event.Event
 	if m.spec.B > 0 && e.Sync() >= m.processedSync {
-		// In-order so far: hold for possible stragglers.
-		m.buffer = append(m.buffer, bufEntry{port: port, ev: e, arrival: m.now, seq: m.nextSeq()})
-		sort.SliceStable(m.buffer, func(i, j int) bool {
-			return m.buffer[i].ev.Sync() < m.buffer[j].ev.Sync()
-		})
+		// In-order so far: hold for possible stragglers. The buffer is kept
+		// sorted by binary insertion (upper bound, so equal Syncs keep
+		// arrival order).
+		be := bufEntry{port: port, ev: e, arrival: m.now, seq: m.nextSeq()}
+		s := e.Sync()
+		i := sort.Search(len(m.buffer), func(k int) bool { return m.buffer[k].ev.Sync() > s })
+		m.buffer = append(m.buffer, bufEntry{})
+		copy(m.buffer[i+1:], m.buffer[i:])
+		m.buffer[i] = be
 	} else {
-		out = append(out, m.admit(port, e)...)
+		m.admit(port, e)
 	}
-	out = append(out, m.releaseTimedOut()...)
-	return out
+	m.releaseTimedOut()
 }
 
 // releaseCovered processes buffered events whose Sync the guarantee covers.
-func (m *Monitor) releaseCovered(g temporal.Time) []event.Event {
-	var out []event.Event
+func (m *Monitor) releaseCovered(g temporal.Time) {
 	i := 0
 	for ; i < len(m.buffer); i++ {
 		if m.buffer[i].ev.Sync() > g {
@@ -286,19 +375,17 @@ func (m *Monitor) releaseCovered(g temporal.Time) []event.Event {
 		be := m.buffer[i]
 		m.met.BlockedEvents++
 		m.met.TotalBlocking += m.now.Sub(be.arrival)
-		out = append(out, m.admit(be.port, be.ev)...)
+		m.admit(be.port, be.ev)
 	}
 	m.buffer = m.buffer[i:]
-	return out
 }
 
 // releaseTimedOut processes buffered events whose blocking budget B has
 // been exhausted by frontier progress.
-func (m *Monitor) releaseTimedOut() []event.Event {
-	if m.spec.B == Unbounded {
-		return nil
+func (m *Monitor) releaseTimedOut() {
+	if len(m.buffer) == 0 || m.spec.B == Unbounded {
+		return
 	}
-	var out []event.Event
 	i := 0
 	for ; i < len(m.buffer); i++ {
 		be := m.buffer[i]
@@ -307,73 +394,295 @@ func (m *Monitor) releaseTimedOut() []event.Event {
 		}
 		m.met.BlockedEvents++
 		m.met.TotalBlocking += m.now.Sub(be.arrival)
-		out = append(out, m.admit(be.port, be.ev)...)
+		m.admit(be.port, be.ev)
 	}
 	m.buffer = m.buffer[i:]
-	return out
 }
 
 // admit feeds one event to the live operator, via the fast path when it is
-// in order and via checkpoint replay when it is a straggler.
-func (m *Monitor) admit(port int, e event.Event) []event.Event {
+// in order and via snapshot rollback and replay when it is a straggler.
+func (m *Monitor) admit(port int, e event.Event) {
 	li := logItem{port: port, ev: e, seq: m.nextSeq(), opt: m.spec.B != Unbounded}
 	if e.Sync() >= m.processedSync {
-		// Fast path.
-		m.log = append(m.log, li)
-		var out []event.Event
+		// Fast path: the item extends the sorted window.
+		m.insertLog(li)
+		src := e.Sync()
 		if li.opt {
-			out = append(out, m.emit(m.op.Advance(e.Sync()))...)
+			m.emit(src, li.seq, m.op.Advance(src))
 		}
-		out = append(out, m.emit(m.op.Process(port, e))...)
-		m.processedSync = e.Sync()
-		return out
+		m.emit(src, li.seq, m.op.Process(port, e))
+		m.processedSync = src
+		m.maybeSnapshot()
+		return
 	}
-	// Straggler: rollback and replay.
+	// Straggler: roll back to the nearest snapshot and replay.
 	m.met.Replays++
-	m.log = append(m.log, li)
-	m.sortLog()
-	fresh := m.ckpt.Clone()
-	newEmitted := map[event.ID]netFact{}
-	m.replayInto(fresh, newEmitted)
-	m.op = fresh
-	deltas := m.diff(newEmitted)
-	m.emitted = newEmitted
-	return deltas
+	m.insertLog(li)
+	if m.stateless && m.repairStateless(li) {
+		return
+	}
+	m.repair(li)
 }
 
-// replayInto runs the whole log through a fresh operator, folding outputs
-// into tbl, using exactly the advance policy the live path uses so the
-// result is bit-identical to an equivalent in-order run.
-func (m *Monitor) replayInto(fresh operators.Op, tbl map[event.ID]netFact) {
-	for _, item := range m.log {
-		if item.marker {
-			foldInto(tbl, fresh.Advance(item.t))
+// repairStateless handles a straggler through a stateless operator without
+// rollback or replay: the operator's outputs depend only on the input, so
+// the straggler's own outputs are the complete delta — provided none of
+// them collides with existing state, where fold order against later items
+// would matter (then the generic replay decides). It reports whether the
+// repair was completed.
+func (m *Monitor) repairStateless(li logItem) bool {
+	// A full replay would advance the rolled-back operator to li's sync
+	// before processing it; for a stateless operator Advance emits nothing
+	// and keeps no frontier, so Process on the live operator is identical.
+	outs := m.op.Process(li.port, li.ev)
+	for _, e := range outs {
+		nf, ok := m.emitted[e.ID]
+		if ok && keyLE(nf.srcSync, nf.srcSeq, li.sync(), li.seq) {
+			// The fact this output lands on was produced at or before the
+			// straggler's replay position; the net result depends on the
+			// per-id fold order. Fall back to the generic path.
+			return false
+		}
+		if !ok && e.Kind == event.Retract {
+			continue // retracting an absent fact is a no-op at any position
+		}
+		// ok && producer after the straggler: a later producer overwrites
+		// whatever the straggler contributes — also a no-op.
+	}
+	// Emit exactly what the reference replay's diff would: the brand-new
+	// facts, in ascending fact-ID order, under the retired-generation
+	// counter, counted as plain inserts.
+	ids := m.diffIDs[:0]
+	for _, e := range outs {
+		if _, ok := m.emitted[e.ID]; !ok && e.Kind != event.Retract {
+			ids = append(ids, e.ID)
+		}
+	}
+	slices.Sort(ids)
+	m.diffIDs = ids
+	src, sq := li.sync(), li.seq
+	var prev event.ID
+	for i, id := range ids {
+		if i > 0 && id == prev {
 			continue
 		}
-		if item.opt {
-			foldInto(tbl, fresh.Advance(item.ev.Sync()))
+		prev = id
+		// Fold semantics: the last insert for an id wins.
+		last := -1
+		for j, e := range outs {
+			if e.ID == id && e.Kind != event.Retract {
+				last = j
+			}
 		}
-		foldInto(tbl, fresh.Process(item.port, item.ev))
+		e := outs[last]
+		ng := m.gen[id]
+		ins := e
+		ins.ID = event.Pair(id, event.ID(ng))
+		m.out = append(m.out, ins)
+		m.met.OutputInserts++
+		m.emitted[id] = &netFact{ev: e, gen: ng, srcSync: src, srcSeq: sq}
 	}
+	return true
 }
 
-// sortLog restores the log's (Sync, seq) order after an append.
-func (m *Monitor) sortLog() {
-	sort.SliceStable(m.log, func(i, j int) bool {
-		si, sj := m.log[i].sync(), m.log[j].sync()
-		if si != sj {
-			return si < sj
+// repair rolls the operator back to the latest snapshot preceding the
+// straggler li (falling back to the checkpoint), replays the log suffix,
+// and emits the compensating deltas.
+func (m *Monitor) repair(li logItem) {
+	s, q := li.sync(), li.seq
+	// Snapshots whose prefix spans the straggler's position were built
+	// without it and are no longer reachable states.
+	for len(m.snaps) > 0 {
+		sn := &m.snaps[len(m.snaps)-1]
+		if sn.bSync > s || (sn.bSync == s && sn.bSeq > q) {
+			m.recycle(sn.tbl)
+			m.snaps[len(m.snaps)-1] = snapshot{}
+			m.snaps = m.snaps[:len(m.snaps)-1]
+			continue
 		}
-		return m.log[i].seq < m.log[j].seq
-	})
+		break
+	}
+	start := m.head
+	// bSync/bSeq is the replay's start boundary: facts whose producer is at
+	// or before it are inherited and cannot silently vanish, so the diff
+	// only needs to visit fold-touched ids plus live facts produced by the
+	// replayed suffix.
+	bSync, bSeq := m.absSync, m.absSeq
+	var fresh operators.Op
+	tbl := m.spare
+	if tbl == nil {
+		tbl = make(map[event.ID]*netFact, len(m.emitted)+8)
+	} else {
+		clear(tbl)
+	}
+	m.spare = nil
+	m.dirty = m.dirty[:0]
+	if n := len(m.snaps); n > 0 {
+		sn := m.snaps[n-1]
+		fresh = sn.op.Clone()
+		for id, nf := range sn.tbl {
+			tbl[id] = nf
+		}
+		start = m.searchAfter(sn.bSync, sn.bSeq)
+		bSync, bSeq = sn.bSync, sn.bSeq
+		if sn.absSync != m.absSync || sn.absSeq != m.absSeq {
+			// The snapshot predates a checkpoint; drop facts the checkpoint
+			// has already finalized so the table matches a replay from the
+			// current checkpoint.
+			for id, nf := range tbl {
+				if keyLE(nf.srcSync, nf.srcSeq, m.absSync, m.absSeq) {
+					delete(tbl, id)
+				}
+			}
+		}
+	} else {
+		fresh = m.ckpt.Clone()
+	}
+	m.sinceSnap = 0
+	var created []map[event.ID]*netFact
+	for i := start; i < len(m.log); i++ {
+		item := m.log[i]
+		if item.marker {
+			m.foldInto(tbl, item.key, item.seq, fresh.Advance(item.t))
+		} else {
+			if item.opt {
+				m.foldInto(tbl, item.ev.Sync(), item.seq, fresh.Advance(item.ev.Sync()))
+			}
+			m.foldInto(tbl, item.ev.Sync(), item.seq, fresh.Process(item.port, item.ev))
+		}
+		// Re-seed the snapshot cache as the replay walks forward, so
+		// straggler bursts do not degenerate to checkpoint replays.
+		m.sinceSnap++
+		if m.sinceSnap >= snapEvery && i+1 < len(m.log) && m.wantSnapshots() {
+			ct := m.copyTable(tbl)
+			created = append(created, ct)
+			m.addSnapshot(snapshot{bSync: item.sync(), bSeq: item.seq,
+				absSync: m.absSync, absSeq: m.absSeq,
+				op: fresh.Clone(), tbl: ct})
+			m.sinceSnap = 0
+		}
+	}
+	// Live facts produced by the replayed suffix either got re-derived
+	// (then fold sharing makes them pointer-equal and diff skips them) or
+	// vanished in the new timeline; either way they are diff candidates.
+	// Facts from before the boundary are inherited bit-identical and need
+	// no visit unless the fold touched them.
+	for id, nf := range m.emitted {
+		if !keyLE(nf.srcSync, nf.srcSeq, bSync, bSeq) {
+			m.dirty = append(m.dirty, id)
+		}
+	}
+	m.op = fresh
+	m.diff(tbl)
+	// Snapshots taken during this replay captured entries before diff
+	// patched their generations. Re-point them at the live entries where
+	// they denote the same fact, so a later repair inheriting them below
+	// its boundary carries the correct generation without a diff visit.
+	for _, ct := range created {
+		for id, nf := range ct {
+			if live, ok := tbl[id]; ok && nf != live && nf.gen != live.gen &&
+				nf.srcSync == live.srcSync && nf.srcSeq == live.srcSeq &&
+				nf.ev.Identical(live.ev) {
+				ct[id] = live
+			}
+		}
+	}
+	// The old live table becomes the next repair's scratch; its buckets are
+	// reused instead of reallocated.
+	m.spare = m.emitted
+	m.emitted = tbl
+}
+
+// insertLog places li at its (sync, seq) position in the live window by
+// binary search — the window is already sorted, so insertion replaces the
+// former full-log sort. The new item carries the largest seq ever issued,
+// so the upper bound after its key is its unique position; fast-path items
+// land at the end with zero movement.
+func (m *Monitor) insertLog(li logItem) {
+	i := m.searchAfter(li.sync(), li.seq)
+	m.log = append(m.log, logItem{})
+	copy(m.log[i+1:], m.log[i:])
+	m.log[i] = li
+}
+
+// searchAfter returns the index of the first window item ordered after the
+// (sync, seq) boundary.
+func (m *Monitor) searchAfter(bSync temporal.Time, bSeq int) int {
+	return sort.Search(len(m.log)-m.head, func(k int) bool {
+		it := &m.log[m.head+k]
+		is := it.sync()
+		return is > bSync || (is == bSync && it.seq > bSeq)
+	}) + m.head
+}
+
+func (m *Monitor) wantSnapshots() bool {
+	// Snapshots only pay off where repair can happen: optimistic levels
+	// (B < ∞) with memory to repair (M > 0). Strong never replays; weak(0)
+	// drops every straggler. Stateless operators repair without replay, so
+	// they skip the cache entirely.
+	return m.spec.B != Unbounded && m.spec.M != 0 && !m.stateless
+}
+
+// maybeSnapshot records a repair snapshot at the current end of the log
+// every snapEvery admitted items.
+func (m *Monitor) maybeSnapshot() {
+	if !m.wantSnapshots() {
+		return
+	}
+	m.sinceSnap++
+	if m.sinceSnap < snapEvery || len(m.log) == m.head {
+		return
+	}
+	last := &m.log[len(m.log)-1]
+	m.addSnapshot(snapshot{bSync: last.sync(), bSeq: last.seq,
+		op: m.op.Clone(), tbl: m.copyTable(m.emitted)})
+	m.sinceSnap = 0
+}
+
+func (m *Monitor) addSnapshot(sn snapshot) {
+	if len(m.snaps) >= maxSnaps {
+		m.recycle(m.snaps[0].tbl)
+		copy(m.snaps, m.snaps[1:])
+		m.snaps[len(m.snaps)-1] = sn
+		return
+	}
+	m.snaps = append(m.snaps, sn)
+}
+
+// copyTable duplicates a net-fact table (sharing the immutable entries),
+// preferring a recycled map from discarded snapshots over a fresh
+// allocation.
+func (m *Monitor) copyTable(tbl map[event.ID]*netFact) map[event.ID]*netFact {
+	var out map[event.ID]*netFact
+	if n := len(m.tblPool); n > 0 {
+		out = m.tblPool[n-1]
+		m.tblPool[n-1] = nil
+		m.tblPool = m.tblPool[:n-1]
+		clear(out)
+	} else {
+		out = make(map[event.ID]*netFact, len(tbl))
+	}
+	for id, nf := range tbl {
+		out[id] = nf
+	}
+	return out
+}
+
+// recycle returns a snapshot table to the pool.
+func (m *Monitor) recycle(tbl map[event.ID]*netFact) {
+	if tbl == nil || len(m.tblPool) >= maxSnaps {
+		return
+	}
+	m.tblPool = append(m.tblPool, tbl)
 }
 
 // checkpointTo absorbs every log item with Sync <= g into the checkpoint
 // operator (with the same advance policy the live path used, so the two
-// stay identical) and silently rebuilds the net-emitted table from the
-// remaining suffix.
+// stay identical). Instead of replaying the remaining suffix to rebuild the
+// net-emitted table, it drops the facts the absorbed prefix produced — each
+// fact records its source item's Sync — which is equivalent and O(table).
 func (m *Monitor) checkpointTo(g temporal.Time) {
-	cut := 0
+	cut := m.head
 	for cut < len(m.log) && m.log[cut].sync() <= g {
 		item := m.log[cut]
 		if item.marker {
@@ -386,30 +695,47 @@ func (m *Monitor) checkpointTo(g temporal.Time) {
 		}
 		cut++
 	}
-	if cut == 0 {
+	if cut == m.head {
 		return
 	}
-	m.log = append([]logItem{}, m.log[cut:]...)
-	m.rebuildEmitted()
-}
-
-// rebuildEmitted recomputes the net-emitted table as the fold of the log
-// suffix over a clone of the checkpoint, preserving generations.
-// Generations of facts that became final are forgotten.
-func (m *Monitor) rebuildEmitted() {
-	fresh := m.ckpt.Clone()
-	newEmitted := map[event.ID]netFact{}
-	m.replayInto(fresh, newEmitted)
-	for id, nf := range newEmitted {
-		if old, ok := m.emitted[id]; ok {
-			nf.gen = old.gen
-			newEmitted[id] = nf
-		} else if g, ok := m.gen[id]; ok {
-			nf.gen = g
-			newEmitted[id] = nf
+	// Snapshots that do not cover the absorbed prefix would need discarded
+	// log items to replay; drop them.
+	ls, lq := m.log[cut-1].sync(), m.log[cut-1].seq
+	keep := 0
+	for keep < len(m.snaps) {
+		sn := &m.snaps[keep]
+		if sn.bSync < ls || (sn.bSync == ls && sn.bSeq < lq) {
+			keep++
+			continue
+		}
+		break
+	}
+	if keep > 0 {
+		for i := 0; i < keep; i++ {
+			m.recycle(m.snaps[i].tbl)
+		}
+		n := copy(m.snaps, m.snaps[keep:])
+		clear(m.snaps[n:])
+		m.snaps = m.snaps[:n]
+	}
+	m.head = cut
+	m.absSync, m.absSeq = ls, lq
+	// Facts produced by the absorbed prefix are final; forget them. This is
+	// exactly the table a replay of the remaining suffix over the new
+	// checkpoint would build.
+	for id, nf := range m.emitted {
+		if keyLE(nf.srcSync, nf.srcSeq, ls, lq) {
+			delete(m.emitted, id)
 		}
 	}
-	m.emitted = newEmitted
+	m.ckptState = m.ckpt.StateSize()
+	// Amortized compaction of the absorbed prefix.
+	if m.head >= compactAt && m.head >= len(m.log)-m.head {
+		n := copy(m.log, m.log[m.head:])
+		clear(m.log[n:])
+		m.log = m.log[:n]
+		m.head = 0
+	}
 }
 
 // trimMemory enforces the M bound: log items older than frontier − M are
@@ -419,20 +745,18 @@ func (m *Monitor) trimMemory() {
 		return
 	}
 	horizon := m.frontier.Add(-m.spec.M)
-	if len(m.log) > 0 && m.log[0].sync() < horizon {
+	if m.head < len(m.log) && m.log[m.head].sync() < horizon {
 		m.checkpointTo(horizon)
 	}
 }
 
 // emit records freshly produced operator output in the net-emitted table
-// and rewrites IDs with the fact's current generation, so that a removed-
-// and-reinserted fact never reuses a physical ID (the paper's new-K-chain
-// rule from Figure 2).
-func (m *Monitor) emit(outs []event.Event) []event.Event {
-	if len(outs) == 0 {
-		return nil
-	}
-	rewritten := make([]event.Event, 0, len(outs))
+// and appends the physical items — IDs rewritten with the fact's current
+// generation, so that a removed-and-reinserted fact never reuses a physical
+// ID (the paper's new-K-chain rule from Figure 2) — to the output buffer.
+// (srcSync, srcSeq) is the key of the log item whose processing produced
+// the output.
+func (m *Monitor) emit(srcSync temporal.Time, srcSeq int, outs []event.Event) {
 	for _, e := range outs {
 		gid := m.genOf(e.ID)
 		if e.Kind == event.Retract {
@@ -442,19 +766,19 @@ func (m *Monitor) emit(outs []event.Event) []event.Event {
 					m.gen[e.ID] = nf.gen + 1 // retire this generation
 					delete(m.emitted, e.ID)
 				} else {
-					nf.ev.V.End = e.V.End
-					m.emitted[e.ID] = nf
+					shrunk := *nf // copy-on-write: nf may be shared with snapshots
+					shrunk.ev.V.End = e.V.End
+					m.emitted[e.ID] = &shrunk
 				}
 			}
 		} else {
 			m.met.OutputInserts++
-			m.emitted[e.ID] = netFact{ev: e.Clone(), gen: gid}
+			m.emitted[e.ID] = &netFact{ev: e, gen: gid, srcSync: srcSync, srcSeq: srcSeq}
 		}
-		r := e.Clone()
+		r := e
 		r.ID = event.Pair(e.ID, event.ID(gid))
-		rewritten = append(rewritten, r)
+		m.out = append(m.out, r)
 	}
-	return rewritten
 }
 
 func (m *Monitor) genOf(id event.ID) uint64 {
@@ -465,104 +789,134 @@ func (m *Monitor) genOf(id event.ID) uint64 {
 }
 
 // foldInto applies operator outputs to a net-fact table without emitting.
-func foldInto(tbl map[event.ID]netFact, outs []event.Event) {
+// When a replayed output reproduces the live table's entry exactly, the
+// existing entry is shared instead of allocating a new one; diff then
+// recognizes untouched facts by pointer identity and skips them.
+func (m *Monitor) foldInto(tbl map[event.ID]*netFact, srcSync temporal.Time, srcSeq int, outs []event.Event) {
 	for _, e := range outs {
 		if e.Kind == event.Retract {
 			if nf, ok := tbl[e.ID]; ok {
+				m.dirty = append(m.dirty, e.ID)
 				if e.V.End <= nf.ev.V.Start {
 					delete(tbl, e.ID)
 				} else {
-					nf.ev.V.End = e.V.End
-					tbl[e.ID] = nf
+					shrunk := *nf // copy-on-write: nf may be shared with snapshots
+					shrunk.ev.V.End = e.V.End
+					tbl[e.ID] = &shrunk
 				}
 			}
 			continue
 		}
-		tbl[e.ID] = netFact{ev: e.Clone()}
+		if d, ok := m.emitted[e.ID]; ok && d.srcSync == srcSync && d.srcSeq == srcSeq && d.ev.Identical(e) {
+			tbl[e.ID] = d
+			continue
+		}
+		m.dirty = append(m.dirty, e.ID)
+		tbl[e.ID] = &netFact{ev: e, srcSync: srcSync, srcSeq: srcSeq}
 	}
 }
 
 // diff compares the previously emitted net facts against the replayed net
-// facts and produces the compensating physical deltas: retractions for
-// facts that shrank or vanished, fresh inserts (under a bumped generation)
-// for facts that appeared or changed shape.
-func (m *Monitor) diff(next map[event.ID]netFact) []event.Event {
-	ids := make([]event.ID, 0, len(m.emitted)+len(next))
-	seen := map[event.ID]bool{}
-	for id := range m.emitted {
-		ids = append(ids, id)
-		seen[id] = true
-	}
-	for id := range next {
-		if !seen[id] {
-			ids = append(ids, id)
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+// facts and appends the compensating physical deltas: retractions for facts
+// that shrank or vanished, fresh inserts (under a bumped generation) for
+// facts that appeared or changed shape. Only the ids in m.dirty — the
+// candidates the repair fold collected — can differ; everything else is
+// inherited or re-derived as the identical shared entry.
+func (m *Monitor) diff(next map[event.ID]*netFact) {
+	ids := append(m.diffIDs[:0], m.dirty...)
+	slices.Sort(ids)
+	m.diffIDs = ids
 
-	var out []event.Event
+	var prev event.ID
+	first := true
 	for _, id := range ids {
+		if !first && id == prev {
+			continue // dirty list may hold duplicates
+		}
+		prev, first = id, false
 		old, hadOld := m.emitted[id]
 		nw, hasNew := next[id]
+		if !hadOld && !hasNew {
+			continue // touched during the fold but net-absent on both sides
+		}
+		if hadOld && old == nw {
+			// Shared entry: the replay reproduced this fact bit for bit
+			// (same generation included); nothing to emit or patch.
+			continue
+		}
 		switch {
 		case hadOld && !hasNew:
-			r := old.ev.Clone()
+			r := old.ev
 			r.Kind = event.Retract
 			r.V.End = r.V.Start
 			r.ID = event.Pair(id, event.ID(old.gen))
-			out = append(out, r)
+			m.out = append(m.out, r)
 			m.met.OutputRetractions++
 			m.met.Compensations++
 			m.gen[id] = old.gen + 1
 		case !hadOld && hasNew:
 			ng := m.gen[id]
-			ins := nw.ev.Clone()
+			ins := nw.ev
 			ins.ID = event.Pair(id, event.ID(ng))
-			nw.gen = ng
-			next[id] = nw
-			out = append(out, ins)
+			if nw.gen != ng {
+				cp := *nw
+				cp.gen = ng
+				next[id] = &cp
+			}
+			m.out = append(m.out, ins)
 			m.met.OutputInserts++
 		case old.ev.SameFact(nw.ev):
-			nw.gen = old.gen
-			next[id] = nw
+			if nw.gen != old.gen {
+				cp := *nw
+				cp.gen = old.gen
+				next[id] = &cp
+			}
 		case nw.ev.V.Start == old.ev.V.Start && nw.ev.V.End < old.ev.V.End && nw.ev.Payload.Equal(old.ev.Payload):
-			r := old.ev.Clone()
+			r := old.ev
 			r.Kind = event.Retract
 			r.V.End = nw.ev.V.End
 			r.ID = event.Pair(id, event.ID(old.gen))
-			out = append(out, r)
+			m.out = append(m.out, r)
 			m.met.OutputRetractions++
 			m.met.Compensations++
-			nw.gen = old.gen
-			next[id] = nw
+			if nw.gen != old.gen {
+				cp := *nw
+				cp.gen = old.gen
+				next[id] = &cp
+			}
 		default:
 			// Shape changed: remove and reinsert under a new generation.
-			r := old.ev.Clone()
+			r := old.ev
 			r.Kind = event.Retract
 			r.V.End = r.V.Start
 			r.ID = event.Pair(id, event.ID(old.gen))
-			out = append(out, r)
+			m.out = append(m.out, r)
 			m.met.OutputRetractions++
 			m.met.Compensations++
 			ng := old.gen + 1
-			ins := nw.ev.Clone()
+			ins := nw.ev
 			ins.ID = event.Pair(id, event.ID(ng))
-			out = append(out, ins)
+			m.out = append(m.out, ins)
 			m.met.OutputInserts++
-			nw.gen = ng
-			next[id] = nw
+			cp := *nw
+			cp.gen = ng
+			next[id] = &cp
 			m.gen[id] = ng
 		}
 	}
-	return out
 }
 
-// stamp sets the CEDR time of emitted items to the current arrival instant.
-func (m *Monitor) stamp(outs []event.Event) []event.Event {
-	for i := range outs {
-		outs[i].C = temporal.From(m.now)
+// stampOut sets the CEDR time of the buffered output items to the current
+// arrival instant and returns the buffer (nil when empty, so callers can
+// distinguish "no output" cheaply).
+func (m *Monitor) stampOut() []event.Event {
+	if len(m.out) == 0 {
+		return nil
 	}
-	return outs
+	for i := range m.out {
+		m.out[i].C = temporal.From(m.now)
+	}
+	return m.out
 }
 
 func (m *Monitor) nextSeq() int {
@@ -571,7 +925,10 @@ func (m *Monitor) nextSeq() int {
 }
 
 func (m *Monitor) sampleState() {
-	cur := len(m.buffer) + len(m.log) + m.op.StateSize() + m.ckpt.StateSize()
+	// Snapshot state is a derived cache (bounded by maxSnaps) and is
+	// deliberately excluded, keeping the Figure 8 state axis comparable to
+	// the reference semantics.
+	cur := len(m.buffer) + (len(m.log) - m.head) + m.op.StateSize() + m.ckptState
 	m.met.CurState = cur
 	if cur > m.met.MaxState {
 		m.met.MaxState = cur
@@ -581,16 +938,16 @@ func (m *Monitor) sampleState() {
 // Finish closes the stream: it releases every buffered event (as if a final
 // guarantee covered the whole stream) and advances the operator to
 // infinity, flushing blocking operators. The returned items complete the
-// output history.
+// output history and are valid until the next call on this monitor.
 func (m *Monitor) Finish() []event.Event {
-	var out []event.Event
+	m.out = m.out[:0]
 	for _, be := range m.buffer {
-		out = append(out, m.admit(be.port, be.ev)...)
+		m.admit(be.port, be.ev)
 	}
 	m.buffer = nil
-	out = append(out, m.emit(m.op.Advance(temporal.Infinity))...)
+	m.emit(temporal.Infinity, m.seq, m.op.Advance(temporal.Infinity))
 	m.met.OutputCTIs++
-	out = append(out, event.NewCTI(temporal.Infinity))
+	m.out = append(m.out, event.NewCTI(temporal.Infinity))
 	m.sampleState()
-	return m.stamp(out)
+	return m.stampOut()
 }

@@ -1,0 +1,460 @@
+package consistency
+
+// This file freezes the pre-optimization consistency monitor as a
+// test-only reference. It is a verbatim copy of the seed monitor.go
+// (sort-per-push alignment buffer, full-log sortLog, copy-per-checkpoint,
+// full replay-from-checkpoint repair) with types renamed ref*. The
+// randomized property test in equivalence_test.go asserts that the
+// optimized Monitor produces item-for-item identical physical output.
+//
+// Do not "improve" this file: its value is that it is slow and obviously
+// correct.
+
+import (
+	"sort"
+
+	"repro/internal/event"
+	"repro/internal/operators"
+	"repro/internal/temporal"
+)
+
+type refMonitor struct {
+	op   operators.Op
+	ckpt operators.Op
+	spec Spec
+
+	log     []refLogItem
+	emitted map[event.ID]refNetFact
+	gen     map[event.ID]uint64
+	buffer  []refBufEntry
+
+	portG         []temporal.Time
+	guarantee     temporal.Time
+	frontier      temporal.Time
+	processedSync temporal.Time
+	seq           int
+	now           temporal.Time
+
+	met Metrics
+}
+
+type refLogItem struct {
+	marker bool
+	t      temporal.Time
+	key    temporal.Time
+	port   int
+	ev     event.Event
+	seq    int
+	opt    bool
+}
+
+func (li refLogItem) sync() temporal.Time {
+	if li.marker {
+		return li.key
+	}
+	return li.ev.Sync()
+}
+
+type refBufEntry struct {
+	port    int
+	ev      event.Event
+	arrival temporal.Time
+	seq     int
+}
+
+type refNetFact struct {
+	ev  event.Event
+	gen uint64
+}
+
+func newRefMonitor(op operators.Op, spec Spec) *refMonitor {
+	portG := make([]temporal.Time, op.Arity())
+	for i := range portG {
+		portG[i] = temporal.MinTime
+	}
+	return &refMonitor{
+		op:            op,
+		ckpt:          op.Clone(),
+		spec:          spec,
+		emitted:       map[event.ID]refNetFact{},
+		gen:           map[event.ID]uint64{},
+		portG:         portG,
+		guarantee:     temporal.MinTime,
+		frontier:      temporal.MinTime,
+		processedSync: temporal.MinTime,
+	}
+}
+
+func (m *refMonitor) Metrics() Metrics { return m.met }
+
+func (m *refMonitor) SetSpec(s Spec) []event.Event {
+	m.spec = s
+	out := m.releaseTimedOut()
+	m.trimMemory()
+	m.sampleState()
+	return m.stamp(out)
+}
+
+func (m *refMonitor) Push(port int, e event.Event) []event.Event {
+	if port < 0 || port >= len(m.portG) {
+		return nil
+	}
+	if e.C.Start > m.now {
+		m.now = e.C.Start
+	}
+	var out []event.Event
+	if e.IsCTI() {
+		m.met.InputCTIs++
+		out = m.pushCTI(port, e.Sync())
+	} else {
+		m.met.InputEvents++
+		out = m.pushData(port, e)
+	}
+	m.trimMemory()
+	m.sampleState()
+	return m.stamp(out)
+}
+
+func (m *refMonitor) pushCTI(port int, t temporal.Time) []event.Event {
+	if t > m.portG[port] {
+		m.portG[port] = t
+	}
+	g := m.portG[0]
+	for _, pg := range m.portG[1:] {
+		if pg < g {
+			g = pg
+		}
+	}
+	if g <= m.guarantee {
+		return nil
+	}
+	m.guarantee = g
+	if g > m.frontier {
+		m.frontier = g
+	}
+	var out []event.Event
+	out = append(out, m.releaseCovered(g)...)
+	key := g
+	if m.processedSync > key {
+		key = m.processedSync
+	}
+	m.log = append(m.log, refLogItem{marker: true, t: g, key: key, seq: m.nextSeq()})
+	m.sortLog()
+	out = append(out, m.emit(m.op.Advance(g))...)
+	m.checkpointTo(g)
+	out = append(out, m.releaseTimedOut()...)
+	og := m.op.OutputGuarantee(g)
+	m.met.OutputCTIs++
+	out = append(out, event.NewCTI(og))
+	return out
+}
+
+func (m *refMonitor) pushData(port int, e event.Event) []event.Event {
+	if e.Sync() < m.guarantee {
+		m.met.Violations++
+		return nil
+	}
+	if e.Sync() > m.frontier {
+		m.frontier = e.Sync()
+	}
+	if m.spec.M != Unbounded && e.Sync() < m.frontier.Add(-m.spec.M) {
+		m.met.Dropped++
+		return nil
+	}
+	var out []event.Event
+	if m.spec.B > 0 && e.Sync() >= m.processedSync {
+		m.buffer = append(m.buffer, refBufEntry{port: port, ev: e, arrival: m.now, seq: m.nextSeq()})
+		sort.SliceStable(m.buffer, func(i, j int) bool {
+			return m.buffer[i].ev.Sync() < m.buffer[j].ev.Sync()
+		})
+	} else {
+		out = append(out, m.admit(port, e)...)
+	}
+	out = append(out, m.releaseTimedOut()...)
+	return out
+}
+
+func (m *refMonitor) releaseCovered(g temporal.Time) []event.Event {
+	var out []event.Event
+	i := 0
+	for ; i < len(m.buffer); i++ {
+		if m.buffer[i].ev.Sync() > g {
+			break
+		}
+		be := m.buffer[i]
+		m.met.BlockedEvents++
+		m.met.TotalBlocking += m.now.Sub(be.arrival)
+		out = append(out, m.admit(be.port, be.ev)...)
+	}
+	m.buffer = m.buffer[i:]
+	return out
+}
+
+func (m *refMonitor) releaseTimedOut() []event.Event {
+	if m.spec.B == Unbounded {
+		return nil
+	}
+	var out []event.Event
+	i := 0
+	for ; i < len(m.buffer); i++ {
+		be := m.buffer[i]
+		if be.ev.Sync().Add(m.spec.B) >= m.frontier {
+			break
+		}
+		m.met.BlockedEvents++
+		m.met.TotalBlocking += m.now.Sub(be.arrival)
+		out = append(out, m.admit(be.port, be.ev)...)
+	}
+	m.buffer = m.buffer[i:]
+	return out
+}
+
+func (m *refMonitor) admit(port int, e event.Event) []event.Event {
+	li := refLogItem{port: port, ev: e, seq: m.nextSeq(), opt: m.spec.B != Unbounded}
+	if e.Sync() >= m.processedSync {
+		m.log = append(m.log, li)
+		var out []event.Event
+		if li.opt {
+			out = append(out, m.emit(m.op.Advance(e.Sync()))...)
+		}
+		out = append(out, m.emit(m.op.Process(port, e))...)
+		m.processedSync = e.Sync()
+		return out
+	}
+	m.met.Replays++
+	m.log = append(m.log, li)
+	m.sortLog()
+	fresh := m.ckpt.Clone()
+	newEmitted := map[event.ID]refNetFact{}
+	m.replayInto(fresh, newEmitted)
+	m.op = fresh
+	deltas := m.diff(newEmitted)
+	m.emitted = newEmitted
+	return deltas
+}
+
+func (m *refMonitor) replayInto(fresh operators.Op, tbl map[event.ID]refNetFact) {
+	for _, item := range m.log {
+		if item.marker {
+			refFoldInto(tbl, fresh.Advance(item.t))
+			continue
+		}
+		if item.opt {
+			refFoldInto(tbl, fresh.Advance(item.ev.Sync()))
+		}
+		refFoldInto(tbl, fresh.Process(item.port, item.ev))
+	}
+}
+
+func (m *refMonitor) sortLog() {
+	sort.SliceStable(m.log, func(i, j int) bool {
+		si, sj := m.log[i].sync(), m.log[j].sync()
+		if si != sj {
+			return si < sj
+		}
+		return m.log[i].seq < m.log[j].seq
+	})
+}
+
+func (m *refMonitor) checkpointTo(g temporal.Time) {
+	cut := 0
+	for cut < len(m.log) && m.log[cut].sync() <= g {
+		item := m.log[cut]
+		if item.marker {
+			m.ckpt.Advance(item.t)
+		} else {
+			if item.opt {
+				m.ckpt.Advance(item.ev.Sync())
+			}
+			m.ckpt.Process(item.port, item.ev)
+		}
+		cut++
+	}
+	if cut == 0 {
+		return
+	}
+	m.log = append([]refLogItem{}, m.log[cut:]...)
+	m.rebuildEmitted()
+}
+
+func (m *refMonitor) rebuildEmitted() {
+	fresh := m.ckpt.Clone()
+	newEmitted := map[event.ID]refNetFact{}
+	m.replayInto(fresh, newEmitted)
+	for id, nf := range newEmitted {
+		if old, ok := m.emitted[id]; ok {
+			nf.gen = old.gen
+			newEmitted[id] = nf
+		} else if g, ok := m.gen[id]; ok {
+			nf.gen = g
+			newEmitted[id] = nf
+		}
+	}
+	m.emitted = newEmitted
+}
+
+func (m *refMonitor) trimMemory() {
+	if m.spec.M == Unbounded {
+		return
+	}
+	horizon := m.frontier.Add(-m.spec.M)
+	if len(m.log) > 0 && m.log[0].sync() < horizon {
+		m.checkpointTo(horizon)
+	}
+}
+
+func (m *refMonitor) emit(outs []event.Event) []event.Event {
+	if len(outs) == 0 {
+		return nil
+	}
+	rewritten := make([]event.Event, 0, len(outs))
+	for _, e := range outs {
+		gid := m.genOf(e.ID)
+		if e.Kind == event.Retract {
+			m.met.OutputRetractions++
+			if nf, ok := m.emitted[e.ID]; ok {
+				if e.V.End <= nf.ev.V.Start {
+					m.gen[e.ID] = nf.gen + 1
+					delete(m.emitted, e.ID)
+				} else {
+					nf.ev.V.End = e.V.End
+					m.emitted[e.ID] = nf
+				}
+			}
+		} else {
+			m.met.OutputInserts++
+			m.emitted[e.ID] = refNetFact{ev: e.Clone(), gen: gid}
+		}
+		r := e.Clone()
+		r.ID = event.Pair(e.ID, event.ID(gid))
+		rewritten = append(rewritten, r)
+	}
+	return rewritten
+}
+
+func (m *refMonitor) genOf(id event.ID) uint64 {
+	if nf, ok := m.emitted[id]; ok {
+		return nf.gen
+	}
+	return m.gen[id]
+}
+
+func refFoldInto(tbl map[event.ID]refNetFact, outs []event.Event) {
+	for _, e := range outs {
+		if e.Kind == event.Retract {
+			if nf, ok := tbl[e.ID]; ok {
+				if e.V.End <= nf.ev.V.Start {
+					delete(tbl, e.ID)
+				} else {
+					nf.ev.V.End = e.V.End
+					tbl[e.ID] = nf
+				}
+			}
+			continue
+		}
+		tbl[e.ID] = refNetFact{ev: e.Clone()}
+	}
+}
+
+func (m *refMonitor) diff(next map[event.ID]refNetFact) []event.Event {
+	ids := make([]event.ID, 0, len(m.emitted)+len(next))
+	seen := map[event.ID]bool{}
+	for id := range m.emitted {
+		ids = append(ids, id)
+		seen[id] = true
+	}
+	for id := range next {
+		if !seen[id] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	var out []event.Event
+	for _, id := range ids {
+		old, hadOld := m.emitted[id]
+		nw, hasNew := next[id]
+		switch {
+		case hadOld && !hasNew:
+			r := old.ev.Clone()
+			r.Kind = event.Retract
+			r.V.End = r.V.Start
+			r.ID = event.Pair(id, event.ID(old.gen))
+			out = append(out, r)
+			m.met.OutputRetractions++
+			m.met.Compensations++
+			m.gen[id] = old.gen + 1
+		case !hadOld && hasNew:
+			ng := m.gen[id]
+			ins := nw.ev.Clone()
+			ins.ID = event.Pair(id, event.ID(ng))
+			nw.gen = ng
+			next[id] = nw
+			out = append(out, ins)
+			m.met.OutputInserts++
+		case old.ev.SameFact(nw.ev):
+			nw.gen = old.gen
+			next[id] = nw
+		case nw.ev.V.Start == old.ev.V.Start && nw.ev.V.End < old.ev.V.End && nw.ev.Payload.Equal(old.ev.Payload):
+			r := old.ev.Clone()
+			r.Kind = event.Retract
+			r.V.End = nw.ev.V.End
+			r.ID = event.Pair(id, event.ID(old.gen))
+			out = append(out, r)
+			m.met.OutputRetractions++
+			m.met.Compensations++
+			nw.gen = old.gen
+			next[id] = nw
+		default:
+			r := old.ev.Clone()
+			r.Kind = event.Retract
+			r.V.End = r.V.Start
+			r.ID = event.Pair(id, event.ID(old.gen))
+			out = append(out, r)
+			m.met.OutputRetractions++
+			m.met.Compensations++
+			ng := old.gen + 1
+			ins := nw.ev.Clone()
+			ins.ID = event.Pair(id, event.ID(ng))
+			out = append(out, ins)
+			m.met.OutputInserts++
+			nw.gen = ng
+			next[id] = nw
+			m.gen[id] = ng
+		}
+	}
+	return out
+}
+
+func (m *refMonitor) stamp(outs []event.Event) []event.Event {
+	for i := range outs {
+		outs[i].C = temporal.From(m.now)
+	}
+	return outs
+}
+
+func (m *refMonitor) nextSeq() int {
+	m.seq++
+	return m.seq
+}
+
+func (m *refMonitor) sampleState() {
+	cur := len(m.buffer) + len(m.log) + m.op.StateSize() + m.ckpt.StateSize()
+	m.met.CurState = cur
+	if cur > m.met.MaxState {
+		m.met.MaxState = cur
+	}
+}
+
+func (m *refMonitor) Finish() []event.Event {
+	var out []event.Event
+	for _, be := range m.buffer {
+		out = append(out, m.admit(be.port, be.ev)...)
+	}
+	m.buffer = nil
+	out = append(out, m.emit(m.op.Advance(temporal.Infinity))...)
+	m.met.OutputCTIs++
+	out = append(out, event.NewCTI(temporal.Infinity))
+	m.sampleState()
+	return m.stamp(out)
+}

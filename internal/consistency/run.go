@@ -29,7 +29,11 @@ func FeedMerged(m *Monitor, inputs ...stream.Stream) stream.Stream {
 		pos  int
 		ev   event.Event
 	}
-	var all []tagged
+	total := 0
+	for _, in := range inputs {
+		total += len(in)
+	}
+	all := make([]tagged, 0, total)
 	for port, in := range inputs {
 		for pos, e := range in {
 			all = append(all, tagged{port, pos, e})
@@ -44,7 +48,7 @@ func FeedMerged(m *Monitor, inputs ...stream.Stream) stream.Stream {
 		}
 		return all[i].pos < all[j].pos
 	})
-	var out stream.Stream
+	out := make(stream.Stream, 0, total)
 	for _, t := range all {
 		out = append(out, m.Push(t.port, t.ev)...)
 	}

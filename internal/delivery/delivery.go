@@ -148,19 +148,40 @@ func Deliver(src stream.Stream, cfg Config) stream.Stream {
 }
 
 // fixPunctuation delays each CTI until after the arrival of every data event
-// its guarantee covers, keeping punctuation truthful under reordering.
+// its guarantee covers, keeping punctuation truthful under reordering. For a
+// CTI with guarantee t and scheduled arrival a, the truthful arrival is
+// max(a, M+1) where M is the latest arrival among data events with Sync < t
+// — computed for all CTIs at once from a Sync-sorted prefix maximum instead
+// of the former O(n²) rescan per CTI.
 func fixPunctuation(arr []arrival) {
+	type syncAt struct {
+		sync temporal.Time
+		at   temporal.Time
+	}
+	data := make([]syncAt, 0, len(arr))
+	for i := range arr {
+		if !arr[i].ev.IsCTI() {
+			data = append(data, syncAt{sync: arr[i].ev.Sync(), at: arr[i].at})
+		}
+	}
+	sort.Slice(data, func(i, j int) bool { return data[i].sync < data[j].sync })
+	for i := 1; i < len(data); i++ {
+		if data[i].at < data[i-1].at {
+			data[i].at = data[i-1].at // prefix max of arrival over Sync order
+		}
+	}
 	for i := range arr {
 		if !arr[i].ev.IsCTI() {
 			continue
 		}
 		t := arr[i].ev.Sync()
-		latest := arr[i].at
-		for j := range arr {
-			if !arr[j].ev.IsCTI() && arr[j].ev.Sync() < t && arr[j].at >= latest {
-				latest = arr[j].at.Add(1)
-			}
+		// Last data index with Sync < t.
+		j := sort.Search(len(data), func(k int) bool { return data[k].sync >= t }) - 1
+		if j < 0 {
+			continue
 		}
-		arr[i].at = latest
+		if m := data[j].at; m >= arr[i].at {
+			arr[i].at = m.Add(1)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package delivery
 
 import (
+	"math/rand"
 	"testing"
 
 	"repro/internal/event"
@@ -122,5 +123,56 @@ func TestRetractionsTravelToo(t *testing.T) {
 	out := Deliver(src, Ordered(0))
 	if st := stream.Measure(out); st.Retractions != 1 {
 		t.Error("retraction lost in delivery")
+	}
+}
+
+// fixPunctuationReference is the original O(n²) per-CTI rescan; the
+// prefix-max implementation must reproduce it exactly — the seeded
+// benchmark streams depend on identical arrival times.
+func fixPunctuationReference(arr []arrival) {
+	for i := range arr {
+		if !arr[i].ev.IsCTI() {
+			continue
+		}
+		t := arr[i].ev.Sync()
+		latest := arr[i].at
+		for j := range arr {
+			if !arr[j].ev.IsCTI() && arr[j].ev.Sync() < t && arr[j].at >= latest {
+				latest = arr[j].at.Add(1)
+			}
+		}
+		arr[i].at = latest
+	}
+}
+
+func TestFixPunctuationMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 50; trial++ {
+		n := 5 + rng.Intn(120)
+		mk := func() []arrival {
+			arr := make([]arrival, 0, n)
+			for i := 0; i < n; i++ {
+				at := temporal.Time(rng.Intn(200))
+				if rng.Intn(4) == 0 {
+					arr = append(arr, arrival{
+						ev: event.NewCTI(temporal.Time(rng.Intn(300))), at: at, seq: i})
+				} else {
+					vs := temporal.Time(rng.Intn(300))
+					arr = append(arr, arrival{
+						ev: event.NewInsert(event.ID(i+1), "E", vs, vs+10, nil), at: at, seq: i})
+				}
+			}
+			return arr
+		}
+		got := mk()
+		want := append([]arrival(nil), got...)
+		fixPunctuation(got)
+		fixPunctuationReference(want)
+		for i := range got {
+			if got[i].at != want[i].at {
+				t.Fatalf("trial %d: arrival %d fixed to %v, reference %v",
+					trial, i, got[i].at, want[i].at)
+			}
+		}
 	}
 }

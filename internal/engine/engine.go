@@ -17,7 +17,7 @@ import (
 
 // Engine hosts standing queries.
 type Engine struct {
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	queries []*Query
 }
 
@@ -49,15 +49,25 @@ func (e *Engine) RegisterText(src string, opts ...plan.Option) (*Query, error) {
 
 // Queries lists the registered queries.
 func (e *Engine) Queries() []*Query {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return append([]*Query(nil), e.queries...)
+}
+
+// snapshot returns the current query list without copying. Register only
+// ever appends (the backing array is never mutated in place), so the
+// returned slice stays valid after the lock is released.
+func (e *Engine) snapshot() []*Query {
+	e.mu.RLock()
+	qs := e.queries
+	e.mu.RUnlock()
+	return qs
 }
 
 // Query returns the named query, if registered.
 func (e *Engine) Query(name string) (*Query, bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	for _, q := range e.queries {
 		if q.name == name {
 			return q, true
@@ -66,27 +76,34 @@ func (e *Engine) Query(name string) (*Query, bool) {
 	return nil, false
 }
 
-// Push delivers one physical item to every registered query.
+// Push delivers one physical item to every registered query. The query
+// list is snapshotted once per call — no per-event copying, and concurrent
+// Registers only take effect for subsequent pushes.
 func (e *Engine) Push(ev event.Event) {
-	for _, q := range e.Queries() {
+	for _, q := range e.snapshot() {
 		q.Push(ev)
 	}
 }
 
 // Finish flushes every query.
 func (e *Engine) Finish() {
-	for _, q := range e.Queries() {
+	for _, q := range e.snapshot() {
 		q.Finish()
 	}
 }
 
 // Run pushes an entire physical stream and finishes; a convenience for
-// finite workloads.
+// finite workloads. The query list is snapshotted once for the whole run.
 func (e *Engine) Run(s stream.Stream) {
+	qs := e.snapshot()
 	for _, ev := range s {
-		e.Push(ev)
+		for _, q := range qs {
+			q.Push(ev)
+		}
 	}
-	e.Finish()
+	for _, q := range qs {
+		q.Finish()
+	}
 }
 
 // Query is one standing query: a chain of consistency monitors.
@@ -98,6 +115,10 @@ type Query struct {
 	mu      sync.Mutex
 	results stream.Stream
 	subs    []func(event.Event)
+
+	// batchA/batchB are the double-buffered inter-stage batches reused by
+	// Push and Finish, so driving the chain allocates nothing per event.
+	batchA, batchB []event.Event
 }
 
 // Name returns the query's registered name.
@@ -115,21 +136,25 @@ func (q *Query) Subscribe(fn func(event.Event)) {
 }
 
 // Push feeds one physical item through the monitor chain and returns the
-// final-stage outputs.
+// final-stage outputs. The returned slice is reused by the next Push on
+// this query; callers must copy what they keep.
 func (q *Query) Push(ev event.Event) []event.Event {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	batch := []event.Event{ev}
+	batch := append(q.batchA[:0], ev)
+	next := q.batchB[:0]
 	for _, m := range q.monitors {
-		var next []event.Event
+		next = next[:0]
 		for _, item := range batch {
 			next = append(next, m.Push(0, item)...)
 		}
-		batch = next
+		batch, next = next, batch
 		if len(batch) == 0 {
+			q.batchA, q.batchB = batch, next
 			return nil
 		}
 	}
+	q.batchA, q.batchB = batch, next
 	q.deliver(batch)
 	return batch
 }

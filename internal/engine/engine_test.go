@@ -259,3 +259,94 @@ func TestSlicedQuery(t *testing.T) {
 		t.Fatal("slice removed everything")
 	}
 }
+
+// Concurrent Register while Push traffic is flowing: the engine snapshots
+// the query list per push instead of locking and copying it per event, and
+// late-registered queries must only see subsequent events.
+func TestConcurrentRegisterAndPush(t *testing.T) {
+	eng := New()
+	register := func() (*Query, error) {
+		p, err := plan.Compile(`EVENT Out WHEN ANY(E e)`)
+		if err != nil {
+			return nil, err
+		}
+		return eng.Register(p), nil
+	}
+	first, err := register()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 2000
+	type regResult struct {
+		late []*Query
+		err  error
+	}
+	done := make(chan regResult)
+	go func() {
+		var r regResult
+		for i := 0; i < 40; i++ {
+			q, err := register()
+			if err != nil {
+				r.err = err
+				break
+			}
+			r.late = append(r.late, q)
+		}
+		done <- r
+	}()
+	for i := 0; i < n; i++ {
+		ev := event.NewInsert(event.ID(i+1), "E", temporal.Time(i), temporal.Time(i+5), nil)
+		ev.C = temporal.From(temporal.Time(i))
+		eng.Push(ev)
+	}
+	reg := <-done
+	eng.Finish()
+	if reg.err != nil {
+		t.Fatal(reg.err)
+	}
+	late := reg.late
+
+	if got := len(first.Results().Events()); got != n {
+		t.Fatalf("first query saw %d events, want %d", got, n)
+	}
+	for i, q := range late {
+		if got := len(q.Results().Events()); got > n {
+			t.Fatalf("late query %d saw %d events (> %d pushed)", i, got, n)
+		}
+	}
+	if qs := eng.Queries(); len(qs) != 41 {
+		t.Fatalf("registered %d queries, want 41", len(qs))
+	}
+}
+
+// The slice returned by Query.Push aliases an internal double buffer; it
+// must carry the per-push outputs correctly across consecutive pushes.
+func TestQueryPushReusesBatchBuffers(t *testing.T) {
+	eng := New()
+	p, err := plan.Compile(`EVENT Out WHEN ANY(E e)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := eng.Register(p)
+	var collected []event.ID
+	for i := 0; i < 100; i++ {
+		ev := event.NewInsert(event.ID(i+1), "E", temporal.Time(i), temporal.Time(i+1), nil)
+		ev.C = temporal.From(temporal.Time(i))
+		for _, o := range q.Push(ev) {
+			if o.Kind == event.Insert {
+				collected = append(collected, o.ID)
+			}
+		}
+	}
+	if len(collected) != 100 {
+		t.Fatalf("collected %d outputs, want 100", len(collected))
+	}
+	seen := map[event.ID]bool{}
+	for _, id := range collected {
+		if seen[id] {
+			t.Fatalf("duplicate output id %v: buffer reuse leaked stale items", id)
+		}
+		seen[id] = true
+	}
+}

@@ -7,6 +7,7 @@ package event
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -138,6 +139,26 @@ func (e Event) Clone() Event {
 	return out
 }
 
+// Identical reports whether two events are equal on every attribute,
+// including CEDR time and lineage (payloads compared structurally, with a
+// shared-backing short-circuit). The consistency monitor uses it to detect
+// replay outputs that reproduce a previously emitted fact exactly.
+func (e Event) Identical(o Event) bool {
+	if e.ID != o.ID || e.Kind != o.Kind || e.Type != o.Type ||
+		e.V != o.V || e.O != o.O || e.C != o.C || e.RT != o.RT ||
+		len(e.CBT) != len(o.CBT) {
+		return false
+	}
+	if len(e.CBT) > 0 && &e.CBT[0] != &o.CBT[0] {
+		for i := range e.CBT {
+			if e.CBT[i] != o.CBT[i] {
+				return false
+			}
+		}
+	}
+	return e.Payload.Equal(o.Payload)
+}
+
 // SameFact reports whether two events describe the same logical content,
 // ignoring CEDR time — the projection used by logical equivalence
 // (Definition 1 projects out Cs and Ce).
@@ -186,6 +207,12 @@ func (p Payload) Clone() Payload {
 
 // Equal reports deep equality of payloads.
 func (p Payload) Equal(o Payload) bool {
+	// Payloads are immutable by operator contract and widely shared by
+	// shallow event copies, so identical backing means equal — an O(1)
+	// fast path the consistency monitor's repair diff leans on.
+	if p.shares(o) {
+		return true
+	}
 	if len(p) != len(o) {
 		return false
 	}
@@ -196,6 +223,15 @@ func (p Payload) Equal(o Payload) bool {
 		}
 	}
 	return true
+}
+
+// shares reports whether two payloads use the same backing map — a word
+// compare of the map pointers.
+func (p Payload) shares(o Payload) bool {
+	if p == nil || o == nil {
+		return p == nil && o == nil
+	}
+	return reflect.ValueOf(p).Pointer() == reflect.ValueOf(o).Pointer()
 }
 
 // Key returns a deterministic canonical string for the payload, used to

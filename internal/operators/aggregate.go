@@ -2,7 +2,8 @@ package operators
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strconv"
 
 	"repro/internal/event"
 	"repro/internal/temporal"
@@ -59,45 +60,119 @@ type Aggregate struct {
 	// As names the output value attribute ("value" by default).
 	As string
 
+	name     string
 	frontier temporal.Time
-	live     map[event.ID]event.Event
+	// live holds the in-scope input events by pointer; entries are
+	// immutable once stored (retractions replace the pointer), so Clone is
+	// a pointer-sharing copy.
+	live map[event.ID]*event.Event
+
+	// scratch holds per-Advance working storage, reused across calls so the
+	// monitor's replay path does not allocate group maps per advance. It is
+	// never shared between clones.
+	scratch *aggScratch
+
+	// payloads interns segment payloads by (group, value). Repeated
+	// aggregate values — counts especially — then share one immutable map,
+	// which both skips the allocation and lets the consistency monitor's
+	// repair diff recognize re-derived segments by pointer. The cache is
+	// shared with clones (checkpoints, snapshots) — all used sequentially
+	// under one monitor.
+	payloads map[payloadKey]event.Payload
+}
+
+type payloadKey struct {
+	group string
+	val   event.Value
+}
+
+// payloadCacheCap bounds the interning cache; pathological value streams
+// (high-cardinality floats) reset it rather than growing without bound.
+const payloadCacheCap = 4096
+
+func (a *Aggregate) payloadFor(key string, val event.Value) event.Payload {
+	pk := payloadKey{group: key, val: val}
+	if p, ok := a.payloads[pk]; ok {
+		return p
+	}
+	p := event.Payload{a.As: val}
+	if a.GroupBy != "" {
+		p[a.GroupBy] = key
+	}
+	if len(a.payloads) >= payloadCacheCap {
+		clear(a.payloads)
+	}
+	a.payloads[pk] = p
+	return p
+}
+
+// aggScratch is the reusable working set of Advance.
+type aggScratch struct {
+	buckets []aggBucket
+	nb      int
+	index   map[string]int
+	bounds  []temporal.Time
+	out     []event.Event
+}
+
+type aggBucket struct {
+	key     string
+	members []event.Event
 }
 
 // NewAggregate builds a grouped aggregation operator.
 func NewAggregate(kind AggKind, field, groupBy string) *Aggregate {
 	return &Aggregate{Kind: kind, Field: field, GroupBy: groupBy, As: "value",
+		name:     "aggregate:" + kind.String(),
 		frontier: temporal.MinTime,
-		live:     map[event.ID]event.Event{}}
+		live:     map[event.ID]*event.Event{},
+		payloads: make(map[payloadKey]event.Payload, 64)}
 }
 
 // Name implements Op.
-func (a *Aggregate) Name() string { return "aggregate:" + a.Kind.String() }
+func (a *Aggregate) Name() string { return a.name }
 
 // Arity implements Op.
 func (a *Aggregate) Arity() int { return 1 }
 
-// Process implements Op.
+// Process implements Op. Stored events are shallow copies: the payload is
+// shared (never mutated), and retractions rewrite the map value, not the
+// shared backing.
 func (a *Aggregate) Process(_ int, e event.Event) []event.Event {
 	if e.Kind == event.Retract {
 		if old, ok := a.live[e.ID]; ok {
 			if e.V.Empty() {
 				delete(a.live, e.ID)
 			} else {
-				old.V.End = e.V.End
-				a.live[e.ID] = old
+				shrunk := *old // copy-on-write: old may be shared with clones
+				shrunk.V.End = e.V.End
+				a.live[e.ID] = &shrunk
 			}
 		}
 		return nil
 	}
-	a.live[e.ID] = e.Clone()
+	a.live[e.ID] = &e
 	return nil
 }
 
+// groupKey renders the grouping value exactly as fmt's %v would (group IDs
+// hash this string), with allocation-free fast paths for the common types.
 func (a *Aggregate) groupKey(p event.Payload) string {
 	if a.GroupBy == "" {
 		return ""
 	}
-	return fmt.Sprintf("%v", p[a.GroupBy])
+	switch v := p[a.GroupBy].(type) {
+	case string:
+		return v
+	case int64:
+		return strconv.FormatInt(v, 10)
+	case int:
+		return strconv.Itoa(v)
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
 }
 
 // Advance implements Op: emit the finalized aggregate segments over
@@ -108,89 +183,153 @@ func (a *Aggregate) Advance(t temporal.Time) []event.Event {
 	}
 	window := temporal.NewInterval(a.frontier, t)
 
-	groups := map[string][]event.Event{}
-	for _, e := range a.live {
+	sc := a.scratch
+	if sc == nil {
+		sc = &aggScratch{index: map[string]int{}}
+		a.scratch = sc
+	}
+	sc.nb = 0
+	indexed := false
+	for _, ep := range a.live {
+		e := *ep
 		if e.V.Intersect(window).Empty() {
 			continue
 		}
 		k := a.groupKey(e.Payload)
-		groups[k] = append(groups[k], e)
+		// Group counts are small in practice; a linear probe over the
+		// buckets beats hashing. Past 16 groups the map index takes over.
+		bi := -1
+		if !indexed {
+			for j := 0; j < sc.nb; j++ {
+				if sc.buckets[j].key == k {
+					bi = j
+					break
+				}
+			}
+			if bi < 0 && sc.nb == 16 {
+				clear(sc.index)
+				for j := 0; j < sc.nb; j++ {
+					sc.index[sc.buckets[j].key] = j
+				}
+				indexed = true
+			}
+		}
+		if indexed {
+			if j, ok := sc.index[k]; ok {
+				bi = j
+			}
+		}
+		if bi < 0 {
+			bi = sc.nb
+			sc.nb++
+			if bi < len(sc.buckets) {
+				sc.buckets[bi].key = k
+				sc.buckets[bi].members = sc.buckets[bi].members[:0]
+			} else {
+				sc.buckets = append(sc.buckets, aggBucket{key: k})
+			}
+			if indexed {
+				sc.index[k] = bi
+			}
+		}
+		sc.buckets[bi].members = append(sc.buckets[bi].members, e)
 	}
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	bs := sc.buckets[:sc.nb]
+	slices.SortFunc(bs, func(x, y aggBucket) int {
+		if x.key < y.key {
+			return -1
+		}
+		if x.key > y.key {
+			return 1
+		}
+		return 0
+	})
 
-	var out []event.Event
-	for _, k := range keys {
-		members := groups[k]
+	// The output buffer is reused across calls (see Op's buffer contract).
+	out := sc.out[:0]
+	for bi := range bs {
+		members := bs[bi].members
 		// Canonical member order keeps floating-point folds deterministic
 		// across runs and across segment packagings.
-		sort.Slice(members, func(i, j int) bool {
-			if members[i].V.Start != members[j].V.Start {
-				return members[i].V.Start < members[j].V.Start
+		slices.SortFunc(members, func(x, y event.Event) int {
+			if x.V.Start != y.V.Start {
+				if x.V.Start < y.V.Start {
+					return -1
+				}
+				return 1
 			}
-			return members[i].ID < members[j].ID
+			if x.ID < y.ID {
+				return -1
+			}
+			if x.ID > y.ID {
+				return 1
+			}
+			return 0
 		})
-		out = append(out, a.segments(k, members, window)...)
+		out = a.segments(out, bs[bi].key, members, window)
 	}
 	a.frontier = t
-	trim(a.live, t)
+	for id, e := range a.live {
+		if e.V.End <= t {
+			delete(a.live, id)
+		}
+	}
+	sc.out = out
 	return out
 }
 
 // segments computes the piecewise-constant aggregate of one group over the
-// window and emits one insert per maximal constant segment.
-func (a *Aggregate) segments(key string, members []event.Event, window temporal.Interval) []event.Event {
-	boundSet := map[temporal.Time]bool{window.Start: true, window.End: true}
+// window and appends one insert per maximal constant segment to out.
+func (a *Aggregate) segments(out []event.Event, key string, members []event.Event, window temporal.Interval) []event.Event {
+	bounds := append(a.scratch.bounds[:0], window.Start, window.End)
 	for _, e := range members {
 		iv := e.V.Intersect(window)
-		boundSet[iv.Start] = true
-		boundSet[iv.End] = true
+		bounds = append(bounds, iv.Start, iv.End)
 	}
-	bounds := make([]temporal.Time, 0, len(boundSet))
-	for b := range boundSet {
-		bounds = append(bounds, b)
+	slices.Sort(bounds)
+	// Dedup in place (sorted).
+	w := 1
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] != bounds[w-1] {
+			bounds[w] = bounds[i]
+			w++
+		}
 	}
-	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
-
-	var out []event.Event
-	var open *event.Event // current segment being coalesced
+	bounds = bounds[:w]
+	a.scratch.bounds = bounds
+	var open event.Event // current segment being coalesced
+	haveOpen := false
+	gid := event.ID(hashString(key))
 	for i := 0; i+1 < len(bounds); i++ {
 		seg := temporal.NewInterval(bounds[i], bounds[i+1])
 		val, n := a.fold(members, seg)
 		if n == 0 {
-			if open != nil {
-				out = append(out, *open)
-				open = nil
+			if haveOpen {
+				out = append(out, open)
+				haveOpen = false
 			}
 			continue
 		}
-		if open != nil && event.ValueEqual(open.Payload[a.As], val) {
+		if haveOpen && event.ValueEqual(open.Payload[a.As], val) {
 			open.V.End = seg.End // coalesce equal adjacent segments
 			continue
 		}
-		if open != nil {
-			out = append(out, *open)
+		if haveOpen {
+			out = append(out, open)
 		}
-		p := event.Payload{a.As: val}
-		if a.GroupBy != "" {
-			p[a.GroupBy] = key
-		}
-		ev := event.Event{
-			ID:      event.Pair(event.ID(hashString(key)), event.ID(seg.Start)),
+		open = event.Event{
+			ID:      event.Pair(gid, event.ID(seg.Start)),
 			Kind:    event.Insert,
 			Type:    a.Name(),
 			V:       seg,
 			O:       temporal.From(seg.Start),
 			RT:      seg.Start,
-			Payload: p,
+			Payload: a.payloadFor(key, val),
 		}
-		open = &ev
+		haveOpen = true
 	}
-	if open != nil {
-		out = append(out, *open)
+	if haveOpen {
+		out = append(out, open)
 	}
 	return out
 }
@@ -259,13 +398,19 @@ func (a *Aggregate) OutputGuarantee(t temporal.Time) temporal.Time { return t }
 // StateSize implements Op.
 func (a *Aggregate) StateSize() int { return len(a.live) }
 
-// Clone implements Op.
+// Clone implements Op. Live entries are immutable and shared by pointer;
+// the payload-interning cache and Advance scratch are shared outright —
+// clones under one monitor are only ever used sequentially.
 func (a *Aggregate) Clone() Op {
-	c := NewAggregate(a.Kind, a.Field, a.GroupBy)
-	c.As = a.As
-	c.frontier = a.frontier
+	c := &Aggregate{Kind: a.Kind, Field: a.Field, GroupBy: a.GroupBy, As: a.As,
+		name:     a.name,
+		frontier: a.frontier,
+		live:     make(map[event.ID]*event.Event, len(a.live)),
+		scratch:  a.scratch,
+		payloads: a.payloads,
+	}
 	for id, e := range a.live {
-		c.live[id] = e.Clone()
+		c.live[id] = e
 	}
 	return c
 }

@@ -17,13 +17,26 @@ import (
 // outputs. State is trimmed using input guarantees: once all future input
 // has Sync >= t, stored events whose validity ends by t can never join a
 // future insert (whose Vs >= t) and can be dropped.
+//
+// State is kept in insertion order (a slice with tombstones plus an ID
+// index) rather than a map, so probe output order is deterministic — two
+// runs over the same input emit identical physical streams, which the
+// consistency monitor's repair equivalence tests rely on — and probing
+// iterates a dense slice instead of map buckets.
 type Join struct {
 	Theta ThetaJoin
 	// RightPrefix disambiguates colliding payload field names from the
 	// right input ("right." by default).
 	RightPrefix string
 
-	state [2]map[event.ID]event.Event
+	items [2][]joinEntry
+	index [2]map[event.ID]int
+	dead  [2]int
+}
+
+type joinEntry struct {
+	ev   event.Event
+	dead bool
 }
 
 // NewJoin builds a θ-join.
@@ -31,7 +44,7 @@ func NewJoin(theta ThetaJoin) *Join {
 	return &Join{
 		Theta:       theta,
 		RightPrefix: "right.",
-		state:       [2]map[event.ID]event.Event{{}, {}},
+		index:       [2]map[event.ID]int{{}, {}},
 	}
 }
 
@@ -48,29 +61,44 @@ func (j *Join) Process(port int, e event.Event) []event.Event {
 	}
 	other := 1 - port
 	var out []event.Event
-	for _, s := range j.state[other] {
-		if iv := e.V.Intersect(s.V); !iv.Empty() {
-			l, r := e, s
+	for i := range j.items[other] {
+		ent := &j.items[other][i]
+		if ent.dead {
+			continue
+		}
+		if iv := e.V.Intersect(ent.ev.V); !iv.Empty() {
+			l, r := e, ent.ev
 			if port == 1 {
-				l, r = s, e
+				l, r = ent.ev, e
 			}
 			if j.Theta(l.Payload, r.Payload) {
 				out = append(out, j.pair(l, r, iv))
 			}
 		}
 	}
-	j.state[port][e.ID] = e.Clone()
+	if i, ok := j.index[port][e.ID]; ok {
+		j.items[port][i] = joinEntry{ev: e}
+	} else {
+		j.index[port][e.ID] = len(j.items[port])
+		j.items[port] = append(j.items[port], joinEntry{ev: e})
+	}
 	return out
 }
 
 func (j *Join) retract(port int, e event.Event) []event.Event {
-	old, ok := j.state[port][e.ID]
+	i, ok := j.index[port][e.ID]
 	if !ok {
 		return nil
 	}
+	old := j.items[port][i].ev
 	other := 1 - port
 	var out []event.Event
-	for _, s := range j.state[other] {
+	for k := range j.items[other] {
+		ent := &j.items[other][k]
+		if ent.dead {
+			continue
+		}
+		s := ent.ev
 		oldOut := old.V.Intersect(s.V)
 		if oldOut.Empty() {
 			continue
@@ -94,13 +122,38 @@ func (j *Join) retract(port int, e event.Event) []event.Event {
 		out = append(out, retractTo(prev, end))
 	}
 	if e.V.Empty() {
-		delete(j.state[port], e.ID)
+		j.kill(port, i, e.ID)
+		j.maybeCompact(port)
 	} else {
-		upd := old
-		upd.V.End = e.V.End
-		j.state[port][e.ID] = upd
+		j.items[port][i].ev.V.End = e.V.End
 	}
 	return out
+}
+
+func (j *Join) kill(port, i int, id event.ID) {
+	j.items[port][i] = joinEntry{dead: true}
+	delete(j.index[port], id)
+	j.dead[port]++
+}
+
+// maybeCompact drops tombstones once they dominate, preserving insertion
+// order so output determinism survives. Never call while iterating items.
+func (j *Join) maybeCompact(port int) {
+	if j.dead[port] <= 16 || j.dead[port] <= len(j.items[port])/2 {
+		return
+	}
+	live := j.items[port][:0]
+	for _, ent := range j.items[port] {
+		if !ent.dead {
+			j.index[port][ent.ev.ID] = len(live)
+			live = append(live, ent)
+		}
+	}
+	for k := len(live); k < len(j.items[port]); k++ {
+		j.items[port][k] = joinEntry{}
+	}
+	j.items[port] = live
+	j.dead[port] = 0
 }
 
 // pair constructs a join output event from the two contributors.
@@ -133,11 +186,13 @@ func (j *Join) pair(l, r event.Event, iv temporal.Interval) event.Event {
 // further in a way that affects output.
 func (j *Join) Advance(t temporal.Time) []event.Event {
 	for port := 0; port < 2; port++ {
-		for id, s := range j.state[port] {
-			if s.V.End <= t {
-				delete(j.state[port], id)
+		for i := range j.items[port] {
+			ent := &j.items[port][i]
+			if !ent.dead && ent.ev.V.End <= t {
+				j.kill(port, i, ent.ev.ID)
 			}
 		}
+		j.maybeCompact(port)
 	}
 	return nil
 }
@@ -147,15 +202,16 @@ func (j *Join) Advance(t temporal.Time) []event.Event {
 func (j *Join) OutputGuarantee(t temporal.Time) temporal.Time { return t }
 
 // StateSize implements Op.
-func (j *Join) StateSize() int { return len(j.state[0]) + len(j.state[1]) }
+func (j *Join) StateSize() int { return len(j.index[0]) + len(j.index[1]) }
 
 // Clone implements Op.
 func (j *Join) Clone() Op {
-	c := &Join{Theta: j.Theta, RightPrefix: j.RightPrefix}
-	c.state = [2]map[event.ID]event.Event{{}, {}}
+	c := &Join{Theta: j.Theta, RightPrefix: j.RightPrefix, dead: j.dead}
 	for port := 0; port < 2; port++ {
-		for id, e := range j.state[port] {
-			c.state[port][id] = e.Clone()
+		c.items[port] = append([]joinEntry(nil), j.items[port]...)
+		c.index[port] = make(map[event.ID]int, len(j.index[port]))
+		for id, i := range j.index[port] {
+			c.index[port][id] = i
 		}
 	}
 	return c

@@ -29,6 +29,11 @@ import (
 // on every port has Sync >= t. Under that contract the operator's
 // cumulative output, folded into a history table, equals the operator's
 // denotational semantics applied to the input history.
+//
+// Buffer contract: the slice returned by Process or Advance is owned by the
+// operator and valid only until the next call on it (or any of its clones);
+// callers must copy the events they retain. Payloads and lineage attached
+// to returned events are shared and must be treated as immutable.
 type Op interface {
 	// Name identifies the operator for plans and metrics.
 	Name() string
@@ -46,9 +51,21 @@ type Op interface {
 	// StateSize reports the number of retained items, the paper's "state
 	// size" axis in Figure 8.
 	StateSize() int
-	// Clone deep-copies the operator and its state. The consistency
-	// monitor checkpoints operators by cloning.
+	// Clone copies the operator and its state. Clones may share immutable
+	// internals and reusable scratch with the original, so an operator and
+	// its clones must only be driven sequentially (the consistency monitor,
+	// which checkpoints operators by cloning, uses them this way). Clones
+	// intended for concurrent use need an operator-specific deep copy.
 	Clone() Op
+}
+
+// Stateless marks operators whose Process output depends only on the input
+// event — no retained state, no Advance output, and output IDs derived
+// purely from the input. The consistency monitor repairs stragglers through
+// such operators without checkpoint rollback or log replay.
+type Stateless interface {
+	// StatelessOp is a marker; implementations are empty.
+	StatelessOp()
 }
 
 // Predicate evaluates a payload filter (Definition 8's boolean function f).

@@ -35,7 +35,7 @@ func (s *Slice) Process(_ int, e event.Event) []event.Event {
 		if iv.Empty() {
 			return nil
 		}
-		out := e.Clone()
+		out := e
 		out.V = iv
 		return []event.Event{out}
 	}
@@ -48,7 +48,7 @@ func (s *Slice) Process(_ int, e event.Event) []event.Event {
 	if newEnd < clippedStart {
 		newEnd = clippedStart // full removal of the clipped fact
 	}
-	out := e.Clone()
+	out := e
 	out.V = temporal.Interval{Start: clippedStart, End: newEnd}
 	return []event.Event{out}
 }
@@ -58,6 +58,9 @@ func (s *Slice) Advance(temporal.Time) []event.Event { return nil }
 
 // OutputGuarantee implements Op.
 func (s *Slice) OutputGuarantee(t temporal.Time) temporal.Time { return t }
+
+// StatelessOp implements Stateless.
+func (s *Slice) StatelessOp() {}
 
 // StateSize implements Op.
 func (s *Slice) StateSize() int { return 0 }

@@ -9,6 +9,8 @@ import (
 // It is stateless: a retraction passes the same predicate its insert passed.
 type Select struct {
 	Pred Predicate
+
+	out [1]event.Event // reusable Process result (see Op's buffer contract)
 }
 
 // NewSelect builds a selection operator.
@@ -20,12 +22,13 @@ func (s *Select) Name() string { return "select" }
 // Arity implements Op.
 func (s *Select) Arity() int { return 1 }
 
-// Process implements Op.
+// Process implements Op. The returned slice is reused across calls.
 func (s *Select) Process(_ int, e event.Event) []event.Event {
 	if !s.Pred(e.Payload) {
 		return nil
 	}
-	return []event.Event{e}
+	s.out[0] = e
+	return s.out[:1]
 }
 
 // Advance implements Op; selection buffers nothing.
@@ -39,6 +42,9 @@ func (s *Select) StateSize() int { return 0 }
 
 // Clone implements Op.
 func (s *Select) Clone() Op { c := *s; return &c }
+
+// StatelessOp implements Stateless.
+func (s *Select) StatelessOp() {}
 
 // Project is Definition 7: πf(S) = {(Vs, Ve, f(Payload)) | e ∈ E(S)}. f may
 // change the payload schema but cannot affect the timestamp attributes.
@@ -56,9 +62,10 @@ func (p *Project) Name() string { return "project" }
 func (p *Project) Arity() int { return 1 }
 
 // Process implements Op. The mapper is deterministic, so retractions map to
-// retractions of the mapped payload.
+// retractions of the mapped payload. Only the payload changes, so the header
+// is copied shallowly.
 func (p *Project) Process(_ int, e event.Event) []event.Event {
-	out := e.Clone()
+	out := e
 	out.Payload = p.Fn(e.Payload)
 	return []event.Event{out}
 }
@@ -75,6 +82,9 @@ func (p *Project) StateSize() int { return 0 }
 // Clone implements Op.
 func (p *Project) Clone() Op { c := *p; return &c }
 
+// StatelessOp implements Stateless.
+func (p *Project) StatelessOp() {}
+
 // Union merges two streams with view-update (bag) semantics. Output IDs are
 // derived from (input ID, port) so the two sides cannot collide and
 // retractions stay correlated with their inserts.
@@ -89,9 +99,10 @@ func (u *Union) Name() string { return "union" }
 // Arity implements Op.
 func (u *Union) Arity() int { return 2 }
 
-// Process implements Op.
+// Process implements Op. Only the ID changes, so the header is copied
+// shallowly.
 func (u *Union) Process(port int, e event.Event) []event.Event {
-	out := e.Clone()
+	out := e
 	out.ID = event.Pair(e.ID, event.ID(port))
 	return []event.Event{out}
 }
@@ -107,3 +118,6 @@ func (u *Union) StateSize() int { return 0 }
 
 // Clone implements Op.
 func (u *Union) Clone() Op { c := *u; return &c }
+
+// StatelessOp implements Stateless.
+func (u *Union) StatelessOp() {}

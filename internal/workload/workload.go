@@ -209,3 +209,48 @@ func Corrections(seed int64, frac float64, s stream.Stream) stream.Stream {
 	}
 	return out.SortBySync()
 }
+
+// Uniform configures the high-volume synthetic generator used by the
+// monitor scaling benchmarks: a steady pulse of grouped events, one every
+// Spacing ticks, each valid for Lifetime. It deliberately mirrors the
+// Figure 8 source shape so scaling measurements stay comparable to the
+// paper experiments while letting volume, group fan-out and payload width
+// grow arbitrarily.
+type Uniform struct {
+	Seed   int64
+	Events int
+	// Groups is the grouping-attribute cardinality ("g" cycles 0..Groups-1).
+	Groups int
+	// Spacing separates consecutive events in Sync time.
+	Spacing temporal.Time
+	// Lifetime is each event's validity.
+	Lifetime temporal.Duration
+	// Attrs adds numeric payload attributes ("x0", "x1", ...) beyond the
+	// group key, for payload-weight sensitivity runs.
+	Attrs int
+}
+
+// DefaultUniform is a moderate default configuration.
+func DefaultUniform() Uniform {
+	return Uniform{Seed: 7, Events: 1000, Groups: 5, Spacing: 4, Lifetime: 10, Attrs: 0}
+}
+
+// UniformEvents generates the configured stream in Sync order.
+func UniformEvents(cfg Uniform) stream.Stream {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	groups := cfg.Groups
+	if groups <= 0 {
+		groups = 1
+	}
+	s := make(stream.Stream, 0, cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		vs := temporal.Time(int64(i)) * cfg.Spacing
+		p := make(event.Payload, 1+cfg.Attrs)
+		p["g"] = int64(i % groups)
+		for a := 0; a < cfg.Attrs; a++ {
+			p[fmt.Sprintf("x%d", a)] = rng.Float64() * 100
+		}
+		s = append(s, event.NewInsert(event.ID(i+1), "E", vs, vs.Add(cfg.Lifetime), p))
+	}
+	return s
+}

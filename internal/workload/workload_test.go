@@ -139,3 +139,36 @@ func TestCorrections(t *testing.T) {
 		t.Error("corrections must stay Sync-ordered")
 	}
 }
+
+func TestUniformEvents(t *testing.T) {
+	cfg := DefaultUniform()
+	cfg.Events = 500
+	cfg.Groups = 7
+	cfg.Attrs = 2
+	s := UniformEvents(cfg)
+	if len(s) != 500 {
+		t.Fatalf("got %d events, want 500", len(s))
+	}
+	for i, e := range s {
+		if i > 0 && e.Sync() < s[i-1].Sync() {
+			t.Fatal("stream not in Sync order")
+		}
+		g, ok := e.Payload["g"].(int64)
+		if !ok || g != int64(i%7) {
+			t.Fatalf("event %d group = %v, want %d", i, e.Payload["g"], i%7)
+		}
+		if len(e.Payload) != 3 {
+			t.Fatalf("event %d payload width %d, want 3", i, len(e.Payload))
+		}
+		if e.V.End.Sub(e.V.Start) != cfg.Lifetime {
+			t.Fatalf("event %d lifetime %v", i, e.V)
+		}
+	}
+	// Determinism: same seed, same stream.
+	again := UniformEvents(cfg)
+	for i := range s {
+		if !s[i].SameFact(again[i]) {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+	}
+}
