@@ -18,6 +18,7 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/delivery"
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/history"
 	"repro/internal/operators"
@@ -314,6 +315,79 @@ func BenchmarkMonitorScaling(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// Shard dimension: the same monitor-scaling workload executed by the
+// key-partitioned parallel runtime (engine.RunShardedOp) across shard
+// counts. The workload uses a wider group fan-out (64 keys) so partitions
+// stay balanced; shards=1 measures the sharded runtime's overhead (router,
+// tagging, merge) against the plain monitor numbers above.
+func BenchmarkMonitorScalingSharded(b *testing.B) {
+	cfg := workload.DefaultUniform()
+	cfg.Events = 4000
+	cfg.Groups = 64
+	src := workload.UniformEvents(cfg)
+	for _, stragglers := range []float64{0, 0.1} {
+		var dcfg delivery.Config
+		if stragglers == 0 {
+			dcfg = delivery.Ordered(20 * temporal.Duration(cfg.Spacing))
+		} else {
+			dcfg = delivery.Disordered(cfg.Seed, 100*temporal.Duration(cfg.Spacing),
+				30*temporal.Duration(cfg.Spacing), stragglers)
+		}
+		delivered := delivery.Deliver(src, dcfg)
+		for _, shards := range []int{1, 2, 4, 8} {
+			name := fmt.Sprintf("stragglers=%d%%/middle/shards=%d", int(stragglers*100), shards)
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, _ := engine.RunShardedOp(
+						func() operators.Op { return operators.NewAggregate(operators.Count, "", "g") },
+						consistency.Middle(), shards, engine.RouteByAttr("g", shards), delivered)
+					if len(out) == 0 {
+						b.Fatal("no output")
+					}
+				}
+				b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+			})
+		}
+	}
+}
+
+// End-to-end sharded execution of the §3.1 query through the engine. The
+// generic UNLESS evaluator's per-event re-derivation is superlinear in its
+// store size, so key-sharding pays twice here: each shard's store holds
+// only its machines, shrinking the per-event work — a net win even before
+// any parallel wall-clock gain.
+func BenchmarkCIDR07Sharded(b *testing.B) {
+	src, _ := workload.MachineEvents(workload.Machines{
+		Seed: 1, Machines: 24, Cycles: 5,
+		RestartDeadline: 5 * temporal.Minute, MissProb: 0.3,
+		CycleGap: 30 * temporal.Minute,
+	})
+	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Minute))
+	const q = `
+EVENT MissedRestart
+WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours), RESTART AS z, 5 minutes)
+WHERE CorrelationKey(Machine_Id, EQUAL)
+SC(each, consume)`
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys := New()
+				query, err := sys.RegisterOpts(q, plan.WithSpec(Middle()), plan.WithShards(shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys.Run(delivered)
+				if len(query.Alerts()) == 0 {
+					b.Fatal("no alerts")
+				}
+			}
+			b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		})
 	}
 }
 

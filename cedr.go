@@ -132,8 +132,28 @@ type System struct {
 	eng *engine.Engine
 }
 
+// Option configures a System.
+type Option func(*[]engine.Option)
+
+// WithShards makes every registered query whose plan is key-partitionable
+// run as n parallel shards — one goroutine, operator chain and consistency
+// monitor per key partition, behind a merge stage that reproduces the exact
+// single-shard output sequence. Queries whose plans do not decompose by key
+// (no grouping or EQUAL correlation key, multi-port heads, first/last
+// selection) transparently run on one shard. Per-query counts can be set
+// with plan.WithShards via RegisterOpts.
+func WithShards(n int) Option {
+	return func(opts *[]engine.Option) { *opts = append(*opts, engine.WithShards(n)) }
+}
+
 // New creates an empty system.
-func New() *System { return &System{eng: engine.New()} }
+func New(opts ...Option) *System {
+	var eopts []engine.Option
+	for _, o := range opts {
+		o(&eopts)
+	}
+	return &System{eng: engine.New(eopts...)}
+}
 
 // Register compiles CEDR query text and installs it as a standing query.
 func (s *System) Register(src string) (*Query, error) {
@@ -148,6 +168,16 @@ func (s *System) Register(src string) (*Query, error) {
 // overriding any CONSISTENCY clause.
 func (s *System) RegisterAt(src string, spec Spec) (*Query, error) {
 	q, err := s.eng.RegisterText(src, plan.WithSpec(spec))
+	if err != nil {
+		return nil, err
+	}
+	return &Query{q: q}, nil
+}
+
+// RegisterOpts registers a query with explicit plan options (for example
+// plan.WithSpec, plan.WithShards).
+func (s *System) RegisterOpts(src string, opts ...plan.Option) (*Query, error) {
+	q, err := s.eng.RegisterText(src, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -215,6 +245,10 @@ func (q *Query) Subscribe(fn func(Event)) { q.q.Subscribe(fn) }
 
 // SetConsistency switches the query's consistency level at runtime.
 func (q *Query) SetConsistency(spec Spec) { q.q.SetSpec(spec) }
+
+// Shards returns the number of parallel shards the query runs on (1 unless
+// sharding was requested and the plan is key-partitionable).
+func (q *Query) Shards() int { return q.q.Shards() }
 
 // Explain renders the compiled plan.
 func (q *Query) Explain() string { return q.q.Plan().Explain() }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/core"
 	"repro/internal/delivery"
+	"repro/internal/engine"
 	"repro/internal/event"
 	"repro/internal/operators"
 	"repro/internal/stream"
@@ -115,6 +116,34 @@ func runBenchSuite(dir string, seed int64) error {
 	entries = append(entries, entry{name: "monitor_fast_path", events: len(fastDelivered), bench: fastFn})
 	repairDelivered, repairFn := monitor(true)
 	entries = append(entries, entry{name: "monitor_repair_path", events: len(repairDelivered), bench: repairFn})
+
+	// Shard dimension: the key-partitioned parallel runtime over a wide
+	// grouped-aggregation workload. On multi-core hosts this records the
+	// real parallel speedup; on single-core CI it records the runtime's
+	// overhead (see BenchmarkShardCriticalPath for the projected number).
+	shardCfg := workload.Uniform{Seed: seed, Events: 4000, Groups: 64, Spacing: 4, Lifetime: 10}
+	shardSrc := workload.UniformEvents(shardCfg)
+	shardDelivered := delivery.Deliver(shardSrc,
+		delivery.Disordered(seed, 100*temporal.Duration(shardCfg.Spacing),
+			30*temporal.Duration(shardCfg.Spacing), 0.1))
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		entries = append(entries, entry{
+			name:   fmt.Sprintf("sharded_aggregate_middle_shards_%d", shards),
+			events: len(shardDelivered),
+			bench: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					out, _ := engine.RunShardedOp(
+						func() operators.Op { return operators.NewAggregate(operators.Count, "", "g") },
+						consistency.Middle(), shards, engine.RouteByAttr("g", shards), shardDelivered)
+					if len(out) == 0 {
+						b.Fatal("no output")
+					}
+				}
+			},
+		})
+	}
 
 	for _, e := range entries {
 		res := testing.Benchmark(e.bench)

@@ -3,6 +3,7 @@ package algebra
 import (
 	"repro/internal/event"
 	"repro/internal/operators"
+	"repro/internal/ordkey"
 	"repro/internal/temporal"
 )
 
@@ -180,6 +181,23 @@ func (p *PatternOp) Advance(t temporal.Time) []event.Event {
 		p.consumed = map[event.ID]bool{}
 	}
 	return outs
+}
+
+// AppendAdvanceKey implements operators.AdvanceOrdered: mature commits
+// detections in (FinalizeAt, Vs, FirstVs, ID) order (sortMatches), so that
+// tuple is the cross-key position of an Advance output. The just-emitted
+// match is still in p.emitted; fall back to the event's own header fields
+// if scope pruning already dropped it (same leading attributes, so the
+// relative order of co-emitted outputs is preserved).
+func (p *PatternOp) AppendAdvanceKey(dst []byte, e event.Event) []byte {
+	fin, vs, first := e.V.Start, e.V.Start, e.RT
+	if m, ok := p.emitted[e.ID]; ok {
+		fin, vs, first = m.FinalizeAt, m.V.Start, m.FirstVs
+	}
+	dst = ordkey.AppendInt(dst, int64(fin))
+	dst = ordkey.AppendInt(dst, int64(vs))
+	dst = ordkey.AppendInt(dst, int64(first))
+	return ordkey.AppendUint(dst, uint64(e.ID))
 }
 
 // OutputGuarantee implements operators.Op: an input guarantee at t

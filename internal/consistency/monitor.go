@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/event"
 	"repro/internal/operators"
+	"repro/internal/ordkey"
 	"repro/internal/temporal"
 )
 
@@ -102,8 +103,54 @@ type Monitor struct {
 	ckptState int           // cached ckpt.StateSize(), changes only on checkpoint
 	stateless bool          // op implements operators.Stateless
 
+	// Sharded-execution support (see PushTagged). All of it is inert — and
+	// free — on the plain Push path.
+	tagging   bool   // current call wants order tags
+	trigger   []byte // tag prefix the current call's outputs nest under
+	curClass  byte
+	curSync   temporal.Time
+	curArr    []byte   // (curClass, curSync, curArr): admit position of the
+	tags      [][]byte // item whose processing is emitting; one tag per m.out item
+	advKey    func(dst []byte, e event.Event) []byte
+	probeLog  int // probe items in the live log window (state-size exempt)
+	probeBuf  int // probe items in the alignment buffer (state-size exempt)
+	markerLog int // guarantee markers in the live log window
+
+	// maxRetractSync/Seq is the (sync, seq) position of the latest
+	// retraction in the live window (MinTime when none). The stateless
+	// repair shortcut is only sound when no logged retraction lies at or
+	// after the straggler — a later retraction may target the straggler's
+	// own fresh output, which only a real replay applies — so it consults
+	// this high-water mark and falls back to generic replay past it.
+	maxRetractSync temporal.Time
+	maxRetractSeq  int
+
 	met Metrics
 }
+
+// Output-order tag admission classes: within one externally driven call,
+// the monitor admits the pushed item itself first, then buffered releases
+// (in (Sync, arrival) order), then the guarantee advance, then emits
+// punctuation — and emission follows admission. The class byte encodes
+// that, making tag order track emission order even when a buffered release
+// carries an older Sync than the pushed item (possible after a
+// blocking-bound tightening via SetSpec left events in the buffer).
+const (
+	classPushed    byte = 1
+	classRelease   byte = 2
+	classGuarantee byte = 3
+	classCTI       byte = 4
+)
+
+// Output-order tag phases: within one admitted item, the speculative
+// Advance's outputs precede the Process outputs, repair diffs stand alone,
+// and punctuation comes last.
+const (
+	tagAdvance byte = 1
+	tagDiff    byte = 2
+	tagProcess byte = 3
+	tagCTI     byte = 4
+)
 
 const (
 	// snapEvery is the repair-snapshot cadence in admitted items.
@@ -118,7 +165,12 @@ const (
 
 type logItem struct {
 	marker bool
-	t      temporal.Time // marker guarantee time (the Advance argument)
+	// probe marks an advance-only marker from a sibling shard: the live path
+	// speculatively advanced the operator to its Sync (under an optimistic
+	// level) but never called Process, and replay and checkpointing must do
+	// the same.
+	probe bool
+	t     temporal.Time // marker guarantee time (the Advance argument)
 	// key is the marker's position in the replay order. A guarantee that
 	// arrives after the operator has optimistically advanced beyond it was
 	// a no-op live, so it must replay at its live position (the processed
@@ -147,6 +199,8 @@ type bufEntry struct {
 	ev      event.Event
 	arrival temporal.Time
 	seq     int
+	probe   bool
+	ext     []byte // external arrival key (sharded execution; owned copy)
 }
 
 // netFact entries are stored by pointer and shared freely between the live
@@ -234,19 +288,25 @@ func NewMonitor(op operators.Op, spec Spec) *Monitor {
 	}
 	ckpt := op.Clone()
 	_, stateless := op.(operators.Stateless)
+	var advKey func([]byte, event.Event) []byte
+	if ao, ok := op.(operators.AdvanceOrdered); ok {
+		advKey = ao.AppendAdvanceKey
+	}
 	return &Monitor{
-		stateless:     stateless,
-		op:            op,
-		ckpt:          ckpt,
-		spec:          spec,
-		emitted:       map[event.ID]*netFact{},
-		gen:           map[event.ID]uint64{},
-		portG:         portG,
-		guarantee:     temporal.MinTime,
-		frontier:      temporal.MinTime,
-		processedSync: temporal.MinTime,
-		absSync:       temporal.MinTime,
-		ckptState:     ckpt.StateSize(),
+		stateless:      stateless,
+		advKey:         advKey,
+		op:             op,
+		ckpt:           ckpt,
+		spec:           spec,
+		emitted:        map[event.ID]*netFact{},
+		gen:            map[event.ID]uint64{},
+		portG:          portG,
+		guarantee:      temporal.MinTime,
+		frontier:       temporal.MinTime,
+		processedSync:  temporal.MinTime,
+		absSync:        temporal.MinTime,
+		maxRetractSync: temporal.MinTime,
+		ckptState:      ckpt.StateSize(),
 	}
 }
 
@@ -259,6 +319,12 @@ func (m *Monitor) Metrics() Metrics { return m.met }
 // Guarantee returns the current combined input guarantee.
 func (m *Monitor) Guarantee() temporal.Time { return m.guarantee }
 
+// WindowMarkers returns the number of guarantee markers in the live log
+// window. Sharded metric combination needs it: punctuation is broadcast, so
+// every shard logs the same marker, but the single-shard equivalent state
+// counts it once.
+func (m *Monitor) WindowMarkers() int { return m.markerLog }
+
 // SetSpec switches the consistency level at runtime. The paper observes
 // that at common sync points every level holds the same output state, so
 // switching at a sync point is seamless; switching between sync points
@@ -266,12 +332,24 @@ func (m *Monitor) Guarantee() temporal.Time { return m.guarantee }
 // bound may release buffered events, which are returned. The returned slice
 // is valid until the next call on this monitor.
 func (m *Monitor) SetSpec(s Spec) []event.Event {
+	out, _ := m.setSpec(s, nil, nil)
+	return out
+}
+
+// SetSpecTagged is SetSpec for sharded execution: released output carries
+// order tags (see PushTagged). Both returned slices are valid until the
+// next call on this monitor.
+func (m *Monitor) SetSpecTagged(s Spec, arrival, trigger []byte) ([]event.Event, [][]byte) {
+	return m.setSpec(s, arrival, trigger)
+}
+
+func (m *Monitor) setSpec(s Spec, arrival, trigger []byte) ([]event.Event, [][]byte) {
+	m.beginCall(arrival, trigger)
 	m.spec = s
-	m.out = m.out[:0]
 	m.releaseTimedOut()
 	m.trimMemory()
 	m.sampleState()
-	return m.stampOut()
+	return m.stampOut(), m.tags
 }
 
 // Push delivers one physical stream item (data or CTI) to port. The item's
@@ -279,26 +357,88 @@ func (m *Monitor) SetSpec(s Spec) []event.Event {
 // items, stamped with the current CEDR time. The returned slice is valid
 // until the next call on this monitor.
 func (m *Monitor) Push(port int, e event.Event) []event.Event {
+	out, _ := m.push(port, e, nil, nil, false)
+	return out
+}
+
+// PushTagged is Push for sharded execution. arrival is an order-preserving
+// byte key (package ordkey) placing this item in the global arrival order
+// across all sibling shard monitors; trigger is the tag prefix the outputs
+// nest under (nil at the pipeline head). probe marks an advance-only marker
+// for an event routed to a sibling shard: the monitor advances its operator
+// to the probe's Sync exactly as it would for a local event — so every
+// shard observes identical advance boundaries and emits identical per-key
+// output — but never calls Process and keeps the probe out of every metric
+// and state count.
+//
+// Each output item carries an order tag; sorting the union of all sibling
+// monitors' outputs for one input item by tag reproduces the exact sequence
+// a single un-sharded monitor would have emitted (internal/delivery's merge
+// stage does this). Both returned slices are valid until the next call.
+func (m *Monitor) PushTagged(port int, e event.Event, arrival, trigger []byte, probe bool) ([]event.Event, [][]byte) {
+	return m.push(port, e, arrival, trigger, probe)
+}
+
+func (m *Monitor) push(port int, e event.Event, arrival, trigger []byte, probe bool) ([]event.Event, [][]byte) {
 	if port < 0 || port >= len(m.portG) {
-		return nil
+		return nil, nil
 	}
+	m.beginCall(arrival, trigger)
 	if e.C.Start > m.now {
 		m.now = e.C.Start
 	}
-	m.out = m.out[:0]
 	if e.IsCTI() {
 		m.met.InputCTIs++
-		m.pushCTI(port, e.Sync())
+		m.pushCTI(port, e.Sync(), arrival)
 	} else {
-		m.met.InputEvents++
-		m.pushData(port, e)
+		if !probe {
+			m.met.InputEvents++
+		}
+		m.pushData(port, e, probe, arrival)
 	}
 	m.trimMemory()
 	m.sampleState()
-	return m.stampOut()
+	return m.stampOut(), m.tags
 }
 
-func (m *Monitor) pushCTI(port int, t temporal.Time) {
+// beginCall resets the output buffer and arms or disarms tagging for one
+// externally driven call.
+func (m *Monitor) beginCall(arrival, trigger []byte) {
+	m.out = m.out[:0]
+	m.tagging = arrival != nil
+	m.trigger = trigger
+	m.tags = m.tags[:0]
+}
+
+// appendTag records the order tag of the output item just appended to
+// m.out. It must be called exactly once per appended item on tagged calls;
+// (m.curSync, m.curArr) identify the admitted item whose processing is
+// emitting.
+func (m *Monitor) appendTag(phase byte, id event.ID, ev *event.Event) {
+	if !m.tagging {
+		return
+	}
+	// Worst-case size: class + sync (9) + escaped arrival (2·len+2) + phase
+	// + the widest subkey (PatternOp's 32-byte advance key), rounded up so
+	// one allocation always suffices.
+	t := make([]byte, 0, len(m.trigger)+2*len(m.curArr)+48)
+	t = append(t, m.trigger...)
+	t = append(t, m.curClass)
+	t = ordkey.AppendInt(t, int64(m.curSync))
+	t = ordkey.AppendBytes(t, m.curArr)
+	t = append(t, phase)
+	switch phase {
+	case tagDiff:
+		t = ordkey.AppendUint(t, uint64(id))
+	case tagAdvance:
+		if m.advKey != nil && ev != nil {
+			t = m.advKey(t, *ev)
+		}
+	}
+	m.tags = append(m.tags, t)
+}
+
+func (m *Monitor) pushCTI(port int, t temporal.Time, arrival []byte) {
 	if t > m.portG[port] {
 		m.portG[port] = t
 	}
@@ -325,20 +465,32 @@ func (m *Monitor) pushCTI(port int, t temporal.Time) {
 		key = m.processedSync
 	}
 	sq := m.nextSeq()
+	if m.tagging {
+		m.curClass, m.curSync, m.curArr = classGuarantee, key, arrival
+	}
 	m.insertLog(logItem{marker: true, t: g, key: key, seq: sq})
-	m.emit(key, sq, m.op.Advance(g))
+	m.emit(key, sq, tagAdvance, m.op.Advance(g))
 	// Absorb everything the guarantee finalizes into the checkpoint.
 	m.checkpointTo(g)
 	// Timed-out releases may also be due (the guarantee moved the frontier).
 	m.releaseTimedOut()
 	og := m.op.OutputGuarantee(g)
 	m.met.OutputCTIs++
+	if m.tagging {
+		// g is identical on every sibling shard (punctuation is broadcast),
+		// so the punctuation tags match exactly and the merge collapses the
+		// redundant copies to one.
+		m.curClass, m.curSync, m.curArr = classCTI, g, arrival
+	}
 	m.out = append(m.out, event.NewCTI(og))
+	m.appendTag(tagCTI, 0, nil)
 }
 
-func (m *Monitor) pushData(port int, e event.Event) {
+func (m *Monitor) pushData(port int, e event.Event, probe bool, ext []byte) {
 	if e.Sync() < m.guarantee {
-		m.met.Violations++
+		if !probe {
+			m.met.Violations++
+		}
 		return
 	}
 	if e.Sync() > m.frontier {
@@ -346,21 +498,29 @@ func (m *Monitor) pushData(port int, e event.Event) {
 	}
 	// Weak levels forget stragglers beyond the memory horizon.
 	if m.spec.M != Unbounded && e.Sync() < m.frontier.Add(-m.spec.M) {
-		m.met.Dropped++
+		if !probe {
+			m.met.Dropped++
+		}
 		return
 	}
 	if m.spec.B > 0 && e.Sync() >= m.processedSync {
 		// In-order so far: hold for possible stragglers. The buffer is kept
 		// sorted by binary insertion (upper bound, so equal Syncs keep
 		// arrival order).
-		be := bufEntry{port: port, ev: e, arrival: m.now, seq: m.nextSeq()}
+		be := bufEntry{port: port, ev: e, arrival: m.now, seq: m.nextSeq(), probe: probe}
+		if m.tagging {
+			be.ext = append([]byte(nil), ext...)
+		}
+		if probe {
+			m.probeBuf++
+		}
 		s := e.Sync()
 		i := sort.Search(len(m.buffer), func(k int) bool { return m.buffer[k].ev.Sync() > s })
 		m.buffer = append(m.buffer, bufEntry{})
 		copy(m.buffer[i+1:], m.buffer[i:])
 		m.buffer[i] = be
 	} else {
-		m.admit(port, e)
+		m.admit(classPushed, port, e, probe, ext)
 	}
 	m.releaseTimedOut()
 }
@@ -373,9 +533,13 @@ func (m *Monitor) releaseCovered(g temporal.Time) {
 			break
 		}
 		be := m.buffer[i]
-		m.met.BlockedEvents++
-		m.met.TotalBlocking += m.now.Sub(be.arrival)
-		m.admit(be.port, be.ev)
+		if be.probe {
+			m.probeBuf--
+		} else {
+			m.met.BlockedEvents++
+			m.met.TotalBlocking += m.now.Sub(be.arrival)
+		}
+		m.admit(classRelease, be.port, be.ev, be.probe, be.ext)
 	}
 	m.buffer = m.buffer[i:]
 }
@@ -392,34 +556,54 @@ func (m *Monitor) releaseTimedOut() {
 		if be.ev.Sync().Add(m.spec.B) >= m.frontier {
 			break
 		}
-		m.met.BlockedEvents++
-		m.met.TotalBlocking += m.now.Sub(be.arrival)
-		m.admit(be.port, be.ev)
+		if be.probe {
+			m.probeBuf--
+		} else {
+			m.met.BlockedEvents++
+			m.met.TotalBlocking += m.now.Sub(be.arrival)
+		}
+		m.admit(classRelease, be.port, be.ev, be.probe, be.ext)
 	}
 	m.buffer = m.buffer[i:]
 }
 
 // admit feeds one event to the live operator, via the fast path when it is
 // in order and via snapshot rollback and replay when it is a straggler.
-func (m *Monitor) admit(port int, e event.Event) {
-	li := logItem{port: port, ev: e, seq: m.nextSeq(), opt: m.spec.B != Unbounded}
+// Probes advance but never Process.
+func (m *Monitor) admit(class byte, port int, e event.Event, probe bool, ext []byte) {
+	li := logItem{port: port, probe: probe, ev: e, seq: m.nextSeq(), opt: m.spec.B != Unbounded}
+	if m.tagging {
+		m.curClass, m.curSync, m.curArr = class, e.Sync(), ext
+	}
 	if e.Sync() >= m.processedSync {
 		// Fast path: the item extends the sorted window.
 		m.insertLog(li)
 		src := e.Sync()
 		if li.opt {
-			m.emit(src, li.seq, m.op.Advance(src))
+			m.emit(src, li.seq, tagAdvance, m.op.Advance(src))
 		}
-		m.emit(src, li.seq, m.op.Process(port, e))
+		if !probe {
+			m.emit(src, li.seq, tagProcess, m.op.Process(port, e))
+		}
 		m.processedSync = src
 		m.maybeSnapshot()
 		return
 	}
 	// Straggler: roll back to the nearest snapshot and replay.
-	m.met.Replays++
+	if !probe {
+		m.met.Replays++
+	}
 	m.insertLog(li)
-	if m.stateless && m.repairStateless(li) {
-		return
+	if m.stateless {
+		if li.probe {
+			// A probe has no Process call, so replaying it through a
+			// stateless operator cannot change the net-fact table; logging
+			// it (above) is all a future replay needs.
+			return
+		}
+		if m.repairStateless(li) {
+			return
+		}
 	}
 	m.repair(li)
 }
@@ -431,6 +615,13 @@ func (m *Monitor) admit(port int, e event.Event) {
 // would matter (then the generic replay decides). It reports whether the
 // repair was completed.
 func (m *Monitor) repairStateless(li logItem) bool {
+	// A retraction logged at or after the straggler's position may target
+	// the straggler's own output — an interaction only a real replay
+	// applies in the right order. (A retraction straggler is itself already
+	// in the log, so retraction stragglers always take the generic path.)
+	if keyLE(li.sync(), li.seq, m.maxRetractSync, m.maxRetractSeq) {
+		return false
+	}
 	// A full replay would advance the rolled-back operator to li's sync
 	// before processing it; for a stateless operator Advance emits nothing
 	// and keeps no frontier, so Process on the live operator is identical.
@@ -479,6 +670,7 @@ func (m *Monitor) repairStateless(li logItem) bool {
 		ins := e
 		ins.ID = event.Pair(id, event.ID(ng))
 		m.out = append(m.out, ins)
+		m.appendTag(tagDiff, id, nil)
 		m.met.OutputInserts++
 		m.emitted[id] = &netFact{ev: e, gen: ng, srcSync: src, srcSeq: sq}
 	}
@@ -548,7 +740,9 @@ func (m *Monitor) repair(li logItem) {
 			if item.opt {
 				m.foldInto(tbl, item.ev.Sync(), item.seq, fresh.Advance(item.ev.Sync()))
 			}
-			m.foldInto(tbl, item.ev.Sync(), item.seq, fresh.Process(item.port, item.ev))
+			if !item.probe {
+				m.foldInto(tbl, item.ev.Sync(), item.seq, fresh.Process(item.port, item.ev))
+			}
 		}
 		// Re-seed the snapshot cache as the replay walks forward, so
 		// straggler bursts do not degenerate to checkpoint replays.
@@ -599,6 +793,18 @@ func (m *Monitor) repair(li logItem) {
 // so the upper bound after its key is its unique position; fast-path items
 // land at the end with zero movement.
 func (m *Monitor) insertLog(li logItem) {
+	if li.probe {
+		m.probeLog++
+	}
+	if li.marker {
+		m.markerLog++
+	}
+	if !li.marker && !li.probe && li.ev.Kind == event.Retract {
+		s := li.ev.Sync()
+		if s > m.maxRetractSync || (s == m.maxRetractSync && li.seq > m.maxRetractSeq) {
+			m.maxRetractSync, m.maxRetractSeq = s, li.seq
+		}
+	}
 	i := m.searchAfter(li.sync(), li.seq)
 	m.log = append(m.log, logItem{})
 	copy(m.log[i+1:], m.log[i:])
@@ -691,7 +897,15 @@ func (m *Monitor) checkpointTo(g temporal.Time) {
 			if item.opt {
 				m.ckpt.Advance(item.ev.Sync())
 			}
-			m.ckpt.Process(item.port, item.ev)
+			if !item.probe {
+				m.ckpt.Process(item.port, item.ev)
+			}
+		}
+		if item.probe {
+			m.probeLog--
+		}
+		if item.marker {
+			m.markerLog--
 		}
 		cut++
 	}
@@ -720,6 +934,11 @@ func (m *Monitor) checkpointTo(g temporal.Time) {
 	}
 	m.head = cut
 	m.absSync, m.absSeq = ls, lq
+	// The latest retraction is the max over the window: if it fell inside
+	// the absorbed prefix, so did every other retraction.
+	if keyLE(m.maxRetractSync, m.maxRetractSeq, ls, lq) {
+		m.maxRetractSync, m.maxRetractSeq = temporal.MinTime, 0
+	}
 	// Facts produced by the absorbed prefix are final; forget them. This is
 	// exactly the table a replay of the remaining suffix over the new
 	// checkpoint would build.
@@ -756,7 +975,7 @@ func (m *Monitor) trimMemory() {
 // ID (the paper's new-K-chain rule from Figure 2) — to the output buffer.
 // (srcSync, srcSeq) is the key of the log item whose processing produced
 // the output.
-func (m *Monitor) emit(srcSync temporal.Time, srcSeq int, outs []event.Event) {
+func (m *Monitor) emit(srcSync temporal.Time, srcSeq int, phase byte, outs []event.Event) {
 	for _, e := range outs {
 		gid := m.genOf(e.ID)
 		if e.Kind == event.Retract {
@@ -775,6 +994,7 @@ func (m *Monitor) emit(srcSync temporal.Time, srcSeq int, outs []event.Event) {
 			m.met.OutputInserts++
 			m.emitted[e.ID] = &netFact{ev: e, gen: gid, srcSync: srcSync, srcSeq: srcSeq}
 		}
+		m.appendTag(phase, e.ID, &e)
 		r := e
 		r.ID = event.Pair(e.ID, event.ID(gid))
 		m.out = append(m.out, r)
@@ -851,6 +1071,7 @@ func (m *Monitor) diff(next map[event.ID]*netFact) {
 			r.V.End = r.V.Start
 			r.ID = event.Pair(id, event.ID(old.gen))
 			m.out = append(m.out, r)
+			m.appendTag(tagDiff, id, nil)
 			m.met.OutputRetractions++
 			m.met.Compensations++
 			m.gen[id] = old.gen + 1
@@ -864,6 +1085,7 @@ func (m *Monitor) diff(next map[event.ID]*netFact) {
 				next[id] = &cp
 			}
 			m.out = append(m.out, ins)
+			m.appendTag(tagDiff, id, nil)
 			m.met.OutputInserts++
 		case old.ev.SameFact(nw.ev):
 			if nw.gen != old.gen {
@@ -877,6 +1099,7 @@ func (m *Monitor) diff(next map[event.ID]*netFact) {
 			r.V.End = nw.ev.V.End
 			r.ID = event.Pair(id, event.ID(old.gen))
 			m.out = append(m.out, r)
+			m.appendTag(tagDiff, id, nil)
 			m.met.OutputRetractions++
 			m.met.Compensations++
 			if nw.gen != old.gen {
@@ -891,12 +1114,14 @@ func (m *Monitor) diff(next map[event.ID]*netFact) {
 			r.V.End = r.V.Start
 			r.ID = event.Pair(id, event.ID(old.gen))
 			m.out = append(m.out, r)
+			m.appendTag(tagDiff, id, nil)
 			m.met.OutputRetractions++
 			m.met.Compensations++
 			ng := old.gen + 1
 			ins := nw.ev
 			ins.ID = event.Pair(id, event.ID(ng))
 			m.out = append(m.out, ins)
+			m.appendTag(tagDiff, id, nil)
 			m.met.OutputInserts++
 			cp := *nw
 			cp.gen = ng
@@ -927,8 +1152,10 @@ func (m *Monitor) nextSeq() int {
 func (m *Monitor) sampleState() {
 	// Snapshot state is a derived cache (bounded by maxSnaps) and is
 	// deliberately excluded, keeping the Figure 8 state axis comparable to
-	// the reference semantics.
-	cur := len(m.buffer) + (len(m.log) - m.head) + m.op.StateSize() + m.ckptState
+	// the reference semantics. Probes are a sibling shard's events seen
+	// through a keyhole — the sibling counts them, so this monitor must not.
+	cur := (len(m.buffer) - m.probeBuf) + (len(m.log) - m.head - m.probeLog) +
+		m.op.StateSize() + m.ckptState
 	m.met.CurState = cur
 	if cur > m.met.MaxState {
 		m.met.MaxState = cur
@@ -940,14 +1167,35 @@ func (m *Monitor) sampleState() {
 // infinity, flushing blocking operators. The returned items complete the
 // output history and are valid until the next call on this monitor.
 func (m *Monitor) Finish() []event.Event {
-	m.out = m.out[:0]
+	out, _ := m.finish(nil, nil)
+	return out
+}
+
+// FinishTagged is Finish for sharded execution (see PushTagged). Both
+// returned slices are valid until the next call on this monitor.
+func (m *Monitor) FinishTagged(arrival, trigger []byte) ([]event.Event, [][]byte) {
+	return m.finish(arrival, trigger)
+}
+
+func (m *Monitor) finish(arrival, trigger []byte) ([]event.Event, [][]byte) {
+	m.beginCall(arrival, trigger)
 	for _, be := range m.buffer {
-		m.admit(be.port, be.ev)
+		if be.probe {
+			m.probeBuf--
+		}
+		m.admit(classRelease, be.port, be.ev, be.probe, be.ext)
 	}
 	m.buffer = nil
-	m.emit(temporal.Infinity, m.seq, m.op.Advance(temporal.Infinity))
+	if m.tagging {
+		m.curClass, m.curSync, m.curArr = classGuarantee, temporal.Infinity, arrival
+	}
+	m.emit(temporal.Infinity, m.seq, tagAdvance, m.op.Advance(temporal.Infinity))
 	m.met.OutputCTIs++
+	if m.tagging {
+		m.curClass = classCTI
+	}
 	m.out = append(m.out, event.NewCTI(temporal.Infinity))
+	m.appendTag(tagCTI, 0, nil)
 	m.sampleState()
-	return m.stampOut()
+	return m.stampOut(), m.tags
 }

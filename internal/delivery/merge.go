@@ -1,0 +1,76 @@
+package delivery
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/event"
+)
+
+// Tagged is one output item of a shard pipeline together with its order
+// tag: an order-preserving byte key (internal/ordkey, produced by the
+// consistency monitor's tagged push path) that places the item in the
+// emission sequence a single un-sharded pipeline would have produced.
+type Tagged struct {
+	Ev  event.Event
+	Tag []byte
+}
+
+// Merger is the deterministic shard-merge stage: it interleaves the
+// per-shard output bursts for one input item into the exact sequence the
+// single-shard engine emits. Shard-local emission order is already correct
+// per key (stable sort keeps it); cross-shard order is fully determined by
+// the tags; and punctuation — which every shard emits redundantly, with
+// identical tags — collapses to a single item per distinct tag.
+//
+// A Merger is reusable (scratch is retained across calls) and not safe for
+// concurrent use.
+type Merger struct {
+	scratch []Tagged
+	perm    []int
+}
+
+// Merge appends the merged interleaving of the per-shard bursts to dst and
+// returns it. Burst slices are read but not retained.
+func (m *Merger) Merge(dst []event.Event, bursts ...[]Tagged) []event.Event {
+	total := 0
+	for _, b := range bursts {
+		total += len(b)
+	}
+	if total == 0 {
+		return dst
+	}
+	if len(bursts) == 1 {
+		// Single shard: tags are already in emission order.
+		for _, t := range bursts[0] {
+			dst = append(dst, t.Ev)
+		}
+		return dst
+	}
+	all := m.scratch[:0]
+	perm := m.perm[:0]
+	for _, b := range bursts {
+		all = append(all, b...)
+	}
+	for i := 0; i < total; i++ {
+		perm = append(perm, i)
+	}
+	// Stable over the shard-concatenation order: equal tags keep shard
+	// order, and within a shard the burst order (which is the shard's
+	// emission order) is preserved.
+	sort.SliceStable(perm, func(i, j int) bool {
+		return bytes.Compare(all[perm[i]].Tag, all[perm[j]].Tag) < 0
+	})
+	var prevTag []byte
+	prevCTI := false
+	for _, k := range perm {
+		it := all[k]
+		if it.Ev.IsCTI() && prevCTI && bytes.Equal(it.Tag, prevTag) {
+			continue // sibling shards' redundant punctuation
+		}
+		prevTag, prevCTI = it.Tag, it.Ev.IsCTI()
+		dst = append(dst, it.Ev)
+	}
+	m.scratch, m.perm = all, perm
+	return dst
+}

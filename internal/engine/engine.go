@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/consistency"
 	"repro/internal/event"
+	"repro/internal/operators"
 	"repro/internal/plan"
 	"repro/internal/stream"
 )
@@ -19,18 +20,69 @@ import (
 type Engine struct {
 	mu      sync.RWMutex
 	queries []*Query
+	shards  int // default shard count for queries that don't request one
+}
+
+// Option adjusts engine construction.
+type Option func(*Engine)
+
+// WithShards sets the default shard count for registered queries whose
+// plans are key-partitionable and do not request an explicit count via
+// plan.WithShards.
+func WithShards(n int) Option {
+	return func(e *Engine) { e.shards = n }
 }
 
 // New creates an empty engine.
-func New() *Engine {
-	return &Engine{}
+func New(opts ...Option) *Engine {
+	e := &Engine{}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
 // Register compiles the plan into a standing query.
+//
+// Ordering guarantee: Register is safe to call concurrently with Push. The
+// new query observes every item pushed after Register returns and none
+// pushed before it was called; items pushed concurrently with the call may
+// or may not be observed (each in-flight Push snapshots the query list
+// once, so a query never sees a suffix of one Push's fan-out).
+//
+// A plan that requests shards (plan.WithShards, or the engine default) and
+// passes partitionability analysis runs on the key-partitioned parallel
+// runtime (shard.go); all other plans run single-shard.
 func (e *Engine) Register(p *plan.Plan) *Query {
 	q := &Query{name: p.Name, plan: p}
-	for _, op := range p.Stages {
-		q.monitors = append(q.monitors, consistency.NewMonitor(op, p.Spec))
+	n := p.Shards
+	if n == 0 {
+		n = e.shards
+	}
+	if n > 1 && p.Part.OK() {
+		stagesFor := func(shard int) ([]operators.Op, error) {
+			if shard == 0 {
+				return p.Stages, nil
+			}
+			fp, err := p.Fresh()
+			if err != nil {
+				return nil, err
+			}
+			return fp.Stages, nil
+		}
+		sh, err := newSharded(n, stagesFor, p.Spec, routeForPlan(p.Part, n), q.deliverMerged)
+		if err == nil {
+			q.sh = sh
+			q.shards = n
+		}
+		// On error (hand-built plan that cannot be re-instantiated): fall
+		// back to single-shard execution below.
+	}
+	if q.sh == nil {
+		q.shards = 1
+		for _, op := range p.Stages {
+			q.monitors = append(q.monitors, consistency.NewMonitor(op, p.Spec))
+		}
 	}
 	e.mu.Lock()
 	e.queries = append(e.queries, q)
@@ -38,7 +90,9 @@ func (e *Engine) Register(p *plan.Plan) *Query {
 	return q
 }
 
-// RegisterText compiles CEDR query text and registers it.
+// RegisterText compiles CEDR query text and registers it. Compilation is
+// cached by source text (plan.Compile), so re-registering the same query —
+// on this engine or another — skips parsing and semantic analysis.
 func (e *Engine) RegisterText(src string, opts ...plan.Option) (*Query, error) {
 	p, err := plan.Compile(src, opts...)
 	if err != nil {
@@ -106,15 +160,20 @@ func (e *Engine) Run(s stream.Stream) {
 	}
 }
 
-// Query is one standing query: a chain of consistency monitors.
+// Query is one standing query: a chain of consistency monitors, or — when
+// the plan is key-partitionable and shards were requested — a sharded
+// parallel runtime of N such chains behind a deterministic merge.
 type Query struct {
 	name     string
 	plan     *plan.Plan
 	monitors []*consistency.Monitor
+	sh       *sharded
+	shards   int
 
-	mu      sync.Mutex
-	results stream.Stream
-	subs    []func(event.Event)
+	mu       sync.Mutex
+	finished bool
+	results  stream.Stream
+	subs     []func(event.Event)
 
 	// batchA/batchB are the double-buffered inter-stage batches reused by
 	// Push and Finish, so driving the chain allocates nothing per event.
@@ -127,6 +186,10 @@ func (q *Query) Name() string { return q.name }
 // Plan returns the compiled plan.
 func (q *Query) Plan() *plan.Plan { return q.plan }
 
+// Shards returns the number of parallel shards the query runs on (1 for
+// single-shard execution).
+func (q *Query) Shards() int { return q.shards }
+
 // Subscribe adds a callback invoked for every output item (including
 // punctuation). Callbacks run synchronously on the pushing goroutine.
 func (q *Query) Subscribe(fn func(event.Event)) {
@@ -138,9 +201,23 @@ func (q *Query) Subscribe(fn func(event.Event)) {
 // Push feeds one physical item through the monitor chain and returns the
 // final-stage outputs. The returned slice is reused by the next Push on
 // this query; callers must copy what they keep.
+//
+// On a sharded query Push only enqueues (shards run asynchronously) and
+// returns nil; merged output reaches Results and subscribers in
+// deterministic order as the shards drain.
+//
+// Finish closes the query: items pushed afterwards are dropped, on every
+// execution mode.
 func (q *Query) Push(ev event.Event) []event.Event {
+	if q.sh != nil {
+		q.sh.push(ev)
+		return nil
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.finished {
+		return nil
+	}
 	batch := append(q.batchA[:0], ev)
 	next := q.batchB[:0]
 	for _, m := range q.monitors {
@@ -159,11 +236,20 @@ func (q *Query) Push(ev event.Event) []event.Event {
 	return batch
 }
 
-// Finish flushes the chain: each stage's Finish output cascades through the
-// remaining stages.
+// Finish flushes the chain and closes the query: each stage's Finish
+// output cascades through the remaining stages, and subsequent pushes are
+// dropped. On a sharded query it drains every shard and the merge stage
+// before returning the merged finish outputs.
 func (q *Query) Finish() []event.Event {
+	if q.sh != nil {
+		return q.sh.finish()
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.finished {
+		return nil
+	}
+	q.finished = true
 	var final []event.Event
 	for i := range q.monitors {
 		batch := q.monitors[i].Finish()
@@ -189,6 +275,14 @@ func (q *Query) deliver(items []event.Event) {
 	}
 }
 
+// deliverMerged is the sharded runtime's delivery callback; it runs on the
+// merger goroutine (subscriber callbacks therefore run there too).
+func (q *Query) deliverMerged(items []event.Event) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.deliver(items)
+}
+
 // Results returns everything the query has emitted so far (data and
 // punctuation), in emission order.
 func (q *Query) Results() stream.Stream {
@@ -197,8 +291,17 @@ func (q *Query) Results() stream.Stream {
 	return append(stream.Stream(nil), q.results...)
 }
 
-// Metrics returns per-stage monitor metrics.
+// Metrics returns per-stage monitor metrics. On a sharded query it waits
+// for the shards to drain everything pushed so far, then combines the
+// per-shard counters into the single-shard equivalents (callers must not
+// Push concurrently). Combined counters and the head stage's state axes
+// match single-shard execution exactly; downstream stages' MaxState is
+// sampled once per input item and may under-read momentary intra-item
+// peaks a single-shard run would catch.
 func (q *Query) Metrics() []consistency.Metrics {
+	if q.sh != nil {
+		return q.sh.metrics()
+	}
 	out := make([]consistency.Metrics, len(q.monitors))
 	for i, m := range q.monitors {
 		out[i] = m.Metrics()
@@ -206,12 +309,20 @@ func (q *Query) Metrics() []consistency.Metrics {
 	return out
 }
 
-// SetSpec switches every stage to a new consistency level at runtime
-// (Section 5's consistency-sensitive adaptation); released buffered output
-// cascades through the chain.
+// SetSpec switches the query's consistency level at runtime (Section 5's
+// consistency-sensitive adaptation); released buffered output cascades
+// through the chain. On a sharded query the switch is enqueued and takes
+// effect at this position in the input sequence on every shard.
 func (q *Query) SetSpec(s consistency.Spec) {
+	if q.sh != nil {
+		q.sh.setSpec(s)
+		return
+	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.finished {
+		return
+	}
 	for i, m := range q.monitors {
 		batch := m.SetSpec(s)
 		for j := i + 1; j < len(q.monitors); j++ {
@@ -228,8 +339,17 @@ func (q *Query) SetSpec(s consistency.Spec) {
 // RunPipelined executes the query over a finite source as a goroutine-per-
 // stage pipeline connected by channels — the paper's pipelined execution
 // plan — and returns the collected output. The query must be freshly
-// registered (no interleaved Push use).
+// registered (no interleaved Push use). A sharded query is already a
+// goroutine pipeline (worker-per-shard plus a merger); there the source is
+// streamed through the shard router and the merged output returned.
 func (q *Query) RunPipelined(src stream.Stream, buf int) stream.Stream {
+	if q.sh != nil {
+		for _, ev := range src {
+			q.sh.push(ev)
+		}
+		q.sh.finish()
+		return q.Results()
+	}
 	if buf <= 0 {
 		buf = 64
 	}
@@ -259,5 +379,8 @@ func (q *Query) RunPipelined(src stream.Stream, buf int) stream.Stream {
 
 // String implements fmt.Stringer.
 func (q *Query) String() string {
+	if q.shards > 1 {
+		return fmt.Sprintf("query %s: %s × %d shards", q.name, q.plan.Spec.Name(), q.shards)
+	}
 	return fmt.Sprintf("query %s: %s", q.name, q.plan.Spec.Name())
 }

@@ -1,0 +1,460 @@
+// Sharded execution: the key-partitioned parallel runtime.
+//
+// A sharded query runs N copies of its monitor chain, each owned by one
+// worker goroutine. The router hashes every data event to its key's shard
+// and broadcasts punctuation to all shards; every other shard receives an
+// advance-only probe carrying the event's Sync, so all shards advance
+// their operators at identical boundaries and each shard's output is
+// byte-for-byte the key-restricted slice of what a single-shard run would
+// emit (see Monitor.PushTagged). Workers tag their outputs with order keys
+// and the merger goroutine — one per query — interleaves the per-item
+// bursts with internal/delivery's merge stage, reconstructing the exact
+// single-shard emission sequence:
+//
+//	            ┌─ worker 0: monitors ─┐
+//	router ──► ─┼─ worker 1: monitors ─┼─► merger ──► results + subscribers
+//	 (hash key) └─ worker …: monitors ─┘   (order tags)
+//
+// The pipeline is asynchronous: Push enqueues and returns, Finish drains.
+// Results() exposes a deterministic prefix at any time.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/consistency"
+	"repro/internal/delivery"
+	"repro/internal/event"
+	"repro/internal/operators"
+	"repro/internal/ordkey"
+	"repro/internal/plan"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+// Shard item kinds. Every worker receives every sequence number exactly
+// once (data on the owning shard, a probe elsewhere; control items are
+// broadcast), which is what lets the merger align bursts without extra
+// bookkeeping.
+const (
+	itemData uint8 = iota
+	itemProbe
+	itemCTI
+	itemSetSpec
+	itemBarrier
+	itemFinish
+)
+
+const (
+	shardChanBuf = 1024
+	// maxTracedStages bounds the per-stage state trace carried in each
+	// burst (inline, allocation-free). Plans have at most three stages.
+	maxTracedStages = 8
+)
+
+type shardItem struct {
+	kind uint8
+	seq  int
+	ev   event.Event
+	spec consistency.Spec
+}
+
+type shardBurst struct {
+	seq   int
+	kind  uint8
+	items []delivery.Tagged
+	// state[j] is stage j's monitor state size after this item, minus the
+	// guarantee markers in its log window; shared[j] is that marker count.
+	// Broadcast punctuation is logged once per shard but contributes once to
+	// the single-shard state, so the merger sums state across shards and
+	// adds one shard's shared count — reproducing the single-shard monitor's
+	// per-push state samples exactly (probes are already excluded from every
+	// shard's own count).
+	state  [maxTracedStages]int32
+	shared [maxTracedStages]int32
+}
+
+type shardWorker struct {
+	monitors []*consistency.Monitor
+	in       chan shardItem
+	out      chan shardBurst
+	arr      []byte // arrival-key scratch (stage 0)
+	trig     []byte // per-stage tag-prefix scratch (SetSpec/Finish)
+	// Per-cascade-depth reusable batch scratch (see cascade).
+	evScratch  [][]event.Event
+	tagScratch [][][]byte
+	arrScratch [][]byte
+}
+
+// sharded is the per-query parallel runtime. The router methods (push,
+// setSpec, finish, barrier) serialize on mu, so concurrent producers are
+// safe — the same guarantee the single-shard Query.Push mutex gives.
+// metrics additionally requires that no Push lands while it drains
+// (matching the single-shard contract that Metrics reads are only exact
+// between pushes).
+type sharded struct {
+	n       int
+	stages  int
+	route   func(event.Event) int
+	workers []*shardWorker
+	deliver func([]event.Event)
+
+	mu       sync.Mutex // serializes seq assignment and channel send order
+	seq      int
+	finished bool
+
+	done      chan struct{}
+	barrierCh chan struct{}
+	finishOut []event.Event
+
+	// merger-owned; read only after a barrier or done handshake.
+	maxState [maxTracedStages]int
+}
+
+// newSharded builds and starts the sharded runtime. stagesFor must return
+// an independent, freshly instantiated operator chain per shard (operator
+// Clones may share scratch and are not safe across goroutines). deliver
+// receives merged output in deterministic order, on the merger goroutine.
+func newSharded(n int, stagesFor func(shard int) ([]operators.Op, error),
+	spec consistency.Spec, route func(event.Event) int,
+	deliver func([]event.Event)) (*sharded, error) {
+	if n < 1 {
+		n = 1
+	}
+	s := &sharded{
+		n:         n,
+		route:     route,
+		deliver:   deliver,
+		done:      make(chan struct{}),
+		barrierCh: make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		stages, err := stagesFor(i)
+		if err != nil {
+			return nil, err
+		}
+		if len(stages) == 0 {
+			return nil, fmt.Errorf("engine: shard %d has no stages", i)
+		}
+		if len(stages) > maxTracedStages {
+			return nil, fmt.Errorf("engine: sharded execution traces at most %d stages, plan has %d", maxTracedStages, len(stages))
+		}
+		if stages[0].Arity() != 1 {
+			return nil, fmt.Errorf("engine: sharded execution requires a single-port head operator")
+		}
+		w := &shardWorker{
+			in:  make(chan shardItem, shardChanBuf),
+			out: make(chan shardBurst, shardChanBuf),
+		}
+		for _, op := range stages {
+			w.monitors = append(w.monitors, consistency.NewMonitor(op, spec))
+		}
+		s.workers = append(s.workers, w)
+	}
+	s.stages = len(s.workers[0].monitors)
+	for _, w := range s.workers {
+		go w.run()
+	}
+	go s.mergeLoop()
+	return s, nil
+}
+
+// push routes one physical item: punctuation broadcasts, data goes to the
+// key's shard with advance probes everywhere else.
+func (s *sharded) push(ev event.Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return
+	}
+	seq := s.seq
+	s.seq++
+	if ev.IsCTI() {
+		it := shardItem{kind: itemCTI, seq: seq, ev: ev}
+		for _, w := range s.workers {
+			w.in <- it
+		}
+		return
+	}
+	owner := 0
+	if s.route != nil {
+		owner = s.route(ev)
+	}
+	// The probe mirrors the event's Sync and CEDR arrival time; sibling
+	// monitors advance (and stamp output) exactly as the owner does.
+	probe := event.Event{V: temporal.From(ev.Sync()), C: ev.C}
+	for i, w := range s.workers {
+		if i == owner {
+			w.in <- shardItem{kind: itemData, seq: seq, ev: ev}
+		} else {
+			w.in <- shardItem{kind: itemProbe, seq: seq, ev: probe}
+		}
+	}
+}
+
+// setSpec broadcasts a consistency-level switch; it takes effect at this
+// position in the input sequence on every shard.
+func (s *sharded) setSpec(spec consistency.Spec) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return
+	}
+	it := shardItem{kind: itemSetSpec, seq: s.seq, spec: spec}
+	s.seq++
+	for _, w := range s.workers {
+		w.in <- it
+	}
+}
+
+// finish flushes every shard, waits for the merger to drain, and returns
+// the merged finish outputs.
+func (s *sharded) finish() []event.Event {
+	s.mu.Lock()
+	if !s.finished {
+		s.finished = true
+		it := shardItem{kind: itemFinish, seq: s.seq}
+		s.seq++
+		for _, w := range s.workers {
+			w.in <- it
+		}
+	}
+	s.mu.Unlock()
+	<-s.done
+	return s.finishOut
+}
+
+// barrier waits until every shard and the merger have processed everything
+// enqueued so far.
+func (s *sharded) barrier() {
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	it := shardItem{kind: itemBarrier, seq: s.seq}
+	s.seq++
+	for _, w := range s.workers {
+		w.in <- it
+	}
+	s.mu.Unlock()
+	<-s.barrierCh
+}
+
+// metrics combines the per-shard monitor metrics into the metrics the
+// single-shard run would report: partitioned counters sum, broadcast
+// punctuation counts once, and the state axes come from the merger's
+// per-item cross-shard state trace. The trace samples once per input item,
+// which reproduces the head stage's per-push samples exactly; downstream
+// stages are pushed several times per input item by the cascade, so their
+// MaxState may under-read momentary intra-item peaks.
+func (s *sharded) metrics() []consistency.Metrics {
+	s.barrier()
+	out := make([]consistency.Metrics, s.stages)
+	for j := 0; j < s.stages; j++ {
+		agg := s.workers[0].monitors[j].Metrics()
+		for _, w := range s.workers[1:] {
+			m := w.monitors[j].Metrics()
+			agg.InputEvents += m.InputEvents
+			agg.OutputInserts += m.OutputInserts
+			agg.OutputRetractions += m.OutputRetractions
+			agg.Compensations += m.Compensations
+			agg.Dropped += m.Dropped
+			agg.Violations += m.Violations
+			agg.Replays += m.Replays
+			agg.BlockedEvents += m.BlockedEvents
+			agg.TotalBlocking += m.TotalBlocking
+			// Broadcast guarantee markers are logged per shard but count
+			// once in the single-shard state.
+			agg.CurState += m.CurState - w.monitors[j].WindowMarkers()
+			// InputCTIs and OutputCTIs: punctuation is broadcast and every
+			// shard counts the identical stream once — keep shard 0's.
+		}
+		// newSharded bounds the chain to maxTracedStages, so the trace
+		// always covers every stage.
+		agg.MaxState = s.maxState[j]
+		out[j] = agg
+	}
+	return out
+}
+
+func (w *shardWorker) run() {
+	for it := range w.in {
+		w.out <- w.process(it)
+		if it.kind == itemFinish {
+			return
+		}
+	}
+}
+
+// process drives one item through the shard's monitor chain. It is the
+// worker loop's body, callable synchronously (the critical-path benchmark
+// times a shard's full item sequence this way, without channel overhead).
+func (w *shardWorker) process(it shardItem) shardBurst {
+	b := shardBurst{seq: it.seq, kind: it.kind}
+	switch it.kind {
+	case itemData, itemProbe, itemCTI:
+		w.arr = ordkey.AppendUint(w.arr[:0], uint64(it.seq))
+		outs, tags := w.monitors[0].PushTagged(0, it.ev, w.arr, nil, it.kind == itemProbe)
+		b.items = w.cascade(1, it.seq, outs, tags, b.items)
+	case itemSetSpec:
+		// Mirror the single-shard Query.SetSpec cascade: each stage's
+		// released output flows through the remaining stages, stage by
+		// stage, under a per-stage tag prefix.
+		for i := range w.monitors {
+			w.trig = ordkey.AppendUint(w.trig[:0], uint64(i))
+			w.arr = ordkey.AppendUint(w.arr[:0], uint64(it.seq))
+			outs, tags := w.monitors[i].SetSpecTagged(it.spec, w.arr, w.trig)
+			b.items = w.cascade(i+1, it.seq, outs, tags, b.items)
+		}
+	case itemFinish:
+		for i := range w.monitors {
+			w.trig = ordkey.AppendUint(w.trig[:0], uint64(i))
+			w.arr = ordkey.AppendUint(w.arr[:0], uint64(it.seq))
+			outs, tags := w.monitors[i].FinishTagged(w.arr, w.trig)
+			b.items = w.cascade(i+1, it.seq, outs, tags, b.items)
+		}
+	case itemBarrier:
+		// State is unchanged; the burst itself is the synchronization.
+	}
+	for j, m := range w.monitors {
+		if j >= maxTracedStages {
+			break
+		}
+		mk := int32(m.WindowMarkers())
+		b.state[j] = int32(m.Metrics().CurState) - mk
+		b.shared[j] = mk
+	}
+	return b
+}
+
+// cascade drives items (with their order tags) through the monitors from
+// stage `from` on, collecting the final stage's tagged outputs. Each item's
+// outputs nest under its tag, so the merged cross-shard order reproduces
+// the single-shard stage-by-stage cascade exactly.
+func (w *shardWorker) cascade(from, seq int, items []event.Event, tags [][]byte, acc []delivery.Tagged) []delivery.Tagged {
+	if from >= len(w.monitors) {
+		for k := range items {
+			acc = append(acc, delivery.Tagged{Ev: items[k], Tag: tags[k]})
+		}
+		return acc
+	}
+	// The monitor owns the returned slices until its next call; move the
+	// batch into per-depth reusable scratch before pushing follow-up items
+	// into the same stage. (The tag byte arrays themselves are freshly
+	// allocated per call and safe to hold.)
+	for len(w.evScratch) <= from {
+		w.evScratch = append(w.evScratch, nil)
+		w.tagScratch = append(w.tagScratch, nil)
+		w.arrScratch = append(w.arrScratch, nil)
+	}
+	evs := append(w.evScratch[from][:0], items...)
+	tgs := append(w.tagScratch[from][:0], tags...)
+	w.evScratch[from], w.tagScratch[from] = evs, tgs
+	for k := range evs {
+		// The downstream arrival key is (input seq, upstream tag): globally
+		// ordered across shards and bursts, because upstream tags are.
+		arr := ordkey.AppendUint(w.arrScratch[from][:0], uint64(seq))
+		arr = append(arr, tgs[k]...)
+		w.arrScratch[from] = arr
+		outs, otags := w.monitors[from].PushTagged(0, evs[k], arr, tgs[k], false)
+		acc = w.cascade(from+1, seq, outs, otags, acc)
+	}
+	return acc
+}
+
+// mergeLoop gathers each input item's bursts from all shards, merges them
+// into the single-shard emission order, and delivers.
+func (s *sharded) mergeLoop() {
+	var mg delivery.Merger
+	var out []event.Event
+	bursts := make([][]delivery.Tagged, s.n)
+	for {
+		var kind uint8
+		var sum [maxTracedStages]int
+		for i, w := range s.workers {
+			b := <-w.out
+			bursts[i] = b.items
+			kind = b.kind
+			for j := 0; j < s.stages && j < maxTracedStages; j++ {
+				sum[j] += int(b.state[j])
+				if i == 0 {
+					sum[j] += int(b.shared[j])
+				}
+			}
+		}
+		for j := 0; j < s.stages && j < maxTracedStages; j++ {
+			if sum[j] > s.maxState[j] {
+				s.maxState[j] = sum[j]
+			}
+		}
+		if kind == itemBarrier {
+			s.barrierCh <- struct{}{}
+			continue
+		}
+		out = mg.Merge(out[:0], bursts...)
+		if kind == itemFinish {
+			s.finishOut = append([]event.Event(nil), out...)
+			s.deliver(s.finishOut)
+			close(s.done)
+			return
+		}
+		if len(out) > 0 {
+			s.deliver(out)
+		}
+	}
+}
+
+// RouteByAttr routes events by a payload attribute, rendered and hashed
+// exactly as grouped aggregation renders and hashes group keys.
+// Retractions must carry the attribute too (all in-repo workloads do).
+func RouteByAttr(attr string, shards int) func(event.Event) int {
+	return func(ev event.Event) int {
+		return int(operators.HashString(operators.KeyString(ev.Payload[attr])) % uint64(shards))
+	}
+}
+
+// RouteByID routes events by their fact ID; retractions share their
+// insert's ID and follow it to the same shard.
+func RouteByID(shards int) func(event.Event) int {
+	return func(ev event.Event) int {
+		return int(uint64(event.Pair(ev.ID)) % uint64(shards))
+	}
+}
+
+// routeForPlan builds the router a plan's partition verdict calls for.
+func routeForPlan(part plan.Partition, shards int) func(event.Event) int {
+	switch part.Mode {
+	case plan.PartitionByAttr:
+		return RouteByAttr(part.Attr, shards)
+	case plan.PartitionByID:
+		return RouteByID(shards)
+	default:
+		return nil
+	}
+}
+
+// RunShardedOp executes one operator as an n-shard parallel pipeline over a
+// finite physical stream and returns the merged output plus the combined
+// metrics — the sharded counterpart of consistency.RunStreams. mk must
+// return a fresh, independent *single-port* operator instance on every
+// call (multi-port operators do not shard and cause a panic); route maps
+// each data event to its shard (see RouteByAttr, RouteByID).
+func RunShardedOp(mk func() operators.Op, spec consistency.Spec, n int,
+	route func(event.Event) int, in stream.Stream) (stream.Stream, consistency.Metrics) {
+	var out stream.Stream
+	sh, err := newSharded(n,
+		func(int) ([]operators.Op, error) { return []operators.Op{mk()}, nil },
+		spec, route,
+		func(items []event.Event) { out = append(out, items...) })
+	if err != nil {
+		panic(err) // the factory never fails, but a multi-port operator does
+	}
+	for _, ev := range in {
+		sh.push(ev)
+	}
+	sh.finish()
+	return out, sh.metrics()[0]
+}

@@ -1,0 +1,427 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/delivery"
+	"repro/internal/event"
+	"repro/internal/operators"
+	"repro/internal/plan"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+	"repro/internal/workload"
+)
+
+// The sharded-equivalence property: for every key-partitionable operator,
+// consistency level and delivery disorder, running N shards behind the
+// deterministic merge produces byte-identical output — and identical
+// combined metrics — to the single-shard monitor, for every shard count.
+// Together with internal/consistency's frozen-reference property tests this
+// proves the sharded runtime is a pure performance change.
+
+func shardRandSource(rng *rand.Rand, n int) stream.Stream {
+	s := make(stream.Stream, 0, n)
+	at := temporal.Time(0)
+	for i := 0; i < n; i++ {
+		at = at.Add(temporal.Duration(rng.Intn(7)))
+		length := temporal.Duration(rng.Intn(40) + 1)
+		ve := at.Add(length)
+		if rng.Intn(8) == 0 {
+			ve = temporal.Infinity
+		}
+		s = append(s, event.NewInsert(event.ID(i+1), "E", at, ve, event.Payload{
+			"g": int64(rng.Intn(6)),
+			"x": float64(rng.Intn(100)) / 4,
+		}))
+	}
+	return s.SortBySync()
+}
+
+type shardOpCase struct {
+	name  string
+	mk    func() operators.Op
+	route func(shards int) func(event.Event) int
+}
+
+func shardOpCases() []shardOpCase {
+	byAttr := func(attr string) func(int) func(event.Event) int {
+		return func(n int) func(event.Event) int { return RouteByAttr(attr, n) }
+	}
+	byID := func(n int) func(event.Event) int { return RouteByID(n) }
+	return []shardOpCase{
+		{"count-by-g", func() operators.Op { return operators.NewAggregate(operators.Count, "", "g") }, byAttr("g")},
+		{"avg-by-g", func() operators.Op { return operators.NewAggregate(operators.Avg, "x", "g") }, byAttr("g")},
+		{"select", func() operators.Op {
+			return operators.NewSelect(func(p event.Payload) bool {
+				v, _ := event.Num(p["x"])
+				return v >= 5
+			})
+		}, byID},
+		{"window", func() operators.Op { return operators.Window(15) }, byID},
+	}
+}
+
+// runPlainOp is the single-shard reference: one monitor, pushed in arrival
+// order, optionally switching levels mid-stream.
+func runPlainOp(mk func() operators.Op, spec consistency.Spec, in stream.Stream,
+	switchAt int, switchTo consistency.Spec) (stream.Stream, consistency.Metrics) {
+	m := consistency.NewMonitor(mk(), spec)
+	var out stream.Stream
+	for i, e := range in {
+		out = append(out, m.Push(0, e)...)
+		if switchAt > 0 && i+1 == switchAt {
+			out = append(out, m.SetSpec(switchTo)...)
+		}
+	}
+	out = append(out, m.Finish()...)
+	return out, m.Metrics()
+}
+
+// runShardedOpSwitch drives the sharded runtime over the same sequence.
+func runShardedOpSwitch(mk func() operators.Op, spec consistency.Spec, n int,
+	route func(event.Event) int, in stream.Stream,
+	switchAt int, switchTo consistency.Spec) (stream.Stream, consistency.Metrics) {
+	var out stream.Stream
+	sh, err := newSharded(n,
+		func(int) ([]operators.Op, error) { return []operators.Op{mk()}, nil },
+		spec, route,
+		func(items []event.Event) { out = append(out, items...) })
+	if err != nil {
+		panic(err)
+	}
+	for i, e := range in {
+		sh.push(e)
+		if switchAt > 0 && i+1 == switchAt {
+			sh.setSpec(switchTo)
+		}
+	}
+	sh.finish()
+	met := sh.metrics()[0]
+	return out, met
+}
+
+func compareStreams(t *testing.T, label string, got, want stream.Stream) {
+	t.Helper()
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("%s: output[%d] differs\n got: %v\nwant: %v", label, i, got[i], want[i])
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: output length %d, want %d (first %d identical)", label, len(got), len(want), n)
+	}
+}
+
+func TestShardedOpEquivalence(t *testing.T) {
+	cases := shardOpCases()
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(4242 + int64(trial)))
+		src := shardRandSource(rng, 150+rng.Intn(150))
+		if trial%2 == 1 {
+			// Optimistic insert-then-retract rewrites exercise retraction
+			// routing (the retract carries the key and follows its insert).
+			src = workload.Corrections(rng.Int63(), 0.3, src)
+		}
+		var cfg delivery.Config
+		switch trial % 3 {
+		case 0:
+			cfg = delivery.Ordered(temporal.Duration(rng.Intn(40) + 5))
+		case 1:
+			cfg = delivery.Disordered(rng.Int63(), temporal.Duration(rng.Intn(100)+20),
+				temporal.Duration(rng.Intn(80)+10), 0.1+rng.Float64()*0.4)
+		default:
+			cfg = delivery.Config{Seed: rng.Int63(),
+				Latency:       delivery.Latency{Base: 1, Jitter: 25, StragglerProb: 0.3, StragglerDelay: 60},
+				CTIPeriod:     temporal.Duration(rng.Intn(120) + 10),
+				DuplicateProb: 0.1}
+		}
+		delivered := delivery.Deliver(src, cfg)
+		levels := []consistency.Spec{
+			consistency.Strong(),
+			consistency.Middle(),
+			consistency.Weak(0),
+			consistency.Weak(temporal.Duration(rng.Intn(60) + 1)),
+			consistency.Level(temporal.Duration(rng.Intn(30)), consistency.Unbounded),
+			consistency.Level(temporal.Duration(rng.Intn(20)), temporal.Duration(rng.Intn(80)+20)),
+		}
+		for _, tc := range cases {
+			for _, spec := range levels {
+				want, wantMet := runPlainOp(tc.mk, spec, delivered, 0, consistency.Spec{})
+				for _, n := range []int{1, 2, 4, 8} {
+					label := fmt.Sprintf("trial %d op %s level %s shards %d", trial, tc.name, spec.Name(), n)
+					got, gotMet := runShardedOpSwitch(tc.mk, spec, n, tc.route(n), delivered, 0, consistency.Spec{})
+					compareStreams(t, label, got, want)
+					if gotMet != wantMet {
+						t.Fatalf("%s: metrics diverge\n got: %+v\nwant: %+v", label, gotMet, wantMet)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Mid-stream level switching must commute with sharding: the switch takes
+// effect at the same input position on every shard.
+func TestShardedSetSpecMidStream(t *testing.T) {
+	levels := []consistency.Spec{
+		consistency.Strong(), consistency.Middle(),
+		consistency.Weak(25), consistency.Level(10, 50),
+	}
+	mk := func() operators.Op { return operators.NewAggregate(operators.Count, "", "g") }
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(777 + int64(trial)))
+		src := shardRandSource(rng, 120)
+		delivered := delivery.Deliver(src,
+			delivery.Disordered(rng.Int63(), 40, 50, 0.3))
+		from := levels[rng.Intn(len(levels))]
+		to := levels[rng.Intn(len(levels))]
+		at := len(delivered)/3 + rng.Intn(len(delivered)/3)
+		n := 1 + rng.Intn(8)
+		label := fmt.Sprintf("switch trial %d %s->%s@%d shards %d", trial, from.Name(), to.Name(), at, n)
+		want, wantMet := runPlainOp(mk, from, delivered, at, to)
+		got, gotMet := runShardedOpSwitch(mk, from, n, RouteByAttr("g", n), delivered, at, to)
+		compareStreams(t, label, got, want)
+		if gotMet != wantMet {
+			t.Fatalf("%s: metrics diverge\n got: %+v\nwant: %+v", label, gotMet, wantMet)
+		}
+	}
+}
+
+// Compiled plans (pattern head, stateless tail) through the engine: sharded
+// queries must reproduce the single-shard Results stream exactly, and the
+// partitioned metric counters must sum to the single-shard values.
+func TestShardedPlanEquivalence(t *testing.T) {
+	queries := []struct {
+		name string
+		src  string
+	}{
+		{"unless", monitorQuery},
+		{"sequence-output", `EVENT Pairs WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 12 hours)
+WHERE CorrelationKey(Machine_Id, EQUAL) SC(each, consume)
+OUTPUT x.Machine_Id AS machine`},
+	}
+	events, _ := workload.MachineEvents(workload.DefaultMachines())
+	for _, qc := range queries {
+		for _, spec := range []consistency.Spec{consistency.Strong(), consistency.Middle()} {
+			for _, disordered := range []bool{false, true} {
+				var delivered stream.Stream
+				if disordered {
+					delivered = delivery.Deliver(events,
+						delivery.Disordered(9, 10*temporal.Minute, 2*temporal.Minute, 0.3))
+				} else {
+					delivered = delivery.Deliver(events, delivery.Ordered(10*temporal.Minute))
+				}
+				ref := run(t, qc.src, delivered, plan.WithSpec(spec))
+				if ref.Shards() != 1 {
+					t.Fatalf("reference unexpectedly sharded")
+				}
+				want := ref.Results()
+				wantMet := ref.Metrics()
+				for _, n := range []int{2, 4, 8} {
+					label := fmt.Sprintf("%s %s disordered=%v shards=%d", qc.name, spec.Name(), disordered, n)
+					q := run(t, qc.src, delivered, plan.WithSpec(spec), plan.WithShards(n))
+					if q.Shards() != n {
+						t.Fatalf("%s: plan did not shard: %s", label, q.Plan().Explain())
+					}
+					compareStreams(t, label, q.Results(), want)
+					gotMet := q.Metrics()
+					if len(gotMet) != len(wantMet) {
+						t.Fatalf("%s: %d metric stages, want %d", label, len(gotMet), len(wantMet))
+					}
+					for j := range gotMet {
+						g, w := gotMet[j], wantMet[j]
+						if g.InputEvents != w.InputEvents || g.InputCTIs != w.InputCTIs ||
+							g.OutputInserts != w.OutputInserts || g.OutputRetractions != w.OutputRetractions ||
+							g.OutputCTIs != w.OutputCTIs || g.Compensations != w.Compensations ||
+							g.Dropped != w.Dropped || g.Violations != w.Violations {
+							t.Fatalf("%s: stage %d counters diverge\n got: %+v\nwant: %+v", label, j, g, w)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// RunPipelined on a sharded query streams through the shard pipeline and
+// must reproduce the single-shard result exactly, for random shard counts.
+func TestShardedRunPipelined(t *testing.T) {
+	events, _ := workload.MachineEvents(workload.DefaultMachines())
+	delivered := delivery.Deliver(events,
+		delivery.Disordered(3, 10*temporal.Minute, 2*temporal.Minute, 0.2))
+	ref := run(t, monitorQuery, delivered)
+	want := ref.Results()
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 4; trial++ {
+		n := 1 + rng.Intn(8)
+		e := New()
+		q, err := e.RegisterText(monitorQuery, plan.WithShards(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := q.RunPipelined(delivered, 16)
+		compareStreams(t, fmt.Sprintf("pipelined shards=%d", n), got, want)
+	}
+}
+
+// Non-partitionable plans must fall back to one shard, with the verdict
+// visible in Explain.
+func TestShardedPartitionFallback(t *testing.T) {
+	cases := []struct {
+		src string
+		why string
+	}{
+		// No correlation key: state does not decompose.
+		{`EVENT Seq WHEN SEQUENCE(A a, B b, 10)`, "no CorrelationKey"},
+		// first-selection couples keys.
+		{`EVENT Seq WHEN SEQUENCE(A a, B b, 10)
+WHERE CorrelationKey(k, EQUAL) SC(first, consume)`, "first/last"},
+	}
+	for _, tc := range cases {
+		e := New()
+		q, err := e.RegisterText(tc.src, plan.WithShards(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Shards() != 1 {
+			t.Errorf("%q: sharded despite %s", tc.src, tc.why)
+		}
+		if q.Plan().Part.OK() {
+			t.Errorf("%q: partition analysis passed, want refusal (%s)", tc.src, tc.why)
+		}
+	}
+	// And the partitionable case does shard.
+	e := New(WithShards(4))
+	q, err := e.RegisterText(monitorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Shards() != 4 {
+		t.Errorf("partitionable query not sharded: %s", q.Plan().Explain())
+	}
+}
+
+// Subscribers on sharded queries observe the merged deterministic order.
+func TestShardedSubscribe(t *testing.T) {
+	events, expected := workload.MachineEvents(workload.DefaultMachines())
+	delivered := delivery.Deliver(events, delivery.Ordered(10*temporal.Minute))
+	e := New()
+	q, err := e.RegisterText(monitorQuery, plan.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []event.Event
+	q.Subscribe(func(ev event.Event) { seen = append(seen, ev) })
+	e.Run(delivered)
+	got := 0
+	for _, ev := range seen {
+		if !ev.IsCTI() && ev.Kind == event.Insert {
+			got++
+		}
+	}
+	if got != expected {
+		t.Errorf("subscriber alerts = %d, want %d", got, expected)
+	}
+	compareStreams(t, "subscribe vs results", stream.Stream(seen), q.Results())
+}
+
+// The compile cache must hand out independent operator instances per
+// registration: two queries from one source never share state.
+func TestCompileCacheIndependentInstances(t *testing.T) {
+	p1, err := plan.Compile(monitorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := plan.Compile(monitorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1.Stages {
+		if p1.Stages[i] == p2.Stages[i] {
+			t.Fatalf("stage %d shared between compilations", i)
+		}
+	}
+	fp, err := p1.Fresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Stages[0] == p1.Stages[0] {
+		t.Fatal("Fresh returned the original stage instance")
+	}
+}
+
+// Finish closes a query on every execution mode: later pushes are dropped
+// on single-shard and sharded queries alike.
+func TestPushAfterFinishUniform(t *testing.T) {
+	events, _ := workload.MachineEvents(workload.DefaultMachines())
+	delivered := delivery.Deliver(events, delivery.Ordered(10*temporal.Minute))
+	half := len(delivered) / 2
+	for _, n := range []int{1, 4} {
+		e := New()
+		q, err := e.RegisterText(monitorQuery, plan.WithShards(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range delivered[:half] {
+			q.Push(ev)
+		}
+		q.Finish()
+		got := len(q.Results())
+		for _, ev := range delivered[half:] {
+			q.Push(ev)
+		}
+		q.Finish()
+		if after := len(q.Results()); after != got {
+			t.Errorf("shards=%d: %d items appeared after Finish (closed query must drop pushes)", n, after-got)
+		}
+	}
+}
+
+// Concurrent RegisterText traffic (same and different sources) while events
+// are in flight: exercises the compile cache and the Register/Push snapshot
+// under the race detector.
+func TestConcurrentRegisterTextAndPush(t *testing.T) {
+	eng := New()
+	if _, err := eng.RegisterText(`EVENT Out WHEN ANY(E e)`); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error)
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			var err error
+			for i := 0; i < 25; i++ {
+				src := `EVENT Out WHEN ANY(E e)`
+				if i%2 == 0 {
+					src = fmt.Sprintf(`EVENT Out%d WHEN ANY(E e)`, g)
+				}
+				if _, e := eng.RegisterText(src); e != nil {
+					err = e
+					break
+				}
+			}
+			done <- err
+		}(g)
+	}
+	for i := 0; i < 3000; i++ {
+		ev := event.NewInsert(event.ID(i+1), "E", temporal.Time(i), temporal.Time(i+5), nil)
+		ev.C = temporal.From(temporal.Time(i))
+		eng.Push(ev)
+	}
+	for g := 0; g < 4; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	eng.Finish()
+	if qs := eng.Queries(); len(qs) != 101 {
+		t.Fatalf("registered %d queries, want 101", len(qs))
+	}
+}

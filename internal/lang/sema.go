@@ -22,6 +22,13 @@ type Analysis struct {
 	OutputMap func(event.Payload) event.Payload
 	// Slice is the intersection of the @ and # windows; nil if unsliced.
 	Slice *temporal.Interval
+	// PartitionAttr is the payload attribute of a CorrelationKey(attr,
+	// EQUAL) predicate, when the query declares one. Under EQUAL
+	// correlation every detection combines only events agreeing on the
+	// attribute (including across negation sites), so the query's state and
+	// output decompose by it — the property the sharded runtime's
+	// partitionability analysis (internal/plan) keys on. Empty otherwise.
+	PartitionAttr string
 }
 
 // site identifies where an alias is bound: site 0 is the positive part of
@@ -46,6 +53,12 @@ func Analyze(q *Query) (*Analysis, error) {
 	positive, corrs, err := b.classify(q.Where)
 	if err != nil {
 		return nil, err
+	}
+	for _, pred := range q.Where {
+		if pred.IsCorrKey() && pred.CorrMode == "EQUAL" {
+			a.PartitionAttr = pred.CorrAttr
+			break
+		}
 	}
 
 	// Pass 3: build the algebra expression with injected predicates.

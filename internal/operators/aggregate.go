@@ -3,9 +3,9 @@ package operators
 import (
 	"fmt"
 	"slices"
-	"strconv"
 
 	"repro/internal/event"
+	"repro/internal/ordkey"
 	"repro/internal/temporal"
 )
 
@@ -156,23 +156,21 @@ func (a *Aggregate) Process(_ int, e event.Event) []event.Event {
 }
 
 // groupKey renders the grouping value exactly as fmt's %v would (group IDs
-// hash this string), with allocation-free fast paths for the common types.
+// hash this string).
 func (a *Aggregate) groupKey(p event.Payload) string {
 	if a.GroupBy == "" {
 		return ""
 	}
-	switch v := p[a.GroupBy].(type) {
-	case string:
-		return v
-	case int64:
-		return strconv.FormatInt(v, 10)
-	case int:
-		return strconv.Itoa(v)
-	case float64:
-		return strconv.FormatFloat(v, 'g', -1, 64)
-	default:
-		return fmt.Sprintf("%v", v)
-	}
+	return KeyString(p[a.GroupBy])
+}
+
+// AppendAdvanceKey implements AdvanceOrdered: one Advance call emits its
+// segments bucket-by-bucket in ascending group-key order, so the cross-key
+// position of an output is its group key (segments of one group stay in
+// shard-local order). The output payload carries the group key under the
+// GroupBy attribute, already in rendered form.
+func (a *Aggregate) AppendAdvanceKey(dst []byte, e event.Event) []byte {
+	return ordkey.AppendString(dst, a.groupKey(e.Payload))
 }
 
 // Advance implements Op: emit the finalized aggregate segments over
@@ -299,7 +297,7 @@ func (a *Aggregate) segments(out []event.Event, key string, members []event.Even
 	a.scratch.bounds = bounds
 	var open event.Event // current segment being coalesced
 	haveOpen := false
-	gid := event.ID(hashString(key))
+	gid := event.ID(HashString(key))
 	for i := 0; i+1 < len(bounds); i++ {
 		seg := temporal.NewInterval(bounds[i], bounds[i+1])
 		val, n := a.fold(members, seg)
@@ -383,7 +381,11 @@ func (a *Aggregate) fold(members []event.Event, seg temporal.Interval) (event.Va
 	}
 }
 
-func hashString(s string) uint64 {
+// HashString mixes a string with FNV-1a — the same function the event ID
+// pairing uses. Grouped aggregation derives group IDs from it, and the
+// shard router hashes routing keys with it, so a group's facts and its
+// events agree on both identity and placement.
+func HashString(s string) uint64 {
 	h := uint64(1469598103934665603)
 	for i := 0; i < len(s); i++ {
 		h ^= uint64(s[i])

@@ -17,6 +17,9 @@
 package operators
 
 import (
+	"fmt"
+	"strconv"
+
 	"repro/internal/event"
 	"repro/internal/temporal"
 )
@@ -66,6 +69,42 @@ type Op interface {
 type Stateless interface {
 	// StatelessOp is a marker; implementations are empty.
 	StatelessOp()
+}
+
+// AdvanceOrdered is implemented by key-decomposable operators that emit
+// output from Advance. One Advance call on an un-sharded instance emits
+// outputs for every key in a deterministic cross-key order (the grouped
+// aggregate's bucket order, the pattern evaluator's commit order); under
+// key-partitioned execution each shard only produces its own keys' slice of
+// that sequence. AppendAdvanceKey encodes the position of one Advance
+// output in the full cross-key order as an order-preserving byte key
+// (package ordkey), so the shard merge can interleave per-shard Advance
+// bursts into exactly the sequence a single instance would have emitted.
+//
+// The event passed in is the raw operator output (before the consistency
+// monitor rewrites its physical ID). Operators that never emit from Advance
+// do not need to implement this.
+type AdvanceOrdered interface {
+	AppendAdvanceKey(dst []byte, e event.Event) []byte
+}
+
+// KeyString renders a payload value exactly as fmt's %v would, with
+// allocation-free fast paths for the common types. Grouped aggregation
+// hashes group keys through it, and the shard router uses the identical
+// rendering so events of one group always land on the group's shard.
+func KeyString(v event.Value) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case int64:
+		return strconv.FormatInt(x, 10)
+	case int:
+		return strconv.Itoa(x)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		return fmt.Sprintf("%v", x)
+	}
 }
 
 // Predicate evaluates a payload filter (Definition 8's boolean function f).

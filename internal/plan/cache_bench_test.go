@@ -1,0 +1,36 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+)
+
+const cacheBenchQuery = `
+EVENT MissedRestart%s
+WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours), RESTART AS z, 5 minutes)
+WHERE {x.Machine_Id = y.Machine_Id} AND {x.Machine_Id = z.Machine_Id}
+SC(each, consume) CONSISTENCY middle`
+
+// Cache hit: the steady-state cost of re-registering a known query —
+// operator instantiation only.
+func BenchmarkCompileCached(b *testing.B) {
+	src := fmt.Sprintf(cacheBenchQuery, "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Cache miss: full lex/parse/analyze/instantiate, forced by making every
+// source unique (the cache clears itself past its cap, so this stays a
+// miss at any b.N).
+func BenchmarkCompileUncached(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(fmt.Sprintf(cacheBenchQuery, fmt.Sprintf("_%d", i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

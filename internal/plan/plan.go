@@ -9,6 +9,7 @@ package plan
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/consistency"
@@ -26,6 +27,17 @@ type Plan struct {
 	Spec   consistency.Spec
 	// Rewrites records which optimizer rules fired, for Explain.
 	Rewrites []string
+	// Shards is the requested shard count for key-partitioned parallel
+	// execution (0 or 1 = single-shard). The engine honors it only when
+	// Part.OK(); otherwise the plan falls back to one shard.
+	Shards int
+	// Part is the partitionability verdict (see partition.go).
+	Part Partition
+
+	// an and cfg are retained so Fresh can re-instantiate the operator
+	// chain; nil for hand-built plans.
+	an  *lang.Analysis
+	cfg config
 }
 
 // Option adjusts plan construction.
@@ -35,6 +47,7 @@ type config struct {
 	spec       *consistency.Spec
 	noSpecial  bool
 	outputName string
+	shards     int
 }
 
 // WithSpec overrides the query's consistency clause.
@@ -49,13 +62,27 @@ func WithoutSpecialization() Option {
 	return func(c *config) { c.noSpecial = true }
 }
 
-// FromAnalysis compiles an analyzed query.
+// WithShards requests key-partitioned execution over n parallel shards.
+// Plans whose partitionability analysis fails (Part) run single-shard
+// regardless; Explain shows the verdict.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
+}
+
+// FromAnalysis compiles an analyzed query. The analysis is treated as
+// immutable and may be shared (the compile cache and per-shard plan
+// instantiation both rely on this); every call builds fresh operator
+// instances.
 func FromAnalysis(an *lang.Analysis, opts ...Option) (*Plan, error) {
 	var cfg config
 	for _, o := range opts {
 		o(&cfg)
 	}
-	p := &Plan{Name: an.Query.Name}
+	return fromAnalysis(an, cfg)
+}
+
+func fromAnalysis(an *lang.Analysis, cfg config) (*Plan, error) {
+	p := &Plan{Name: an.Query.Name, an: an, cfg: cfg, Shards: cfg.shards}
 
 	// Pattern stage: prefer the specialized incremental sequence matcher
 	// when the expression is a (possibly filtered) flat sequence of types.
@@ -79,7 +106,22 @@ func FromAnalysis(an *lang.Analysis, opts ...Option) (*Plan, error) {
 	}
 
 	p.Spec = resolveSpec(an, cfg)
+	p.Part = partitionOf(an, p)
 	return p, nil
+}
+
+// Fresh re-instantiates the plan: a structurally identical plan whose
+// operator chain is a brand-new set of instances with empty state. The
+// sharded runtime builds one chain per shard this way — operator Clones may
+// share scratch with their original and are only sequentially safe, whereas
+// independently instantiated chains are safe to drive from concurrent
+// shard workers. Hand-built plans (no retained analysis) cannot be
+// re-instantiated.
+func (p *Plan) Fresh() (*Plan, error) {
+	if p.an == nil {
+		return nil, fmt.Errorf("plan: %s was built directly from operators and cannot be re-instantiated", p.Name)
+	}
+	return fromAnalysis(p.an, p.cfg)
 }
 
 func resolveSpec(an *lang.Analysis, cfg config) consistency.Spec {
@@ -155,14 +197,48 @@ func (p *Plan) Explain() string {
 	if len(p.Rewrites) > 0 {
 		fmt.Fprintf(&b, "  rewrites: %s\n", strings.Join(p.Rewrites, ", "))
 	}
+	fmt.Fprintf(&b, "  partition: %s", p.Part)
+	if p.Shards > 1 {
+		fmt.Fprintf(&b, " × %d shards", p.Shards)
+	}
+	b.WriteByte('\n')
 	return b.String()
 }
 
-// Compile is the front door: CEDR text to executable plan.
+// The analysis cache: compiling the same query text repeatedly (standing
+// queries re-registered per engine instance, benchmark loops, shard
+// fan-out) skips the lexer/parser/binder and goes straight to operator
+// instantiation, which FromAnalysis performs fresh per call. Analyses are
+// immutable once built, so sharing one across concurrent compilations is
+// safe.
+var (
+	cacheMu       sync.RWMutex
+	analysisCache = map[string]*lang.Analysis{}
+)
+
+// analysisCacheCap bounds the cache; pathological workloads that compile
+// unbounded distinct sources reset it rather than growing without bound.
+const analysisCacheCap = 512
+
+// Compile is the front door: CEDR text to executable plan. Results are
+// cached by source text: repeated compilations of the same query reuse the
+// semantic analysis and only re-instantiate operators.
 func Compile(src string, opts ...Option) (*Plan, error) {
-	an, err := lang.Compile(src)
-	if err != nil {
-		return nil, err
+	cacheMu.RLock()
+	an := analysisCache[src]
+	cacheMu.RUnlock()
+	if an == nil {
+		var err error
+		an, err = lang.Compile(src)
+		if err != nil {
+			return nil, err
+		}
+		cacheMu.Lock()
+		if len(analysisCache) >= analysisCacheCap {
+			clear(analysisCache)
+		}
+		analysisCache[src] = an
+		cacheMu.Unlock()
 	}
 	return FromAnalysis(an, opts...)
 }
