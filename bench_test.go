@@ -181,21 +181,18 @@ func BenchmarkPubSubRouting(b *testing.B) {
 
 // --- Ablations ---
 
-// Incremental sequence matcher vs semi-naive re-derivation (the plan
-// rewrite `sequence-specialization`).
-func seqBench(b *testing.B, opts ...plan.Option) {
+// Three-way sequence-matching ablation over the same workload and monitor:
+// the delta-driven matcher tree (the default plan, rewrite
+// `incremental-pattern`), the semi-naive re-deriving evaluator
+// (WithoutSpecialization), and the hand-specialized flat chain matcher
+// (algebra.SequenceOp, kept purely as this ablation's upper baseline).
+func seqBenchOp(b *testing.B, mk func() operators.Op) {
 	src, _ := workload.MachineEvents(workload.DefaultMachines())
 	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Minute))
-	const q = `EVENT Pairs WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 12 hours)
-WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
-	p, err := plan.Compile(q, opts...)
-	if err != nil {
-		b.Fatal(err)
-	}
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		m := consistency.NewMonitor(p.Stages[0].Clone(), consistency.Middle())
+		m := consistency.NewMonitor(mk(), consistency.Middle())
 		for _, e := range delivered {
 			m.Push(0, e)
 		}
@@ -204,9 +201,30 @@ WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
 	b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
 
-func BenchmarkAblationSequenceSpecialized(b *testing.B) { seqBench(b) }
+func seqBench(b *testing.B, opts ...plan.Option) {
+	const q = `EVENT Pairs WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 12 hours)
+WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
+	p, err := plan.Compile(q, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqBenchOp(b, func() operators.Op { return p.Stages[0].Clone() })
+}
+
+func BenchmarkAblationSequenceIncremental(b *testing.B) { seqBench(b) }
 func BenchmarkAblationSequenceGeneric(b *testing.B) {
 	seqBench(b, plan.WithoutSpecialization())
+}
+func BenchmarkAblationSequenceSpecialized(b *testing.B) {
+	pred := func(p event.Payload) bool {
+		return event.ValueEqual(p["x.Machine_Id"], p["y.Machine_Id"])
+	}
+	seqBenchOp(b, func() operators.Op {
+		op := algebra.NewSequenceOp([]string{"INSTALL", "SHUTDOWN"}, []string{"x", "y"},
+			12*temporal.Hour, algebra.SCMode{Cons: algebra.Consume}, "Pairs")
+		op.Pred = pred
+		return op
+	})
 }
 
 // Consumption: the §1 claim that SEQUENCE without consumption has

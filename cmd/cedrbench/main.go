@@ -26,11 +26,12 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design ablations")
 	bench := flag.Bool("bench", false, "run monitor micro-benchmarks and write BENCH_*.json")
 	benchOut := flag.String("benchout", ".", "directory for BENCH_*.json files")
+	baseline := flag.String("baseline", "", "directory of committed BENCH_*.json baselines; fail on >20% events/s regression")
 	seed := flag.Int64("seed", 42, "delivery-simulator seed")
 	flag.Parse()
 
 	if *bench {
-		if err := runBenchSuite(*benchOut, *seed); err != nil {
+		if err := runBenchSuite(*benchOut, *seed, *baseline); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}

@@ -388,6 +388,42 @@ func TestPatternOpFullRemovalRetractsOutputs(t *testing.T) {
 	}
 }
 
+// Regression: consumed contributors must survive (in the side store /
+// consumed-marked store) so that remove()'s un-consume path actually
+// revives the instances they had blocked. Previously mature() deleted
+// consumed events outright, and a removal that un-consumed an ID had no
+// event left to re-derive from — blocked instances never re-materialized.
+func TestPatternOpConsumedContributorRevival(t *testing.T) {
+	op := NewPatternOp(SequenceExpr{Kids: []Expr{typ("A", "a"), typ("B", "b")}, W: 10},
+		SCMode{Cons: Consume}, "out")
+	op.Process(0, ev(1, "A", 0))
+	op.Process(0, ev(2, "A", 2))
+	outs := op.Process(0, ev(3, "B", 5))
+	// Chronicle order commits (A@0, B@5), consuming both; (A@2, B@5) is
+	// blocked by the consumption of B.
+	if len(outs) != 1 || outs[0].Kind != event.Insert {
+		t.Fatalf("expected the first pair only, got %v", outs)
+	}
+	// Removing A@0 retracts the pair and un-consumes B@5, which must
+	// revive the blocked (A@2, B@5) instance.
+	outs = op.Process(0, event.NewRetract(1, "A", 0, 0, nil))
+	var retracts, inserts int
+	for _, o := range outs {
+		switch o.Kind {
+		case event.Retract:
+			retracts++
+		case event.Insert:
+			inserts++
+			if len(o.CBT) != 2 || o.CBT[0] != 2 || o.CBT[1] != 3 {
+				t.Fatalf("revived instance has wrong lineage: %v", o.CBT)
+			}
+		}
+	}
+	if retracts != 1 || inserts != 1 {
+		t.Fatalf("want 1 retract + 1 revived insert, got %v", outs)
+	}
+}
+
 func TestPatternOpRemovalOfBlockerRevives(t *testing.T) {
 	// UNLESS(A, B, 5): B blocks; removing B revives the A output.
 	op := NewPatternOp(UnlessExpr{A: typ("A", "a"), B: typ("B", "b"), W: 5}, SCMode{}, "out")

@@ -45,11 +45,15 @@ func (m Match) Event(typ string) event.Event {
 // events, per the operator tables of §3.3.2. The store may be in any order.
 func Denote(e Expr, store []event.Event) []Match {
 	ms := eval(e, store)
-	sortMatches(ms)
+	SortMatches(ms)
 	return ms
 }
 
-func sortMatches(ms []Match) {
+// SortMatches orders matches in deterministic commit order — the
+// (FinalizeAt, Vs, FirstVs, ID) tuple a streaming evaluation emits them in.
+// The incremental matcher tree (internal/algebra/inc) shares it so both
+// evaluation paths commit detections identically.
+func SortMatches(ms []Match) {
 	sort.Slice(ms, func(i, j int) bool {
 		if ms[i].FinalizeAt != ms[j].FinalizeAt {
 			return ms[i].FinalizeAt < ms[j].FinalizeAt
@@ -122,10 +126,11 @@ func evalType(t TypeExpr, store []event.Event) []Match {
 	return out
 }
 
-// combine builds the composite match for ordered contributors within scope
+// Combine builds the composite match for ordered contributors within scope
 // w: valid over [last.Vs, first.Vs + w), per the SEQUENCE/ATLEAST rows of
-// the operator table.
-func combine(ms []Match, w temporal.Duration) Match {
+// the operator table. Both the denotational evaluator and the incremental
+// matcher tree derive composite headers, IDs and payloads through it.
+func Combine(ms []Match, w temporal.Duration) Match {
 	first, last := ms[0], ms[len(ms)-1]
 	ids := make([]event.ID, 0, len(ms))
 	cbt := make([]event.ID, 0, len(ms))
@@ -173,7 +178,7 @@ func evalSequence(s SequenceExpr, store []event.Event) []Match {
 	var rec func(depth int, picked []Match)
 	rec = func(depth int, picked []Match) {
 		if depth == len(kids) {
-			out = append(out, combine(picked, s.W))
+			out = append(out, Combine(picked, s.W))
 			return
 		}
 		for _, m := range kids[depth] {
@@ -217,7 +222,7 @@ func evalAtLeast(a AtLeastExpr, store []event.Event) []Match {
 				sorted[len(sorted)-1].V.Start.Sub(sorted[0].V.Start) > a.W {
 				return
 			}
-			out = append(out, combine(sorted, a.W))
+			out = append(out, Combine(sorted, a.W))
 			return
 		}
 		for _, m := range kids[positions[idx]] {

@@ -4,13 +4,17 @@
 // predicate injection from the WHERE clause and instance selection and
 // consumption (SC modes).
 //
-// Two implementations are provided and tested against each other:
+// The algebra has a two-path design:
 //
-//   - an executable transcription of the paper's denotational semantics
-//     (denote.go), evaluated over a set of primitive events; and
-//   - an incremental streaming operator (op.go) that implements
-//     operators.Op, maintains a scope-pruned event store, and emits
-//     composite events as detections finalize.
+//   - this package holds the frozen reference path: an executable
+//     transcription of the paper's denotational semantics (denote.go)
+//     and a semi-naive streaming operator (op.go, PatternOp) that
+//     re-derives that denotation over its scope-pruned store as
+//     detections finalize — simple, obviously correct, slow; and
+//   - package algebra/inc holds the production path: a delta-driven
+//     incremental matcher tree covering the same grammar, held
+//     byte-compatible with this package by randomized differential
+//     tests (outputs, order tags, metrics, state counts).
 package algebra
 
 import (

@@ -1,0 +1,193 @@
+package inc
+
+import (
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// atLeastNode matches ATLEAST(n, E1, ..., Ek, w): any n contributors from n
+// distinct positions whose occurrence times are pairwise distinct and span
+// at most w. Unlike SEQUENCE, position order does not constrain time order,
+// so a new match at position i joins subsets of the *other* positions and
+// the picks are time-sorted before combining. Duplicate parameter positions
+// can derive the same composite from different position subsets, so outputs
+// are reference-counted (the denotational evaluator dedupes by ID).
+type atLeastNode struct {
+	n     int
+	w     temporal.Duration
+	kids  []node
+	lists []matchList
+	outs  map[event.ID]algebra.Match
+	refs  map[event.ID]int
+	uses  map[event.ID][]event.ID
+}
+
+func newAtLeastNode(e algebra.AtLeastExpr, sh *shared) *atLeastNode {
+	a := &atLeastNode{
+		n:     e.N,
+		w:     e.W,
+		lists: make([]matchList, len(e.Kids)),
+		outs:  map[event.ID]algebra.Match{},
+		refs:  map[event.ID]int{},
+		uses:  map[event.ID][]event.ID{},
+	}
+	for _, k := range e.Kids {
+		a.kids = append(a.kids, build(k, sh))
+	}
+	return a
+}
+
+func (a *atLeastNode) push(e event.Event) delta {
+	var out delta
+	for i, k := range a.kids {
+		a.applyKid(i, k.push(e), &out)
+	}
+	return out
+}
+
+func (a *atLeastNode) remove(id event.ID) delta {
+	var out delta
+	for i, k := range a.kids {
+		a.applyKid(i, k.remove(id), &out)
+	}
+	return out
+}
+
+func (a *atLeastNode) prune(horizon temporal.Time) delta {
+	var out delta
+	for i, k := range a.kids {
+		a.applyKid(i, k.prune(horizon), &out)
+	}
+	return out
+}
+
+func (a *atLeastNode) applyKid(i int, d delta, out *delta) {
+	for _, it := range d.items {
+		if it.del {
+			a.lists[i].removeMatch(it.m)
+			for _, oid := range a.uses[it.m.ID] {
+				if _, ok := a.outs[oid]; !ok {
+					continue
+				}
+				a.refs[oid]--
+				if a.refs[oid] == 0 {
+					m := a.outs[oid]
+					delete(a.outs, oid)
+					delete(a.refs, oid)
+					out.del(m)
+				}
+			}
+			delete(a.uses, it.m.ID)
+			continue
+		}
+		if a.n >= 1 && a.n <= len(a.kids) {
+			a.enumerate(i, it.m, out)
+		}
+		a.lists[i].insert(it.m)
+	}
+}
+
+// enumerate emits every n-subset of positions containing fix, with one
+// stored match per other chosen position, whose times are pairwise
+// distinct and within w of each other.
+func (a *atLeastNode) enumerate(fix int, nm algebra.Match, out *delta) {
+	picks := make([]algebra.Match, 0, a.n)
+	picks = append(picks, nm)
+	minVs, maxVs := nm.V.Start, nm.V.Start
+	var rec func(pos int, min, max temporal.Time)
+	commit := func() {
+		sorted := append([]algebra.Match(nil), picks...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].V.Start < sorted[j].V.Start })
+		a.commit(sorted, out)
+	}
+	rec = func(pos int, min, max temporal.Time) {
+		if len(picks) == a.n {
+			commit()
+			return
+		}
+		// Positions left to fill must fit among the remaining ones.
+		for p := pos; p < len(a.kids); p++ {
+			if p == fix {
+				continue
+			}
+			if len(a.kids)-p < a.n-len(picks) {
+				break
+			}
+			list := &a.lists[p]
+			// Every pick must lie within w of every other: restrict to
+			// [max - w, min + w].
+			lo := list.lowerBound(max.Add(-a.w))
+			for idx := lo; idx < len(list.ms); idx++ {
+				m := list.ms[idx]
+				if m.V.Start.Sub(min) > a.w {
+					break
+				}
+				if a.clashes(picks, m.V.Start) {
+					continue // strict time order after sorting = pairwise distinct
+				}
+				nmin, nmax := min, max
+				if m.V.Start < nmin {
+					nmin = m.V.Start
+				}
+				if m.V.Start > nmax {
+					nmax = m.V.Start
+				}
+				picks = append(picks, m)
+				rec(p+1, nmin, nmax)
+				picks = picks[:len(picks)-1]
+			}
+		}
+	}
+	rec(0, minVs, maxVs)
+}
+
+func (a *atLeastNode) clashes(picks []algebra.Match, vs temporal.Time) bool {
+	for _, p := range picks {
+		if p.V.Start == vs {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *atLeastNode) commit(sorted []algebra.Match, out *delta) {
+	m := algebra.Combine(sorted, a.w)
+	a.refs[m.ID]++
+	for _, p := range sorted {
+		a.uses[p.ID] = append(a.uses[p.ID], m.ID)
+	}
+	if a.refs[m.ID] == 1 {
+		a.outs[m.ID] = m
+		out.add(m)
+	}
+}
+
+func (a *atLeastNode) clone(sh *shared) node {
+	c := &atLeastNode{
+		n:     a.n,
+		w:     a.w,
+		lists: make([]matchList, len(a.lists)),
+		outs:  make(map[event.ID]algebra.Match, len(a.outs)),
+		refs:  make(map[event.ID]int, len(a.refs)),
+		uses:  make(map[event.ID][]event.ID, len(a.uses)),
+	}
+	for _, k := range a.kids {
+		c.kids = append(c.kids, k.clone(sh))
+	}
+	for i := range a.lists {
+		c.lists[i] = a.lists[i].clone()
+	}
+	for id, m := range a.outs {
+		c.outs[id] = m
+	}
+	for id, r := range a.refs {
+		c.refs[id] = r
+	}
+	for id, v := range a.uses {
+		c.uses[id] = append([]event.ID(nil), v...)
+	}
+	return c
+}

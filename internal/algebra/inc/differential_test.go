@@ -1,0 +1,331 @@
+package inc
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/consistency"
+	"repro/internal/delivery"
+	"repro/internal/event"
+	"repro/internal/operators"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+)
+
+// The randomized differential suite: every Expr operator × SC mode ×
+// disorder pattern driven through the incremental Op and through the
+// frozen semi-naive oracle (algebra.PatternOp), asserting item-for-item
+// equality — header, CBT, payload, emission order, Advance order tags and
+// state counts — including full-removal retraction streams and the
+// monitor's clone/replay path.
+
+func typ(name, alias string) algebra.Expr { return algebra.TypeExpr{Type: name, Alias: alias} }
+
+func corrOn(field string) algebra.CorrPred {
+	posKeys := []string{"a." + field, "x." + field}
+	negKeys := []string{"b." + field, "c." + field, "z." + field}
+	return func(pos, neg event.Payload) bool {
+		var pv, nv event.Value
+		for _, k := range posKeys {
+			if v, ok := pos[k]; ok {
+				pv = v
+				break
+			}
+		}
+		for _, k := range negKeys {
+			if v, ok := neg[k]; ok {
+				nv = v
+				break
+			}
+		}
+		return event.ValueEqual(pv, nv)
+	}
+}
+
+// exprZoo covers the full §3.3 grammar, flat and nested.
+func exprZoo() map[string]algebra.Expr {
+	seqAB := algebra.SequenceExpr{Kids: []algebra.Expr{typ("A", "a"), typ("B", "b")}, W: 12}
+	return map[string]algebra.Expr{
+		"type":    typ("A", "a"),
+		"seq":     seqAB,
+		"seq3":    algebra.SequenceExpr{Kids: []algebra.Expr{typ("A", "a"), typ("B", "b"), typ("C", "c")}, W: 16},
+		"seq-dup": algebra.SequenceExpr{Kids: []algebra.Expr{typ("A", "a"), typ("A", "a2")}, W: 9},
+		"atleast": algebra.AtLeastExpr{N: 2,
+			Kids: []algebra.Expr{typ("A", ""), typ("B", ""), typ("C", "")}, W: 14},
+		"all":    algebra.All(15, typ("A", ""), typ("B", ""), typ("C", "")),
+		"any":    algebra.Any(typ("A", ""), typ("B", "")),
+		"atmost": algebra.AtMostExpr{N: 2, Kids: []algebra.Expr{typ("A", "")}, W: 10},
+		"atmost2": algebra.AtMostExpr{N: 1,
+			Kids: []algebra.Expr{typ("A", "a"), typ("B", "b")}, W: 8},
+		"unless":      algebra.UnlessExpr{A: typ("A", "a"), B: typ("B", "b"), W: 7},
+		"unless-corr": algebra.UnlessExpr{A: typ("A", "a"), B: typ("B", "b"), W: 9, Corr: corrOn("k")},
+		"unless-seq":  algebra.UnlessExpr{A: seqAB, B: typ("C", "c"), W: 6},
+		"unless-prime": algebra.UnlessPrimeExpr{
+			A: algebra.SequenceExpr{Kids: []algebra.Expr{typ("A", "a"), typ("B", "b")}, W: 10},
+			B: typ("C", "c"), N: 2, W: 6},
+		"not": algebra.NotExpr{Neg: typ("C", "c"),
+			Seq: algebra.SequenceExpr{Kids: []algebra.Expr{typ("A", "a"), typ("B", "b")}, W: 9}},
+		"cancel": algebra.CancelWhenExpr{
+			E:      algebra.SequenceExpr{Kids: []algebra.Expr{typ("A", "a"), typ("B", "b")}, W: 9},
+			Cancel: typ("X", "x")},
+		"filter-seq": algebra.FilterExpr{
+			Kid: seqAB,
+			Pred: func(p event.Payload) bool {
+				return event.ValueEqual(p["a.k"], p["b.k"])
+			},
+		},
+		"cidr07": algebra.UnlessExpr{
+			A: algebra.FilterExpr{
+				Kid: algebra.SequenceExpr{Kids: []algebra.Expr{typ("A", "x"), typ("B", "y")}, W: 20},
+				Pred: func(p event.Payload) bool {
+					return event.ValueEqual(p["x.k"], p["y.k"])
+				},
+			},
+			B: typ("C", "z"), W: 5, Corr: corrOn("k"),
+		},
+	}
+}
+
+func scModes() []algebra.SCMode {
+	return []algebra.SCMode{
+		{},
+		{Cons: algebra.Consume},
+		{Sel: algebra.SelectFirst},
+		{Sel: algebra.SelectLast, Cons: algebra.Consume},
+	}
+}
+
+// genEvents produces a Sync-ordered stream of primitive inserts over the
+// zoo's type alphabet with a small key domain (so correlation predicates
+// both pass and fail) and deliberate timestamp collisions.
+func genEvents(rng *rand.Rand, n int) []event.Event {
+	types := []string{"A", "B", "C", "X"}
+	var out []event.Event
+	vs := temporal.Time(0)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) > 0 { // 1 in 4 events shares the previous timestamp
+			vs += temporal.Time(rng.Intn(4) + 1)
+		}
+		out = append(out, event.NewInsert(event.ID(i+1), types[rng.Intn(len(types))], vs,
+			temporal.Infinity, event.Payload{
+				"k": fmt.Sprintf("k%d", rng.Intn(3)),
+				"i": int64(i),
+			}))
+	}
+	return out
+}
+
+func eventsEqual(a, b []event.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Identical(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkStep compares one Process/Advance step of the two implementations,
+// including the Advance order tags the sharded merge depends on.
+func checkStep(t *testing.T, label string, oracle *algebra.PatternOp, fast *Op,
+	got, want []event.Event) {
+	t.Helper()
+	if !eventsEqual(got, want) {
+		t.Fatalf("%s: output diverged\n oracle: %v\n    inc: %v", label, want, got)
+	}
+	for i := range got {
+		if got[i].Kind != event.Insert {
+			continue
+		}
+		ok := oracle.AppendAdvanceKey(nil, want[i])
+		ik := fast.AppendAdvanceKey(nil, got[i])
+		if !bytes.Equal(ok, ik) {
+			t.Fatalf("%s: advance key diverged for %v: oracle %x inc %x", label, got[i], ok, ik)
+		}
+	}
+	if oracle.StateSize() != fast.StateSize() {
+		t.Fatalf("%s: state size diverged: oracle %d inc %d", label, oracle.StateSize(), fast.StateSize())
+	}
+}
+
+// TestDifferentialAligned drives both implementations with identical
+// aligned input — inserts, interleaved advances, and full removals (of
+// plain, blocking, and consumed contributors) — and requires identical
+// behavior at every step. Clones are swapped in mid-stream the way the
+// monitor's checkpointing does.
+func TestDifferentialAligned(t *testing.T) {
+	for name, expr := range exprZoo() {
+		if !Supported(expr) {
+			t.Fatalf("%s: expression not supported by the matcher tree", name)
+		}
+		for mi, mode := range scModes() {
+			for trial := 0; trial < 6; trial++ {
+				seed := int64(1000*mi + 10*trial + 1)
+				rng := rand.New(rand.NewSource(seed))
+				events := genEvents(rng, 40)
+
+				oracle := algebra.NewPatternOp(expr, mode, "out")
+				fast := NewOp(expr, mode, "out")
+				label := func(step string, i int) string {
+					return fmt.Sprintf("%s %v seed=%d %s %d", name, mode, seed, step, i)
+				}
+
+				lastAdvance := temporal.MinTime
+				var removable []event.Event
+				for i, e := range events {
+					og := oracle.Process(0, e)
+					ig := fast.Process(0, e)
+					checkStep(t, label("push", i), oracle, fast, ig, og)
+					removable = append(removable, e)
+
+					// Full removals, aligned: only events whose occurrence
+					// is at or after the last advance may still be removed.
+					if rng.Intn(5) == 0 && len(removable) > 0 {
+						j := rng.Intn(len(removable))
+						victim := removable[j]
+						if victim.V.Start >= lastAdvance {
+							removable = append(removable[:j], removable[j+1:]...)
+							r := event.NewRetract(victim.ID, victim.Type, victim.V.Start, victim.V.Start, nil)
+							og = oracle.Process(0, r)
+							ig = fast.Process(0, r)
+							checkStep(t, label("remove", i), oracle, fast, ig, og)
+						}
+					}
+
+					if rng.Intn(4) == 0 {
+						adv := e.V.Start.Add(temporal.Duration(rng.Intn(8)))
+						if adv > lastAdvance {
+							lastAdvance = adv
+						}
+						og = oracle.Advance(adv)
+						ig = fast.Advance(adv)
+						checkStep(t, label("advance", i), oracle, fast, ig, og)
+					}
+
+					// Swap in clones mid-stream, as monitor checkpoints do.
+					if rng.Intn(10) == 0 {
+						oracle = oracle.Clone().(*algebra.PatternOp)
+						fast = fast.Clone().(*Op)
+					}
+				}
+				og := oracle.Advance(temporal.Infinity)
+				ig := fast.Advance(temporal.Infinity)
+				checkStep(t, label("finish", 0), oracle, fast, ig, og)
+			}
+		}
+	}
+}
+
+// TestDifferentialUnderMonitor wraps both implementations in consistency
+// monitors and replays disordered physical streams through them — the
+// straggler rollback/replay path exercises Clone, remove-at-replay and the
+// Advance order keys. Outputs and monitor metrics must match exactly.
+func TestDifferentialUnderMonitor(t *testing.T) {
+	specs := []struct {
+		name string
+		spec consistency.Spec
+	}{
+		{"strong", consistency.Strong()},
+		{"middle", consistency.Middle()},
+	}
+	deliveries := []struct {
+		name string
+		cfg  delivery.Config
+	}{
+		{"ordered", delivery.Ordered(8)},
+		{"disordered", delivery.Disordered(7, 20, 10, 0.25)},
+		{"chaotic", delivery.Disordered(11, 40, 25, 0.5)},
+	}
+	for name, expr := range exprZoo() {
+		for _, mode := range scModes() {
+			for _, sp := range specs {
+				for _, dl := range deliveries {
+					rng := rand.New(rand.NewSource(99))
+					src := stream.Stream(genEvents(rng, 60))
+					delivered := delivery.Deliver(src, dl.cfg)
+
+					oracle := algebra.NewPatternOp(expr, mode, "out")
+					fast := NewOp(expr, mode, "out")
+					oOut, oMet := consistency.RunStreams(oracle, sp.spec, delivered)
+					iOut, iMet := consistency.RunStreams(fast, sp.spec, delivered)
+					if !eventsEqual(iOut, oOut) {
+						t.Fatalf("%s %v %s/%s: monitored output diverged (%d vs %d items)",
+							name, mode, sp.name, dl.name, len(iOut), len(oOut))
+					}
+					if oMet != iMet {
+						t.Fatalf("%s %v %s/%s: metrics diverged\n oracle: %+v\n    inc: %+v",
+							name, mode, sp.name, dl.name, oMet, iMet)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialStragglerBlocker covers contract-violating input the
+// oracle tolerates: a blocker insert arriving after the window it blocks
+// was already matured and selected over. The oracle's fresh re-derivation
+// then emits the freed selection sibling; the incremental op must too.
+func TestDifferentialStragglerBlocker(t *testing.T) {
+	expr := algebra.UnlessExpr{A: typ("A", "a"), B: typ("B", "b"), W: 7, Corr: corrOn("k")}
+	for _, mode := range scModes() {
+		oracle := algebra.NewPatternOp(expr, mode, "out")
+		fast := NewOp(expr, mode, "out")
+		step := func(label string, og, ig []event.Event) {
+			checkStep(t, fmt.Sprintf("%v %s", mode, label), oracle, fast, ig, og)
+		}
+		a1 := ev(1, "A", 0, "k", "k1")
+		a2 := ev(2, "A", 0, "k", "k2")
+		step("a1", oracle.Process(0, a1), fast.Process(0, a1))
+		step("a2", oracle.Process(0, a2), fast.Process(0, a2))
+		// Both candidates mature at 7; selection (if any) picks one.
+		step("mature", oracle.Advance(7), fast.Advance(7))
+		// Straggler blocker inside the already-matured window, correlated
+		// with the k2 candidate only.
+		b := ev(3, "B", 3, "k", "k2")
+		step("straggler", oracle.Process(0, b), fast.Process(0, b))
+		step("settle", oracle.Advance(8), fast.Advance(8))
+		step("finish", oracle.Advance(temporal.Infinity), fast.Advance(temporal.Infinity))
+	}
+}
+
+// TestDifferentialRemovalStorm removes *every* inserted event (in random
+// order among the still-aligned suffix) so retraction cascades, un-consume
+// revival and re-derivation get dense coverage.
+func TestDifferentialRemovalStorm(t *testing.T) {
+	for name, expr := range exprZoo() {
+		for _, mode := range scModes() {
+			rng := rand.New(rand.NewSource(5))
+			events := genEvents(rng, 24)
+			oracle := algebra.NewPatternOp(expr, mode, "out")
+			fast := NewOp(expr, mode, "out")
+			for i, e := range events {
+				og := oracle.Process(0, e)
+				ig := fast.Process(0, e)
+				checkStep(t, fmt.Sprintf("%s %v push %d", name, mode, i), oracle, fast, ig, og)
+			}
+			// No advances were issued, so every event is still removable.
+			order := rng.Perm(len(events))
+			for _, j := range order {
+				v := events[j]
+				r := event.NewRetract(v.ID, v.Type, v.V.Start, v.V.Start, nil)
+				og := oracle.Process(0, r)
+				ig := fast.Process(0, r)
+				checkStep(t, fmt.Sprintf("%s %v storm-remove %d", name, mode, j), oracle, fast, ig, og)
+			}
+			og := oracle.Advance(temporal.Infinity)
+			ig := fast.Advance(temporal.Infinity)
+			checkStep(t, fmt.Sprintf("%s %v storm-finish", name, mode), oracle, fast, ig, og)
+			if n := len(fast.pending); n != 0 {
+				t.Fatalf("%s %v: %d pending matches survived a full removal storm", name, mode, n)
+			}
+		}
+	}
+}
+
+var _ operators.AdvanceOrdered = (*Op)(nil)

@@ -1,0 +1,251 @@
+package inc
+
+import (
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// negKind selects which negation operator a negNode implements. All four
+// share one shape: a store of positive-side candidates, each carrying a
+// blocking interval (lo, hi), and an indexed store of negative-side
+// matches; a candidate's output is live iff no (correlated) negative match
+// occurs strictly inside its interval. Candidates flip as blockers arrive
+// and leave — including leaving by scope pruning, which is how blocked
+// instances the oracle would re-derive after its store shrinks surface
+// here as revival deltas.
+type negKind uint8
+
+const (
+	// negUnless: UNLESS(A, B, w) — interval (a.Vs, a.Vs+w).
+	negUnless negKind = iota
+	// negUnlessPrime: UNLESS(A, B, n, w) — interval (anchor, anchor+w)
+	// where anchor is the occurrence of A's n-th contributor.
+	negUnlessPrime
+	// negNot: NOT(E, SEQUENCE(...)) — interval (s.FirstVs, s.LastVs).
+	negNot
+	// negCancelWhen: CANCEL-WHEN(E1, E2) — interval (m.RT, m.Vs).
+	negCancelWhen
+)
+
+type negCand struct {
+	a        algebra.Match // the positive-side match
+	out      algebra.Match // the transformed output
+	lo, hi   temporal.Time // blockers occur strictly inside (lo, hi)
+	blockers int
+}
+
+type negNode struct {
+	kind negKind
+	pos  node
+	neg  node
+	w    temporal.Duration
+	nIdx int // UNLESS' 1-based anchor contributor index
+	corr algebra.CorrPred
+	sh   *shared
+
+	// cands sorted by (lo, a.ID); loOf locates a candidate by its match ID.
+	cands   []negCand
+	loOf    map[event.ID]temporal.Time
+	negs    matchList
+	maxSpan temporal.Duration // widest hi-lo seen; bounds range scans
+}
+
+func newNegNode(kind negKind, pos, neg node, w temporal.Duration, nIdx int, corr algebra.CorrPred, sh *shared) *negNode {
+	return &negNode{
+		kind: kind, pos: pos, neg: neg, w: w, nIdx: nIdx, corr: corr, sh: sh,
+		loOf: map[event.ID]temporal.Time{},
+	}
+}
+
+func (u *negNode) push(e event.Event) delta {
+	var out delta
+	dp, dn := u.pos.push(e), u.neg.push(e)
+	u.applyPos(dp, &out)
+	u.applyNeg(dn, &out)
+	return out
+}
+
+func (u *negNode) remove(id event.ID) delta {
+	var out delta
+	dp, dn := u.pos.remove(id), u.neg.remove(id)
+	u.applyPos(dp, &out)
+	u.applyNeg(dn, &out)
+	return out
+}
+
+func (u *negNode) prune(horizon temporal.Time) delta {
+	var out delta
+	dp, dn := u.pos.prune(horizon), u.neg.prune(horizon)
+	u.applyPos(dp, &out)
+	u.applyNeg(dn, &out)
+	return out
+}
+
+// interval derives the blocking interval and output for a positive match;
+// ok is false when the match can never produce output (UNLESS' arity
+// mismatch or a missing anchor).
+func (u *negNode) interval(a algebra.Match) (c negCand, ok bool) {
+	c.a = a
+	switch u.kind {
+	case negUnless:
+		c.lo, c.hi = a.V.Start, a.V.Start.Add(u.w)
+		m := a
+		m.ID = event.Pair(a.ID)
+		m.V = temporal.NewInterval(a.V.Start, a.V.Start.Add(u.w))
+		fin := a.V.Start.Add(u.w)
+		if a.FinalizeAt > fin {
+			fin = a.FinalizeAt
+		}
+		m.FinalizeAt = fin
+		c.out = m
+	case negUnlessPrime:
+		if u.nIdx > len(a.CBT) {
+			return c, false
+		}
+		anchor, found := u.sh.vs[a.CBT[u.nIdx-1]]
+		if !found {
+			return c, false
+		}
+		scopeEnd := anchor.Add(u.w)
+		c.lo, c.hi = anchor, scopeEnd
+		m := a
+		m.ID = event.Pair(a.ID, event.ID(u.nIdx))
+		vs := temporal.Max(a.V.Start, scopeEnd)
+		ve := a.FirstVs.Add(u.w)
+		if ve <= vs {
+			ve = vs.Add(1)
+		}
+		m.V = temporal.NewInterval(vs, ve)
+		fin := scopeEnd
+		if a.FinalizeAt > fin {
+			fin = a.FinalizeAt
+		}
+		m.FinalizeAt = fin
+		c.out = m
+	case negNot:
+		c.lo, c.hi = a.FirstVs, a.LastVs
+		c.out = a
+	case negCancelWhen:
+		c.lo, c.hi = a.RT, a.V.Start
+		c.out = a
+	}
+	return c, true
+}
+
+func (u *negNode) candBefore(lo temporal.Time, id event.ID, c *negCand) bool {
+	if c.lo != lo {
+		return c.lo < lo
+	}
+	return c.a.ID < id
+}
+
+// findCand locates the candidate for match ID id at interval start lo.
+// (lo, a.ID) is a total order over cands, so the binary search lands on
+// the exact slot when the candidate exists.
+func (u *negNode) findCand(lo temporal.Time, id event.ID) int {
+	i := sort.Search(len(u.cands), func(i int) bool { return !u.candBefore(lo, id, &u.cands[i]) })
+	if i < len(u.cands) && u.cands[i].lo == lo && u.cands[i].a.ID == id {
+		return i
+	}
+	return -1
+}
+
+func (u *negNode) applyPos(d delta, out *delta) {
+	for _, it := range d.items {
+		if it.del {
+			lo, ok := u.loOf[it.m.ID]
+			if !ok {
+				continue
+			}
+			delete(u.loOf, it.m.ID)
+			if i := u.findCand(lo, it.m.ID); i >= 0 {
+				c := u.cands[i]
+				u.cands = append(u.cands[:i], u.cands[i+1:]...)
+				if c.blockers == 0 {
+					out.del(c.out)
+				}
+			}
+			continue
+		}
+		c, ok := u.interval(it.m)
+		if !ok {
+			continue
+		}
+		if span := c.hi.Sub(c.lo); span > u.maxSpan {
+			u.maxSpan = span
+		}
+		// Count live blockers strictly inside (lo, hi).
+		for i := u.negs.upperBound(c.lo); i < len(u.negs.ms) && u.negs.ms[i].V.Start < c.hi; i++ {
+			if u.corr == nil || u.corr(c.a.Payload, u.negs.ms[i].Payload) {
+				c.blockers++
+			}
+		}
+		i := sort.Search(len(u.cands), func(i int) bool { return !u.candBefore(c.lo, c.a.ID, &u.cands[i]) })
+		u.cands = append(u.cands, negCand{})
+		copy(u.cands[i+1:], u.cands[i:])
+		u.cands[i] = c
+		u.loOf[c.a.ID] = c.lo
+		if c.blockers == 0 {
+			out.add(c.out)
+		}
+	}
+}
+
+func (u *negNode) applyNeg(d delta, out *delta) {
+	for _, it := range d.items {
+		t := it.m.V.Start
+		if it.del {
+			if !u.negs.removeMatch(it.m) {
+				continue
+			}
+			u.eachAffected(t, it.m, func(c *negCand) {
+				c.blockers--
+				if c.blockers == 0 {
+					out.add(c.out)
+				}
+			})
+			continue
+		}
+		u.negs.insert(it.m)
+		u.eachAffected(t, it.m, func(c *negCand) {
+			c.blockers++
+			if c.blockers == 1 {
+				out.del(c.out)
+			}
+		})
+	}
+}
+
+// eachAffected visits every candidate whose interval strictly contains t
+// and whose correlation predicate matches the negative match.
+func (u *negNode) eachAffected(t temporal.Time, neg algebra.Match, fn func(c *negCand)) {
+	// Any candidate with lo <= t - maxSpan has hi <= lo + maxSpan <= t.
+	from := sort.Search(len(u.cands), func(i int) bool { return u.cands[i].lo > t.Add(-u.maxSpan) })
+	for i := from; i < len(u.cands) && u.cands[i].lo < t; i++ {
+		c := &u.cands[i]
+		if t >= c.hi {
+			continue
+		}
+		if u.corr == nil || u.corr(c.a.Payload, neg.Payload) {
+			fn(c)
+		}
+	}
+}
+
+func (u *negNode) clone(sh *shared) node {
+	c := &negNode{
+		kind: u.kind, pos: u.pos.clone(sh), neg: u.neg.clone(sh),
+		w: u.w, nIdx: u.nIdx, corr: u.corr, sh: sh,
+		cands:   append([]negCand(nil), u.cands...),
+		loOf:    make(map[event.ID]temporal.Time, len(u.loOf)),
+		negs:    u.negs.clone(),
+		maxSpan: u.maxSpan,
+	}
+	for id, lo := range u.loOf {
+		c.loOf[id] = lo
+	}
+	return c
+}

@@ -1,0 +1,271 @@
+// Package inc is the incremental pattern-matching subsystem: a matcher
+// tree that maintains the denotation of a WHEN-clause expression (package
+// algebra) under a stream of primitive-event insertions, removals and
+// scope-pruning advances by propagating *deltas* — new and retracted
+// matches — instead of re-deriving the expression over the full store on
+// every step (the semi-naive strategy of algebra.PatternOp, which this
+// package keeps as its frozen reference oracle).
+//
+// Every algebra.Expr node compiles to a stateful matcher node holding
+// time-indexed contributor stores and partial matches:
+//
+//   - TYPE        → leaf: the live primitive matches of one event type
+//   - SEQUENCE    → per-position sorted match lists joined incrementally
+//   - ATLEAST     → position-subset join with output reference counts
+//   - ATMOST      → sliding-window anchor counts
+//   - UNLESS, UNLESS', NOT, CANCEL-WHEN → candidate stores with per-
+//     candidate blocker counts over an indexed negative-side store
+//   - FILTER      → stateless delta filter
+//
+// The node contract: after any sequence of push/remove/prune calls, the
+// node's live output set equals algebra.Denote of its sub-expression over
+// the primitive events currently live in its leaves. Deltas report every
+// transition of that set, in order, so a parent (or the driving Op, op.go)
+// never re-derives. Negation nodes hold pending candidates and flip them
+// as blockers arrive and leave; the driving Op decides *emission* (the
+// FinalizeAt frontier and SC modes) exactly as the oracle does.
+package inc
+
+import (
+	"sort"
+
+	"repro/internal/algebra"
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// item is one match transition.
+type item struct {
+	m   algebra.Match
+	del bool
+}
+
+// delta is an ordered batch of match transitions flowing up the tree.
+// Order matters: one primitive event can both add and retract matches of
+// the same node (an event may contribute to a positive side and block on a
+// negative side at once), and applying transitions out of order would leave
+// a parent's mirror of its child inconsistent.
+type delta struct {
+	items []item
+}
+
+func (d *delta) add(m algebra.Match) { d.items = append(d.items, item{m: m}) }
+func (d *delta) del(m algebra.Match) { d.items = append(d.items, item{m: m, del: true}) }
+
+// shared is tree-global state owned by the driving Op: the occurrence times
+// of the available (live, unconsumed) primitive events. UNLESS' nodes
+// resolve their anchor contributor through it at candidate-creation time.
+type shared struct {
+	vs map[event.ID]temporal.Time
+}
+
+// node is one stateful matcher in the tree.
+type node interface {
+	// push feeds one primitive event (insert); the node dispatches it to
+	// its children and folds their deltas into its own state.
+	push(e event.Event) delta
+	// remove feeds a full removal of a primitive event by ID.
+	remove(id event.ID) delta
+	// prune drops state derived from events with Vs < horizon, exactly as
+	// the oracle's store pruning does: silently below the driver (the
+	// returned delta lets parents stay consistent and lets negation nodes
+	// surface revivals, but never turns into output retractions).
+	prune(horizon temporal.Time) delta
+	// clone deep-copies the node, rebinding it to sh.
+	clone(sh *shared) node
+}
+
+// Supported reports whether the expression grammar is fully covered by the
+// matcher tree. It mirrors build: any new Expr kind must extend both.
+func Supported(x algebra.Expr) bool {
+	switch e := x.(type) {
+	case algebra.TypeExpr:
+		return true
+	case algebra.SequenceExpr:
+		return allSupported(e.Kids)
+	case algebra.AtLeastExpr:
+		return allSupported(e.Kids)
+	case algebra.AtMostExpr:
+		return allSupported(e.Kids)
+	case algebra.UnlessExpr:
+		return Supported(e.A) && Supported(e.B)
+	case algebra.UnlessPrimeExpr:
+		return Supported(e.A) && Supported(e.B)
+	case algebra.NotExpr:
+		return Supported(e.Neg) && Supported(e.Seq)
+	case algebra.CancelWhenExpr:
+		return Supported(e.E) && Supported(e.Cancel)
+	case algebra.FilterExpr:
+		return Supported(e.Kid)
+	default:
+		return false
+	}
+}
+
+func allSupported(kids []algebra.Expr) bool {
+	for _, k := range kids {
+		if !Supported(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// build compiles an expression into its matcher node. Callers must have
+// checked Supported; unknown kinds panic.
+func build(x algebra.Expr, sh *shared) node {
+	switch e := x.(type) {
+	case algebra.TypeExpr:
+		return newLeaf(e)
+	case algebra.SequenceExpr:
+		return newSeqNode(e, sh)
+	case algebra.AtLeastExpr:
+		return newAtLeastNode(e, sh)
+	case algebra.AtMostExpr:
+		return newAtMostNode(e, sh)
+	case algebra.UnlessExpr:
+		return newNegNode(negUnless, build(e.A, sh), build(e.B, sh), e.W, 0, e.Corr, sh)
+	case algebra.UnlessPrimeExpr:
+		return newNegNode(negUnlessPrime, build(e.A, sh), build(e.B, sh), e.W, e.N, e.Corr, sh)
+	case algebra.NotExpr:
+		return newNegNode(negNot, build(e.Seq, sh), build(e.Neg, sh), 0, 0, e.Corr, sh)
+	case algebra.CancelWhenExpr:
+		return newNegNode(negCancelWhen, build(e.E, sh), build(e.Cancel, sh), 0, 0, e.Corr, sh)
+	case algebra.FilterExpr:
+		return &filterNode{kid: build(e.Kid, sh), pred: e.Pred}
+	default:
+		panic("inc: unsupported expression " + x.String())
+	}
+}
+
+// matchList is a set of matches kept sorted by (V.Start, ID) with binary
+// range queries over occurrence time — the time-indexed contributor store
+// every join node uses.
+type matchList struct {
+	ms []algebra.Match
+}
+
+func matchBefore(a, b *algebra.Match) bool {
+	if a.V.Start != b.V.Start {
+		return a.V.Start < b.V.Start
+	}
+	return a.ID < b.ID
+}
+
+func (l *matchList) insert(m algebra.Match) {
+	i := sort.Search(len(l.ms), func(i int) bool { return !matchBefore(&l.ms[i], &m) })
+	l.ms = append(l.ms, algebra.Match{})
+	copy(l.ms[i+1:], l.ms[i:])
+	l.ms[i] = m
+}
+
+// removeMatch deletes the entry equal to m (by ID at m's occurrence time).
+func (l *matchList) removeMatch(m algebra.Match) bool {
+	i := sort.Search(len(l.ms), func(i int) bool { return !matchBefore(&l.ms[i], &m) })
+	if i < len(l.ms) && l.ms[i].ID == m.ID && l.ms[i].V.Start == m.V.Start {
+		l.ms = append(l.ms[:i], l.ms[i+1:]...)
+		return true
+	}
+	return false
+}
+
+// lowerBound is the first index with V.Start >= t.
+func (l *matchList) lowerBound(t temporal.Time) int {
+	return sort.Search(len(l.ms), func(i int) bool { return l.ms[i].V.Start >= t })
+}
+
+// upperBound is the first index with V.Start > t.
+func (l *matchList) upperBound(t temporal.Time) int {
+	return sort.Search(len(l.ms), func(i int) bool { return l.ms[i].V.Start > t })
+}
+
+func (l *matchList) clone() matchList {
+	return matchList{ms: append([]algebra.Match(nil), l.ms...)}
+}
+
+// leafNode matches all primitive events of one type (algebra.TypeExpr).
+type leafNode struct {
+	t      algebra.TypeExpr
+	prefix string
+	live   map[event.ID]algebra.Match // keyed by primitive event ID
+}
+
+func newLeaf(t algebra.TypeExpr) *leafNode {
+	return &leafNode{t: t, prefix: t.Prefix(), live: map[event.ID]algebra.Match{}}
+}
+
+func (l *leafNode) push(e event.Event) delta {
+	var d delta
+	if e.Kind != event.Insert || e.Type != l.t.Type {
+		return d
+	}
+	p := make(event.Payload, len(e.Payload))
+	for k, v := range e.Payload {
+		p[l.prefix+"."+k] = v
+	}
+	m := algebra.Match{
+		ID:         event.Pair(e.ID),
+		V:          e.V,
+		RT:         e.V.Start,
+		FinalizeAt: e.V.Start,
+		FirstVs:    e.V.Start,
+		LastVs:     e.V.Start,
+		CBT:        []event.ID{e.ID},
+		Payload:    p,
+	}
+	l.live[e.ID] = m
+	d.add(m)
+	return d
+}
+
+func (l *leafNode) remove(id event.ID) delta {
+	var d delta
+	if m, ok := l.live[id]; ok {
+		delete(l.live, id)
+		d.del(m)
+	}
+	return d
+}
+
+func (l *leafNode) prune(horizon temporal.Time) delta {
+	var d delta
+	for id, m := range l.live {
+		if m.V.Start < horizon {
+			delete(l.live, id)
+			d.del(m)
+		}
+	}
+	return d
+}
+
+func (l *leafNode) clone(*shared) node {
+	c := newLeaf(l.t)
+	for id, m := range l.live {
+		c.live[id] = m
+	}
+	return c
+}
+
+// filterNode injects a WHERE predicate (algebra.FilterExpr): a stateless
+// delta filter over its child's transitions.
+type filterNode struct {
+	kid  node
+	pred func(event.Payload) bool
+}
+
+func (f *filterNode) filter(d delta) delta {
+	var out delta
+	for _, it := range d.items {
+		if f.pred(it.m.Payload) {
+			out.items = append(out.items, it)
+		}
+	}
+	return out
+}
+
+func (f *filterNode) push(e event.Event) delta    { return f.filter(f.kid.push(e)) }
+func (f *filterNode) remove(id event.ID) delta    { return f.filter(f.kid.remove(id)) }
+func (f *filterNode) prune(h temporal.Time) delta { return f.filter(f.kid.prune(h)) }
+func (f *filterNode) clone(sh *shared) node {
+	return &filterNode{kid: f.kid.clone(sh), pred: f.pred}
+}

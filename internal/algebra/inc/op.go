@@ -1,0 +1,359 @@
+package inc
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/event"
+	"repro/internal/operators"
+	"repro/internal/ordkey"
+	"repro/internal/temporal"
+)
+
+// Op is the incremental streaming implementation of a WHEN-clause
+// expression: an operators.Op byte-compatible with the semi-naive
+// algebra.PatternOp — identical output events in identical order,
+// identical Advance order keys, identical state counts — but driven by the
+// matcher tree, so per-event cost is O(affected matches) instead of a full
+// re-derivation over the live store.
+//
+// The Op owns emission: the tree maintains pending (the exact match set
+// the oracle's Denote would derive over the available store) via deltas,
+// and mature applies the SC mode and the FinalizeAt frontier to it with
+// the very same ApplySC the oracle uses. Consumption feeds back into the
+// tree as contributor removals, with the consumed events parked in a side
+// store so a later removal's un-consume path can revive them.
+type Op struct {
+	Expr    algebra.Expr
+	Mode    algebra.SCMode
+	OutType string
+
+	sh       *shared
+	root     node
+	store    map[event.ID]event.Event   // available primitive events
+	consumed map[event.ID]event.Event   // consumed contributors, kept for revival
+	pending  map[event.ID]algebra.Match // the root's live match set
+	emitted  map[event.ID]algebra.Match
+	frontier temporal.Time
+	scope    temporal.Duration
+
+	// Emission fast path: mature only runs a full ApplySC pass when a
+	// pending match could actually emit. minAddFin tracks the earliest
+	// FinalizeAt added since the last pass; minFutureFin the earliest
+	// unemitted FinalizeAt beyond the frontier as of the last pass; dirty
+	// forces a pass after retractions, prunes and revivals, which can make
+	// previously suppressed (selection-losing or consume-blocked) matches
+	// emittable — the oracle re-derives and re-selects every time, so those
+	// late emissions are part of its contract.
+	minAddFin    temporal.Time
+	minFutureFin temporal.Time
+	dirty        bool
+
+	scratch []algebra.Match
+}
+
+// NewOp builds the incremental pattern operator for expr. The expression
+// must be Supported; outType names the composite events it emits.
+func NewOp(expr algebra.Expr, mode algebra.SCMode, outType string) *Op {
+	if outType == "" {
+		outType = "composite"
+	}
+	scope := expr.MaxScope()
+	if scope <= 0 {
+		scope = 1
+	}
+	sh := &shared{vs: map[event.ID]temporal.Time{}}
+	return &Op{
+		Expr:         expr,
+		Mode:         mode,
+		OutType:      outType,
+		sh:           sh,
+		root:         build(expr, sh),
+		store:        map[event.ID]event.Event{},
+		consumed:     map[event.ID]event.Event{},
+		pending:      map[event.ID]algebra.Match{},
+		emitted:      map[event.ID]algebra.Match{},
+		frontier:     temporal.MinTime,
+		scope:        scope,
+		minAddFin:    temporal.Infinity,
+		minFutureFin: temporal.Infinity,
+	}
+}
+
+// Name implements operators.Op.
+func (p *Op) Name() string { return "incpattern:" + p.Expr.String() }
+
+// Arity implements operators.Op.
+func (p *Op) Arity() int { return 1 }
+
+// applySource tags where a delta came from; only real removals may turn
+// into output retractions (handled by the emitted scan in remove), and
+// only removal-shaped sources mark the pending set dirty.
+type applySource uint8
+
+const (
+	srcInsert applySource = iota
+	srcRemove
+	srcPrune
+	srcConsume
+	srcRevive
+)
+
+// apply folds a root delta into the pending set.
+func (p *Op) apply(d delta, src applySource) {
+	for _, it := range d.items {
+		if it.del {
+			if _, ok := p.pending[it.m.ID]; ok {
+				delete(p.pending, it.m.ID)
+				// A disappearing group member can hand its selection slot
+				// to a suppressed sibling on the *next* pass (the oracle
+				// re-selects over a fresh derivation every mature); rescan.
+				// This applies to insert-path deletions too: under aligned
+				// input a newly blocked candidate's group cannot have
+				// matured, but the oracle tolerates misaligned input (a
+				// straggler blocker landing after its window was already
+				// selected over) and re-emits the freed sibling — so must
+				// we.
+				p.dirty = true
+			}
+			continue
+		}
+		p.pending[it.m.ID] = it.m
+		if it.m.FinalizeAt < p.minAddFin {
+			p.minAddFin = it.m.FinalizeAt
+		}
+	}
+}
+
+// Process implements operators.Op.
+func (p *Op) Process(_ int, e event.Event) []event.Event {
+	if e.Kind == event.Retract {
+		if !e.V.Empty() {
+			return nil // lifetime shrink: pattern semantics see only Vs
+		}
+		return p.remove(e.ID)
+	}
+	if e.V.Start > p.frontier {
+		p.frontier = e.V.Start
+	}
+	ec := e.Clone()
+	p.store[ec.ID] = ec
+	if ec.Kind == event.Insert {
+		p.sh.vs[ec.ID] = ec.V.Start
+	}
+	p.apply(p.root.push(ec), srcInsert)
+	return p.mature()
+}
+
+// remove handles a full removal of a primitive event: cascade it through
+// the tree, retract dependent emitted outputs in deterministic commit
+// order, revive un-consumed contributors, and re-mature.
+func (p *Op) remove(id event.ID) []event.Event {
+	_, inStore := p.store[id]
+	_, wasConsumed := p.consumed[id]
+	if !inStore && !wasConsumed {
+		return nil
+	}
+	delete(p.store, id)
+	delete(p.consumed, id)
+	delete(p.sh.vs, id)
+	if inStore {
+		p.apply(p.root.remove(id), srcRemove)
+	}
+
+	// Emitted outputs that depend on the removed contributor: retract in
+	// the commit order the oracle's (sorted) emitted scan produces.
+	var hit []algebra.Match
+	for _, m := range p.emitted {
+		for _, c := range m.CBT {
+			if c == id {
+				hit = append(hit, m)
+				break
+			}
+		}
+	}
+	algebra.SortMatches(hit)
+	var outs []event.Event
+	for _, m := range hit {
+		r := m.Event(p.OutType)
+		r.Kind = event.Retract
+		r.V.End = r.V.Start
+		outs = append(outs, r)
+		delete(p.emitted, m.ID)
+		p.dirty = true
+		if wasConsumed || p.Mode.Cons == algebra.Consume {
+			for _, c := range m.CBT {
+				if c == id {
+					continue
+				}
+				if ev, ok := p.consumed[c]; ok {
+					delete(p.consumed, c)
+					p.store[c] = ev
+					p.sh.vs[c] = ev.V.Start
+					p.apply(p.root.push(ev), srcRevive)
+				}
+			}
+		}
+	}
+	outs = append(outs, p.mature()...)
+	return outs
+}
+
+// mature emits every not-yet-emitted pending match whose FinalizeAt the
+// frontier covers, in deterministic commit order, honoring the SC mode —
+// the oracle's emission loop verbatim, run over the maintained pending set
+// instead of a fresh derivation, and skipped entirely while nothing can
+// emit.
+func (p *Op) mature() []event.Event {
+	if !p.dirty && p.minAddFin > p.frontier && p.minFutureFin > p.frontier {
+		return nil
+	}
+	p.dirty = false
+	p.minAddFin = temporal.Infinity
+	ms := p.scratch[:0]
+	for _, m := range p.pending {
+		ms = append(ms, m)
+	}
+	algebra.SortMatches(ms)
+	p.scratch = ms[:0]
+	ms = algebra.ApplySC(ms, p.Mode)
+	minFut := temporal.Infinity
+	var outs []event.Event
+	for _, m := range ms {
+		if m.FinalizeAt > p.frontier {
+			if _, done := p.emitted[m.ID]; !done && m.FinalizeAt < minFut {
+				minFut = m.FinalizeAt
+			}
+			continue
+		}
+		if _, done := p.emitted[m.ID]; done {
+			continue
+		}
+		p.emitted[m.ID] = m
+		if p.Mode.Cons == algebra.Consume {
+			p.consume(m)
+		}
+		outs = append(outs, m.Event(p.OutType))
+	}
+	p.minFutureFin = minFut
+	return outs
+}
+
+// consume parks an emitted match's contributors in the side store and
+// removes them from the tree, so no later instance can reuse them — and so
+// remove() can resurrect them.
+func (p *Op) consume(m algebra.Match) {
+	for _, id := range m.CBT {
+		ev, ok := p.store[id]
+		if !ok {
+			continue
+		}
+		delete(p.store, id)
+		delete(p.sh.vs, id)
+		p.consumed[id] = ev
+		p.apply(p.root.remove(id), srcConsume)
+	}
+}
+
+// Advance implements operators.Op: move the certainty frontier, emit
+// finalized detections, prune state beyond the expression scope.
+func (p *Op) Advance(t temporal.Time) []event.Event {
+	if t > p.frontier {
+		p.frontier = t
+	}
+	outs := p.mature()
+	if !p.frontier.IsInfinite() {
+		// Prune on every advance, exactly like the oracle: even input that
+		// violates the alignment contract (which the oracle tolerates) must
+		// leave both implementations in identical state.
+		horizon := p.frontier.Add(-p.scope)
+		p.apply(p.root.prune(horizon), srcPrune)
+		for id, e := range p.store {
+			if e.V.Start < horizon {
+				delete(p.store, id)
+				delete(p.sh.vs, id)
+			}
+		}
+		for id, e := range p.consumed {
+			if e.V.Start < horizon {
+				delete(p.consumed, id)
+			}
+		}
+		for id, m := range p.emitted {
+			if m.LastVs < horizon {
+				delete(p.emitted, id)
+			}
+		}
+	} else {
+		p.sh = &shared{vs: map[event.ID]temporal.Time{}}
+		p.root = build(p.Expr, p.sh)
+		p.store = map[event.ID]event.Event{}
+		p.consumed = map[event.ID]event.Event{}
+		p.pending = map[event.ID]algebra.Match{}
+		p.dirty = false
+		p.minAddFin = temporal.Infinity
+		p.minFutureFin = temporal.Infinity
+	}
+	return outs
+}
+
+// AppendAdvanceKey implements operators.AdvanceOrdered, byte-identical to
+// the oracle: mature commits detections in (FinalizeAt, Vs, FirstVs, ID)
+// order, so that tuple is the cross-key position of an Advance output.
+func (p *Op) AppendAdvanceKey(dst []byte, e event.Event) []byte {
+	fin, vs, first := e.V.Start, e.V.Start, e.RT
+	if m, ok := p.emitted[e.ID]; ok {
+		fin, vs, first = m.FinalizeAt, m.V.Start, m.FirstVs
+	}
+	dst = ordkey.AppendInt(dst, int64(fin))
+	dst = ordkey.AppendInt(dst, int64(vs))
+	dst = ordkey.AppendInt(dst, int64(first))
+	return ordkey.AppendUint(dst, uint64(e.ID))
+}
+
+// OutputGuarantee implements operators.Op, identically to the oracle.
+func (p *Op) OutputGuarantee(t temporal.Time) temporal.Time {
+	if t.IsInfinite() {
+		return t
+	}
+	return t.Add(-p.scope)
+}
+
+// StateSize implements operators.Op: retained primitive events (available
+// and consumed — the oracle keeps both in its store) plus emitted matches.
+func (p *Op) StateSize() int { return len(p.store) + len(p.consumed) + len(p.emitted) }
+
+// Clone implements operators.Op.
+func (p *Op) Clone() operators.Op {
+	sh := &shared{vs: make(map[event.ID]temporal.Time, len(p.sh.vs))}
+	for id, t := range p.sh.vs {
+		sh.vs[id] = t
+	}
+	c := &Op{
+		Expr:         p.Expr,
+		Mode:         p.Mode,
+		OutType:      p.OutType,
+		sh:           sh,
+		root:         p.root.clone(sh),
+		store:        make(map[event.ID]event.Event, len(p.store)),
+		consumed:     make(map[event.ID]event.Event, len(p.consumed)),
+		pending:      make(map[event.ID]algebra.Match, len(p.pending)),
+		emitted:      make(map[event.ID]algebra.Match, len(p.emitted)),
+		frontier:     p.frontier,
+		scope:        p.scope,
+		minAddFin:    p.minAddFin,
+		minFutureFin: p.minFutureFin,
+		dirty:        p.dirty,
+	}
+	for id, e := range p.store {
+		c.store[id] = e
+	}
+	for id, e := range p.consumed {
+		c.consumed[id] = e
+	}
+	for id, m := range p.pending {
+		c.pending[id] = m
+	}
+	for id, m := range p.emitted {
+		c.emitted[id] = m
+	}
+	return c
+}

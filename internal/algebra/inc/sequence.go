@@ -1,0 +1,167 @@
+package inc
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// seqNode matches SEQUENCE(E1, ..., Ek, w): one sorted match list per
+// position, joined incrementally. A new child match at position i is
+// combined with every strictly-Vs-increasing pick from the other positions
+// within the window — the only combinations a re-derivation would have
+// found that the previous state did not already hold.
+type seqNode struct {
+	kids  []node
+	w     temporal.Duration
+	lists []matchList
+	// outs holds the node's live composite matches; uses indexes them by
+	// child-match ID so a child retraction cascades in O(dependents).
+	// uses entries are cleaned lazily: a dead output ID is skipped (and the
+	// whole entry dropped when its child match goes).
+	outs map[event.ID]algebra.Match
+	uses map[event.ID][]event.ID
+
+	parts []algebra.Match // enumeration scratch, one slot per position
+}
+
+func newSeqNode(e algebra.SequenceExpr, sh *shared) *seqNode {
+	s := &seqNode{
+		w:     e.W,
+		lists: make([]matchList, len(e.Kids)),
+		outs:  map[event.ID]algebra.Match{},
+		uses:  map[event.ID][]event.ID{},
+		parts: make([]algebra.Match, len(e.Kids)),
+	}
+	for _, k := range e.Kids {
+		s.kids = append(s.kids, build(k, sh))
+	}
+	return s
+}
+
+func (s *seqNode) push(e event.Event) delta {
+	var out delta
+	for i, k := range s.kids {
+		s.applyKid(i, k.push(e), &out)
+	}
+	return out
+}
+
+func (s *seqNode) remove(id event.ID) delta {
+	var out delta
+	for i, k := range s.kids {
+		s.applyKid(i, k.remove(id), &out)
+	}
+	return out
+}
+
+func (s *seqNode) prune(horizon temporal.Time) delta {
+	var out delta
+	for i, k := range s.kids {
+		s.applyKid(i, k.prune(horizon), &out)
+	}
+	return out
+}
+
+// applyKid folds one child's transition batch into the join state.
+func (s *seqNode) applyKid(i int, d delta, out *delta) {
+	for _, it := range d.items {
+		if it.del {
+			s.lists[i].removeMatch(it.m)
+			for _, oid := range s.uses[it.m.ID] {
+				if m, ok := s.outs[oid]; ok {
+					delete(s.outs, oid)
+					out.del(m)
+				}
+			}
+			delete(s.uses, it.m.ID)
+			continue
+		}
+		s.enumerate(i, it.m, out)
+		s.lists[i].insert(it.m)
+	}
+}
+
+// enumerate emits every combination that includes the new match nm at
+// position fix. Positions are filled left to right; each pick must start
+// strictly after the previous one and within w of the first.
+func (s *seqNode) enumerate(fix int, nm algebra.Match, out *delta) {
+	k := len(s.kids)
+	var rec func(depth int, prev, first temporal.Time)
+	rec = func(depth int, prev, first temporal.Time) {
+		if depth == k {
+			s.commit(out)
+			return
+		}
+		try := func(m algebra.Match) bool {
+			if depth > 0 {
+				if !(prev < m.V.Start) {
+					return true // too early; callers decide whether to keep scanning
+				}
+				if m.V.Start.Sub(first) > s.w {
+					return false
+				}
+			}
+			f := first
+			if depth == 0 {
+				f = m.V.Start
+			}
+			s.parts[depth] = m
+			rec(depth+1, m.V.Start, f)
+			return true
+		}
+		if depth == fix {
+			try(nm)
+			return
+		}
+		list := &s.lists[depth]
+		lo := 0
+		if depth > 0 {
+			lo = list.upperBound(prev)
+		}
+		for idx := lo; idx < len(list.ms); idx++ {
+			if depth < fix && list.ms[idx].V.Start >= nm.V.Start {
+				break // positions before fix must start strictly before nm
+			}
+			if !try(list.ms[idx]) {
+				break // sorted: everything later is further outside the window
+			}
+		}
+	}
+	rec(0, temporal.MinTime, temporal.MinTime)
+}
+
+func (s *seqNode) commit(out *delta) {
+	m := algebra.Combine(s.parts, s.w)
+	if _, dup := s.outs[m.ID]; dup {
+		return
+	}
+	s.outs[m.ID] = m
+	for _, p := range s.parts {
+		s.uses[p.ID] = append(s.uses[p.ID], m.ID)
+	}
+	out.add(m)
+}
+
+func (s *seqNode) clone(sh *shared) node {
+	c := &seqNode{
+		w:     s.w,
+		lists: make([]matchList, len(s.lists)),
+		outs:  make(map[event.ID]algebra.Match, len(s.outs)),
+		uses:  make(map[event.ID][]event.ID, len(s.uses)),
+		parts: make([]algebra.Match, len(s.parts)),
+	}
+	for _, k := range s.kids {
+		c.kids = append(c.kids, k.clone(sh))
+	}
+	for i := range s.lists {
+		c.lists[i] = s.lists[i].clone()
+	}
+	for id, m := range s.outs {
+		c.outs[id] = m
+	}
+	for id, v := range s.uses {
+		c.uses[id] = append([]event.ID(nil), v...)
+	}
+	return c
+}

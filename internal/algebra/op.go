@@ -1,6 +1,8 @@
 package algebra
 
 import (
+	"sort"
+
 	"repro/internal/event"
 	"repro/internal/operators"
 	"repro/internal/ordkey"
@@ -16,9 +18,15 @@ import (
 // expression's denotation over the live store and emits the matches that
 // (a) have become certain (FinalizeAt covered by the frontier), and (b)
 // have not been emitted before. SC modes prune both output and state:
-// consumed contributors leave the store immediately — the paper's argument
-// for why selection/consumption makes operators like SEQUENCE affordable.
-// Scope bounds (every operator has a time-based scope w) prune the rest.
+// consumed contributors stop matching immediately (they stay in the store,
+// marked, so removals can revive them) — the paper's argument for why
+// selection/consumption makes operators like SEQUENCE affordable. Scope
+// bounds (every operator has a time-based scope w) prune the rest.
+//
+// This operator is the frozen reference oracle of the two-path algebra
+// design: the production evaluator is the incremental matcher tree in
+// package algebra/inc, which must reproduce this operator's output
+// byte-for-byte and is differentially tested against it.
 //
 // Retractions: pattern semantics reference only contributor occurrence
 // times (Vs), so lifetime-shrinking retractions are no-ops; a full removal
@@ -90,9 +98,12 @@ func (p *PatternOp) mature() []event.Event {
 		}
 		p.emitted[m.ID] = m
 		if p.Mode.Cons == Consume {
+			// Consumed instances never contribute again, but their events
+			// must stay in the store (marked, and filtered by available):
+			// remove()'s un-consume path revives them, and a deleted event
+			// could never re-materialize (blocked instances would stay dead).
 			for _, id := range m.CBT {
 				p.consumed[id] = true
-				delete(p.store, id) // consumed instances never contribute again
 			}
 		}
 		outs = append(outs, m.Event(p.OutType))
@@ -125,23 +136,26 @@ func (p *PatternOp) remove(id event.ID) []event.Event {
 	wasConsumed := p.consumed[id]
 	delete(p.consumed, id)
 
-	var outs []event.Event
-	for outID, m := range p.emitted {
-		contains := false
+	// Collect the dependent outputs first and retract them in deterministic
+	// commit order — map iteration order must not leak into the output
+	// stream (the incremental matcher emits the identical sequence).
+	var hit []Match
+	for _, m := range p.emitted {
 		for _, c := range m.CBT {
 			if c == id {
-				contains = true
+				hit = append(hit, m)
 				break
 			}
 		}
-		if !contains {
-			continue
-		}
+	}
+	SortMatches(hit)
+	var outs []event.Event
+	for _, m := range hit {
 		r := m.Event(p.OutType)
 		r.Kind = event.Retract
 		r.V.End = r.V.Start
 		outs = append(outs, r)
-		delete(p.emitted, outID)
+		delete(p.emitted, m.ID)
 		if wasConsumed || p.Mode.Cons == Consume {
 			for _, c := range m.CBT {
 				if c != id {
@@ -184,7 +198,7 @@ func (p *PatternOp) Advance(t temporal.Time) []event.Event {
 }
 
 // AppendAdvanceKey implements operators.AdvanceOrdered: mature commits
-// detections in (FinalizeAt, Vs, FirstVs, ID) order (sortMatches), so that
+// detections in (FinalizeAt, Vs, FirstVs, ID) order (SortMatches), so that
 // tuple is the cross-key position of an Advance output. The just-emitted
 // match is still in p.emitted; fall back to the event's own header fields
 // if scope pruning already dropped it (same leading attributes, so the
@@ -301,6 +315,7 @@ func (s *SequenceOp) Process(_ int, e event.Event) []event.Event {
 	var outs []event.Event
 	k := len(s.Types)
 	consumedNow := map[event.ID]bool{}
+	var drops []event.ID
 	// Extend longest chains first so an event cannot extend a chain it just
 	// created.
 	for i := k - 2; i >= 0; i-- {
@@ -348,15 +363,23 @@ func (s *SequenceOp) Process(_ int, e event.Event) []event.Event {
 				}
 				outs = append(outs, out)
 				if s.Mode.Cons == Consume {
+					// Record the consumption and defer the physical drop to
+					// after the loop: dropContributor compacts the chain
+					// storage in place, which must not run while `chains`
+					// headers alias it. The consumedNow guard gives the
+					// in-loop semantics the immediate drop used to.
 					for _, c := range ext {
 						consumedNow[c.ID] = true
-						s.dropContributor(c.ID)
+						drops = append(drops, c.ID)
 					}
 				}
 			} else {
 				s.partials[i+1] = append(s.partials[i+1], ext...)
 			}
 		}
+	}
+	for _, id := range drops {
+		s.dropContributor(id)
 	}
 	if s.Types[0] == e.Type {
 		s.partials[0] = append(s.partials[0], e.Clone())
@@ -365,11 +388,11 @@ func (s *SequenceOp) Process(_ int, e event.Event) []event.Event {
 }
 
 func sortChains(chains [][]event.Event) {
-	for i := 1; i < len(chains); i++ {
-		for j := i; j > 0 && chains[j][0].V.Start < chains[j-1][0].V.Start; j-- {
-			chains[j], chains[j-1] = chains[j-1], chains[j]
-		}
-	}
+	// Stable: chains anchored at the same instant must keep arrival order,
+	// which is the tiebreak the consume-mode commit loop relies on.
+	sort.SliceStable(chains, func(i, j int) bool {
+		return chains[i][0].V.Start < chains[j][0].V.Start
+	})
 }
 
 func anyConsumed(chain []event.Event, consumed map[event.ID]bool) bool {
@@ -396,7 +419,7 @@ func (s *SequenceOp) dropContributor(id event.ID) {
 	for lvl := range s.partials {
 		width := lvl + 1
 		flat := s.partials[lvl]
-		var kept []event.Event
+		kept := flat[:0] // filter in place: the kept prefix reuses the backing array
 		for j := 0; j+width <= len(flat); j += width {
 			chain := flat[j : j+width]
 			has := false
@@ -427,7 +450,7 @@ func (s *SequenceOp) Advance(t temporal.Time) []event.Event {
 	for lvl := range s.partials {
 		width := lvl + 1
 		flat := s.partials[lvl]
-		var kept []event.Event
+		kept := flat[:0]
 		for j := 0; j+width <= len(flat); j += width {
 			if flat[j].V.Start >= horizon {
 				kept = append(kept, flat[j:j+width]...)

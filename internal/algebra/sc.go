@@ -86,7 +86,7 @@ func ApplySC(ms []Match, mode SCMode) []Match {
 	if mode.Sel == SelectEach && mode.Cons == Reuse {
 		return ms
 	}
-	sortMatches(ms)
+	SortMatches(ms)
 	consumed := map[event.ID]bool{}
 	viable := func(m Match) bool {
 		if mode.Cons != Consume {

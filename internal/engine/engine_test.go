@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/consistency"
@@ -187,10 +188,10 @@ WHERE {a.k = b.k}`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p.Rewrites) == 0 || p.Rewrites[0] != "sequence-specialization" {
+	if len(p.Rewrites) == 0 || p.Rewrites[0] != "incremental-pattern" {
 		t.Errorf("rewrites = %v", p.Rewrites)
 	}
-	if p.Stages[0].Name() != "sequence" {
+	if !strings.HasPrefix(p.Stages[0].Name(), "incpattern:") {
 		t.Errorf("stage 0 = %s", p.Stages[0].Name())
 	}
 	generic, err := plan.Compile(`EVENT Seq WHEN SEQUENCE(A a, B b, 10)`,

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/algebra"
+	"repro/internal/algebra/inc"
 	"repro/internal/consistency"
 	"repro/internal/lang"
 	"repro/internal/operators"
@@ -95,7 +96,11 @@ func partitionOf(an *lang.Analysis, p *Plan) Partition {
 			return partitionNone("global (ungrouped) aggregate")
 		}
 		return Partition{Mode: PartitionByAttr, Attr: op.GroupBy}
-	case *algebra.SequenceOp, *algebra.PatternOp:
+	// Pattern stages: the incremental matcher tree (the default) and the
+	// semi-naive oracle (WithoutSpecialization). The flat SequenceOp never
+	// reaches partitionOf — it survives only in hand-built ablation
+	// benchmarks, which bypass plan compilation.
+	case *algebra.PatternOp, *inc.Op:
 		if an == nil || an.PartitionAttr == "" {
 			return partitionNone("no CorrelationKey(attr, EQUAL) clause")
 		}

@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/algebra"
+	"repro/internal/algebra/inc"
 	"repro/internal/consistency"
 	"repro/internal/lang"
 	"repro/internal/operators"
@@ -55,9 +56,9 @@ func WithSpec(s consistency.Spec) Option {
 	return func(c *config) { c.spec = &s }
 }
 
-// WithoutSpecialization disables the specialized-operator rewrite; the
-// ablation benchmarks use it to compare the generic semi-naive pattern
-// evaluator against the incremental matcher.
+// WithoutSpecialization disables the incremental-pattern rewrite, running
+// the pattern stage on the semi-naive re-deriving evaluator instead; the
+// ablation benchmarks use it to compare the two evaluation strategies.
 func WithoutSpecialization() Option {
 	return func(c *config) { c.noSpecial = true }
 }
@@ -84,11 +85,15 @@ func FromAnalysis(an *lang.Analysis, opts ...Option) (*Plan, error) {
 func fromAnalysis(an *lang.Analysis, cfg config) (*Plan, error) {
 	p := &Plan{Name: an.Query.Name, an: an, cfg: cfg, Shards: cfg.shards}
 
-	// Pattern stage: prefer the specialized incremental sequence matcher
-	// when the expression is a (possibly filtered) flat sequence of types.
-	if op, ok := specializeSequence(an, cfg); ok {
-		p.Stages = append(p.Stages, op)
-		p.Rewrites = append(p.Rewrites, "sequence-specialization")
+	// Pattern stage: every pattern query runs on the incremental matcher
+	// tree (internal/algebra/inc), which covers the full §3.3 grammar with
+	// delta propagation instead of per-event re-derivation. The semi-naive
+	// oracle evaluator remains reachable via WithoutSpecialization as the
+	// ablation baseline (and as the fallback for expressions outside the
+	// tree's grammar, should the language grow one).
+	if !cfg.noSpecial && inc.Supported(an.Expr) {
+		p.Stages = append(p.Stages, inc.NewOp(an.Expr, an.Mode, an.Query.Name))
+		p.Rewrites = append(p.Rewrites, "incremental-pattern")
 	} else {
 		p.Stages = append(p.Stages, algebra.NewPatternOp(an.Expr, an.Mode, an.Query.Name))
 	}
@@ -150,41 +155,6 @@ func resolveSpec(an *lang.Analysis, cfg config) consistency.Spec {
 		}
 		return consistency.Level(b, m)
 	}
-}
-
-// specializeSequence recognizes SEQUENCE(T1, ..., Tk, w), optionally
-// wrapped in a FilterExpr, over plain event types.
-func specializeSequence(an *lang.Analysis, cfg config) (operators.Op, bool) {
-	if cfg.noSpecial {
-		return nil, false
-	}
-	expr := an.Expr
-	var pred func(p map[string]any) bool
-	_ = pred
-	var filter *algebra.FilterExpr
-	if f, ok := expr.(algebra.FilterExpr); ok {
-		filter = &f
-		expr = f.Kid
-	}
-	seq, ok := expr.(algebra.SequenceExpr)
-	if !ok {
-		return nil, false
-	}
-	types := make([]string, len(seq.Kids))
-	aliases := make([]string, len(seq.Kids))
-	for i, k := range seq.Kids {
-		t, ok := k.(algebra.TypeExpr)
-		if !ok {
-			return nil, false
-		}
-		types[i] = t.Type
-		aliases[i] = t.Prefix()
-	}
-	op := algebra.NewSequenceOp(types, aliases, seq.W, an.Mode, an.Query.Name)
-	if filter != nil {
-		op.Pred = filter.Pred
-	}
-	return op, true
 }
 
 // Explain renders the plan.

@@ -75,20 +75,34 @@ func TestStageShapes(t *testing.T) {
 }
 
 func TestSpecializationConditions(t *testing.T) {
-	// Flat type sequence: specialized.
-	p, _ := Compile(`EVENT E WHEN SEQUENCE(A a, B b, 10)`)
-	if p.Stages[0].Name() != "sequence" {
-		t.Error("flat sequence not specialized")
+	// The whole grammar routes through the incremental matcher tree —
+	// flat sequences, nested operators and negation alike.
+	for _, q := range []string{
+		`EVENT E WHEN SEQUENCE(A a, B b, 10)`,
+		`EVENT E WHEN SEQUENCE(ANY(A x), B b, 10)`,
+		`EVENT E WHEN UNLESS(A a, B b, 10)`,
+	} {
+		p, err := Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(p.Stages[0].Name(), "incpattern:") {
+			t.Errorf("%s: stage 0 = %s, want incremental pattern op", q, p.Stages[0].Name())
+		}
+		if len(p.Rewrites) == 0 || p.Rewrites[0] != "incremental-pattern" {
+			t.Errorf("%s: rewrites = %v", q, p.Rewrites)
+		}
 	}
-	// Nested operator inside: not specializable.
-	p, _ = Compile(`EVENT E WHEN SEQUENCE(ANY(A x), B b, 10)`)
-	if p.Stages[0].Name() == "sequence" {
-		t.Error("nested sequence wrongly specialized")
+	// The ablation escape hatch keeps the semi-naive evaluator reachable.
+	p, err := Compile(`EVENT E WHEN SEQUENCE(A a, B b, 10)`, WithoutSpecialization())
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Negation on top: not specializable.
-	p, _ = Compile(`EVENT E WHEN UNLESS(A a, B b, 10)`)
-	if p.Stages[0].Name() == "sequence" {
-		t.Error("UNLESS wrongly specialized")
+	if !strings.HasPrefix(p.Stages[0].Name(), "pattern:") {
+		t.Errorf("WithoutSpecialization: stage 0 = %s, want semi-naive pattern op", p.Stages[0].Name())
+	}
+	if len(p.Rewrites) != 0 {
+		t.Errorf("WithoutSpecialization recorded rewrites: %v", p.Rewrites)
 	}
 }
 
@@ -98,7 +112,7 @@ func TestExplainMentionsEverything(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := p.Explain()
-	for _, want := range []string{"Watch", "strong", "sequence", "rewrites"} {
+	for _, want := range []string{"Watch", "strong", "incpattern:SEQUENCE", "rewrites"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Explain missing %q:\n%s", want, out)
 		}
