@@ -33,11 +33,43 @@ type BenchResult struct {
 	AllocsPerOp int64   `json:"allocs_op"`
 }
 
+// gatedBenches is the regression-gated benchmark set: every headline
+// number from the ROADMAP performance tables. checkBaselines fails the run
+// when any of them falls more than regressionTolerance below its committed
+// floor (scaled by the calibration anchor), and -update-baselines
+// re-records exactly this set (plus the anchor) under bench/baselines.
+var gatedBenches = []string{
+	"pattern_cidr07_end_to_end",
+	"pattern_cidr07_sharded_1",
+	"pattern_cidr07_sharded_8",
+	"pattern_sequence_ablation_incremental",
+	"figure8_middle_disordered",
+	"monitor_repair_path",
+}
+
+// gatedSet is the gated names as a set, optionally with the calibration
+// anchor — the one definition the best-of-3 sampling, the baseline
+// recorder and the missing-baseline check all share.
+func gatedSet(withAnchor bool) map[string]bool {
+	set := make(map[string]bool, len(gatedBenches)+1)
+	for _, n := range gatedBenches {
+		set[n] = true
+	}
+	if withAnchor {
+		set[calibrationBench] = true
+	}
+	return set
+}
+
 // runBenchSuite executes the monitor- and pattern-centric benchmark set
 // in-process via testing.Benchmark and writes one BENCH_*.json per entry
-// into dir. When baselineDir is non-empty, results are additionally gated
-// against the committed baselines there (checkBaselines).
-func runBenchSuite(dir string, seed int64, baselineDir string) error {
+// into dir (dir == "" skips the per-entry artifacts — the update path uses
+// this so re-recording floors does not litter the invoker's directory).
+// When baselineDir is non-empty, results are additionally gated against
+// the committed baselines there (checkBaselines); with update set, the
+// committed baselines are instead re-recorded in place from the fresh
+// results, so a perf PR updates every floor with one command.
+func runBenchSuite(dir string, seed int64, baselineDir string, update bool) error {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return err
@@ -179,6 +211,37 @@ SC(each, consume)`
 			}
 		},
 	})
+	// The same query through the key-partitioned sharded runtime at 1 and
+	// 8 shards: the floor for the per-shard matching cost (shards=1 carries
+	// the router/tag/merge overhead) and for the critical-path scaling the
+	// ROADMAP tracks (shards=8).
+	shardedSrc, _ := workload.MachineEvents(workload.Machines{
+		Seed: 1, Machines: 24, Cycles: 5,
+		RestartDeadline: 5 * temporal.Minute, MissProb: 0.3,
+		CycleGap: 30 * temporal.Minute,
+	})
+	shardedDelivered := delivery.Deliver(shardedSrc, delivery.Ordered(10*temporal.Minute))
+	for _, shards := range []int{1, 8} {
+		shards := shards
+		entries = append(entries, entry{
+			name:   fmt.Sprintf("pattern_cidr07_sharded_%d", shards),
+			events: len(shardedDelivered),
+			bench: func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sys := cedr.New()
+					q, err := sys.RegisterOpts(cidrQuery, plan.WithSpec(consistency.Middle()), plan.WithShards(shards))
+					if err != nil {
+						b.Fatal(err)
+					}
+					sys.Run(shardedDelivered)
+					if len(q.Alerts()) == 0 {
+						b.Fatal("no alerts")
+					}
+				}
+			},
+		})
+	}
 	const seqQuery = `EVENT Pairs WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 12 hours)
 WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
 	for _, v := range []struct {
@@ -208,9 +271,29 @@ WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
 		})
 	}
 
+	sampled := gatedSet(true)
+
 	var results []BenchResult
 	for _, e := range entries {
+		// Gated benchmarks (and the calibration anchor) are sampled
+		// best-of-3: single-sample wall numbers on a loaded or single-core
+		// host swing well past the 20% gate tolerance (the sharded
+		// benchmarks especially — goroutine scheduling noise), and the
+		// fastest of three is the most reproducible estimate of what the
+		// code can do. Both sides of the gate — the committed floor and
+		// the fresh measurement — use the same rule.
+		runs := 1
+		if sampled[e.name] {
+			runs = 3
+		}
 		res := testing.Benchmark(e.bench)
+		for r := 1; r < runs; r++ {
+			again := testing.Benchmark(e.bench)
+			if float64(again.T.Nanoseconds())/float64(again.N) <
+				float64(res.T.Nanoseconds())/float64(res.N) {
+				res = again
+			}
+		}
 		out := BenchResult{
 			Name:        e.name,
 			Iterations:  res.N,
@@ -221,20 +304,59 @@ WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
 		if e.events > 0 && res.T > 0 {
 			out.EventsPerS = float64(e.events) * float64(res.N) / res.T.Seconds()
 		}
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			return err
+		where := ""
+		if dir != "" {
+			data, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(dir, "BENCH_"+strings.ReplaceAll(e.name, "/", "_")+".json")
+			if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			where = "  -> " + path
 		}
-		path := filepath.Join(dir, "BENCH_"+strings.ReplaceAll(e.name, "/", "_")+".json")
-		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("%-40s %12.0f ns/op %12.0f events/s %8d allocs/op  -> %s\n",
-			e.name, out.NsPerOp, out.EventsPerS, out.AllocsPerOp, path)
+		fmt.Printf("%-40s %12.0f ns/op %12.0f events/s %8d allocs/op%s\n",
+			e.name, out.NsPerOp, out.EventsPerS, out.AllocsPerOp, where)
 		results = append(results, out)
+	}
+	if update {
+		return updateBaselines(results, baselineDir)
 	}
 	if baselineDir != "" {
 		return checkBaselines(results, baselineDir)
+	}
+	return nil
+}
+
+// updateBaselines re-records the committed baseline JSONs for the gated
+// benchmark set (and the calibration anchor) from the fresh results.
+func updateBaselines(results []BenchResult, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	want := gatedSet(true)
+	for _, res := range results {
+		if !want[res.Name] {
+			continue
+		}
+		delete(want, res.Name)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "BENCH_"+res.Name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("baseline updated: %s (%.0f events/s)\n", path, res.EventsPerS)
+	}
+	if len(want) > 0 {
+		names := make([]string, 0, len(want))
+		for n := range want {
+			names = append(names, n)
+		}
+		return fmt.Errorf("update-baselines: suite produced no result for %s", strings.Join(names, ", "))
 	}
 	return nil
 }
@@ -301,7 +423,15 @@ func checkBaselines(results []BenchResult, dir string) error {
 		}
 	}
 
+	// Every gated benchmark must have a committed baseline: a silently
+	// missing file would un-gate the number it protects.
 	var failures []string
+	gated := gatedSet(false)
+
+	// Per-benchmark before/after summary, printed for every fresh result
+	// that has a committed baseline (gated or merely recorded).
+	fmt.Println("| benchmark | committed ev/s | floor | fresh ev/s | change | verdict |")
+	fmt.Println("|---|---|---|---|---|---|")
 	checked := 0
 	for _, res := range results {
 		if res.Name == calibrationBench {
@@ -312,8 +442,25 @@ func checkBaselines(results []BenchResult, dir string) error {
 			return err
 		}
 		if !ok || base.EventsPerS <= 0 || res.EventsPerS <= 0 {
+			if gated[res.Name] {
+				delete(gated, res.Name)
+				switch {
+				case !ok:
+					failures = append(failures, fmt.Sprintf(
+						"%s: gated benchmark has no committed baseline under %s (run cedrbench -update-baselines)",
+						res.Name, dir))
+				case base.EventsPerS <= 0:
+					failures = append(failures, fmt.Sprintf(
+						"%s: committed baseline under %s has no positive events_per_sec (corrupt or hand-edited?)",
+						res.Name, dir))
+				default:
+					failures = append(failures, fmt.Sprintf(
+						"%s: fresh run reported no positive events/s to gate on", res.Name))
+				}
+			}
 			continue
 		}
+		delete(gated, res.Name)
 		checked++
 		floor := base.EventsPerS * scale * (1 - regressionTolerance)
 		verdict := "ok"
@@ -323,8 +470,13 @@ func checkBaselines(results []BenchResult, dir string) error {
 				"%s: %.0f events/s is below the floor %.0f (committed %.0f × calibration %.2f − %d%%)",
 				res.Name, res.EventsPerS, floor, base.EventsPerS, scale, int(regressionTolerance*100)))
 		}
-		fmt.Printf("baseline %-40s %12.0f events/s vs floor %12.0f (committed %.0f): %s\n",
-			res.Name, res.EventsPerS, floor, base.EventsPerS, verdict)
+		fmt.Printf("| %s | %.0f | %.0f | %.0f | %+.1f%% | %s |\n",
+			res.Name, base.EventsPerS, floor, res.EventsPerS,
+			100*(res.EventsPerS/(base.EventsPerS*scale)-1), verdict)
+	}
+	for n := range gated {
+		failures = append(failures, fmt.Sprintf(
+			"%s: gated benchmark missing from the suite results", n))
 	}
 	if checked == 0 {
 		return fmt.Errorf("baseline check: no baseline files matched under %s", dir)

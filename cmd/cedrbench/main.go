@@ -5,6 +5,7 @@
 //	cedrbench -baselines   # Section 1: CEDR vs point-DSMS vs pub/sub
 //	cedrbench -ablations   # DESIGN.md ablations (consumption, …)
 //	cedrbench -bench       # micro-benchmarks -> machine-readable BENCH_*.json
+//	cedrbench -update-baselines  # re-record the gated perf floors in bench/baselines
 //	cedrbench              # everything (tables only; -bench stays opt-in)
 //
 // Absolute numbers depend on the simulated transport; the shapes — who
@@ -27,11 +28,24 @@ func main() {
 	bench := flag.Bool("bench", false, "run monitor micro-benchmarks and write BENCH_*.json")
 	benchOut := flag.String("benchout", ".", "directory for BENCH_*.json files")
 	baseline := flag.String("baseline", "", "directory of committed BENCH_*.json baselines; fail on >20% events/s regression")
+	update := flag.Bool("update-baselines", false, "run the bench suite and re-record the gated baseline JSONs in place (default dir bench/baselines)")
 	seed := flag.Int64("seed", 42, "delivery-simulator seed")
 	flag.Parse()
 
-	if *bench {
-		if err := runBenchSuite(*benchOut, *seed, *baseline); err != nil {
+	if *bench || *update {
+		dir := *baseline
+		out := *benchOut
+		if *update {
+			if dir == "" {
+				dir = "bench/baselines"
+			}
+			if !*bench {
+				// Pure floor re-recording: don't litter the invoker's
+				// directory with the per-entry BENCH_*.json artifacts.
+				out = ""
+			}
+		}
+		if err := runBenchSuite(out, *seed, dir, *update); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}

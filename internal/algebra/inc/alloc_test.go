@@ -1,0 +1,84 @@
+//go:build !race
+
+package inc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// Allocation-regression tests: the tentpole claim of the interned-payload /
+// per-group-commit design is that the incremental sequence hot path stays
+// allocation-lean — a few allocations per event, not a few dozen. These
+// ceilings pin that property in `go test ./...` itself, so an allocation
+// regression fails the ordinary test run, not just the benchmark gate.
+// The bounds sit ~1.5–3× above the measured steady state, loose enough
+// for map rehash jitter across Go releases, tight enough to catch a
+// return to per-delta allocation (a fresh-cache run measures ~29/event;
+// the interned replay ~8). (Skipped under -race: instrumentation changes
+// allocation counts.)
+
+// allocSeqEvents builds an INSTALL/SHUTDOWN workload shaped like the
+// sequence-ablation benchmark: interleaved pairs over a small key domain.
+func allocSeqEvents(n int) []event.Event {
+	rng := rand.New(rand.NewSource(7))
+	types := []string{"INSTALL", "SHUTDOWN"}
+	out := make([]event.Event, 0, n)
+	vs := temporal.Time(0)
+	for i := 0; i < n; i++ {
+		vs += temporal.Time(rng.Intn(3) + 1)
+		out = append(out, event.NewInsert(event.ID(i+1), types[i%2], vs,
+			temporal.Infinity, event.Payload{
+				"Machine_Id": fmt.Sprintf("m%d", rng.Intn(4)),
+			}))
+	}
+	return out
+}
+
+func TestAllocsSequenceHotPath(t *testing.T) {
+	expr := algebra.FilterExpr{
+		Kid: algebra.SequenceExpr{Kids: []algebra.Expr{
+			algebra.TypeExpr{Type: "INSTALL", Alias: "x"},
+			algebra.TypeExpr{Type: "SHUTDOWN", Alias: "y"},
+		}, W: 64},
+		Pred: func(p event.Payload) bool {
+			return event.ValueEqual(p["x.Machine_Id"], p["y.Machine_Id"])
+		},
+	}
+	events := allocSeqEvents(400)
+	mode := algebra.SCMode{Cons: algebra.Consume}
+
+	// The hot path proper is the replay the monitor's checkpoint operator
+	// performs: every event was already derived once by the live operator,
+	// so the interning caches (shared through Clone) serve every leaf
+	// payload and combined composite. Warm the caches through one full
+	// pass, then measure replays by clones taken from the pre-stream
+	// snapshot — each run sees warmed caches and empty state, exactly like
+	// the checkpoint chasing the live operator.
+	base := NewOp(expr, mode, "Pairs")
+	snapshot := base.Clone()
+	run := func(op *Op) {
+		for i, e := range events {
+			op.Process(0, e)
+			if i%16 == 15 {
+				op.Advance(e.V.Start)
+			}
+		}
+	}
+	run(base)
+
+	perEvent := testing.AllocsPerRun(5, func() {
+		run(snapshot.Clone().(*Op))
+	}) / float64(len(events))
+
+	const ceiling = 12.0
+	t.Logf("incremental sequence hot path: %.2f allocs/event (ceiling %.0f)", perEvent, ceiling)
+	if perEvent > ceiling {
+		t.Fatalf("incremental sequence hot path allocates %.2f/event, above the pinned ceiling %.0f — the interned-payload/scratch-delta discipline regressed", perEvent, ceiling)
+	}
+}

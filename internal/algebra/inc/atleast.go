@@ -23,16 +23,26 @@ type atLeastNode struct {
 	outs  map[event.ID]algebra.Match
 	refs  map[event.ID]int
 	uses  map[event.ID][]event.ID
+
+	picks  []algebra.Match // enumeration scratch
+	sorted []algebra.Match // time-sorted commit scratch
+	ids    []event.ID      // contributor-ID scratch for the interned lookup
+	kd     delta           // reusable child-transition scratch
+	comb   *combCache      // interned composites, shared with clones
 }
 
 func newAtLeastNode(e algebra.AtLeastExpr, sh *shared) *atLeastNode {
 	a := &atLeastNode{
-		n:     e.N,
-		w:     e.W,
-		lists: make([]matchList, len(e.Kids)),
-		outs:  map[event.ID]algebra.Match{},
-		refs:  map[event.ID]int{},
-		uses:  map[event.ID][]event.ID{},
+		n:      e.N,
+		w:      e.W,
+		lists:  make([]matchList, len(e.Kids)),
+		outs:   map[event.ID]algebra.Match{},
+		refs:   map[event.ID]int{},
+		uses:   map[event.ID][]event.ID{},
+		picks:  make([]algebra.Match, 0, e.N),
+		sorted: make([]algebra.Match, e.N),
+		ids:    make([]event.ID, e.N),
+		comb:   newCombCache(),
 	}
 	for _, k := range e.Kids {
 		a.kids = append(a.kids, build(k, sh))
@@ -40,32 +50,32 @@ func newAtLeastNode(e algebra.AtLeastExpr, sh *shared) *atLeastNode {
 	return a
 }
 
-func (a *atLeastNode) push(e event.Event) delta {
-	var out delta
+func (a *atLeastNode) push(e event.Event, out *delta) {
 	for i, k := range a.kids {
-		a.applyKid(i, k.push(e), &out)
+		a.kd.reset()
+		k.push(e, &a.kd)
+		a.applyKid(i, out)
 	}
-	return out
 }
 
-func (a *atLeastNode) remove(id event.ID) delta {
-	var out delta
+func (a *atLeastNode) remove(id event.ID, out *delta) {
 	for i, k := range a.kids {
-		a.applyKid(i, k.remove(id), &out)
+		a.kd.reset()
+		k.remove(id, &a.kd)
+		a.applyKid(i, out)
 	}
-	return out
 }
 
-func (a *atLeastNode) prune(horizon temporal.Time) delta {
-	var out delta
+func (a *atLeastNode) prune(horizon temporal.Time, out *delta) {
 	for i, k := range a.kids {
-		a.applyKid(i, k.prune(horizon), &out)
+		a.kd.reset()
+		k.prune(horizon, &a.kd)
+		a.applyKid(i, out)
 	}
-	return out
 }
 
-func (a *atLeastNode) applyKid(i int, d delta, out *delta) {
-	for _, it := range d.items {
+func (a *atLeastNode) applyKid(i int, out *delta) {
+	for _, it := range a.kd.items {
 		if it.del {
 			a.lists[i].removeMatch(it.m)
 			for _, oid := range a.uses[it.m.ID] {
@@ -94,12 +104,12 @@ func (a *atLeastNode) applyKid(i int, d delta, out *delta) {
 // stored match per other chosen position, whose times are pairwise
 // distinct and within w of each other.
 func (a *atLeastNode) enumerate(fix int, nm algebra.Match, out *delta) {
-	picks := make([]algebra.Match, 0, a.n)
+	picks := a.picks[:0]
 	picks = append(picks, nm)
 	minVs, maxVs := nm.V.Start, nm.V.Start
 	var rec func(pos int, min, max temporal.Time)
 	commit := func() {
-		sorted := append([]algebra.Match(nil), picks...)
+		sorted := append(a.sorted[:0], picks...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i].V.Start < sorted[j].V.Start })
 		a.commit(sorted, out)
 	}
@@ -142,6 +152,7 @@ func (a *atLeastNode) enumerate(fix int, nm algebra.Match, out *delta) {
 		}
 	}
 	rec(0, minVs, maxVs)
+	a.picks = picks[:0]
 }
 
 func (a *atLeastNode) clashes(picks []algebra.Match, vs temporal.Time) bool {
@@ -154,25 +165,37 @@ func (a *atLeastNode) clashes(picks []algebra.Match, vs temporal.Time) bool {
 }
 
 func (a *atLeastNode) commit(sorted []algebra.Match, out *delta) {
-	m := algebra.Combine(sorted, a.w)
-	a.refs[m.ID]++
-	for _, p := range sorted {
-		a.uses[p.ID] = append(a.uses[p.ID], m.ID)
+	for i := range sorted {
+		a.ids[i] = sorted[i].ID
 	}
-	if a.refs[m.ID] == 1 {
-		a.outs[m.ID] = m
+	id := event.Pair(a.ids[:len(sorted)]...)
+	a.refs[id]++
+	for _, p := range sorted {
+		a.uses[p.ID] = append(a.uses[p.ID], id)
+	}
+	if a.refs[id] == 1 {
+		m, ok := a.comb.get(id)
+		if !ok {
+			m = algebra.Combine(sorted, a.w)
+			a.comb.put(id, m)
+		}
+		a.outs[id] = m
 		out.add(m)
 	}
 }
 
 func (a *atLeastNode) clone(sh *shared) node {
 	c := &atLeastNode{
-		n:     a.n,
-		w:     a.w,
-		lists: make([]matchList, len(a.lists)),
-		outs:  make(map[event.ID]algebra.Match, len(a.outs)),
-		refs:  make(map[event.ID]int, len(a.refs)),
-		uses:  make(map[event.ID][]event.ID, len(a.uses)),
+		n:      a.n,
+		w:      a.w,
+		lists:  make([]matchList, len(a.lists)),
+		outs:   make(map[event.ID]algebra.Match, len(a.outs)),
+		refs:   make(map[event.ID]int, len(a.refs)),
+		uses:   make(map[event.ID][]event.ID, len(a.uses)),
+		picks:  make([]algebra.Match, 0, a.n),
+		sorted: make([]algebra.Match, a.n),
+		ids:    make([]event.ID, a.n),
+		comb:   a.comb,
 	}
 	for _, k := range a.kids {
 		c.kids = append(c.kids, k.clone(sh))

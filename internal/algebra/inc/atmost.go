@@ -24,6 +24,7 @@ type atMostNode struct {
 	entries []amEntry
 	outs    map[event.ID]algebra.Match
 	refs    map[event.ID]int
+	kd      delta // reusable child-transition scratch
 }
 
 type amEntry struct {
@@ -44,28 +45,28 @@ func newAtMostNode(e algebra.AtMostExpr, sh *shared) *atMostNode {
 	return a
 }
 
-func (a *atMostNode) push(e event.Event) delta {
-	var out delta
+func (a *atMostNode) push(e event.Event, out *delta) {
 	for _, k := range a.kids {
-		a.apply(k.push(e), &out)
+		a.kd.reset()
+		k.push(e, &a.kd)
+		a.apply(out)
 	}
-	return out
 }
 
-func (a *atMostNode) remove(id event.ID) delta {
-	var out delta
+func (a *atMostNode) remove(id event.ID, out *delta) {
 	for _, k := range a.kids {
-		a.apply(k.remove(id), &out)
+		a.kd.reset()
+		k.remove(id, &a.kd)
+		a.apply(out)
 	}
-	return out
 }
 
-func (a *atMostNode) prune(horizon temporal.Time) delta {
-	var out delta
+func (a *atMostNode) prune(horizon temporal.Time, out *delta) {
 	for _, k := range a.kids {
-		a.apply(k.prune(horizon), &out)
+		a.kd.reset()
+		k.prune(horizon, &a.kd)
+		a.apply(out)
 	}
-	return out
 }
 
 // lowerBound is the first index with Vs >= t.
@@ -73,8 +74,8 @@ func (a *atMostNode) lowerBound(t temporal.Time) int {
 	return sort.Search(len(a.entries), func(i int) bool { return a.entries[i].m.V.Start >= t })
 }
 
-func (a *atMostNode) apply(d delta, out *delta) {
-	for _, it := range d.items {
+func (a *atMostNode) apply(out *delta) {
+	for _, it := range a.kd.items {
 		t := it.m.V.Start
 		if it.del {
 			// Drop one entry with this identity.

@@ -321,7 +321,7 @@ func TestDifferentialRemovalStorm(t *testing.T) {
 			og := oracle.Advance(temporal.Infinity)
 			ig := fast.Advance(temporal.Infinity)
 			checkStep(t, fmt.Sprintf("%s %v storm-finish", name, mode), oracle, fast, ig, og)
-			if n := len(fast.pending); n != 0 {
+			if n := fast.pending.size(); n != 0 {
 				t.Fatalf("%s %v: %d pending matches survived a full removal storm", name, mode, n)
 			}
 		}

@@ -51,6 +51,7 @@ type negNode struct {
 	loOf    map[event.ID]temporal.Time
 	negs    matchList
 	maxSpan temporal.Duration // widest hi-lo seen; bounds range scans
+	kd      delta             // reusable child-transition scratch
 }
 
 func newNegNode(kind negKind, pos, neg node, w temporal.Duration, nIdx int, corr algebra.CorrPred, sh *shared) *negNode {
@@ -60,28 +61,36 @@ func newNegNode(kind negKind, pos, neg node, w temporal.Duration, nIdx int, corr
 	}
 }
 
-func (u *negNode) push(e event.Event) delta {
-	var out delta
-	dp, dn := u.pos.push(e), u.neg.push(e)
-	u.applyPos(dp, &out)
-	u.applyNeg(dn, &out)
-	return out
+// The pos-then-neg order below matches the old both-subtrees-first
+// evaluation: applyPos counts blockers against the negative store as it
+// stood before this call's negative-side transitions, which applyNeg then
+// folds in (flipping the just-added candidates too when they overlap).
+
+func (u *negNode) push(e event.Event, out *delta) {
+	u.kd.reset()
+	u.pos.push(e, &u.kd)
+	u.applyPos(out)
+	u.kd.reset()
+	u.neg.push(e, &u.kd)
+	u.applyNeg(out)
 }
 
-func (u *negNode) remove(id event.ID) delta {
-	var out delta
-	dp, dn := u.pos.remove(id), u.neg.remove(id)
-	u.applyPos(dp, &out)
-	u.applyNeg(dn, &out)
-	return out
+func (u *negNode) remove(id event.ID, out *delta) {
+	u.kd.reset()
+	u.pos.remove(id, &u.kd)
+	u.applyPos(out)
+	u.kd.reset()
+	u.neg.remove(id, &u.kd)
+	u.applyNeg(out)
 }
 
-func (u *negNode) prune(horizon temporal.Time) delta {
-	var out delta
-	dp, dn := u.pos.prune(horizon), u.neg.prune(horizon)
-	u.applyPos(dp, &out)
-	u.applyNeg(dn, &out)
-	return out
+func (u *negNode) prune(horizon temporal.Time, out *delta) {
+	u.kd.reset()
+	u.pos.prune(horizon, &u.kd)
+	u.applyPos(out)
+	u.kd.reset()
+	u.neg.prune(horizon, &u.kd)
+	u.applyNeg(out)
 }
 
 // interval derives the blocking interval and output for a positive match;
@@ -153,8 +162,8 @@ func (u *negNode) findCand(lo temporal.Time, id event.ID) int {
 	return -1
 }
 
-func (u *negNode) applyPos(d delta, out *delta) {
-	for _, it := range d.items {
+func (u *negNode) applyPos(out *delta) {
+	for _, it := range u.kd.items {
 		if it.del {
 			lo, ok := u.loOf[it.m.ID]
 			if !ok {
@@ -194,8 +203,8 @@ func (u *negNode) applyPos(d delta, out *delta) {
 	}
 }
 
-func (u *negNode) applyNeg(d delta, out *delta) {
-	for _, it := range d.items {
+func (u *negNode) applyNeg(out *delta) {
+	for _, it := range u.kd.items {
 		t := it.m.V.Start
 		if it.del {
 			if !u.negs.removeMatch(it.m) {

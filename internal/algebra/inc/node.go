@@ -24,6 +24,20 @@
 // never re-derives. Negation nodes hold pending candidates and flip them
 // as blockers arrive and leave; the driving Op decides *emission* (the
 // FinalizeAt frontier and SC modes) exactly as the oracle does.
+//
+// Allocation discipline: nodes append transitions into a caller-owned
+// delta (the out-parameter style below) and keep one reusable scratch
+// delta per node for collecting child transitions, so the steady-state
+// push path allocates nothing for delta plumbing. Derived matches —
+// the leaf's namespaced-payload match and the join nodes' combined
+// composites — are interned in caches shared with clones: the
+// consistency monitor drives every event through a live operator and,
+// later, through its cloned checkpoint (and replays suffixes through
+// snapshot clones), so the second and subsequent derivations of the
+// same match reuse the first one's payload map and lineage outright.
+// Clones of one operator are only ever driven sequentially (the Op
+// contract), which is what makes the sharing sound; parallel shards
+// build fresh operators via plan.Fresh and never share caches.
 package inc
 
 import (
@@ -51,6 +65,7 @@ type delta struct {
 
 func (d *delta) add(m algebra.Match) { d.items = append(d.items, item{m: m}) }
 func (d *delta) del(m algebra.Match) { d.items = append(d.items, item{m: m, del: true}) }
+func (d *delta) reset()              { d.items = d.items[:0] }
 
 // shared is tree-global state owned by the driving Op: the occurrence times
 // of the available (live, unconsumed) primitive events. UNLESS' nodes
@@ -62,17 +77,48 @@ type shared struct {
 // node is one stateful matcher in the tree.
 type node interface {
 	// push feeds one primitive event (insert); the node dispatches it to
-	// its children and folds their deltas into its own state.
-	push(e event.Event) delta
+	// its children and folds their deltas into its own state, appending
+	// its own transitions to out.
+	push(e event.Event, out *delta)
 	// remove feeds a full removal of a primitive event by ID.
-	remove(id event.ID) delta
+	remove(id event.ID, out *delta)
 	// prune drops state derived from events with Vs < horizon, exactly as
 	// the oracle's store pruning does: silently below the driver (the
-	// returned delta lets parents stay consistent and lets negation nodes
-	// surface revivals, but never turns into output retractions).
-	prune(horizon temporal.Time) delta
-	// clone deep-copies the node, rebinding it to sh.
+	// appended transitions let parents stay consistent and let negation
+	// nodes surface revivals, but never turn into output retractions).
+	prune(horizon temporal.Time, out *delta)
+	// clone deep-copies the node, rebinding it to sh. Interning caches
+	// are shared with the clone (clones run sequentially).
 	clone(sh *shared) node
+}
+
+// internCap bounds every interning cache in the tree; pathological streams
+// reset a full cache rather than growing it without bound (the same policy
+// as the aggregate operator's payload cache).
+const internCap = 4096
+
+// combCache interns derived matches by ID — combined composites keyed by
+// output ID at join nodes, namespaced leaf matches keyed by primitive
+// event ID — shared between an operator and its clones. The monitor's checkpoint operator
+// re-derives exactly the matches the live operator already derived, so
+// the second derivation reuses the first's payload map and lineage
+// slices. Entries are immutable once stored.
+type combCache struct {
+	m map[event.ID]algebra.Match
+}
+
+func newCombCache() *combCache { return &combCache{m: make(map[event.ID]algebra.Match, 64)} }
+
+func (c *combCache) get(id event.ID) (algebra.Match, bool) {
+	m, ok := c.m[id]
+	return m, ok
+}
+
+func (c *combCache) put(id event.ID, m algebra.Match) {
+	if len(c.m) >= internCap {
+		clear(c.m)
+	}
+	c.m[id] = m
 }
 
 // Supported reports whether the expression grammar is fully covered by the
@@ -188,58 +234,64 @@ type leafNode struct {
 	t      algebra.TypeExpr
 	prefix string
 	live   map[event.ID]algebra.Match // keyed by primitive event ID
+	// interned caches the derived match per primitive event ID, shared
+	// with clones: the checkpoint operator's push of an event the live
+	// operator already saw — and any revival re-push after an un-consume —
+	// reuses the namespaced payload map instead of rebuilding it.
+	interned *combCache
 }
 
 func newLeaf(t algebra.TypeExpr) *leafNode {
-	return &leafNode{t: t, prefix: t.Prefix(), live: map[event.ID]algebra.Match{}}
+	return &leafNode{t: t, prefix: t.Prefix(), live: map[event.ID]algebra.Match{},
+		interned: newCombCache()}
 }
 
-func (l *leafNode) push(e event.Event) delta {
-	var d delta
+func (l *leafNode) push(e event.Event, out *delta) {
 	if e.Kind != event.Insert || e.Type != l.t.Type {
-		return d
+		return
 	}
-	p := make(event.Payload, len(e.Payload))
-	for k, v := range e.Payload {
-		p[l.prefix+"."+k] = v
-	}
-	m := algebra.Match{
-		ID:         event.Pair(e.ID),
-		V:          e.V,
-		RT:         e.V.Start,
-		FinalizeAt: e.V.Start,
-		FirstVs:    e.V.Start,
-		LastVs:     e.V.Start,
-		CBT:        []event.ID{e.ID},
-		Payload:    p,
+	m, ok := l.interned.get(e.ID)
+	if !ok {
+		p := make(event.Payload, len(e.Payload))
+		for k, v := range e.Payload {
+			p[l.prefix+"."+k] = v
+		}
+		m = algebra.Match{
+			ID:         event.Pair(e.ID),
+			V:          e.V,
+			RT:         e.V.Start,
+			FinalizeAt: e.V.Start,
+			FirstVs:    e.V.Start,
+			LastVs:     e.V.Start,
+			CBT:        []event.ID{e.ID},
+			Payload:    p,
+		}
+		l.interned.put(e.ID, m)
 	}
 	l.live[e.ID] = m
-	d.add(m)
-	return d
+	out.add(m)
 }
 
-func (l *leafNode) remove(id event.ID) delta {
-	var d delta
+func (l *leafNode) remove(id event.ID, out *delta) {
 	if m, ok := l.live[id]; ok {
 		delete(l.live, id)
-		d.del(m)
+		out.del(m)
 	}
-	return d
 }
 
-func (l *leafNode) prune(horizon temporal.Time) delta {
-	var d delta
+func (l *leafNode) prune(horizon temporal.Time, out *delta) {
 	for id, m := range l.live {
 		if m.V.Start < horizon {
 			delete(l.live, id)
-			d.del(m)
+			out.del(m)
 		}
 	}
-	return d
 }
 
 func (l *leafNode) clone(*shared) node {
-	c := newLeaf(l.t)
+	c := &leafNode{t: l.t, prefix: l.prefix,
+		live:     make(map[event.ID]algebra.Match, len(l.live)),
+		interned: l.interned}
 	for id, m := range l.live {
 		c.live[id] = m
 	}
@@ -251,21 +303,35 @@ func (l *leafNode) clone(*shared) node {
 type filterNode struct {
 	kid  node
 	pred func(event.Payload) bool
+	kd   delta // reusable child-transition scratch
 }
 
-func (f *filterNode) filter(d delta) delta {
-	var out delta
-	for _, it := range d.items {
+func (f *filterNode) filter(out *delta) {
+	for _, it := range f.kd.items {
 		if f.pred(it.m.Payload) {
 			out.items = append(out.items, it)
 		}
 	}
-	return out
 }
 
-func (f *filterNode) push(e event.Event) delta    { return f.filter(f.kid.push(e)) }
-func (f *filterNode) remove(id event.ID) delta    { return f.filter(f.kid.remove(id)) }
-func (f *filterNode) prune(h temporal.Time) delta { return f.filter(f.kid.prune(h)) }
+func (f *filterNode) push(e event.Event, out *delta) {
+	f.kd.reset()
+	f.kid.push(e, &f.kd)
+	f.filter(out)
+}
+
+func (f *filterNode) remove(id event.ID, out *delta) {
+	f.kd.reset()
+	f.kid.remove(id, &f.kd)
+	f.filter(out)
+}
+
+func (f *filterNode) prune(h temporal.Time, out *delta) {
+	f.kd.reset()
+	f.kid.prune(h, &f.kd)
+	f.filter(out)
+}
+
 func (f *filterNode) clone(sh *shared) node {
 	return &filterNode{kid: f.kid.clone(sh), pred: f.pred}
 }

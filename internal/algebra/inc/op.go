@@ -1,6 +1,8 @@
 package inc
 
 import (
+	"sort"
+
 	"repro/internal/algebra"
 	"repro/internal/event"
 	"repro/internal/operators"
@@ -18,9 +20,19 @@ import (
 // The Op owns emission: the tree maintains pending (the exact match set
 // the oracle's Denote would derive over the available store) via deltas,
 // and mature applies the SC mode and the FinalizeAt frontier to it with
-// the very same ApplySC the oracle uses. Consumption feeds back into the
-// tree as contributor removals, with the consumed events parked in a side
-// store so a later removal's un-consume path can revive them.
+// the oracle's ApplySC logic. Consumption feeds back into the tree as
+// contributor removals, with the consumed events parked in a side store so
+// a later removal's un-consume path can revive them.
+//
+// Unlike the oracle, which sorts a fresh derivation on every step, the
+// pending set is maintained *in commit order* ((FinalizeAt, Vs, FirstVs,
+// ID) — the SortMatches order) by binary insertion, and mature commits it
+// group by group: each consecutive (FinalizeAt, LastVs) run — the oracle's
+// ApplySC detection group — is selected and consumed with the same
+// threaded consumed-set, but the walk stops at the first group beyond the
+// frontier (later groups can only influence groups later still, none of
+// which may emit yet) and, under reuse consumption, resumes after the
+// stable already-committed prefix instead of re-scanning it.
 type Op struct {
 	Expr    algebra.Expr
 	Mode    algebra.SCMode
@@ -28,27 +40,88 @@ type Op struct {
 
 	sh       *shared
 	root     node
-	store    map[event.ID]event.Event   // available primitive events
-	consumed map[event.ID]event.Event   // consumed contributors, kept for revival
-	pending  map[event.ID]algebra.Match // the root's live match set
+	store    map[event.ID]event.Event // available primitive events
+	consumed map[event.ID]event.Event // consumed contributors, kept for revival
+	pending  pendingList              // the root's live match set, in commit order
 	emitted  map[event.ID]algebra.Match
 	frontier temporal.Time
 	scope    temporal.Duration
 
-	// Emission fast path: mature only runs a full ApplySC pass when a
-	// pending match could actually emit. minAddFin tracks the earliest
-	// FinalizeAt added since the last pass; minFutureFin the earliest
-	// unemitted FinalizeAt beyond the frontier as of the last pass; dirty
-	// forces a pass after retractions, prunes and revivals, which can make
+	// Emission fast path: mature only runs a commit pass when a pending
+	// match could actually emit. minAddFin tracks the earliest FinalizeAt
+	// added since the last pass; minFutureFin the earliest pending
+	// FinalizeAt beyond the frontier as of the last pass; dirty forces a
+	// pass after retractions, prunes and revivals, which can make
 	// previously suppressed (selection-losing or consume-blocked) matches
 	// emittable — the oracle re-derives and re-selects every time, so those
 	// late emissions are part of its contract.
 	minAddFin    temporal.Time
 	minFutureFin temporal.Time
 	dirty        bool
+	// stable: pending entries below this index form whole detection groups
+	// already committed by a previous pass and untouched since; under
+	// reuse consumption a pass starts there (selection is deterministic on
+	// group content, so unchanged groups can emit nothing new). Any
+	// insertion or deletion below the boundary resets it. Consume mode
+	// always walks from 0: its consumed-set threads across groups.
+	stable int
 
-	scratch []algebra.Match
+	// Prune watermarks: the prune scans over the tree, the stores and the
+	// emitted table are skipped entirely while the horizon lies at or
+	// below the earliest retained occurrence. Tree state derives from
+	// leaf events, every one of which lives in store, so lowVs covers the
+	// tree too. The watermarks are conservative lower bounds: deletions
+	// leave them stale (forcing at most one extra scan, which recomputes
+	// them exactly).
+	lowVs   temporal.Time // min V.Start over store ∪ consumed
+	lowEmit temporal.Time // min LastVs over emitted
+
+	rootDelta delta             // reusable root-transition scratch
+	selBuf    []algebra.Match   // per-pass committed-selection scratch
+	consBuf   map[event.ID]bool // per-pass consumed-set scratch
+	outBuf    []event.Event     // mature's reusable output buffer
+	remBuf    []event.Event     // remove's reusable output buffer
 }
+
+// pendingList keeps the live match set sorted in commit order — exactly
+// algebra.SortMatches' (FinalizeAt, Vs, FirstVs, ID) — so mature never
+// sorts. ID breaks every tie, making the order total: each match has one
+// slot.
+type pendingList struct {
+	ms []algebra.Match
+}
+
+func commitBefore(a, b *algebra.Match) bool {
+	if a.FinalizeAt != b.FinalizeAt {
+		return a.FinalizeAt < b.FinalizeAt
+	}
+	if a.V.Start != b.V.Start {
+		return a.V.Start < b.V.Start
+	}
+	if a.FirstVs != b.FirstVs {
+		return a.FirstVs < b.FirstVs
+	}
+	return a.ID < b.ID
+}
+
+// slot locates m's insertion index and whether an entry with m's ID is
+// already there.
+func (l *pendingList) slot(m *algebra.Match) (int, bool) {
+	i := sort.Search(len(l.ms), func(i int) bool { return !commitBefore(&l.ms[i], m) })
+	return i, i < len(l.ms) && l.ms[i].ID == m.ID && !commitBefore(m, &l.ms[i])
+}
+
+func (l *pendingList) insertAt(i int, m algebra.Match) {
+	l.ms = append(l.ms, algebra.Match{})
+	copy(l.ms[i+1:], l.ms[i:])
+	l.ms[i] = m
+}
+
+func (l *pendingList) removeAt(i int) {
+	l.ms = append(l.ms[:i], l.ms[i+1:]...)
+}
+
+func (l *pendingList) size() int { return len(l.ms) }
 
 // NewOp builds the incremental pattern operator for expr. The expression
 // must be Supported; outType names the composite events it emits.
@@ -69,12 +142,13 @@ func NewOp(expr algebra.Expr, mode algebra.SCMode, outType string) *Op {
 		root:         build(expr, sh),
 		store:        map[event.ID]event.Event{},
 		consumed:     map[event.ID]event.Event{},
-		pending:      map[event.ID]algebra.Match{},
 		emitted:      map[event.ID]algebra.Match{},
 		frontier:     temporal.MinTime,
 		scope:        scope,
 		minAddFin:    temporal.Infinity,
 		minFutureFin: temporal.Infinity,
+		lowVs:        temporal.Infinity,
+		lowEmit:      temporal.Infinity,
 	}
 }
 
@@ -98,11 +172,14 @@ const (
 )
 
 // apply folds a root delta into the pending set.
-func (p *Op) apply(d delta, src applySource) {
+func (p *Op) apply(d *delta, src applySource) {
 	for _, it := range d.items {
 		if it.del {
-			if _, ok := p.pending[it.m.ID]; ok {
-				delete(p.pending, it.m.ID)
+			if i, ok := p.pending.slot(&it.m); ok {
+				p.pending.removeAt(i)
+				if i < p.stable {
+					p.stable = 0
+				}
 				// A disappearing group member can hand its selection slot
 				// to a suppressed sibling on the *next* pass (the oracle
 				// re-selects over a fresh derivation every mature); rescan.
@@ -116,7 +193,20 @@ func (p *Op) apply(d delta, src applySource) {
 			}
 			continue
 		}
-		p.pending[it.m.ID] = it.m
+		i, exists := p.pending.slot(&it.m)
+		if exists {
+			p.pending.ms[i] = it.m
+			continue
+		}
+		// The stable prefix ends on a group boundary; an insert below it —
+		// or at it, when the new match extends the group just before it —
+		// changes an already-committed group and forces a full re-walk.
+		if i < p.stable || (i == p.stable && i > 0 &&
+			p.pending.ms[i-1].FinalizeAt == it.m.FinalizeAt &&
+			p.pending.ms[i-1].LastVs == it.m.LastVs) {
+			p.stable = 0
+		}
+		p.pending.insertAt(i, it.m)
 		if it.m.FinalizeAt < p.minAddFin {
 			p.minAddFin = it.m.FinalizeAt
 		}
@@ -136,10 +226,15 @@ func (p *Op) Process(_ int, e event.Event) []event.Event {
 	}
 	ec := e.Clone()
 	p.store[ec.ID] = ec
+	if ec.V.Start < p.lowVs {
+		p.lowVs = ec.V.Start
+	}
 	if ec.Kind == event.Insert {
 		p.sh.vs[ec.ID] = ec.V.Start
 	}
-	p.apply(p.root.push(ec), srcInsert)
+	p.rootDelta.reset()
+	p.root.push(ec, &p.rootDelta)
+	p.apply(&p.rootDelta, srcInsert)
 	return p.mature()
 }
 
@@ -156,7 +251,9 @@ func (p *Op) remove(id event.ID) []event.Event {
 	delete(p.consumed, id)
 	delete(p.sh.vs, id)
 	if inStore {
-		p.apply(p.root.remove(id), srcRemove)
+		p.rootDelta.reset()
+		p.root.remove(id, &p.rootDelta)
+		p.apply(&p.rootDelta, srcRemove)
 	}
 
 	// Emitted outputs that depend on the removed contributor: retract in
@@ -171,7 +268,7 @@ func (p *Op) remove(id event.ID) []event.Event {
 		}
 	}
 	algebra.SortMatches(hit)
-	var outs []event.Event
+	outs := p.remBuf[:0]
 	for _, m := range hit {
 		r := m.Event(p.OutType)
 		r.Kind = event.Retract
@@ -188,52 +285,100 @@ func (p *Op) remove(id event.ID) []event.Event {
 					delete(p.consumed, c)
 					p.store[c] = ev
 					p.sh.vs[c] = ev.V.Start
-					p.apply(p.root.push(ev), srcRevive)
+					p.rootDelta.reset()
+					p.root.push(ev, &p.rootDelta)
+					p.apply(&p.rootDelta, srcRevive)
 				}
 			}
 		}
 	}
 	outs = append(outs, p.mature()...)
+	p.remBuf = outs[:0]
 	return outs
 }
 
 // mature emits every not-yet-emitted pending match whose FinalizeAt the
 // frontier covers, in deterministic commit order, honoring the SC mode —
-// the oracle's emission loop verbatim, run over the maintained pending set
-// instead of a fresh derivation, and skipped entirely while nothing can
-// emit.
+// the oracle's ApplySC emission loop, run group by group over the
+// commit-ordered pending set instead of a fresh sorted derivation, skipped
+// entirely while nothing can emit, and cut short at the first group beyond
+// the frontier.
 func (p *Op) mature() []event.Event {
 	if !p.dirty && p.minAddFin > p.frontier && p.minFutureFin > p.frontier {
 		return nil
 	}
 	p.dirty = false
 	p.minAddFin = temporal.Infinity
-	ms := p.scratch[:0]
-	for _, m := range p.pending {
-		ms = append(ms, m)
+
+	ms := p.pending.ms
+	start := 0
+	if p.Mode.Cons == algebra.Reuse {
+		// stable <= len(ms) is invariant: it is only ever set to a group
+		// boundary of the current list, and every mutation below it
+		// resets it to 0.
+		start = p.stable
 	}
-	algebra.SortMatches(ms)
-	p.scratch = ms[:0]
-	ms = algebra.ApplySC(ms, p.Mode)
-	minFut := temporal.Infinity
-	var outs []event.Event
-	for _, m := range ms {
-		if m.FinalizeAt > p.frontier {
-			if _, done := p.emitted[m.ID]; !done && m.FinalizeAt < minFut {
-				minFut = m.FinalizeAt
-			}
-			continue
+
+	// Phase 1 — selection: the oracle's ApplySC over the groups the
+	// frontier covers, into reusable scratch, one algebra.CommitGroup call
+	// per (FinalizeAt, LastVs) run — the very function ApplySC commits
+	// with. Groups beyond the frontier cannot emit and their consumption
+	// can only affect groups later still, so the walk stops there.
+	sel := p.selBuf[:0]
+	var consumed map[event.ID]bool
+	if p.Mode.Cons == algebra.Consume {
+		if p.consBuf == nil {
+			p.consBuf = map[event.ID]bool{}
+		} else {
+			clear(p.consBuf)
 		}
+		consumed = p.consBuf
+	}
+
+	cut := start
+	for cut < len(ms) && ms[cut].FinalizeAt <= p.frontier {
+		i := cut
+		j := i + 1
+		for j < len(ms) && ms[j].FinalizeAt == ms[i].FinalizeAt && ms[j].LastVs == ms[i].LastVs {
+			j++
+		}
+		sel = algebra.CommitGroup(ms[i:j], p.Mode, consumed, sel)
+		cut = j
+	}
+
+	// Entries past the cut were never emitted (emission requires the
+	// frontier to have covered them, and the frontier only grows), so the
+	// first one's FinalizeAt is the earliest future emission candidate.
+	if cut < len(ms) {
+		p.minFutureFin = ms[cut].FinalizeAt
+	} else {
+		p.minFutureFin = temporal.Infinity
+	}
+	if p.Mode.Cons == algebra.Reuse {
+		p.stable = cut
+	}
+
+	// Phase 2 — emission with consume feedback. The feedback mutates the
+	// pending list (and p.stable/dirty through apply), which is why the
+	// selection above committed into scratch first — exactly the
+	// ApplySC-then-emit split the oracle uses.
+	outs := p.outBuf[:0]
+	for si := range sel {
+		m := sel[si]
 		if _, done := p.emitted[m.ID]; done {
 			continue
 		}
 		p.emitted[m.ID] = m
+		if m.LastVs < p.lowEmit {
+			p.lowEmit = m.LastVs
+		}
 		if p.Mode.Cons == algebra.Consume {
 			p.consume(m)
 		}
 		outs = append(outs, m.Event(p.OutType))
 	}
-	p.minFutureFin = minFut
+	p.selBuf = sel[:0]
+	p.outBuf = outs[:0]
 	return outs
 }
 
@@ -249,7 +394,9 @@ func (p *Op) consume(m algebra.Match) {
 		delete(p.store, id)
 		delete(p.sh.vs, id)
 		p.consumed[id] = ev
-		p.apply(p.root.remove(id), srcConsume)
+		p.rootDelta.reset()
+		p.root.remove(id, &p.rootDelta)
+		p.apply(&p.rootDelta, srcConsume)
 	}
 }
 
@@ -263,34 +410,54 @@ func (p *Op) Advance(t temporal.Time) []event.Event {
 	if !p.frontier.IsInfinite() {
 		// Prune on every advance, exactly like the oracle: even input that
 		// violates the alignment contract (which the oracle tolerates) must
-		// leave both implementations in identical state.
+		// leave both implementations in identical state. The watermarks
+		// skip the scans when nothing can be below the horizon — skipping
+		// a provably empty prune leaves identical state.
 		horizon := p.frontier.Add(-p.scope)
-		p.apply(p.root.prune(horizon), srcPrune)
-		for id, e := range p.store {
-			if e.V.Start < horizon {
-				delete(p.store, id)
-				delete(p.sh.vs, id)
+		if horizon > p.lowVs {
+			p.rootDelta.reset()
+			p.root.prune(horizon, &p.rootDelta)
+			p.apply(&p.rootDelta, srcPrune)
+			low := temporal.Infinity
+			for id, e := range p.store {
+				if e.V.Start < horizon {
+					delete(p.store, id)
+					delete(p.sh.vs, id)
+				} else if e.V.Start < low {
+					low = e.V.Start
+				}
 			}
+			for id, e := range p.consumed {
+				if e.V.Start < horizon {
+					delete(p.consumed, id)
+				} else if e.V.Start < low {
+					low = e.V.Start
+				}
+			}
+			p.lowVs = low
 		}
-		for id, e := range p.consumed {
-			if e.V.Start < horizon {
-				delete(p.consumed, id)
+		if horizon > p.lowEmit {
+			low := temporal.Infinity
+			for id, m := range p.emitted {
+				if m.LastVs < horizon {
+					delete(p.emitted, id)
+				} else if m.LastVs < low {
+					low = m.LastVs
+				}
 			}
-		}
-		for id, m := range p.emitted {
-			if m.LastVs < horizon {
-				delete(p.emitted, id)
-			}
+			p.lowEmit = low
 		}
 	} else {
 		p.sh = &shared{vs: map[event.ID]temporal.Time{}}
 		p.root = build(p.Expr, p.sh)
 		p.store = map[event.ID]event.Event{}
 		p.consumed = map[event.ID]event.Event{}
-		p.pending = map[event.ID]algebra.Match{}
+		p.pending = pendingList{}
 		p.dirty = false
+		p.stable = 0
 		p.minAddFin = temporal.Infinity
 		p.minFutureFin = temporal.Infinity
+		p.lowVs = temporal.Infinity
 	}
 	return outs
 }
@@ -321,7 +488,10 @@ func (p *Op) OutputGuarantee(t temporal.Time) temporal.Time {
 // and consumed — the oracle keeps both in its store) plus emitted matches.
 func (p *Op) StateSize() int { return len(p.store) + len(p.consumed) + len(p.emitted) }
 
-// Clone implements operators.Op.
+// Clone implements operators.Op. The tree's interning caches are shared
+// with the clone (clones run sequentially — the Op contract); mutable
+// state is copied. Scratch buffers are not shared: each clone grows its
+// own on first use.
 func (p *Op) Clone() operators.Op {
 	sh := &shared{vs: make(map[event.ID]temporal.Time, len(p.sh.vs))}
 	for id, t := range p.sh.vs {
@@ -335,22 +505,22 @@ func (p *Op) Clone() operators.Op {
 		root:         p.root.clone(sh),
 		store:        make(map[event.ID]event.Event, len(p.store)),
 		consumed:     make(map[event.ID]event.Event, len(p.consumed)),
-		pending:      make(map[event.ID]algebra.Match, len(p.pending)),
+		pending:      pendingList{ms: append([]algebra.Match(nil), p.pending.ms...)},
 		emitted:      make(map[event.ID]algebra.Match, len(p.emitted)),
 		frontier:     p.frontier,
 		scope:        p.scope,
 		minAddFin:    p.minAddFin,
 		minFutureFin: p.minFutureFin,
 		dirty:        p.dirty,
+		stable:       p.stable,
+		lowVs:        p.lowVs,
+		lowEmit:      p.lowEmit,
 	}
 	for id, e := range p.store {
 		c.store[id] = e
 	}
 	for id, e := range p.consumed {
 		c.consumed[id] = e
-	}
-	for id, m := range p.pending {
-		c.pending[id] = m
 	}
 	for id, m := range p.emitted {
 		c.emitted[id] = m

@@ -23,6 +23,9 @@ type seqNode struct {
 	uses map[event.ID][]event.ID
 
 	parts []algebra.Match // enumeration scratch, one slot per position
+	ids   []event.ID      // contributor-ID scratch for the interned lookup
+	kd    delta           // reusable child-transition scratch
+	comb  *combCache      // interned composites, shared with clones
 }
 
 func newSeqNode(e algebra.SequenceExpr, sh *shared) *seqNode {
@@ -32,6 +35,8 @@ func newSeqNode(e algebra.SequenceExpr, sh *shared) *seqNode {
 		outs:  map[event.ID]algebra.Match{},
 		uses:  map[event.ID][]event.ID{},
 		parts: make([]algebra.Match, len(e.Kids)),
+		ids:   make([]event.ID, len(e.Kids)),
+		comb:  newCombCache(),
 	}
 	for _, k := range e.Kids {
 		s.kids = append(s.kids, build(k, sh))
@@ -39,33 +44,33 @@ func newSeqNode(e algebra.SequenceExpr, sh *shared) *seqNode {
 	return s
 }
 
-func (s *seqNode) push(e event.Event) delta {
-	var out delta
+func (s *seqNode) push(e event.Event, out *delta) {
 	for i, k := range s.kids {
-		s.applyKid(i, k.push(e), &out)
+		s.kd.reset()
+		k.push(e, &s.kd)
+		s.applyKid(i, out)
 	}
-	return out
 }
 
-func (s *seqNode) remove(id event.ID) delta {
-	var out delta
+func (s *seqNode) remove(id event.ID, out *delta) {
 	for i, k := range s.kids {
-		s.applyKid(i, k.remove(id), &out)
+		s.kd.reset()
+		k.remove(id, &s.kd)
+		s.applyKid(i, out)
 	}
-	return out
 }
 
-func (s *seqNode) prune(horizon temporal.Time) delta {
-	var out delta
+func (s *seqNode) prune(horizon temporal.Time, out *delta) {
 	for i, k := range s.kids {
-		s.applyKid(i, k.prune(horizon), &out)
+		s.kd.reset()
+		k.prune(horizon, &s.kd)
+		s.applyKid(i, out)
 	}
-	return out
 }
 
-// applyKid folds one child's transition batch into the join state.
-func (s *seqNode) applyKid(i int, d delta, out *delta) {
-	for _, it := range d.items {
+// applyKid folds child i's transition batch (in s.kd) into the join state.
+func (s *seqNode) applyKid(i int, out *delta) {
+	for _, it := range s.kd.items {
 		if it.del {
 			s.lists[i].removeMatch(it.m)
 			for _, oid := range s.uses[it.m.ID] {
@@ -132,13 +137,21 @@ func (s *seqNode) enumerate(fix int, nm algebra.Match, out *delta) {
 }
 
 func (s *seqNode) commit(out *delta) {
-	m := algebra.Combine(s.parts, s.w)
-	if _, dup := s.outs[m.ID]; dup {
+	for i := range s.parts {
+		s.ids[i] = s.parts[i].ID
+	}
+	id := event.Pair(s.ids...)
+	if _, dup := s.outs[id]; dup {
 		return
 	}
-	s.outs[m.ID] = m
+	m, ok := s.comb.get(id)
+	if !ok {
+		m = algebra.Combine(s.parts, s.w)
+		s.comb.put(id, m)
+	}
+	s.outs[id] = m
 	for _, p := range s.parts {
-		s.uses[p.ID] = append(s.uses[p.ID], m.ID)
+		s.uses[p.ID] = append(s.uses[p.ID], id)
 	}
 	out.add(m)
 }
@@ -150,6 +163,8 @@ func (s *seqNode) clone(sh *shared) node {
 		outs:  make(map[event.ID]algebra.Match, len(s.outs)),
 		uses:  make(map[event.ID][]event.ID, len(s.uses)),
 		parts: make([]algebra.Match, len(s.parts)),
+		ids:   make([]event.ID, len(s.ids)),
+		comb:  s.comb,
 	}
 	for _, k := range s.kids {
 		c.kids = append(c.kids, k.clone(sh))

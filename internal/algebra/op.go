@@ -43,6 +43,13 @@ type PatternOp struct {
 	emitted  map[event.ID]Match
 	frontier temporal.Time
 	scope    temporal.Duration
+
+	// avail mirrors store minus the consumed set, maintained incrementally
+	// (swap-delete, order irrelevant: Denote sorts) so every mature pass
+	// derives over a ready slice instead of rebuilding one from a
+	// consumed-filtered map scan. availIdx locates an event's slot.
+	avail    []event.Event
+	availIdx map[event.ID]int
 }
 
 // NewPatternOp builds the streaming operator for expr. outType names the
@@ -64,7 +71,33 @@ func NewPatternOp(expr Expr, mode SCMode, outType string) *PatternOp {
 		emitted:  map[event.ID]Match{},
 		frontier: temporal.MinTime,
 		scope:    scope,
+		availIdx: map[event.ID]int{},
 	}
+}
+
+// availAdd appends e to the available slice (no-op if already present).
+func (p *PatternOp) availAdd(e event.Event) {
+	if _, ok := p.availIdx[e.ID]; ok {
+		p.avail[p.availIdx[e.ID]] = e
+		return
+	}
+	p.availIdx[e.ID] = len(p.avail)
+	p.avail = append(p.avail, e)
+}
+
+// availRemove swap-deletes e from the available slice if present.
+func (p *PatternOp) availRemove(id event.ID) {
+	i, ok := p.availIdx[id]
+	if !ok {
+		return
+	}
+	last := len(p.avail) - 1
+	if i != last {
+		p.avail[i] = p.avail[last]
+		p.availIdx[p.avail[i].ID] = i
+	}
+	p.avail = p.avail[:last]
+	delete(p.availIdx, id)
 }
 
 // Name implements operators.Op.
@@ -73,16 +106,11 @@ func (p *PatternOp) Name() string { return "pattern:" + p.Expr.String() }
 // Arity implements operators.Op.
 func (p *PatternOp) Arity() int { return 1 }
 
-// available lists the unconsumed stored events.
-func (p *PatternOp) available() []event.Event {
-	out := make([]event.Event, 0, len(p.store))
-	for id, e := range p.store {
-		if !p.consumed[id] {
-			out = append(out, e)
-		}
-	}
-	return out
-}
+// available lists the unconsumed stored events: the incrementally
+// maintained mirror, so the semi-naive path no longer pays a store scan,
+// a consumed-map lookup per entry and a fresh slice per derivation. The
+// result is owned by the operator; Denote only reads it.
+func (p *PatternOp) available() []event.Event { return p.avail }
 
 // mature emits every not-yet-emitted match whose FinalizeAt the frontier
 // covers, in deterministic commit order, honoring the SC mode.
@@ -99,11 +127,14 @@ func (p *PatternOp) mature() []event.Event {
 		p.emitted[m.ID] = m
 		if p.Mode.Cons == Consume {
 			// Consumed instances never contribute again, but their events
-			// must stay in the store (marked, and filtered by available):
+			// must stay in the store (marked, and dropped from avail):
 			// remove()'s un-consume path revives them, and a deleted event
 			// could never re-materialize (blocked instances would stay dead).
 			for _, id := range m.CBT {
-				p.consumed[id] = true
+				if !p.consumed[id] {
+					p.consumed[id] = true
+					p.availRemove(id)
+				}
 			}
 		}
 		outs = append(outs, m.Event(p.OutType))
@@ -122,7 +153,11 @@ func (p *PatternOp) Process(_ int, e event.Event) []event.Event {
 	if e.V.Start > p.frontier {
 		p.frontier = e.V.Start
 	}
-	p.store[e.ID] = e.Clone()
+	ec := e.Clone()
+	p.store[e.ID] = ec
+	if !p.consumed[e.ID] {
+		p.availAdd(ec)
+	}
 	return p.mature()
 }
 
@@ -133,6 +168,7 @@ func (p *PatternOp) remove(id event.ID) []event.Event {
 		return nil
 	}
 	delete(p.store, id)
+	p.availRemove(id)
 	wasConsumed := p.consumed[id]
 	delete(p.consumed, id)
 
@@ -158,8 +194,12 @@ func (p *PatternOp) remove(id event.ID) []event.Event {
 		delete(p.emitted, m.ID)
 		if wasConsumed || p.Mode.Cons == Consume {
 			for _, c := range m.CBT {
-				if c != id {
-					delete(p.consumed, c)
+				if c == id || !p.consumed[c] {
+					continue
+				}
+				delete(p.consumed, c)
+				if ev, ok := p.store[c]; ok {
+					p.availAdd(ev)
 				}
 			}
 		}
@@ -183,6 +223,7 @@ func (p *PatternOp) Advance(t temporal.Time) []event.Event {
 			if e.V.Start < horizon {
 				delete(p.store, id)
 				delete(p.consumed, id)
+				p.availRemove(id)
 			}
 		}
 		for id, m := range p.emitted {
@@ -193,6 +234,8 @@ func (p *PatternOp) Advance(t temporal.Time) []event.Event {
 	} else {
 		p.store = map[event.ID]event.Event{}
 		p.consumed = map[event.ID]bool{}
+		p.avail = nil
+		p.availIdx = map[event.ID]int{}
 	}
 	return outs
 }
@@ -232,7 +275,11 @@ func (p *PatternOp) Clone() operators.Op {
 	c := NewPatternOp(p.Expr, p.Mode, p.OutType)
 	c.frontier = p.frontier
 	for id, e := range p.store {
-		c.store[id] = e.Clone()
+		ec := e.Clone()
+		c.store[id] = ec
+		if !p.consumed[id] {
+			c.availAdd(ec)
+		}
 	}
 	for id, v := range p.consumed {
 		c.consumed[id] = v

@@ -87,8 +87,32 @@ func ApplySC(ms []Match, mode SCMode) []Match {
 		return ms
 	}
 	SortMatches(ms)
-	consumed := map[event.ID]bool{}
-	viable := func(m Match) bool {
+	var consumed map[event.ID]bool
+	if mode.Cons == Consume {
+		consumed = map[event.ID]bool{}
+	}
+	var out []Match
+	for i := 0; i < len(ms); {
+		j := i
+		for j < len(ms) && ms[j].FinalizeAt == ms[i].FinalizeAt && ms[j].LastVs == ms[i].LastVs {
+			j++
+		}
+		out = CommitGroup(ms[i:j], mode, consumed, out)
+		i = j
+	}
+	return out
+}
+
+// CommitGroup applies the SC mode to one detection group — a maximal run
+// of matches sharing (FinalizeAt, LastVs) in commit order — threading the
+// cross-group consumed set (nil under reuse consumption), and appends the
+// committed matches to out. It is the single definition of the
+// selection/consumption rule: ApplySC (the semi-naive oracle) and the
+// incremental Op's per-group commit (package algebra/inc) both call it,
+// which is what keeps the two evaluation paths byte-identical here by
+// construction.
+func CommitGroup(group []Match, mode SCMode, consumed map[event.ID]bool, out []Match) []Match {
+	viable := func(m *Match) bool {
 		if mode.Cons != Consume {
 			return true
 		}
@@ -105,50 +129,39 @@ func ApplySC(ms []Match, mode SCMode) []Match {
 				consumed[id] = true
 			}
 		}
+		out = append(out, m)
 	}
-
-	var out []Match
-	for i := 0; i < len(ms); {
-		j := i
-		for j < len(ms) && ms[j].FinalizeAt == ms[i].FinalizeAt && ms[j].LastVs == ms[i].LastVs {
-			j++
-		}
-		group := ms[i:j]
-		i = j
-		if mode.Sel == SelectEach {
-			for _, m := range group {
-				if viable(m) {
-					commit(m)
-					out = append(out, m)
-				}
+	if mode.Sel == SelectEach {
+		for gi := range group {
+			if viable(&group[gi]) {
+				commit(group[gi])
 			}
+		}
+		return out
+	}
+	var best *Match
+	for gi := range group {
+		c := &group[gi]
+		if !viable(c) {
 			continue
 		}
-		var best *Match
-		for gi := range group {
-			c := group[gi]
-			if !viable(c) {
-				continue
+		if best == nil {
+			best = c
+			continue
+		}
+		switch mode.Sel {
+		case SelectFirst:
+			if c.FirstVs < best.FirstVs || (c.FirstVs == best.FirstVs && c.ID < best.ID) {
+				best = c
 			}
-			if best == nil {
-				best = &group[gi]
-				continue
-			}
-			switch mode.Sel {
-			case SelectFirst:
-				if c.FirstVs < best.FirstVs || (c.FirstVs == best.FirstVs && c.ID < best.ID) {
-					best = &group[gi]
-				}
-			case SelectLast:
-				if c.FirstVs > best.FirstVs || (c.FirstVs == best.FirstVs && c.ID < best.ID) {
-					best = &group[gi]
-				}
+		case SelectLast:
+			if c.FirstVs > best.FirstVs || (c.FirstVs == best.FirstVs && c.ID < best.ID) {
+				best = c
 			}
 		}
-		if best != nil {
-			commit(*best)
-			out = append(out, *best)
-		}
+	}
+	if best != nil {
+		commit(*best)
 	}
 	return out
 }

@@ -1,0 +1,40 @@
+//go:build !race
+
+package consistency
+
+import (
+	"testing"
+
+	"repro/internal/delivery"
+	"repro/internal/event"
+	"repro/internal/operators"
+	"repro/internal/temporal"
+	"repro/internal/workload"
+)
+
+// TestAllocsMonitorFastPath pins the allocation ceiling of the monitor's
+// in-order push path (binary-insertion buffer, head-indexed log,
+// incremental checkpoint): a regression back toward per-push copying fails
+// the ordinary test run, not just the benchmark gate. The bound is ~2× the
+// measured steady state. (Skipped under -race: instrumentation changes
+// allocation counts.)
+func TestAllocsMonitorFastPath(t *testing.T) {
+	src := workload.StockTicks(workload.DefaultTicks())
+	delivered := delivery.Deliver(src, delivery.Ordered(5*temporal.Second))
+
+	perEvent := testing.AllocsPerRun(5, func() {
+		op := operators.NewSelect(func(event.Payload) bool { return true })
+		m := NewMonitor(op, Middle())
+		for _, e := range delivered {
+			m.Push(0, e)
+		}
+		m.Finish()
+	}) / float64(len(delivered))
+
+	const ceiling = 3.0
+	t.Logf("monitor fast path: %.2f allocs/event over %d delivered items (ceiling %.0f)",
+		perEvent, len(delivered), ceiling)
+	if perEvent > ceiling {
+		t.Fatalf("monitor fast path allocates %.2f/event, above the pinned ceiling %.0f", perEvent, ceiling)
+	}
+}
