@@ -215,6 +215,43 @@ func BenchmarkAblationSequenceIncremental(b *testing.B) { seqBench(b) }
 func BenchmarkAblationSequenceGeneric(b *testing.B) {
 	seqBench(b, plan.WithoutSpecialization())
 }
+
+// The same matcher tree with correlation-key pushdown disabled: the delta
+// against BenchmarkAblationSequenceIncremental is the pushdown's isolated
+// contribution (the join enumerates every cross-key pair again and the
+// residual filter drops them after the fact).
+func BenchmarkAblationSequenceNoPushdown(b *testing.B) {
+	seqBench(b, plan.WithoutPushdown())
+}
+
+// Key-index stress: the pushdown win grows with the key domain, since the
+// flat join's fan-out is quadratic in co-live matches across *all* keys
+// while the keyed join only touches one bucket. 64 machines instead of the
+// ablation's 10 — this is the shape cedrbench gates as pattern_keyindex.
+func BenchmarkAblationPatternKeyIndex(b *testing.B) {
+	src, _ := workload.MachineEvents(workload.Machines{
+		Seed: 1, Machines: 64, Cycles: 4,
+		RestartDeadline: 5 * temporal.Minute, MissProb: 0.3,
+		CycleGap: 30 * temporal.Minute,
+	})
+	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Minute))
+	const q = `EVENT Pairs WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 12 hours)
+WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
+	p, err := plan.Compile(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m := consistency.NewMonitor(p.Stages[0].Clone(), consistency.Middle())
+		for _, e := range delivered {
+			m.Push(0, e)
+		}
+		m.Finish()
+	}
+	b.ReportMetric(float64(len(delivered))*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
 func BenchmarkAblationSequenceSpecialized(b *testing.B) {
 	pred := func(p event.Payload) bool {
 		return event.ValueEqual(p["x.Machine_Id"], p["y.Machine_Id"])

@@ -43,6 +43,7 @@ var gatedBenches = []string{
 	"pattern_cidr07_sharded_1",
 	"pattern_cidr07_sharded_8",
 	"pattern_sequence_ablation_incremental",
+	"pattern_keyindex",
 	"figure8_middle_disordered",
 	"monitor_repair_path",
 }
@@ -249,6 +250,7 @@ WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
 		opts []plan.Option
 	}{
 		{"pattern_sequence_ablation_incremental", nil},
+		{"pattern_sequence_ablation_no_pushdown", []plan.Option{plan.WithoutPushdown()}},
 		{"pattern_sequence_ablation_semi_naive", []plan.Option{plan.WithoutSpecialization()}},
 	} {
 		p, err := plan.Compile(seqQuery, v.opts...)
@@ -270,6 +272,35 @@ WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
 			},
 		})
 	}
+
+	// Key-index stress: the correlation-pushdown win over a wide key
+	// domain (64 machines — the flat join's fan-out crosses every key;
+	// the keyed join touches one bucket). BENCH_pattern_keyindex.json is
+	// gated so the pushdown cannot silently regress.
+	keyIdxSrc, _ := workload.MachineEvents(workload.Machines{
+		Seed: 1, Machines: 64, Cycles: 4,
+		RestartDeadline: 5 * temporal.Minute, MissProb: 0.3,
+		CycleGap: 30 * temporal.Minute,
+	})
+	keyIdxDelivered := delivery.Deliver(keyIdxSrc, delivery.Ordered(10*temporal.Minute))
+	keyIdxPlan, err := plan.Compile(seqQuery)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, entry{
+		name:   "pattern_keyindex",
+		events: len(keyIdxDelivered),
+		bench: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := consistency.NewMonitor(keyIdxPlan.Stages[0].Clone(), consistency.Middle())
+				for _, e := range keyIdxDelivered {
+					m.Push(0, e)
+				}
+				m.Finish()
+			}
+		},
+	})
 
 	sampled := gatedSet(true)
 

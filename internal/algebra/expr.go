@@ -129,14 +129,24 @@ func (a AtMostExpr) String() string {
 // negation operator (the paper's "predicate injection", §3.2).
 type CorrPred func(pos, neg event.Payload) bool
 
+// The CorrKey field on the negation expressions below is an optimizer
+// annotation, set by the semantic analyzer when the site's Corr predicate
+// is provably false whenever the positive and negative sides carry
+// definite, unequal values of the named payload attribute — the property a
+// CorrelationKey(attr, EQUAL) clause guarantees. The denotational
+// semantics and the semi-naive oracle ignore it entirely; the incremental
+// matcher tree (package algebra/inc) uses it to key the site's candidate
+// and blocker stores by the attribute's value. Empty means no such proof.
+
 // UnlessExpr is UNLESS(E1, E2, w): an E1 occurrence followed by no
 // (correlated) E2 occurrence in the next w time units. The negation scope
 // starts at the E1 occurrence. Output is valid over [e1.Vs, e1.Vs + w).
 type UnlessExpr struct {
-	A    Expr
-	B    Expr
-	W    temporal.Duration
-	Corr CorrPred // nil = any B event blocks
+	A       Expr
+	B       Expr
+	W       temporal.Duration
+	Corr    CorrPred // nil = any B event blocks
+	CorrKey string   // pushdown annotation; see CorrPred's doc
 }
 
 // MaxScope implements Expr.
@@ -153,9 +163,10 @@ func (u UnlessExpr) String() string {
 // minus those with a (correlated) E occurrence strictly between the first
 // and last contributors.
 type NotExpr struct {
-	Neg  Expr
-	Seq  SequenceExpr
-	Corr CorrPred
+	Neg     Expr
+	Seq     SequenceExpr
+	Corr    CorrPred
+	CorrKey string // pushdown annotation; see CorrPred's doc
 }
 
 // MaxScope implements Expr.
@@ -170,9 +181,10 @@ func (n NotExpr) String() string { return fmt.Sprintf("NOT(%s, %s)", n.Neg, n.Se
 // partial detection window (root time to detection time) contains a
 // (correlated) E2 occurrence.
 type CancelWhenExpr struct {
-	E      Expr
-	Cancel Expr
-	Corr   CorrPred
+	E       Expr
+	Cancel  Expr
+	Corr    CorrPred
+	CorrKey string // pushdown annotation; see CorrPred's doc
 }
 
 // MaxScope implements Expr.

@@ -40,8 +40,8 @@ func allocSeqEvents(n int) []event.Event {
 	return out
 }
 
-func TestAllocsSequenceHotPath(t *testing.T) {
-	expr := algebra.FilterExpr{
+func allocSeqExpr() algebra.Expr {
+	return algebra.FilterExpr{
 		Kid: algebra.SequenceExpr{Kids: []algebra.Expr{
 			algebra.TypeExpr{Type: "INSTALL", Alias: "x"},
 			algebra.TypeExpr{Type: "SHUTDOWN", Alias: "y"},
@@ -50,17 +50,18 @@ func TestAllocsSequenceHotPath(t *testing.T) {
 			return event.ValueEqual(p["x.Machine_Id"], p["y.Machine_Id"])
 		},
 	}
-	events := allocSeqEvents(400)
-	mode := algebra.SCMode{Cons: algebra.Consume}
+}
 
-	// The hot path proper is the replay the monitor's checkpoint operator
-	// performs: every event was already derived once by the live operator,
-	// so the interning caches (shared through Clone) serve every leaf
-	// payload and combined composite. Warm the caches through one full
-	// pass, then measure replays by clones taken from the pre-stream
-	// snapshot — each run sees warmed caches and empty state, exactly like
-	// the checkpoint chasing the live operator.
-	base := NewOp(expr, mode, "Pairs")
+// measureSeqHotPath reports allocs/event on the hot path proper: the
+// replay the monitor's checkpoint operator performs. Every event was
+// already derived once by the live operator, so the interning caches
+// (shared through Clone) serve every leaf payload and combined composite.
+// Warm the caches through one full pass, then measure replays by clones
+// taken from the pre-stream snapshot — each run sees warmed caches and
+// empty state, exactly like the checkpoint chasing the live operator.
+func measureSeqHotPath(events []event.Event, opts ...OpOption) float64 {
+	mode := algebra.SCMode{Cons: algebra.Consume}
+	base := NewOp(allocSeqExpr(), mode, "Pairs", opts...)
 	snapshot := base.Clone()
 	run := func(op *Op) {
 		for i, e := range events {
@@ -71,14 +72,31 @@ func TestAllocsSequenceHotPath(t *testing.T) {
 		}
 	}
 	run(base)
-
-	perEvent := testing.AllocsPerRun(5, func() {
+	return testing.AllocsPerRun(5, func() {
 		run(snapshot.Clone().(*Op))
 	}) / float64(len(events))
+}
 
+func TestAllocsSequenceHotPath(t *testing.T) {
+	perEvent := measureSeqHotPath(allocSeqEvents(400))
 	const ceiling = 12.0
 	t.Logf("incremental sequence hot path: %.2f allocs/event (ceiling %.0f)", perEvent, ceiling)
 	if perEvent > ceiling {
 		t.Fatalf("incremental sequence hot path allocates %.2f/event, above the pinned ceiling %.0f — the interned-payload/scratch-delta discipline regressed", perEvent, ceiling)
+	}
+}
+
+// TestAllocsKeyedSequenceHotPath pins the same replay path with
+// correlation-key pushdown enabled: the key-indexed join must not cost
+// steady-state allocations beyond the flat path's — bucket lookups and the
+// key extraction are allocation-free, and buckets themselves amortize to
+// nothing once every key's bucket exists. The ceiling matches the flat
+// path's; the measured value sits well under it (~6.4/event vs ~5.8 flat).
+func TestAllocsKeyedSequenceHotPath(t *testing.T) {
+	perEvent := measureSeqHotPath(allocSeqEvents(400), WithJoinKey("Machine_Id"))
+	const ceiling = 12.0
+	t.Logf("keyed sequence hot path: %.2f allocs/event (ceiling %.0f)", perEvent, ceiling)
+	if perEvent > ceiling {
+		t.Fatalf("keyed sequence hot path allocates %.2f/event, above the pinned ceiling %.0f — the key-indexed join path regressed", perEvent, ceiling)
 	}
 }

@@ -15,14 +15,22 @@ import (
 // the picks are time-sorted before combining. Duplicate parameter positions
 // can derive the same composite from different position subsets, so outputs
 // are reference-counted (the denotational evaluator dedupes by ID).
+//
+// Under correlation-key pushdown (key != nil, see key.go) the per-position
+// stores are key-indexed exactly like seqNode's: a definite-key match
+// joins picks from its own bucket plus the wild list.
 type atLeastNode struct {
-	n     int
-	w     temporal.Duration
-	kids  []node
-	lists []matchList
-	outs  map[event.ID]algebra.Match
-	refs  map[event.ID]int
-	uses  map[event.ID][]event.ID
+	n    int
+	w    temporal.Duration
+	kids []node
+	key  *keyCfg
+
+	lists  []matchList // unkeyed join state (key == nil)
+	klists []keyedList // key-indexed join state (key != nil)
+
+	outs map[event.ID]algebra.Match
+	refs map[event.ID]int
+	uses map[event.ID][]event.ID
 
 	picks  []algebra.Match // enumeration scratch
 	sorted []algebra.Match // time-sorted commit scratch
@@ -31,11 +39,11 @@ type atLeastNode struct {
 	comb   *combCache      // interned composites, shared with clones
 }
 
-func newAtLeastNode(e algebra.AtLeastExpr, sh *shared) *atLeastNode {
+func newAtLeastNode(e algebra.AtLeastExpr, sh *shared, ctx buildCtx) *atLeastNode {
 	a := &atLeastNode{
 		n:      e.N,
 		w:      e.W,
-		lists:  make([]matchList, len(e.Kids)),
+		key:    ctx.joinKey(sh),
 		outs:   map[event.ID]algebra.Match{},
 		refs:   map[event.ID]int{},
 		uses:   map[event.ID][]event.ID{},
@@ -44,8 +52,13 @@ func newAtLeastNode(e algebra.AtLeastExpr, sh *shared) *atLeastNode {
 		ids:    make([]event.ID, e.N),
 		comb:   newCombCache(),
 	}
+	if a.key != nil {
+		a.klists = make([]keyedList, len(e.Kids))
+	} else {
+		a.lists = make([]matchList, len(e.Kids))
+	}
 	for _, k := range e.Kids {
-		a.kids = append(a.kids, build(k, sh))
+		a.kids = append(a.kids, build(k, sh, ctx))
 	}
 	return a
 }
@@ -76,8 +89,17 @@ func (a *atLeastNode) prune(horizon temporal.Time, out *delta) {
 
 func (a *atLeastNode) applyKid(i int, out *delta) {
 	for _, it := range a.kd.items {
+		var kv event.Value
+		def := false
+		if a.key != nil {
+			kv, def = a.key.of(it.m.Payload)
+		}
 		if it.del {
-			a.lists[i].removeMatch(it.m)
+			if a.key != nil {
+				a.klists[i].remove(it.m, kv, def)
+			} else {
+				a.lists[i].removeMatch(it.m)
+			}
 			for _, oid := range a.uses[it.m.ID] {
 				if _, ok := a.outs[oid]; !ok {
 					continue
@@ -94,16 +116,20 @@ func (a *atLeastNode) applyKid(i int, out *delta) {
 			continue
 		}
 		if a.n >= 1 && a.n <= len(a.kids) {
-			a.enumerate(i, it.m, out)
+			a.enumerate(i, it.m, kv, def, out)
 		}
-		a.lists[i].insert(it.m)
+		if a.key != nil {
+			a.klists[i].insert(it.m, kv, def)
+		} else {
+			a.lists[i].insert(it.m)
+		}
 	}
 }
 
 // enumerate emits every n-subset of positions containing fix, with one
 // stored match per other chosen position, whose times are pairwise
 // distinct and within w of each other.
-func (a *atLeastNode) enumerate(fix int, nm algebra.Match, out *delta) {
+func (a *atLeastNode) enumerate(fix int, nm algebra.Match, kv event.Value, def bool, out *delta) {
 	picks := a.picks[:0]
 	picks = append(picks, nm)
 	minVs, maxVs := nm.V.Start, nm.V.Start
@@ -126,29 +152,35 @@ func (a *atLeastNode) enumerate(fix int, nm algebra.Match, out *delta) {
 			if len(a.kids)-p < a.n-len(picks) {
 				break
 			}
-			list := &a.lists[p]
-			// Every pick must lie within w of every other: restrict to
-			// [max - w, min + w].
-			lo := list.lowerBound(max.Add(-a.w))
-			for idx := lo; idx < len(list.ms); idx++ {
-				m := list.ms[idx]
-				if m.V.Start.Sub(min) > a.w {
-					break
+			scan := func(list *matchList) {
+				// Every pick must lie within w of every other: restrict to
+				// [max - w, min + w].
+				lo := list.lowerBound(max.Add(-a.w))
+				for idx := lo; idx < len(list.ms); idx++ {
+					m := list.ms[idx]
+					if m.V.Start.Sub(min) > a.w {
+						break
+					}
+					if a.clashes(picks, m.V.Start) {
+						continue // strict time order after sorting = pairwise distinct
+					}
+					nmin, nmax := min, max
+					if m.V.Start < nmin {
+						nmin = m.V.Start
+					}
+					if m.V.Start > nmax {
+						nmax = m.V.Start
+					}
+					picks = append(picks, m)
+					rec(p+1, nmin, nmax)
+					picks = picks[:len(picks)-1]
 				}
-				if a.clashes(picks, m.V.Start) {
-					continue // strict time order after sorting = pairwise distinct
-				}
-				nmin, nmax := min, max
-				if m.V.Start < nmin {
-					nmin = m.V.Start
-				}
-				if m.V.Start > nmax {
-					nmax = m.V.Start
-				}
-				picks = append(picks, m)
-				rec(p+1, nmin, nmax)
-				picks = picks[:len(picks)-1]
 			}
+			if a.key == nil {
+				scan(&a.lists[p])
+				continue
+			}
+			a.klists[p].scan(kv, def, scan)
 		}
 	}
 	rec(0, minVs, maxVs)
@@ -188,7 +220,7 @@ func (a *atLeastNode) clone(sh *shared) node {
 	c := &atLeastNode{
 		n:      a.n,
 		w:      a.w,
-		lists:  make([]matchList, len(a.lists)),
+		key:    a.key,
 		outs:   make(map[event.ID]algebra.Match, len(a.outs)),
 		refs:   make(map[event.ID]int, len(a.refs)),
 		uses:   make(map[event.ID][]event.ID, len(a.uses)),
@@ -200,8 +232,16 @@ func (a *atLeastNode) clone(sh *shared) node {
 	for _, k := range a.kids {
 		c.kids = append(c.kids, k.clone(sh))
 	}
-	for i := range a.lists {
-		c.lists[i] = a.lists[i].clone()
+	if a.key != nil {
+		c.klists = make([]keyedList, len(a.klists))
+		for i := range a.klists {
+			c.klists[i] = a.klists[i].clone()
+		}
+	} else {
+		c.lists = make([]matchList, len(a.lists))
+		for i := range a.lists {
+			c.lists[i] = a.lists[i].clone()
+		}
 	}
 	for id, m := range a.outs {
 		c.outs[id] = m

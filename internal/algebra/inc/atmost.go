@@ -32,7 +32,10 @@ type amEntry struct {
 	cnt int
 }
 
-func newAtMostNode(e algebra.AtMostExpr, sh *shared) *atMostNode {
+// newAtMostNode builds the window counter. Its kids arrive with a frozen
+// build context (see buildCtx): the counts below are over the kid output
+// sets themselves, so key pushdown must not prune them.
+func newAtMostNode(e algebra.AtMostExpr, sh *shared, ctx buildCtx) *atMostNode {
 	a := &atMostNode{
 		n:    e.N,
 		w:    e.W,
@@ -40,7 +43,7 @@ func newAtMostNode(e algebra.AtMostExpr, sh *shared) *atMostNode {
 		refs: map[event.ID]int{},
 	}
 	for _, k := range e.Kids {
-		a.kids = append(a.kids, build(k, sh))
+		a.kids = append(a.kids, build(k, sh, ctx))
 	}
 	return a
 }

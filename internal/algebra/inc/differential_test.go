@@ -3,7 +3,9 @@ package inc
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/algebra"
@@ -98,10 +100,44 @@ func scModes() []algebra.SCMode {
 	}
 }
 
-// genEvents produces a Sync-ordered stream of primitive inserts over the
-// zoo's type alphabet with a small key domain (so correlation predicates
-// both pass and fail) and deliberate timestamp collisions.
-func genEvents(rng *rand.Rand, n int) []event.Event {
+// keyDist controls the correlation-key distribution of a generated stream:
+// how many distinct keys, how concentrated the traffic is on the first one
+// (hot-key skew), and how often an event omits the attribute entirely (the
+// wild path of the key-indexed stores).
+type keyDist struct {
+	name    string
+	keys    int
+	hot     float64 // probability of drawing key 0 instead of uniform
+	missing float64 // probability of omitting the "k" attribute
+	dotted  float64 // probability of writing "sub.k" instead of "k"
+}
+
+// keyDists is the distribution grid the key-indexed join path and its
+// pruning seams are stressed across: degenerate single-key streams (every
+// event lands in one bucket), the historical small domain, many distinct
+// keys (bucket churn and empty-bucket pruning), hot-key skew (one giant
+// bucket among many small ones) and streams with events missing the
+// attribute (wild-list interaction with every bucket).
+func keyDists() []keyDist {
+	return []keyDist{
+		{name: "single-key", keys: 1},
+		{name: "few-keys", keys: 3},
+		{name: "many-keys", keys: 24},
+		{name: "hot-skew", keys: 16, hot: 0.8},
+		{name: "sparse-attr", keys: 3, missing: 0.3},
+		// Dotted payload attributes ("sub.k" namespaces to "a.sub.k",
+		// which the CorrelationKey suffix rule inspects but an exact
+		// {a.k = b.k} lookup does not): such matches must stay wild, or
+		// the index would key on a value pairwise predicates never
+		// compare — the seam TestKeyedPairwiseExactLookup pins directly.
+		{name: "dotted-attr", keys: 3, dotted: 0.3},
+	}
+}
+
+// genDistEvents produces a Sync-ordered stream of primitive inserts over
+// the zoo's type alphabet with the given key distribution and deliberate
+// timestamp collisions.
+func genDistEvents(rng *rand.Rand, n int, d keyDist) []event.Event {
 	types := []string{"A", "B", "C", "X"}
 	var out []event.Event
 	vs := temporal.Time(0)
@@ -109,13 +145,29 @@ func genEvents(rng *rand.Rand, n int) []event.Event {
 		if rng.Intn(4) > 0 { // 1 in 4 events shares the previous timestamp
 			vs += temporal.Time(rng.Intn(4) + 1)
 		}
+		p := event.Payload{"i": int64(i)}
+		if d.missing == 0 || rng.Float64() >= d.missing {
+			key := 0
+			if d.hot == 0 || rng.Float64() >= d.hot {
+				key = rng.Intn(d.keys)
+			}
+			name := "k"
+			if d.dotted > 0 && rng.Float64() < d.dotted {
+				name = "sub.k"
+			}
+			p[name] = fmt.Sprintf("k%d", key)
+		}
 		out = append(out, event.NewInsert(event.ID(i+1), types[rng.Intn(len(types))], vs,
-			temporal.Infinity, event.Payload{
-				"k": fmt.Sprintf("k%d", rng.Intn(3)),
-				"i": int64(i),
-			}))
+			temporal.Infinity, p))
 	}
 	return out
+}
+
+// genEvents is the historical generator: the small three-key domain (so
+// correlation predicates both pass and fail), every event carrying the
+// attribute.
+func genEvents(rng *rand.Rand, n int) []event.Event {
+	return genDistEvents(rng, n, keyDist{keys: 3})
 }
 
 func eventsEqual(a, b []event.Event) bool {
@@ -153,11 +205,65 @@ func checkStep(t *testing.T, label string, oracle *algebra.PatternOp, fast *Op,
 	}
 }
 
+// driveAligned pushes one aligned random script — inserts, interleaved
+// advances, full removals (of plain, blocking, and consumed contributors)
+// and mid-stream clone swaps the way the monitor's checkpointing does —
+// through the oracle and the incremental op (built with opts), requiring
+// identical behavior at every step.
+func driveAligned(t *testing.T, name string, expr algebra.Expr, mode algebra.SCMode,
+	seed int64, events []event.Event, rng *rand.Rand, opts ...OpOption) {
+	t.Helper()
+	oracle := algebra.NewPatternOp(expr, mode, "out")
+	fast := NewOp(expr, mode, "out", opts...)
+	label := func(step string, i int) string {
+		return fmt.Sprintf("%s %v seed=%d %s %d", name, mode, seed, step, i)
+	}
+
+	lastAdvance := temporal.MinTime
+	var removable []event.Event
+	for i, e := range events {
+		og := oracle.Process(0, e)
+		ig := fast.Process(0, e)
+		checkStep(t, label("push", i), oracle, fast, ig, og)
+		removable = append(removable, e)
+
+		// Full removals, aligned: only events whose occurrence
+		// is at or after the last advance may still be removed.
+		if rng.Intn(5) == 0 && len(removable) > 0 {
+			j := rng.Intn(len(removable))
+			victim := removable[j]
+			if victim.V.Start >= lastAdvance {
+				removable = append(removable[:j], removable[j+1:]...)
+				r := event.NewRetract(victim.ID, victim.Type, victim.V.Start, victim.V.Start, nil)
+				og = oracle.Process(0, r)
+				ig = fast.Process(0, r)
+				checkStep(t, label("remove", i), oracle, fast, ig, og)
+			}
+		}
+
+		if rng.Intn(4) == 0 {
+			adv := e.V.Start.Add(temporal.Duration(rng.Intn(8)))
+			if adv > lastAdvance {
+				lastAdvance = adv
+			}
+			og = oracle.Advance(adv)
+			ig = fast.Advance(adv)
+			checkStep(t, label("advance", i), oracle, fast, ig, og)
+		}
+
+		// Swap in clones mid-stream, as monitor checkpoints do.
+		if rng.Intn(10) == 0 {
+			oracle = oracle.Clone().(*algebra.PatternOp)
+			fast = fast.Clone().(*Op)
+		}
+	}
+	og := oracle.Advance(temporal.Infinity)
+	ig := fast.Advance(temporal.Infinity)
+	checkStep(t, label("finish", 0), oracle, fast, ig, og)
+}
+
 // TestDifferentialAligned drives both implementations with identical
-// aligned input — inserts, interleaved advances, and full removals (of
-// plain, blocking, and consumed contributors) — and requires identical
-// behavior at every step. Clones are swapped in mid-stream the way the
-// monitor's checkpointing does.
+// aligned input across the operator zoo.
 func TestDifferentialAligned(t *testing.T) {
 	for name, expr := range exprZoo() {
 		if !Supported(expr) {
@@ -168,54 +274,7 @@ func TestDifferentialAligned(t *testing.T) {
 				seed := int64(1000*mi + 10*trial + 1)
 				rng := rand.New(rand.NewSource(seed))
 				events := genEvents(rng, 40)
-
-				oracle := algebra.NewPatternOp(expr, mode, "out")
-				fast := NewOp(expr, mode, "out")
-				label := func(step string, i int) string {
-					return fmt.Sprintf("%s %v seed=%d %s %d", name, mode, seed, step, i)
-				}
-
-				lastAdvance := temporal.MinTime
-				var removable []event.Event
-				for i, e := range events {
-					og := oracle.Process(0, e)
-					ig := fast.Process(0, e)
-					checkStep(t, label("push", i), oracle, fast, ig, og)
-					removable = append(removable, e)
-
-					// Full removals, aligned: only events whose occurrence
-					// is at or after the last advance may still be removed.
-					if rng.Intn(5) == 0 && len(removable) > 0 {
-						j := rng.Intn(len(removable))
-						victim := removable[j]
-						if victim.V.Start >= lastAdvance {
-							removable = append(removable[:j], removable[j+1:]...)
-							r := event.NewRetract(victim.ID, victim.Type, victim.V.Start, victim.V.Start, nil)
-							og = oracle.Process(0, r)
-							ig = fast.Process(0, r)
-							checkStep(t, label("remove", i), oracle, fast, ig, og)
-						}
-					}
-
-					if rng.Intn(4) == 0 {
-						adv := e.V.Start.Add(temporal.Duration(rng.Intn(8)))
-						if adv > lastAdvance {
-							lastAdvance = adv
-						}
-						og = oracle.Advance(adv)
-						ig = fast.Advance(adv)
-						checkStep(t, label("advance", i), oracle, fast, ig, og)
-					}
-
-					// Swap in clones mid-stream, as monitor checkpoints do.
-					if rng.Intn(10) == 0 {
-						oracle = oracle.Clone().(*algebra.PatternOp)
-						fast = fast.Clone().(*Op)
-					}
-				}
-				og := oracle.Advance(temporal.Infinity)
-				ig := fast.Advance(temporal.Infinity)
-				checkStep(t, label("finish", 0), oracle, fast, ig, og)
+				driveAligned(t, name, expr, mode, seed, events, rng)
 			}
 		}
 	}
@@ -323,6 +382,271 @@ func TestDifferentialRemovalStorm(t *testing.T) {
 			checkStep(t, fmt.Sprintf("%s %v storm-finish", name, mode), oracle, fast, ig, og)
 			if n := fast.pending.size(); n != 0 {
 				t.Fatalf("%s %v: %d pending matches survived a full removal storm", name, mode, n)
+			}
+		}
+	}
+}
+
+// --- Correlation-key pushdown differentials ---
+
+// eqOnKey mirrors the language's CorrelationKey(attr, EQUAL) positive
+// filter: every payload value under the ".attr" suffix must be one common
+// value (vacuously true when absent). Using the exact sema semantics is
+// what makes WithJoinKey sound for these expressions on *any* payload,
+// including events missing the attribute.
+func eqOnKey(attr string) func(event.Payload) bool {
+	suffix := "." + attr
+	return func(p event.Payload) bool {
+		var first event.Value
+		seen := false
+		for k, v := range p {
+			if !strings.HasSuffix(k, suffix) {
+				continue
+			}
+			if !seen {
+				first, seen = v, true
+			} else if !event.ValueEqual(first, v) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// corrKeyEqual mirrors sema's CorrelationKey(attr, EQUAL) correlation
+// predicate: every negative-side value under the suffix must equal every
+// positive-side one.
+func corrKeyEqual(attr string) algebra.CorrPred {
+	suffix := "." + attr
+	values := func(p event.Payload) []event.Value {
+		var vs []event.Value
+		for k, v := range p {
+			if strings.HasSuffix(k, suffix) {
+				vs = append(vs, v)
+			}
+		}
+		return vs
+	}
+	return func(pos, neg event.Payload) bool {
+		for _, nv := range values(neg) {
+			for _, pv := range values(pos) {
+				if !event.ValueEqual(nv, pv) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}
+
+// keyedZoo is the grammar under correlation-key pushdown: every expression
+// carries predicates with the exact CorrelationKey(k, EQUAL) semantics, so
+// an op built with WithJoinKey("k") must stay byte-compatible with the
+// (pushdown-ignorant) oracle on any stream. Negation sites are annotated
+// with CorrKey so their candidate/blocker stores key too.
+func keyedZoo() map[string]algebra.Expr {
+	seqAB := algebra.SequenceExpr{Kids: []algebra.Expr{typ("A", "a"), typ("B", "b")}, W: 12}
+	filt := func(kid algebra.Expr) algebra.Expr {
+		return algebra.FilterExpr{Kid: kid, Pred: eqOnKey("k"), Desc: "CorrelationKey(k, EQUAL)"}
+	}
+	return map[string]algebra.Expr{
+		"kseq": filt(seqAB),
+		// The exact-lookup pairwise shape the planner's spanning-equality
+		// pushdown actually compiles ({a.k = b.k} → comparePred over
+		// p["a.k"]/p["b.k"], where two absent values compare equal) — its
+		// semantics differ from the suffix filters above precisely on
+		// dotted and missing attributes.
+		"kseq-pair": algebra.FilterExpr{Kid: seqAB, Desc: "{a.k = b.k}",
+			Pred: func(p event.Payload) bool {
+				return event.ValueEqual(p["a.k"], p["b.k"])
+			}},
+		"kseq3": filt(algebra.SequenceExpr{
+			Kids: []algebra.Expr{typ("A", "a"), typ("B", "b"), typ("C", "c")}, W: 16}),
+		"kseq-dup": filt(algebra.SequenceExpr{
+			Kids: []algebra.Expr{typ("A", "a"), typ("A", "a2")}, W: 9}),
+		"katleast": filt(algebra.AtLeastExpr{N: 2,
+			Kids: []algebra.Expr{typ("A", ""), typ("B", ""), typ("C", "")}, W: 14}),
+		"kunless": algebra.UnlessExpr{A: typ("A", "a"), B: typ("B", "b"), W: 9,
+			Corr: corrKeyEqual("k"), CorrKey: "k"},
+		"kcidr07": algebra.UnlessExpr{
+			A: filt(algebra.SequenceExpr{
+				Kids: []algebra.Expr{typ("A", "x"), typ("B", "y")}, W: 20}),
+			B: typ("C", "z"), W: 5, Corr: corrKeyEqual("k"), CorrKey: "k",
+		},
+		"kunless-prime": filt(algebra.UnlessPrimeExpr{
+			A: algebra.SequenceExpr{Kids: []algebra.Expr{typ("A", "a"), typ("B", "b")}, W: 10},
+			B: typ("C", "c"), N: 2, W: 6, Corr: corrKeyEqual("k"), CorrKey: "k"}),
+		"knot": filt(algebra.NotExpr{Neg: typ("C", "c"),
+			Seq:  algebra.SequenceExpr{Kids: []algebra.Expr{typ("A", "a"), typ("B", "b")}, W: 9},
+			Corr: corrKeyEqual("k"), CorrKey: "k"}),
+		"kcancel": filt(algebra.CancelWhenExpr{
+			E:      algebra.SequenceExpr{Kids: []algebra.Expr{typ("A", "a"), typ("B", "b")}, W: 9},
+			Cancel: typ("X", "x"), Corr: corrKeyEqual("k"), CorrKey: "k"}),
+		// ATMOST under the filter: its kids must stay unkeyed (frozen build
+		// context) even though the op is keyed — this entry pins that gate.
+		"katmost": filt(algebra.AtMostExpr{N: 1,
+			Kids: []algebra.Expr{typ("A", "a"), typ("B", "b")}, W: 8}),
+	}
+}
+
+// TestDifferentialKeyedPushdown is the keyed mirror of the aligned
+// differential: every keyed-zoo operator × SC mode × key distribution,
+// with removals, advances and clone swaps, byte-exact against the oracle.
+// The distributions stress the seams the flat path never had: single-bucket
+// degeneration, bucket churn over many keys, hot-key skew and wild (missing
+// attribute) matches crossing every bucket.
+func TestDifferentialKeyedPushdown(t *testing.T) {
+	for name, expr := range keyedZoo() {
+		if !Supported(expr) {
+			t.Fatalf("%s: expression not supported by the matcher tree", name)
+		}
+		for mi, mode := range scModes() {
+			for di, dist := range keyDists() {
+				for trial := 0; trial < 3; trial++ {
+					seed := int64(10000*mi + 100*di + 10*trial + 7)
+					rng := rand.New(rand.NewSource(seed))
+					events := genDistEvents(rng, 40, dist)
+					driveAligned(t, name+"/"+dist.name, expr, mode, seed, events, rng,
+						WithJoinKey("k"))
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialKeyedUnderMonitor wraps the keyed op and the oracle in
+// consistency monitors and replays disordered physical streams across the
+// key-distribution grid — the straggler rollback/replay path exercises the
+// keyed stores' Clone, remove-at-replay and prune seams. Outputs and
+// monitor metrics must match exactly.
+func TestDifferentialKeyedUnderMonitor(t *testing.T) {
+	deliveries := []struct {
+		name string
+		cfg  delivery.Config
+	}{
+		{"ordered", delivery.Ordered(8)},
+		{"disordered", delivery.Disordered(7, 20, 10, 0.25)},
+	}
+	for name, expr := range keyedZoo() {
+		for _, mode := range scModes() {
+			for _, dist := range keyDists() {
+				for _, dl := range deliveries {
+					rng := rand.New(rand.NewSource(321))
+					src := stream.Stream(genDistEvents(rng, 60, dist))
+					delivered := delivery.Deliver(src, dl.cfg)
+
+					oracle := algebra.NewPatternOp(expr, mode, "out")
+					fast := NewOp(expr, mode, "out", WithJoinKey("k"))
+					oOut, oMet := consistency.RunStreams(oracle, consistency.Middle(), delivered)
+					iOut, iMet := consistency.RunStreams(fast, consistency.Middle(), delivered)
+					if !eventsEqual(iOut, oOut) {
+						t.Fatalf("%s %v %s/%s: monitored output diverged (%d vs %d items)",
+							name, mode, dist.name, dl.name, len(iOut), len(oOut))
+					}
+					if oMet != iMet {
+						t.Fatalf("%s %v %s/%s: metrics diverged\n oracle: %+v\n    inc: %+v",
+							name, mode, dist.name, dl.name, oMet, iMet)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestKeyedStoresPruneBuckets pins the pruning seam of the key-indexed
+// stores: a stream cycling through ever-new keys must not accumulate dead
+// buckets once the watermark passes their matches (the empty-bucket GC in
+// keyedList/negNode), and wild matches must not leak either.
+func TestKeyedStoresPruneBuckets(t *testing.T) {
+	expr := keyedZoo()["kcidr07"].(algebra.UnlessExpr)
+	op := NewOp(expr, algebra.SCMode{}, "out", WithJoinKey("k"))
+	for i := 0; i < 400; i++ {
+		p := event.Payload{"k": fmt.Sprintf("key%d", i)}
+		op.Process(0, event.NewInsert(event.ID(2*i+1), "A", temporal.Time(i*4), temporal.Infinity, p))
+		op.Process(0, event.NewInsert(event.ID(2*i+2), "B", temporal.Time(i*4+1), temporal.Infinity, p))
+		op.Advance(temporal.Time(i * 4))
+	}
+	neg := op.root.(*negNode)
+	seq := neg.pos.(*filterNode).kid.(*seqNode)
+	for pos, kl := range seq.klists {
+		if len(kl.buckets) > 16 {
+			t.Errorf("seq position %d: %d key buckets survived pruning", pos, len(kl.buckets))
+		}
+	}
+	if len(neg.kcands) > 16 {
+		t.Errorf("%d candidate buckets survived pruning", len(neg.kcands))
+	}
+	if got := op.StateSize(); got > 40 {
+		t.Errorf("state = %d, scope pruning ineffective under keyed stores", got)
+	}
+}
+
+// TestKeyedPairwiseExactLookup pins the dotted-attribute seam of the
+// pairwise pushdown: a payload attribute literally named "sub.k"
+// namespaces to "a.sub.k", which ends in ".k" — the CorrelationKey suffix
+// rule sees it, but the compiled {a.k = b.k} predicate reads the exact
+// names and treats both *absent* values as equal. Keying such a match on
+// the dotted value would prune a pair the filter accepts (missing output,
+// not wasted work); the index must classify it wild instead.
+func TestKeyedPairwiseExactLookup(t *testing.T) {
+	expr := keyedZoo()["kseq-pair"]
+	for _, mode := range scModes() {
+		oracle := algebra.NewPatternOp(expr, mode, "out")
+		fast := NewOp(expr, mode, "out", WithJoinKey("k"))
+		step := func(label string, og, ig []event.Event) {
+			checkStep(t, fmt.Sprintf("%v %s", mode, label), oracle, fast, ig, og)
+		}
+		evs := []event.Event{
+			ev(1, "A", 0, "sub.k", "k1"), // a.k absent, a.sub.k = k1
+			ev(2, "B", 2, "sub.k", "k2"), // b.k absent, b.sub.k = k2 — pred: nil == nil, matches
+			ev(3, "A", 3, "k", "k1"),
+			ev(4, "B", 5, "k", "k2"), // pred: k1 != k2, no match
+			ev(5, "B", 6, "k", "k1"), // pred: k1 == k1, matches
+		}
+		for i, e := range evs {
+			step(fmt.Sprintf("push %d", i), oracle.Process(0, e), fast.Process(0, e))
+		}
+		step("finish", oracle.Advance(temporal.Infinity), fast.Advance(temporal.Infinity))
+	}
+}
+
+// TestKeyedNaNStaysWild pins the NaN seam: float64 NaN is not self-equal,
+// so a NaN map key could be inserted but never found again — a NaN-keyed
+// match must therefore go wild, or keyed removals would silently miss
+// (leaking a bucket per event and resurrecting retracted matches). The
+// keyed op must stay byte-exact with the oracle on NaN-keyed streams.
+func TestKeyedNaNStaysWild(t *testing.T) {
+	if _, def := canonKeyValue(math.NaN()); def {
+		t.Fatal("NaN must not be a definite bucket key")
+	}
+	expr := keyedZoo()["kcidr07"]
+	for _, mode := range scModes() {
+		oracle := algebra.NewPatternOp(expr, mode, "out")
+		fast := NewOp(expr, mode, "out", WithJoinKey("k"))
+		step := func(label string, og, ig []event.Event) {
+			checkStep(t, fmt.Sprintf("%v %s", mode, label), oracle, fast, ig, og)
+		}
+		evs := []event.Event{
+			ev(1, "A", 0, "k", math.NaN()),
+			ev(2, "B", 2, "k", math.NaN()),
+			ev(3, "A", 3, "k", "k1"),
+			ev(4, "B", 5, "k", "k1"),
+			ev(5, "C", 6, "k", math.NaN()),
+		}
+		for i, e := range evs {
+			step(fmt.Sprintf("push %d", i), oracle.Process(0, e), fast.Process(0, e))
+		}
+		r := event.NewRetract(1, "A", 0, 0, nil)
+		step("remove", oracle.Process(0, r), fast.Process(0, r))
+		step("finish", oracle.Advance(temporal.Infinity), fast.Advance(temporal.Infinity))
+		// The NaN matches must have landed in the wild lists, not in
+		// per-key buckets (where removal could never find them again).
+		seq := fast.root.(*negNode).pos.(*filterNode).kid.(*seqNode)
+		for pos := range seq.klists {
+			for kv := range seq.klists[pos].buckets {
+				if f, ok := kv.(float64); ok && f != f {
+					t.Fatalf("position %d grew a NaN bucket", pos)
+				}
 			}
 		}
 	}

@@ -1,0 +1,170 @@
+package inc
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/event"
+	"repro/internal/temporal"
+)
+
+// FuzzIncVsOracle is the native fuzz harness over the differential
+// step-checker: fuzzer bytes decode into an operator shape × SC mode × key
+// domain × event script (inserts with controlled timestamps and keys,
+// aligned full removals, advances — including far jumps that force scope
+// pruning — and mid-stream clone swaps), which is then driven through the
+// incremental op and the frozen semi-naive oracle with byte-exact
+// comparison at every step. Keyed shapes run with WithJoinKey, so the
+// pushdown's bucket seams (definite, wild and missing-attribute matches)
+// are fuzzed against the same oracle. Run it as a fuzzer with
+//
+//	go test -run '^$' -fuzz '^FuzzIncVsOracle$' -fuzztime 30s ./internal/algebra/inc
+//
+// (CI performs exactly that smoke run); under plain `go test` the seed
+// corpus below executes as regression cases, one per operator shape.
+
+// fuzzShape is one operator configuration the first script byte selects.
+type fuzzShape struct {
+	name    string
+	expr    algebra.Expr
+	joinKey string // "" = unkeyed
+}
+
+// fuzzShapes covers every operator kind, flat and nested, in both the
+// unkeyed and the keyed (pushdown) configuration where predicates make
+// keying sound.
+func fuzzShapes() []fuzzShape {
+	var shapes []fuzzShape
+	for name, expr := range exprZoo() {
+		shapes = append(shapes, fuzzShape{name: name, expr: expr})
+	}
+	for name, expr := range keyedZoo() {
+		shapes = append(shapes, fuzzShape{name: name, expr: expr, joinKey: "k"})
+	}
+	// Deterministic selector order (map iteration is not).
+	sort.Slice(shapes, func(i, j int) bool { return shapes[i].name < shapes[j].name })
+	return shapes
+}
+
+// Script opcodes: each step consumes two bytes (c, a). c's low nibble
+// selects the action, the rest parameterizes it — see decode below.
+const (
+	fuzzOpInsertMax = 9  // 0..9: insert (weighted toward inserts)
+	fuzzOpRemove    = 10 // 10,11: aligned full removal
+	fuzzOpAdvance   = 12 // 12,13: small advance
+	fuzzOpClone     = 14 // swap both ops for their clones
+	fuzzOpFarAdv    = 15 // far advance: forces watermark pruning
+)
+
+func FuzzIncVsOracle(f *testing.F) {
+	shapes := fuzzShapes()
+
+	// Seed corpus: every operator shape gets one script exercising all
+	// opcodes — inserts across keys and types (with one missing-attribute
+	// event), a removal, advances near and far, and a clone swap.
+	script := []byte{
+		0x00, 0x05, 0x10, 0x09, 0x20, 0x0d, 0x30, 0x11, // 4 inserts, mixed types/keys
+		0x0c, 0x02, // advance
+		0x40, 0x3c, 0x50, 0x01, 0x90, 0x15, // inserts (incl. missing-attr patterns)
+		0x0a, 0x03, // remove
+		0x0e, 0x00, // clone swap
+		0x60, 0x07, 0x70, 0x0b, // inserts
+		0x0f, 0x20, // far advance
+		0x80, 0x06, 0x10, 0x0a, // inserts after the prune
+		0x0c, 0x04, // advance
+	}
+	for i, mode := 0, 0; i < len(shapes); i++ {
+		seed := append([]byte{byte(i), byte(mode), byte(i % 4)}, script...)
+		f.Add(seed)
+		mode = (mode + 1) % 4
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			return
+		}
+		shape := shapes[int(data[0])%len(shapes)]
+		mode := scModes()[int(data[1])%len(scModes())]
+		keys := []int{1, 2, 3, 8}[int(data[2])%4]
+
+		oracle := algebra.NewPatternOp(shape.expr, mode, "out")
+		var opts []OpOption
+		if shape.joinKey != "" {
+			opts = append(opts, WithJoinKey(shape.joinKey))
+		}
+		fast := NewOp(shape.expr, mode, "out", opts...)
+
+		types := []string{"A", "B", "C", "X"}
+		vs := temporal.Time(0)
+		lastAdvance := temporal.MinTime
+		nextID := event.ID(1)
+		var removable []event.Event
+
+		body := data[3:]
+		if len(body) > 512 {
+			body = body[:512] // bound the per-input work
+		}
+		for i := 0; i+1 < len(body); i += 2 {
+			c, a := body[i], body[i+1]
+			label := fmt.Sprintf("%s %v keys=%d step=%d", shape.name, mode, keys, i)
+			switch op := c & 0x0f; {
+			case op <= fuzzOpInsertMax:
+				if a&0x03 != 0 { // 1 in 4 shares the previous timestamp
+					vs += temporal.Time(a&0x03) + 1
+				}
+				p := event.Payload{"i": int64(nextID)}
+				switch key := int(a>>2) % (keys + 2); {
+				case key < keys:
+					p["k"] = fmt.Sprintf("k%d", key)
+				case key == keys:
+					// attribute omitted — the wild path
+				default:
+					// dotted payload attribute: suffix-visible to the
+					// CorrelationKey filters, invisible to exact lookups —
+					// must route wild (TestKeyedPairwiseExactLookup).
+					p["sub.k"] = "k0"
+				}
+				e := event.NewInsert(nextID, types[int(c>>4)%len(types)], vs,
+					temporal.Infinity, p)
+				nextID++
+				checkStep(t, label+" insert", oracle, fast,
+					fast.Process(0, e), oracle.Process(0, e))
+				removable = append(removable, e)
+			case op < fuzzOpAdvance: // remove
+				if len(removable) == 0 {
+					continue
+				}
+				j := int(a) % len(removable)
+				victim := removable[j]
+				if victim.V.Start < lastAdvance {
+					continue // stay inside the aligned-removal contract
+				}
+				removable = append(removable[:j], removable[j+1:]...)
+				r := event.NewRetract(victim.ID, victim.Type, victim.V.Start, victim.V.Start, nil)
+				checkStep(t, label+" remove", oracle, fast,
+					fast.Process(0, r), oracle.Process(0, r))
+			case op < fuzzOpClone: // advance
+				adv := vs.Add(temporal.Duration(a & 0x07))
+				if adv > lastAdvance {
+					lastAdvance = adv
+				}
+				checkStep(t, label+" advance", oracle, fast,
+					fast.Advance(adv), oracle.Advance(adv))
+			case op == fuzzOpClone:
+				oracle = oracle.Clone().(*algebra.PatternOp)
+				fast = fast.Clone().(*Op)
+			default: // far advance: pushes the watermark past live state
+				adv := vs.Add(temporal.Duration(a) + 64)
+				if adv > lastAdvance {
+					lastAdvance = adv
+				}
+				checkStep(t, label+" far-advance", oracle, fast,
+					fast.Advance(adv), oracle.Advance(adv))
+			}
+		}
+		checkStep(t, shape.name+" finish", oracle, fast,
+			fast.Advance(temporal.Infinity), oracle.Advance(temporal.Infinity))
+	})
+}

@@ -37,6 +37,13 @@ type negCand struct {
 	blockers int
 }
 
+// negNode implements the four negation operators. When the site's
+// correlation predicate provably implies equality on the pushdown
+// attribute (the expression's CorrKey annotation matches the tree's key;
+// key != nil), both stores are key-indexed: a definite-key blocker visits
+// only its own key's candidates plus the wild ones, and vice versa — a
+// pure index, since corr is false on every skipped pair, so every
+// candidate's blocker count is exactly what the flat scan would produce.
 type negNode struct {
 	kind negKind
 	pos  node
@@ -44,21 +51,32 @@ type negNode struct {
 	w    temporal.Duration
 	nIdx int // UNLESS' 1-based anchor contributor index
 	corr algebra.CorrPred
+	key  *keyCfg
 	sh   *shared
 
-	// cands sorted by (lo, a.ID); loOf locates a candidate by its match ID.
-	cands   []negCand
-	loOf    map[event.ID]temporal.Time
-	negs    matchList
+	// Candidates sorted by (lo, a.ID) — flat when unkeyed, per definite
+	// key plus a wild list when keyed; loOf locates one by its match ID.
+	cands  []negCand
+	kcands map[event.Value][]negCand
+	wcands []negCand
+	loOf   map[event.ID]temporal.Time
+
+	negs    matchList         // unkeyed negative store
+	knegs   keyedList         // key-indexed negative store
 	maxSpan temporal.Duration // widest hi-lo seen; bounds range scans
 	kd      delta             // reusable child-transition scratch
 }
 
-func newNegNode(kind negKind, pos, neg node, w temporal.Duration, nIdx int, corr algebra.CorrPred, sh *shared) *negNode {
-	return &negNode{
+func newNegNode(kind negKind, pos, neg node, w temporal.Duration, nIdx int,
+	corr algebra.CorrPred, corrKey string, sh *shared) *negNode {
+	n := &negNode{
 		kind: kind, pos: pos, neg: neg, w: w, nIdx: nIdx, corr: corr, sh: sh,
 		loOf: map[event.ID]temporal.Time{},
 	}
+	if sh.key != nil && corrKey == sh.key.attr {
+		n.key = sh.key
+	}
+	return n
 }
 
 // The pos-then-neg order below matches the old both-subtrees-first
@@ -144,38 +162,97 @@ func (u *negNode) interval(a algebra.Match) (c negCand, ok bool) {
 	return c, true
 }
 
-func (u *negNode) candBefore(lo temporal.Time, id event.ID, c *negCand) bool {
+func candBefore(lo temporal.Time, id event.ID, c *negCand) bool {
 	if c.lo != lo {
 		return c.lo < lo
 	}
 	return c.a.ID < id
 }
 
-// findCand locates the candidate for match ID id at interval start lo.
-// (lo, a.ID) is a total order over cands, so the binary search lands on
-// the exact slot when the candidate exists.
-func (u *negNode) findCand(lo temporal.Time, id event.ID) int {
-	i := sort.Search(len(u.cands), func(i int) bool { return !u.candBefore(lo, id, &u.cands[i]) })
-	if i < len(u.cands) && u.cands[i].lo == lo && u.cands[i].a.ID == id {
+// candInsert inserts c into a (lo, a.ID)-sorted candidate list.
+func candInsert(cs []negCand, c negCand) []negCand {
+	i := sort.Search(len(cs), func(i int) bool { return !candBefore(c.lo, c.a.ID, &cs[i]) })
+	cs = append(cs, negCand{})
+	copy(cs[i+1:], cs[i:])
+	cs[i] = c
+	return cs
+}
+
+// candFind locates the candidate for match ID id at interval start lo.
+// (lo, a.ID) is a total order, so the binary search lands on the exact
+// slot when the candidate exists.
+func candFind(cs []negCand, lo temporal.Time, id event.ID) int {
+	i := sort.Search(len(cs), func(i int) bool { return !candBefore(lo, id, &cs[i]) })
+	if i < len(cs) && cs[i].lo == lo && cs[i].a.ID == id {
 		return i
 	}
 	return -1
 }
 
+// candAdd stores c in the list a (kv, def)-keyed candidate belongs to.
+func (u *negNode) candAdd(c negCand, kv event.Value, def bool) {
+	switch {
+	case u.key == nil:
+		u.cands = candInsert(u.cands, c)
+	case def:
+		if u.kcands == nil {
+			u.kcands = map[event.Value][]negCand{}
+		}
+		u.kcands[kv] = candInsert(u.kcands[kv], c)
+	default:
+		u.wcands = candInsert(u.wcands, c)
+	}
+}
+
+// candRemove deletes and returns the candidate at (lo, id) from its list.
+func (u *negNode) candRemove(lo temporal.Time, id event.ID, kv event.Value, def bool) (negCand, bool) {
+	remove := func(cs []negCand) ([]negCand, negCand, bool) {
+		i := candFind(cs, lo, id)
+		if i < 0 {
+			return cs, negCand{}, false
+		}
+		c := cs[i]
+		return append(cs[:i], cs[i+1:]...), c, true
+	}
+	switch {
+	case u.key == nil:
+		var c negCand
+		var ok bool
+		u.cands, c, ok = remove(u.cands)
+		return c, ok
+	case def:
+		cs, c, ok := remove(u.kcands[kv])
+		if ok {
+			if len(cs) == 0 {
+				delete(u.kcands, kv)
+			} else {
+				u.kcands[kv] = cs
+			}
+		}
+		return c, ok
+	default:
+		var c negCand
+		var ok bool
+		u.wcands, c, ok = remove(u.wcands)
+		return c, ok
+	}
+}
+
 func (u *negNode) applyPos(out *delta) {
 	for _, it := range u.kd.items {
+		var kv event.Value
+		def := false
+		if u.key != nil {
+			kv, def = u.key.of(it.m.Payload)
+		}
 		if it.del {
 			lo, ok := u.loOf[it.m.ID]
 			if !ok {
 				continue
 			}
 			delete(u.loOf, it.m.ID)
-			if i := u.findCand(lo, it.m.ID); i >= 0 {
-				c := u.cands[i]
-				u.cands = append(u.cands[:i], u.cands[i+1:]...)
-				if c.blockers == 0 {
-					out.del(c.out)
-				}
+			if c, found := u.candRemove(lo, it.m.ID, kv, def); found && c.blockers == 0 {
+				out.del(c.out)
 			}
 			continue
 		}
@@ -186,16 +263,22 @@ func (u *negNode) applyPos(out *delta) {
 		if span := c.hi.Sub(c.lo); span > u.maxSpan {
 			u.maxSpan = span
 		}
-		// Count live blockers strictly inside (lo, hi).
-		for i := u.negs.upperBound(c.lo); i < len(u.negs.ms) && u.negs.ms[i].V.Start < c.hi; i++ {
-			if u.corr == nil || u.corr(c.a.Payload, u.negs.ms[i].Payload) {
-				c.blockers++
+		// Count live blockers strictly inside (lo, hi) — for a definite
+		// candidate only its own key's blockers (plus wild ones) can have
+		// corr true, so only those lists are scanned.
+		count := func(ms *matchList) {
+			for i := ms.upperBound(c.lo); i < len(ms.ms) && ms.ms[i].V.Start < c.hi; i++ {
+				if u.corr == nil || u.corr(c.a.Payload, ms.ms[i].Payload) {
+					c.blockers++
+				}
 			}
 		}
-		i := sort.Search(len(u.cands), func(i int) bool { return !u.candBefore(c.lo, c.a.ID, &u.cands[i]) })
-		u.cands = append(u.cands, negCand{})
-		copy(u.cands[i+1:], u.cands[i:])
-		u.cands[i] = c
+		if u.key == nil {
+			count(&u.negs)
+		} else {
+			u.knegs.scan(kv, def, count)
+		}
+		u.candAdd(c, kv, def)
 		u.loOf[c.a.ID] = c.lo
 		if c.blockers == 0 {
 			out.add(c.out)
@@ -206,11 +289,22 @@ func (u *negNode) applyPos(out *delta) {
 func (u *negNode) applyNeg(out *delta) {
 	for _, it := range u.kd.items {
 		t := it.m.V.Start
+		var kv event.Value
+		def := false
+		if u.key != nil {
+			kv, def = u.key.of(it.m.Payload)
+		}
 		if it.del {
-			if !u.negs.removeMatch(it.m) {
+			var removed bool
+			if u.key == nil {
+				removed = u.negs.removeMatch(it.m)
+			} else {
+				removed = u.knegs.remove(it.m, kv, def)
+			}
+			if !removed {
 				continue
 			}
-			u.eachAffected(t, it.m, func(c *negCand) {
+			u.eachAffected(t, it.m, kv, def, func(c *negCand) {
 				c.blockers--
 				if c.blockers == 0 {
 					out.add(c.out)
@@ -218,8 +312,12 @@ func (u *negNode) applyNeg(out *delta) {
 			})
 			continue
 		}
-		u.negs.insert(it.m)
-		u.eachAffected(t, it.m, func(c *negCand) {
+		if u.key == nil {
+			u.negs.insert(it.m)
+		} else {
+			u.knegs.insert(it.m, kv, def)
+		}
+		u.eachAffected(t, it.m, kv, def, func(c *negCand) {
 			c.blockers++
 			if c.blockers == 1 {
 				out.del(c.out)
@@ -229,29 +327,59 @@ func (u *negNode) applyNeg(out *delta) {
 }
 
 // eachAffected visits every candidate whose interval strictly contains t
-// and whose correlation predicate matches the negative match.
-func (u *negNode) eachAffected(t temporal.Time, neg algebra.Match, fn func(c *negCand)) {
-	// Any candidate with lo <= t - maxSpan has hi <= lo + maxSpan <= t.
-	from := sort.Search(len(u.cands), func(i int) bool { return u.cands[i].lo > t.Add(-u.maxSpan) })
-	for i := from; i < len(u.cands) && u.cands[i].lo < t; i++ {
-		c := &u.cands[i]
-		if t >= c.hi {
-			continue
-		}
-		if u.corr == nil || u.corr(c.a.Payload, neg.Payload) {
-			fn(c)
+// and whose correlation predicate matches the negative match. A definite
+// negative match visits its own key's candidates plus the wild ones; a
+// wild one visits everything, exactly as unkeyed.
+func (u *negNode) eachAffected(t temporal.Time, neg algebra.Match, kv event.Value, def bool, fn func(c *negCand)) {
+	visit := func(cs []negCand) {
+		// Any candidate with lo <= t - maxSpan has hi <= lo + maxSpan <= t.
+		from := sort.Search(len(cs), func(i int) bool { return cs[i].lo > t.Add(-u.maxSpan) })
+		for i := from; i < len(cs) && cs[i].lo < t; i++ {
+			c := &cs[i]
+			if t >= c.hi {
+				continue
+			}
+			if u.corr == nil || u.corr(c.a.Payload, neg.Payload) {
+				fn(c)
+			}
 		}
 	}
+	if u.key == nil {
+		visit(u.cands)
+		return
+	}
+	u.scanCands(kv, def, visit)
+}
+
+// scanCands is eachAffected's analog of keyedList.scan for the candidate
+// lists: the routing rule lives in one place per store shape.
+func (u *negNode) scanCands(kv event.Value, def bool, fn func([]negCand)) {
+	if def {
+		fn(u.kcands[kv])
+	} else {
+		for _, cs := range u.kcands {
+			fn(cs)
+		}
+	}
+	fn(u.wcands)
 }
 
 func (u *negNode) clone(sh *shared) node {
 	c := &negNode{
 		kind: u.kind, pos: u.pos.clone(sh), neg: u.neg.clone(sh),
-		w: u.w, nIdx: u.nIdx, corr: u.corr, sh: sh,
+		w: u.w, nIdx: u.nIdx, corr: u.corr, key: u.key, sh: sh,
 		cands:   append([]negCand(nil), u.cands...),
+		wcands:  append([]negCand(nil), u.wcands...),
 		loOf:    make(map[event.ID]temporal.Time, len(u.loOf)),
 		negs:    u.negs.clone(),
+		knegs:   u.knegs.clone(),
 		maxSpan: u.maxSpan,
+	}
+	if len(u.kcands) > 0 {
+		c.kcands = make(map[event.Value][]negCand, len(u.kcands))
+		for kv, cs := range u.kcands {
+			c.kcands[kv] = append([]negCand(nil), cs...)
+		}
 	}
 	for id, lo := range u.loOf {
 		c.loOf[id] = lo

@@ -68,10 +68,41 @@ func (d *delta) del(m algebra.Match) { d.items = append(d.items, item{m: m, del:
 func (d *delta) reset()              { d.items = d.items[:0] }
 
 // shared is tree-global state owned by the driving Op: the occurrence times
-// of the available (live, unconsumed) primitive events. UNLESS' nodes
-// resolve their anchor contributor through it at candidate-creation time.
+// of the available (live, unconsumed) primitive events (UNLESS' nodes
+// resolve their anchor contributor through it at candidate-creation time)
+// and the correlation-key pushdown configuration (nil = unkeyed; see
+// key.go).
 type shared struct {
-	vs map[event.ID]temporal.Time
+	vs  map[event.ID]temporal.Time
+	key *keyCfg
+}
+
+// buildCtx tracks where in the expression a node is being built, which
+// decides whether join nodes may apply the pushdown key:
+//
+//   - pos: inside the pattern's positive scope. Negative sides of the
+//     negation operators never key their joins — a pruned negative-side
+//     match is a missing blocker, which would *add* output the residual
+//     predicates cannot take back.
+//   - frozen: under an ATMOST. Its sliding-window counts are over the kid
+//     output sets themselves; pruning those sets would change counts, not
+//     just skip doomed composites.
+//
+// Negation nodes are exempt from both: their keying (gated per site by the
+// expression's CorrKey annotation) only indexes candidate↔blocker visits
+// and leaves every node's output set bit-identical.
+type buildCtx struct {
+	pos    bool
+	frozen bool
+}
+
+// joinKey returns the pushdown configuration a join node at this position
+// may use, or nil.
+func (c buildCtx) joinKey(sh *shared) *keyCfg {
+	if c.pos && !c.frozen {
+		return sh.key
+	}
+	return nil
 }
 
 // node is one stateful matcher in the tree.
@@ -158,27 +189,32 @@ func allSupported(kids []algebra.Expr) bool {
 }
 
 // build compiles an expression into its matcher node. Callers must have
-// checked Supported; unknown kinds panic.
-func build(x algebra.Expr, sh *shared) node {
+// checked Supported; unknown kinds panic. The root is built with
+// buildCtx{pos: true}.
+func build(x algebra.Expr, sh *shared, ctx buildCtx) node {
 	switch e := x.(type) {
 	case algebra.TypeExpr:
 		return newLeaf(e)
 	case algebra.SequenceExpr:
-		return newSeqNode(e, sh)
+		return newSeqNode(e, sh, ctx)
 	case algebra.AtLeastExpr:
-		return newAtLeastNode(e, sh)
+		return newAtLeastNode(e, sh, ctx)
 	case algebra.AtMostExpr:
-		return newAtMostNode(e, sh)
+		return newAtMostNode(e, sh, buildCtx{pos: ctx.pos, frozen: true})
 	case algebra.UnlessExpr:
-		return newNegNode(negUnless, build(e.A, sh), build(e.B, sh), e.W, 0, e.Corr, sh)
+		neg := buildCtx{frozen: ctx.frozen}
+		return newNegNode(negUnless, build(e.A, sh, ctx), build(e.B, sh, neg), e.W, 0, e.Corr, e.CorrKey, sh)
 	case algebra.UnlessPrimeExpr:
-		return newNegNode(negUnlessPrime, build(e.A, sh), build(e.B, sh), e.W, e.N, e.Corr, sh)
+		neg := buildCtx{frozen: ctx.frozen}
+		return newNegNode(negUnlessPrime, build(e.A, sh, ctx), build(e.B, sh, neg), e.W, e.N, e.Corr, e.CorrKey, sh)
 	case algebra.NotExpr:
-		return newNegNode(negNot, build(e.Seq, sh), build(e.Neg, sh), 0, 0, e.Corr, sh)
+		neg := buildCtx{frozen: ctx.frozen}
+		return newNegNode(negNot, build(e.Seq, sh, ctx), build(e.Neg, sh, neg), 0, 0, e.Corr, e.CorrKey, sh)
 	case algebra.CancelWhenExpr:
-		return newNegNode(negCancelWhen, build(e.E, sh), build(e.Cancel, sh), 0, 0, e.Corr, sh)
+		neg := buildCtx{frozen: ctx.frozen}
+		return newNegNode(negCancelWhen, build(e.E, sh, ctx), build(e.Cancel, sh, neg), 0, 0, e.Corr, e.CorrKey, sh)
 	case algebra.FilterExpr:
-		return &filterNode{kid: build(e.Kid, sh), pred: e.Pred}
+		return &filterNode{kid: build(e.Kid, sh, ctx), pred: e.Pred}
 	default:
 		panic("inc: unsupported expression " + x.String())
 	}
@@ -234,6 +270,13 @@ type leafNode struct {
 	t      algebra.TypeExpr
 	prefix string
 	live   map[event.ID]algebra.Match // keyed by primitive event ID
+	// minVs is a conservative lower bound over live occurrence times — the
+	// per-leaf watermark: a prune whose horizon lies at or below it proves
+	// this leaf holds nothing prunable and skips the scan (the Op-level
+	// lowVs gate only proves *some* leaf has prunable state; with the
+	// pushdown shrinking per-key work, these map scans were next in the
+	// profile). Removals leave it stale, forcing at most one extra scan.
+	minVs temporal.Time
 	// interned caches the derived match per primitive event ID, shared
 	// with clones: the checkpoint operator's push of an event the live
 	// operator already saw — and any revival re-push after an un-consume —
@@ -243,7 +286,7 @@ type leafNode struct {
 
 func newLeaf(t algebra.TypeExpr) *leafNode {
 	return &leafNode{t: t, prefix: t.Prefix(), live: map[event.ID]algebra.Match{},
-		interned: newCombCache()}
+		minVs: temporal.Infinity, interned: newCombCache()}
 }
 
 func (l *leafNode) push(e event.Event, out *delta) {
@@ -269,6 +312,9 @@ func (l *leafNode) push(e event.Event, out *delta) {
 		l.interned.put(e.ID, m)
 	}
 	l.live[e.ID] = m
+	if m.V.Start < l.minVs {
+		l.minVs = m.V.Start
+	}
 	out.add(m)
 }
 
@@ -280,17 +326,25 @@ func (l *leafNode) remove(id event.ID, out *delta) {
 }
 
 func (l *leafNode) prune(horizon temporal.Time, out *delta) {
+	if horizon <= l.minVs {
+		return
+	}
+	low := temporal.Infinity
 	for id, m := range l.live {
 		if m.V.Start < horizon {
 			delete(l.live, id)
 			out.del(m)
+		} else if m.V.Start < low {
+			low = m.V.Start
 		}
 	}
+	l.minVs = low
 }
 
 func (l *leafNode) clone(*shared) node {
 	c := &leafNode{t: l.t, prefix: l.prefix,
 		live:     make(map[event.ID]algebra.Match, len(l.live)),
+		minVs:    l.minVs,
 		interned: l.interned}
 	for id, m := range l.live {
 		c.live[id] = m

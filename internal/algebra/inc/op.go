@@ -38,6 +38,14 @@ type Op struct {
 	Mode    algebra.SCMode
 	OutType string
 
+	// keyAttr is the correlation-key pushdown attribute (WithJoinKey);
+	// empty means unkeyed. See key.go.
+	keyAttr string
+	// trackVs: maintain sh.vs, the available-occurrence table. Only
+	// UNLESS' nodes read it (anchor resolution), so every other
+	// expression skips the per-event map writes it would cost.
+	trackVs bool
+
 	sh       *shared
 	root     node
 	store    map[event.ID]event.Event // available primitive events
@@ -123,9 +131,23 @@ func (l *pendingList) removeAt(i int) {
 
 func (l *pendingList) size() int { return len(l.ms) }
 
+// OpOption configures NewOp.
+type OpOption func(*Op)
+
+// WithJoinKey enables correlation-key pushdown on attr: the tree's join
+// lists and (where the expression's CorrKey annotations allow) negation
+// stores index their state by the attribute's value, so matching combines
+// only within a key instead of across the whole store. The caller — in
+// practice the planner — must have proven that the query's predicates
+// reject every cross-key combination; the pushdown is a pure index and all
+// compiled predicates still run (see key.go for the exact contract).
+func WithJoinKey(attr string) OpOption {
+	return func(p *Op) { p.keyAttr = attr }
+}
+
 // NewOp builds the incremental pattern operator for expr. The expression
 // must be Supported; outType names the composite events it emits.
-func NewOp(expr algebra.Expr, mode algebra.SCMode, outType string) *Op {
+func NewOp(expr algebra.Expr, mode algebra.SCMode, outType string, opts ...OpOption) *Op {
 	if outType == "" {
 		outType = "composite"
 	}
@@ -133,13 +155,10 @@ func NewOp(expr algebra.Expr, mode algebra.SCMode, outType string) *Op {
 	if scope <= 0 {
 		scope = 1
 	}
-	sh := &shared{vs: map[event.ID]temporal.Time{}}
-	return &Op{
+	p := &Op{
 		Expr:         expr,
 		Mode:         mode,
 		OutType:      outType,
-		sh:           sh,
-		root:         build(expr, sh),
 		store:        map[event.ID]event.Event{},
 		consumed:     map[event.ID]event.Event{},
 		emitted:      map[event.ID]algebra.Match{},
@@ -150,7 +169,51 @@ func NewOp(expr algebra.Expr, mode algebra.SCMode, outType string) *Op {
 		lowVs:        temporal.Infinity,
 		lowEmit:      temporal.Infinity,
 	}
+	for _, o := range opts {
+		o(p)
+	}
+	p.trackVs = usesAnchorTimes(expr)
+	p.sh = &shared{vs: map[event.ID]temporal.Time{}, key: newKeyCfg(p.keyAttr)}
+	p.root = build(expr, p.sh, buildCtx{pos: true})
+	return p
 }
+
+// usesAnchorTimes reports whether the expression contains an UNLESS' node
+// — the only reader of the shared occurrence-time table.
+func usesAnchorTimes(x algebra.Expr) bool {
+	switch e := x.(type) {
+	case algebra.UnlessPrimeExpr:
+		return true
+	case algebra.SequenceExpr:
+		return anyAnchorTimes(e.Kids)
+	case algebra.AtLeastExpr:
+		return anyAnchorTimes(e.Kids)
+	case algebra.AtMostExpr:
+		return anyAnchorTimes(e.Kids)
+	case algebra.UnlessExpr:
+		return usesAnchorTimes(e.A) || usesAnchorTimes(e.B)
+	case algebra.NotExpr:
+		return usesAnchorTimes(e.Seq) || usesAnchorTimes(e.Neg)
+	case algebra.CancelWhenExpr:
+		return usesAnchorTimes(e.E) || usesAnchorTimes(e.Cancel)
+	case algebra.FilterExpr:
+		return usesAnchorTimes(e.Kid)
+	default:
+		return false
+	}
+}
+
+func anyAnchorTimes(kids []algebra.Expr) bool {
+	for _, k := range kids {
+		if usesAnchorTimes(k) {
+			return true
+		}
+	}
+	return false
+}
+
+// JoinKey reports the pushdown attribute, or "" when unkeyed.
+func (p *Op) JoinKey() string { return p.keyAttr }
 
 // Name implements operators.Op.
 func (p *Op) Name() string { return "incpattern:" + p.Expr.String() }
@@ -224,16 +287,20 @@ func (p *Op) Process(_ int, e event.Event) []event.Event {
 	if e.V.Start > p.frontier {
 		p.frontier = e.V.Start
 	}
-	ec := e.Clone()
-	p.store[ec.ID] = ec
-	if ec.V.Start < p.lowVs {
-		p.lowVs = ec.V.Start
+	// Events are stored by value; payload and lineage slices stay shared
+	// with the caller's event. Operator payloads are immutable by contract
+	// (the monitor's repair diff leans on exactly that sharing), so the
+	// defensive deep clone the oracle performs buys nothing here — and the
+	// leaf re-namespaces the payload into a fresh map anyway.
+	p.store[e.ID] = e
+	if e.V.Start < p.lowVs {
+		p.lowVs = e.V.Start
 	}
-	if ec.Kind == event.Insert {
-		p.sh.vs[ec.ID] = ec.V.Start
+	if p.trackVs && e.Kind == event.Insert {
+		p.sh.vs[e.ID] = e.V.Start
 	}
 	p.rootDelta.reset()
-	p.root.push(ec, &p.rootDelta)
+	p.root.push(e, &p.rootDelta)
 	p.apply(&p.rootDelta, srcInsert)
 	return p.mature()
 }
@@ -249,7 +316,9 @@ func (p *Op) remove(id event.ID) []event.Event {
 	}
 	delete(p.store, id)
 	delete(p.consumed, id)
-	delete(p.sh.vs, id)
+	if p.trackVs {
+		delete(p.sh.vs, id)
+	}
 	if inStore {
 		p.rootDelta.reset()
 		p.root.remove(id, &p.rootDelta)
@@ -284,7 +353,9 @@ func (p *Op) remove(id event.ID) []event.Event {
 				if ev, ok := p.consumed[c]; ok {
 					delete(p.consumed, c)
 					p.store[c] = ev
-					p.sh.vs[c] = ev.V.Start
+					if p.trackVs {
+						p.sh.vs[c] = ev.V.Start
+					}
 					p.rootDelta.reset()
 					p.root.push(ev, &p.rootDelta)
 					p.apply(&p.rootDelta, srcRevive)
@@ -392,7 +463,9 @@ func (p *Op) consume(m algebra.Match) {
 			continue
 		}
 		delete(p.store, id)
-		delete(p.sh.vs, id)
+		if p.trackVs {
+			delete(p.sh.vs, id)
+		}
 		p.consumed[id] = ev
 		p.rootDelta.reset()
 		p.root.remove(id, &p.rootDelta)
@@ -422,7 +495,9 @@ func (p *Op) Advance(t temporal.Time) []event.Event {
 			for id, e := range p.store {
 				if e.V.Start < horizon {
 					delete(p.store, id)
-					delete(p.sh.vs, id)
+					if p.trackVs {
+						delete(p.sh.vs, id)
+					}
 				} else if e.V.Start < low {
 					low = e.V.Start
 				}
@@ -448,8 +523,8 @@ func (p *Op) Advance(t temporal.Time) []event.Event {
 			p.lowEmit = low
 		}
 	} else {
-		p.sh = &shared{vs: map[event.ID]temporal.Time{}}
-		p.root = build(p.Expr, p.sh)
+		p.sh = &shared{vs: map[event.ID]temporal.Time{}, key: p.sh.key}
+		p.root = build(p.Expr, p.sh, buildCtx{pos: true})
 		p.store = map[event.ID]event.Event{}
 		p.consumed = map[event.ID]event.Event{}
 		p.pending = pendingList{}
@@ -493,7 +568,7 @@ func (p *Op) StateSize() int { return len(p.store) + len(p.consumed) + len(p.emi
 // state is copied. Scratch buffers are not shared: each clone grows its
 // own on first use.
 func (p *Op) Clone() operators.Op {
-	sh := &shared{vs: make(map[event.ID]temporal.Time, len(p.sh.vs))}
+	sh := &shared{vs: make(map[event.ID]temporal.Time, len(p.sh.vs)), key: p.sh.key}
 	for id, t := range p.sh.vs {
 		sh.vs[id] = t
 	}
@@ -501,6 +576,8 @@ func (p *Op) Clone() operators.Op {
 		Expr:         p.Expr,
 		Mode:         p.Mode,
 		OutType:      p.OutType,
+		keyAttr:      p.keyAttr,
+		trackVs:      p.trackVs,
 		sh:           sh,
 		root:         p.root.clone(sh),
 		store:        make(map[event.ID]event.Event, len(p.store)),

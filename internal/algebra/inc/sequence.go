@@ -11,10 +11,19 @@ import (
 // combined with every strictly-Vs-increasing pick from the other positions
 // within the window — the only combinations a re-derivation would have
 // found that the previous state did not already hold.
+//
+// Under correlation-key pushdown (key != nil, see key.go) the per-position
+// lists are key-indexed: a new definite-key match combines only with picks
+// from its own key's bucket plus the wild list, so the enumeration no
+// longer crosses keys the residual EQUAL predicate would drop anyway.
 type seqNode struct {
-	kids  []node
-	w     temporal.Duration
-	lists []matchList
+	kids []node
+	w    temporal.Duration
+	key  *keyCfg
+
+	lists  []matchList // unkeyed join state (key == nil)
+	klists []keyedList // key-indexed join state (key != nil)
+
 	// outs holds the node's live composite matches; uses indexes them by
 	// child-match ID so a child retraction cascades in O(dependents).
 	// uses entries are cleaned lazily: a dead output ID is skipped (and the
@@ -28,18 +37,23 @@ type seqNode struct {
 	comb  *combCache      // interned composites, shared with clones
 }
 
-func newSeqNode(e algebra.SequenceExpr, sh *shared) *seqNode {
+func newSeqNode(e algebra.SequenceExpr, sh *shared, ctx buildCtx) *seqNode {
 	s := &seqNode{
 		w:     e.W,
-		lists: make([]matchList, len(e.Kids)),
+		key:   ctx.joinKey(sh),
 		outs:  map[event.ID]algebra.Match{},
 		uses:  map[event.ID][]event.ID{},
 		parts: make([]algebra.Match, len(e.Kids)),
 		ids:   make([]event.ID, len(e.Kids)),
 		comb:  newCombCache(),
 	}
+	if s.key != nil {
+		s.klists = make([]keyedList, len(e.Kids))
+	} else {
+		s.lists = make([]matchList, len(e.Kids))
+	}
 	for _, k := range e.Kids {
-		s.kids = append(s.kids, build(k, sh))
+		s.kids = append(s.kids, build(k, sh, ctx))
 	}
 	return s
 }
@@ -71,8 +85,17 @@ func (s *seqNode) prune(horizon temporal.Time, out *delta) {
 // applyKid folds child i's transition batch (in s.kd) into the join state.
 func (s *seqNode) applyKid(i int, out *delta) {
 	for _, it := range s.kd.items {
+		var kv event.Value
+		def := false
+		if s.key != nil {
+			kv, def = s.key.of(it.m.Payload)
+		}
 		if it.del {
-			s.lists[i].removeMatch(it.m)
+			if s.key != nil {
+				s.klists[i].remove(it.m, kv, def)
+			} else {
+				s.lists[i].removeMatch(it.m)
+			}
 			for _, oid := range s.uses[it.m.ID] {
 				if m, ok := s.outs[oid]; ok {
 					delete(s.outs, oid)
@@ -82,15 +105,22 @@ func (s *seqNode) applyKid(i int, out *delta) {
 			delete(s.uses, it.m.ID)
 			continue
 		}
-		s.enumerate(i, it.m, out)
-		s.lists[i].insert(it.m)
+		s.enumerate(i, it.m, kv, def, out)
+		if s.key != nil {
+			s.klists[i].insert(it.m, kv, def)
+		} else {
+			s.lists[i].insert(it.m)
+		}
 	}
 }
 
 // enumerate emits every combination that includes the new match nm at
 // position fix. Positions are filled left to right; each pick must start
-// strictly after the previous one and within w of the first.
-func (s *seqNode) enumerate(fix int, nm algebra.Match, out *delta) {
+// strictly after the previous one and within w of the first. Under
+// pushdown, a definite-key nm draws the other positions' picks from its
+// key's bucket and the wild list only (a wild nm still scans everything —
+// the residual predicates decide, exactly as unkeyed).
+func (s *seqNode) enumerate(fix int, nm algebra.Match, kv event.Value, def bool, out *delta) {
 	k := len(s.kids)
 	var rec func(depth int, prev, first temporal.Time)
 	rec = func(depth int, prev, first temporal.Time) {
@@ -119,19 +149,25 @@ func (s *seqNode) enumerate(fix int, nm algebra.Match, out *delta) {
 			try(nm)
 			return
 		}
-		list := &s.lists[depth]
-		lo := 0
-		if depth > 0 {
-			lo = list.upperBound(prev)
-		}
-		for idx := lo; idx < len(list.ms); idx++ {
-			if depth < fix && list.ms[idx].V.Start >= nm.V.Start {
-				break // positions before fix must start strictly before nm
+		scan := func(list *matchList) {
+			lo := 0
+			if depth > 0 {
+				lo = list.upperBound(prev)
 			}
-			if !try(list.ms[idx]) {
-				break // sorted: everything later is further outside the window
+			for idx := lo; idx < len(list.ms); idx++ {
+				if depth < fix && list.ms[idx].V.Start >= nm.V.Start {
+					break // positions before fix must start strictly before nm
+				}
+				if !try(list.ms[idx]) {
+					break // sorted: everything later is further outside the window
+				}
 			}
 		}
+		if s.key == nil {
+			scan(&s.lists[depth])
+			return
+		}
+		s.klists[depth].scan(kv, def, scan)
 	}
 	rec(0, temporal.MinTime, temporal.MinTime)
 }
@@ -159,7 +195,7 @@ func (s *seqNode) commit(out *delta) {
 func (s *seqNode) clone(sh *shared) node {
 	c := &seqNode{
 		w:     s.w,
-		lists: make([]matchList, len(s.lists)),
+		key:   s.key,
 		outs:  make(map[event.ID]algebra.Match, len(s.outs)),
 		uses:  make(map[event.ID][]event.ID, len(s.uses)),
 		parts: make([]algebra.Match, len(s.parts)),
@@ -169,8 +205,16 @@ func (s *seqNode) clone(sh *shared) node {
 	for _, k := range s.kids {
 		c.kids = append(c.kids, k.clone(sh))
 	}
-	for i := range s.lists {
-		c.lists[i] = s.lists[i].clone()
+	if s.key != nil {
+		c.klists = make([]keyedList, len(s.klists))
+		for i := range s.klists {
+			c.klists[i] = s.klists[i].clone()
+		}
+	} else {
+		c.lists = make([]matchList, len(s.lists))
+		for i := range s.lists {
+			c.lists[i] = s.lists[i].clone()
+		}
 	}
 	for id, m := range s.outs {
 		c.outs[id] = m

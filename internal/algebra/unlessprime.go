@@ -17,11 +17,12 @@ import (
 // the later of E1's start and the end of the negation scope. The paper
 // itself leaves UNLESS' "open to discussion"; this is the literal reading.
 type UnlessPrimeExpr struct {
-	A    Expr
-	B    Expr
-	N    int // 1-based contributor index anchoring the negation scope
-	W    temporal.Duration
-	Corr CorrPred
+	A       Expr
+	B       Expr
+	N       int // 1-based contributor index anchoring the negation scope
+	W       temporal.Duration
+	Corr    CorrPred
+	CorrKey string // pushdown annotation; see CorrPred's doc in expr.go
 }
 
 // MaxScope implements Expr.

@@ -266,3 +266,58 @@ WHERE {a.k = c.k}`)
 		t.Error("UNLESS' index 0 must be rejected")
 	}
 }
+
+func TestPushKeyAnalysis(t *testing.T) {
+	// CorrelationKey(attr, EQUAL): pushable, and every negation site gets
+	// the CorrKey annotation (its injected corr predicate carries the
+	// equality proof).
+	an, err := Compile(`
+EVENT E WHEN UNLESS(SEQUENCE(A a, B b, 100), C c, 10)
+WHERE CorrelationKey(m, EQUAL)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.PushKeyAttr != "m" {
+		t.Errorf("PushKeyAttr = %q, want m", an.PushKeyAttr)
+	}
+	f, ok := an.Expr.(algebra.FilterExpr)
+	if !ok {
+		t.Fatalf("expr = %T, want top-level residual filter", an.Expr)
+	}
+	u, ok := f.Kid.(algebra.UnlessExpr)
+	if !ok {
+		t.Fatalf("filter kid = %T", f.Kid)
+	}
+	if u.CorrKey != "m" {
+		t.Errorf("UNLESS CorrKey = %q, want m", u.CorrKey)
+	}
+
+	// Spanning pairwise equality: pushable on the join side, but the
+	// negation site stays unannotated (its pairwise corr compares one
+	// specific attribute lookup, not the value set).
+	an, err = Compile(`
+EVENT E WHEN UNLESS(SEQUENCE(A a, B b, 100), C c, 10)
+WHERE {a.m = b.m} AND {a.m = c.m}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.PushKeyAttr != "m" {
+		t.Errorf("pairwise PushKeyAttr = %q, want m", an.PushKeyAttr)
+	}
+	f, ok = an.Expr.(algebra.FilterExpr)
+	if !ok {
+		t.Fatalf("pairwise expr = %T, want top-level residual filter", an.Expr)
+	}
+	if u = f.Kid.(algebra.UnlessExpr); u.CorrKey != "" {
+		t.Errorf("pairwise UNLESS CorrKey = %q, want unannotated", u.CorrKey)
+	}
+
+	// Non-spanning equalities must not qualify.
+	an, err = Compile(`EVENT E WHEN SEQUENCE(A a, B b, C c, 100) WHERE {a.m = b.m}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.PushKeyAttr != "" {
+		t.Errorf("non-spanning PushKeyAttr = %q, want empty", an.PushKeyAttr)
+	}
+}

@@ -29,6 +29,25 @@ type Analysis struct {
 	// output decompose by it — the property the sharded runtime's
 	// partitionability analysis (internal/plan) keys on. Empty otherwise.
 	PartitionAttr string
+	// PushKeyAttr is the correlation-key pushdown attribute: a payload
+	// attribute whose WHERE-clause predicates provably reject every
+	// composite combining two definite, unequal values of it. It holds the
+	// PartitionAttr when a CorrelationKey(attr, EQUAL) clause is present,
+	// and otherwise an attribute whose pairwise {a.attr = b.attr}
+	// equalities connect *all* positively-bound aliases (so transitivity
+	// pins the whole detection to one value). The planner passes it into
+	// the incremental matcher tree (algebra/inc's WithJoinKey), which then
+	// enumerates join combinations per key instead of across the store;
+	// predicates that do not fit this shape stay behind in the residual
+	// FilterExpr. Empty when no attribute qualifies.
+	PushKeyAttr string
+	// DupPositiveAlias: some alias binds more than one contributor in the
+	// positive pattern scope. Composite payloads then carry prime-renamed
+	// collision keys ("x.m" → "x.m'") that no WHERE predicate inspects, so
+	// neither the correlation-key pushdown (PushKeyAttr stays empty) nor
+	// the key-partitioned sharded runtime (PartitionAttr's decomposition
+	// claim, which such composites violate) may rely on the attribute.
+	DupPositiveAlias bool
 }
 
 // site identifies where an alias is bound: site 0 is the positive part of
@@ -59,6 +78,19 @@ func Analyze(q *Query) (*Analysis, error) {
 			a.PartitionAttr = pred.CorrAttr
 			break
 		}
+	}
+	a.DupPositiveAlias = b.dupPos
+	a.PushKeyAttr = b.pushKeyAttr(q.Where, a.PartitionAttr)
+	if a.PushKeyAttr != "" && a.PartitionAttr == a.PushKeyAttr {
+		// A CorrelationKey(attr, EQUAL) clause injects an equality
+		// correlation at every negation site, so each site's blocker
+		// matching may be keyed on the attribute too (the CorrKey
+		// annotation the incremental matcher reads). The pairwise-equality
+		// pushdown does not annotate sites: its per-alias predicates
+		// compare one specific attribute lookup, which is vacuously true
+		// when both lookups are absent — a case the value-set keying of
+		// the matcher cannot distinguish, so only the join side is keyed.
+		b.corrKeyAttr = a.PartitionAttr
 	}
 
 	// Pass 3: build the algebra expression with injected predicates.
@@ -137,6 +169,94 @@ type binder struct {
 	aliases map[string]binding
 	sites   int // negation sites discovered (site 0 is positive)
 	siteSeq int // rebuild counter for pass 3
+	// corrKeyAttr, when non-empty, is stamped as the CorrKey annotation on
+	// every negation operator pass 3 builds (set only for CorrelationKey
+	// EQUAL, whose correlation predicate covers every site).
+	corrKeyAttr string
+	// dupPos: some alias binds more than one contributor in the positive
+	// scope. Composite payloads then prime-rename the collision ("x.m" →
+	// "x.m'"), a name neither the CorrelationKey suffix rule nor an exact
+	// {x.m = y.m} lookup inspects — so the residual predicates can accept
+	// a cross-key composite, and the key-pushdown soundness proof ("the
+	// filter rejects every definite cross-key combination") breaks. Such
+	// queries refuse pushdown outright.
+	dupPos bool
+}
+
+// pushKeyAttr decides the correlation-key pushdown attribute (see
+// Analysis.PushKeyAttr). partitionAttr, when set, already carries the
+// CorrelationKey(attr, EQUAL) proof; otherwise the pairwise equality
+// predicates must form a connected graph spanning every positively-bound
+// alias on one common attribute.
+func (b *binder) pushKeyAttr(preds []Pred, partitionAttr string) string {
+	if b.dupPos {
+		return "" // primed payload collisions escape the predicates; see dupPos
+	}
+	if partitionAttr != "" {
+		return partitionAttr
+	}
+	var posAliases []string
+	for al, bind := range b.aliases {
+		if bind.site == 0 {
+			posAliases = append(posAliases, al)
+		}
+	}
+	if len(posAliases) < 2 {
+		return "" // nothing to join across — pushdown has no combinations to prune
+	}
+
+	type edge struct{ a, b string }
+	edges := map[string][]edge{}
+	var attrOrder []string // deterministic candidate order: first predicate wins
+	for _, p := range preds {
+		if p.IsCorrKey() || p.Op != "=" || p.L.IsLit || p.R.IsLit {
+			continue
+		}
+		if p.L.Attr != p.R.Attr || p.L.Alias == p.R.Alias {
+			continue
+		}
+		la, lok := b.aliases[p.L.Alias]
+		ra, rok := b.aliases[p.R.Alias]
+		if !lok || !rok || la.site != 0 || ra.site != 0 {
+			continue
+		}
+		if _, seen := edges[p.L.Attr]; !seen {
+			attrOrder = append(attrOrder, p.L.Attr)
+		}
+		edges[p.L.Attr] = append(edges[p.L.Attr], edge{p.L.Alias, p.R.Alias})
+	}
+
+	for _, attr := range attrOrder {
+		// Union-find over the positive aliases: the attribute qualifies
+		// only if its equalities connect all of them into one component.
+		parent := map[string]string{}
+		var find func(x string) string
+		find = func(x string) string {
+			p, ok := parent[x]
+			if !ok || p == x {
+				parent[x] = x
+				return x
+			}
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		for _, e := range edges[attr] {
+			parent[find(e.a)] = find(e.b)
+		}
+		root := find(posAliases[0])
+		spanning := true
+		for _, al := range posAliases[1:] {
+			if find(al) != root {
+				spanning = false
+				break
+			}
+		}
+		if spanning {
+			return attr
+		}
+	}
+	return ""
 }
 
 // scan walks the pattern, assigning aliases to sites. site is the innermost
@@ -150,6 +270,8 @@ func (b *binder) scan(n PatternNode, site int) error {
 		}
 		if prev, dup := b.aliases[prefix]; dup && prev.site != site {
 			return fmt.Errorf("lang: alias %q bound in conflicting contexts", prefix)
+		} else if dup && site == 0 {
+			b.dupPos = true
 		}
 		b.aliases[prefix] = binding{site: site, prefix: prefix}
 		return nil
@@ -398,9 +520,9 @@ func (b *binder) build(n PatternNode, corrs map[int][]algebra.CorrPred) (algebra
 			corr := conjoinCorr(corrs[site])
 			switch x.Op {
 			case "UNLESS":
-				return algebra.UnlessExpr{A: pos, B: neg, W: x.W, Corr: corr}, nil
+				return algebra.UnlessExpr{A: pos, B: neg, W: x.W, Corr: corr, CorrKey: b.corrKeyAttr}, nil
 			case "UNLESS'":
-				up := algebra.UnlessPrimeExpr{A: pos, B: neg, N: x.N, W: x.W, Corr: corr}
+				up := algebra.UnlessPrimeExpr{A: pos, B: neg, N: x.N, W: x.W, Corr: corr, CorrKey: b.corrKeyAttr}
 				if err := up.Validate(); err != nil {
 					return nil, err
 				}
@@ -410,9 +532,9 @@ func (b *binder) build(n PatternNode, corrs map[int][]algebra.CorrPred) (algebra
 				if !ok {
 					return nil, fmt.Errorf("lang: NOT scope must be a SEQUENCE")
 				}
-				return algebra.NotExpr{Neg: neg, Seq: seq, Corr: corr}, nil
+				return algebra.NotExpr{Neg: neg, Seq: seq, Corr: corr, CorrKey: b.corrKeyAttr}, nil
 			default:
-				return algebra.CancelWhenExpr{E: pos, Cancel: neg, Corr: corr}, nil
+				return algebra.CancelWhenExpr{E: pos, Cancel: neg, Corr: corr, CorrKey: b.corrKeyAttr}, nil
 			}
 		}
 		kids := make([]algebra.Expr, len(x.Kids))

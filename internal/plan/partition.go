@@ -104,6 +104,12 @@ func partitionOf(an *lang.Analysis, p *Plan) Partition {
 		if an == nil || an.PartitionAttr == "" {
 			return partitionNone("no CorrelationKey(attr, EQUAL) clause")
 		}
+		if an.DupPositiveAlias {
+			// Combine prime-renames colliding payload keys ("x.m" → "x.m'"),
+			// which the correlation filter never inspects — detections can
+			// mix keys, so state does not decompose by the attribute.
+			return partitionNone("duplicate positive alias: payload collisions escape CorrelationKey(%s)", an.PartitionAttr)
+		}
 		if an.Mode.Sel != algebra.SelectEach {
 			return partitionNone("first/last instance selection couples keys")
 		}

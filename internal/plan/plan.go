@@ -47,6 +47,7 @@ type Option func(*config)
 type config struct {
 	spec       *consistency.Spec
 	noSpecial  bool
+	noPushdown bool
 	outputName string
 	shards     int
 }
@@ -61,6 +62,15 @@ func WithSpec(s consistency.Spec) Option {
 // ablation benchmarks use it to compare the two evaluation strategies.
 func WithoutSpecialization() Option {
 	return func(c *config) { c.noSpecial = true }
+}
+
+// WithoutPushdown disables the correlation-key pushdown rewrite: the
+// incremental matcher tree still runs, but joins and negation stores stay
+// flat and every cross-key combination is enumerated before the residual
+// predicates drop it. The key-index ablation benchmarks use it to isolate
+// the pushdown's contribution.
+func WithoutPushdown() Option {
+	return func(c *config) { c.noPushdown = true }
 }
 
 // WithShards requests key-partitioned execution over n parallel shards.
@@ -92,7 +102,17 @@ func fromAnalysis(an *lang.Analysis, cfg config) (*Plan, error) {
 	// ablation baseline (and as the fallback for expressions outside the
 	// tree's grammar, should the language grow one).
 	if !cfg.noSpecial && inc.Supported(an.Expr) {
-		p.Stages = append(p.Stages, inc.NewOp(an.Expr, an.Mode, an.Query.Name))
+		// Correlation-key pushdown: when the analysis proved an equality
+		// attribute (CorrelationKey EQUAL or a spanning pairwise-equality
+		// conjunction — see lang.Analysis.PushKeyAttr), the matcher tree
+		// keys its join and negation stores by it; predicates outside that
+		// proof remain in the residual filterNode unchanged.
+		var opOpts []inc.OpOption
+		if an.PushKeyAttr != "" && !cfg.noPushdown {
+			opOpts = append(opOpts, inc.WithJoinKey(an.PushKeyAttr))
+			p.Rewrites = append(p.Rewrites, "correlation-pushdown("+an.PushKeyAttr+")")
+		}
+		p.Stages = append(p.Stages, inc.NewOp(an.Expr, an.Mode, an.Query.Name, opOpts...))
 		p.Rewrites = append(p.Rewrites, "incremental-pattern")
 	} else {
 		p.Stages = append(p.Stages, algebra.NewPatternOp(an.Expr, an.Mode, an.Query.Name))

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/algebra/inc"
 	"repro/internal/consistency"
 	"repro/internal/temporal"
 )
@@ -103,6 +104,86 @@ func TestSpecializationConditions(t *testing.T) {
 	}
 	if len(p.Rewrites) != 0 {
 		t.Errorf("WithoutSpecialization recorded rewrites: %v", p.Rewrites)
+	}
+}
+
+// TestCorrelationPushdown checks when the correlation-key pushdown rewrite
+// fires and which attribute reaches the matcher tree.
+func TestCorrelationPushdown(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		opts []Option
+		key  string // expected pushdown attribute; "" = no pushdown
+	}{
+		{name: "correlation-key-equal",
+			src: `EVENT E WHEN UNLESS(SEQUENCE(A a, B b, 10), C c, 5)
+WHERE CorrelationKey(m, EQUAL)`,
+			key: "m"},
+		{name: "correlation-key-unique-not-pushable",
+			src: `EVENT E WHEN SEQUENCE(A a, B b, 10) WHERE CorrelationKey(m, UNIQUE)`,
+			key: ""},
+		{name: "pairwise-spanning",
+			src: `EVENT E WHEN SEQUENCE(A a, B b, 10) WHERE {a.m = b.m}`,
+			key: "m"},
+		{name: "pairwise-spanning-three",
+			src: `EVENT E WHEN SEQUENCE(A a, B b, C c, 10) WHERE {a.m = b.m} AND {b.m = c.m}`,
+			key: "m"},
+		{name: "pairwise-not-spanning",
+			src: `EVENT E WHEN SEQUENCE(A a, B b, C c, 10) WHERE {a.m = b.m}`,
+			key: ""},
+		{name: "pairwise-mixed-attrs-not-pushable",
+			src: `EVENT E WHEN SEQUENCE(A a, B b, 10) WHERE {a.m = b.n}`,
+			key: ""},
+		{name: "inequality-not-pushable",
+			src: `EVENT E WHEN SEQUENCE(A a, B b, 10) WHERE {a.m != b.m}`,
+			key: ""},
+		{name: "literal-not-pushable",
+			src: `EVENT E WHEN SEQUENCE(A a, B b, 10) WHERE {a.m = 'x'}`,
+			key: ""},
+		{name: "single-alias-no-join",
+			src: `EVENT E WHEN ATMOST(2, A a, 10) WHERE CorrelationKey(m, EQUAL)`,
+			key: "m"},
+		{name: "disabled-by-option",
+			src:  `EVENT E WHEN SEQUENCE(A a, B b, 10) WHERE {a.m = b.m}`,
+			opts: []Option{WithoutPushdown()},
+			key:  ""},
+		// A duplicated positive alias makes Combine prime-rename the
+		// colliding payload keys (x.m → x.m'), which neither predicate
+		// family inspects — pushdown must refuse (for both shapes).
+		{name: "duplicate-alias-correlation-key",
+			src: `EVENT E WHEN SEQUENCE(A x, A x, B y, 30) WHERE CorrelationKey(m, EQUAL)`,
+			key: ""},
+		{name: "duplicate-alias-pairwise",
+			src: `EVENT E WHEN SEQUENCE(A x, A x, B y, 30) WHERE {x.m = y.m}`,
+			key: ""},
+	}
+	for _, c := range cases {
+		p, err := Compile(c.src, c.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if strings.HasPrefix(c.name, "duplicate-alias") && p.Part.OK() {
+			// Same collision-escape reasoning forbids key-sharding: a
+			// detection can mix keys through the primed payload names.
+			t.Errorf("%s: plan still partitions (%s)", c.name, p.Part)
+		}
+		tag := ""
+		for _, r := range p.Rewrites {
+			if strings.HasPrefix(r, "correlation-pushdown(") {
+				tag = strings.TrimSuffix(strings.TrimPrefix(r, "correlation-pushdown("), ")")
+			}
+		}
+		if tag != c.key {
+			t.Errorf("%s: pushdown rewrite = %q, want %q (rewrites %v)", c.name, tag, c.key, p.Rewrites)
+		}
+		if op, ok := p.Stages[0].(*inc.Op); ok {
+			if op.JoinKey() != c.key {
+				t.Errorf("%s: op join key = %q, want %q", c.name, op.JoinKey(), c.key)
+			}
+		} else if c.key != "" {
+			t.Errorf("%s: keyed plan did not produce an incremental op", c.name)
+		}
 	}
 }
 
