@@ -397,9 +397,12 @@ func BenchmarkMonitorScalingSharded(b *testing.B) {
 			b.Run(name, func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					out, _ := engine.RunShardedOp(
+					out, _, err := engine.RunShardedOp(
 						func() operators.Op { return operators.NewAggregate(operators.Count, "", "g") },
 						consistency.Middle(), shards, engine.RouteByAttr("g", shards), delivered)
+					if err != nil {
+						b.Fatal(err)
+					}
 					if len(out) == 0 {
 						b.Fatal("no output")
 					}

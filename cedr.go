@@ -39,6 +39,8 @@
 package cedr
 
 import (
+	"io"
+
 	"repro/internal/consistency"
 	"repro/internal/delivery"
 	"repro/internal/engine"
@@ -46,6 +48,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/stream"
 	"repro/internal/temporal"
+	"repro/internal/wal"
 )
 
 // Re-exported core types. The library is organized as internal packages
@@ -133,7 +136,12 @@ type System struct {
 }
 
 // Option configures a System.
-type Option func(*[]engine.Option)
+type Option func(*sysConfig)
+
+type sysConfig struct {
+	eopts []engine.Option
+	wopts []wal.LogOption
+}
 
 // WithShards makes every registered query whose plan is key-partitionable
 // run as n parallel shards — one goroutine, operator chain and consistency
@@ -143,16 +151,62 @@ type Option func(*[]engine.Option)
 // selection) transparently run on one shard. Per-query counts can be set
 // with plan.WithShards via RegisterOpts.
 func WithShards(n int) Option {
-	return func(opts *[]engine.Option) { *opts = append(*opts, engine.WithShards(n)) }
+	return func(c *sysConfig) { c.eopts = append(c.eopts, engine.WithShards(n)) }
 }
 
-// New creates an empty system.
+// WithSyncEvery sets a durable system's fsync batching: the write-ahead
+// log flushes and fsyncs once n appended records have accumulated (1 =
+// every append; the default is 32). Larger batches trade a longer
+// potentially-lost tail on crash for fewer fsyncs; recovery of a shorter
+// durable prefix is still byte-identical to a run over exactly that
+// prefix. Ignored by New (no log).
+func WithSyncEvery(n int) Option {
+	return func(c *sysConfig) { c.wopts = append(c.wopts, wal.SyncEvery(n)) }
+}
+
+// New creates an empty, non-durable system: nothing is persisted, and
+// Snapshot refuses. Use Open for a crash-safe system.
 func New(opts ...Option) *System {
-	var eopts []engine.Option
+	var cfg sysConfig
 	for _, o := range opts {
-		o(&eopts)
+		o(&cfg)
 	}
-	return &System{eng: engine.New(eopts...)}
+	return &System{eng: engine.New(cfg.eopts...)}
+}
+
+// Open creates (or re-opens) a crash-safe system backed by the write-ahead
+// log at path. Every registration, event, punctuation, consistency switch
+// and flush is appended to the log before it is processed; if the file
+// already holds records — say, from a run that crashed — they are replayed
+// first, recovering queries, operator state, result histories and metrics
+// byte-identical to the original run's durable prefix (a torn tail from a
+// mid-write crash is truncated). Input that cannot be made durable is not
+// processed: after a log failure Err reports it and the system drops
+// further input. Close the system to release the log.
+func Open(path string, opts ...Option) (*System, error) {
+	return Restore(nil, path, opts...)
+}
+
+// Restore is Open plus a snapshot (written by System.Snapshot): the
+// snapshot's records are replayed first, then the log's records past the
+// snapshot watermark. The log at walPath may be the one the snapshot was
+// cut from — or a fresh, empty file, which is how the WAL is rotated: take
+// a snapshot, restore against an empty log, delete the old log.
+func Restore(snapshot io.Reader, walPath string, opts ...Option) (*System, error) {
+	var cfg sysConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	log, err := wal.Open(walPath, cfg.wopts...)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.Restore(snapshot, log, cfg.eopts...)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return &System{eng: eng}, nil
 }
 
 // Register compiles CEDR query text and installs it as a standing query.
@@ -184,6 +238,18 @@ func (s *System) RegisterOpts(src string, opts ...plan.Option) (*Query, error) {
 	return &Query{q: q}, nil
 }
 
+// Queries returns every standing query in registration order. After Open
+// recovers a crashed system this is how the caller re-acquires handles to
+// the replayed queries (subscriptions are not persisted — re-Subscribe
+// here).
+func (s *System) Queries() []*Query {
+	var out []*Query
+	for _, q := range s.eng.Queries() {
+		out = append(out, &Query{q: q})
+	}
+	return out
+}
+
 // Push delivers one physical item to every registered query. The event's
 // CEDR arrival time is taken from its C interval (Deliver stamps it); for
 // hand-built events an unset arrival time is acceptable and treated as
@@ -195,6 +261,25 @@ func (s *System) Run(in Stream) { s.eng.Run(in) }
 
 // Finish flushes all queries, completing their output histories.
 func (s *System) Finish() { s.eng.Finish() }
+
+// Snapshot writes the system's durable state — the watermarked journal of
+// applied records — to w. Restore(snapshot, freshLog) resumes from it
+// without the original log file, which is how the WAL is rotated. It
+// requires a durable system (Open/Restore) whose registered queries were
+// all compiled from source text, and must not run concurrently with Push.
+func (s *System) Snapshot(w io.Writer) error { return s.eng.Snapshot(w) }
+
+// Err reports the system's durability failure, if any (WAL append, fsync,
+// or close error). A failed system drops further input — fail-stop — so
+// the caller can crash, rotate, or alert. Always nil on a New system.
+func (s *System) Err() error { return s.eng.Err() }
+
+// Close shuts the system down: input is dropped from here on, sharded
+// queries' goroutines exit, and the write-ahead log (if any) is synced and
+// closed. Close does not flush the queries — call Finish first if the
+// output histories should complete; otherwise a later Open resumes exactly
+// where the log ends. Idempotent.
+func (s *System) Close() error { return s.eng.Close() }
 
 // Query is a registered standing query.
 type Query struct {
@@ -239,6 +324,13 @@ func (q *Query) Alerts() []Event {
 
 // Metrics returns per-stage monitor metrics (stage 0 is the pattern).
 func (q *Query) Metrics() []Metrics { return q.q.Metrics() }
+
+// Err returns the error that quarantined the query — the recovered panic
+// of an operator, shard worker, or subscriber callback — or nil while the
+// query is healthy. A quarantined query stops processing input and
+// emitting output; its results up to the failure remain readable, and
+// sibling queries on the same system are unaffected.
+func (q *Query) Err() error { return q.q.Err() }
 
 // Subscribe registers a synchronous callback for every output item.
 func (q *Query) Subscribe(fn func(Event)) { q.q.Subscribe(fn) }

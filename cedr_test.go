@@ -1,6 +1,8 @@
 package cedr
 
 import (
+	"bytes"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/workload"
@@ -104,5 +106,131 @@ func TestPublicAPIBadQuery(t *testing.T) {
 	sys := New()
 	if _, err := sys.Register("EVENT nope"); err == nil {
 		t.Error("bad query accepted")
+	}
+}
+
+// TestPublicAPIDurability exercises the crash-safety surface end to end:
+// a durable system is run partway, "crashes" (the process state is
+// dropped without Close), and re-Opening the same log recovers the
+// queries, the emitted history, and accepts the rest of the input —
+// converging on the same alerts as an uninterrupted run.
+func TestPublicAPIDurability(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "cedr.wal")
+
+	src, expected := workload.MachineEvents(workload.DefaultMachines())
+	in := Deliver(src, OrderedDelivery(MustDuration(t, "10 minutes")))
+	half := len(in) / 2
+
+	sys, err := Open(walPath, WithSyncEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := sys.Register(missedRestart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range in[:half] {
+		sys.Push(ev)
+	}
+	if sys.Err() != nil {
+		t.Fatal(sys.Err())
+	}
+	emitted := len(q.Results())
+	// Crash: no Finish, no Close — the log is all that survives.
+
+	sys2, err := Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	qs := sys2.Queries()
+	if len(qs) != 1 {
+		t.Fatalf("recovered %d queries, want 1", len(qs))
+	}
+	rq := qs[0]
+	if got := len(rq.Results()); got != emitted {
+		t.Fatalf("recovered %d emitted items, want %d", got, emitted)
+	}
+	for _, ev := range in[half:] {
+		sys2.Push(ev)
+	}
+	sys2.Finish()
+	if got := len(rq.Alerts()); got != expected {
+		t.Fatalf("recovered run: %d alerts, want %d", got, expected)
+	}
+	if err := sys2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.Close(); err != nil {
+		t.Fatal("second Close:", err)
+	}
+}
+
+// TestPublicAPISnapshotRotation: Snapshot plus a fresh log resumes without
+// the original WAL.
+func TestPublicAPISnapshotRotation(t *testing.T) {
+	dir := t.TempDir()
+	src, expected := workload.MachineEvents(workload.DefaultMachines())
+	in := Deliver(src, OrderedDelivery(MustDuration(t, "10 minutes")))
+	half := len(in) / 2
+
+	sys, err := Open(filepath.Join(dir, "old.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Register(missedRestart); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range in[:half] {
+		sys.Push(ev)
+	}
+	var snap bytes.Buffer
+	if err := sys.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := Restore(&snap, filepath.Join(dir, "new.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	for _, ev := range in[half:] {
+		sys2.Push(ev)
+	}
+	sys2.Finish()
+	rq := sys2.Queries()[0]
+	if got := len(rq.Alerts()); got != expected {
+		t.Fatalf("rotated run: %d alerts, want %d", got, expected)
+	}
+}
+
+// TestPublicAPIQuarantine: a panicking subscriber must not take the
+// process down; the query reports the failure and its sibling is
+// unaffected.
+func TestPublicAPIQuarantine(t *testing.T) {
+	sys := New()
+	q, err := sys.Register(missedRestart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sibling, err := sys.Register(missedRestart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Subscribe(func(Event) { panic("bad subscriber") })
+	src, expected := workload.MachineEvents(workload.DefaultMachines())
+	sys.Run(Deliver(src, OrderedDelivery(MustDuration(t, "10 minutes"))))
+	if q.Err() == nil {
+		t.Fatal("panicking query reports no error")
+	}
+	if sibling.Err() != nil {
+		t.Fatal(sibling.Err())
+	}
+	if got := len(sibling.Alerts()); got != expected {
+		t.Fatalf("sibling: %d alerts, want %d", got, expected)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/stream"
 	"repro/internal/temporal"
+	"repro/internal/wal"
 	"repro/internal/workload"
 )
 
@@ -171,9 +172,12 @@ func runBenchSuite(dir string, seed int64, baselineDir string, update bool) erro
 			bench: func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					out, _ := engine.RunShardedOp(
+					out, _, err := engine.RunShardedOp(
 						func() operators.Op { return operators.NewAggregate(operators.Count, "", "g") },
 						consistency.Middle(), shards, engine.RouteByAttr("g", shards), shardDelivered)
+					if err != nil {
+						b.Fatal(err)
+					}
 					if len(out) == 0 {
 						b.Fatal("no output")
 					}
@@ -298,6 +302,82 @@ WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
 					m.Push(0, e)
 				}
 				m.Finish()
+			}
+		},
+	})
+
+	// Durability dimension (ungated this cycle — recorded to establish the
+	// trajectory before committing floors): raw WAL append throughput with
+	// default fsync batching, and crash-recovery replay of the CIDR07 query
+	// through engine.Restore. Durability is opt-in, so neither touches the
+	// gated hot-path numbers above.
+	walDir, err := os.MkdirTemp("", "cedrbench-wal")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(walDir)
+	entries = append(entries, entry{
+		name:   "wal_append",
+		events: len(patternDelivered),
+		bench: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				log, err := wal.Open(filepath.Join(walDir, "append.wal"))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, ev := range patternDelivered {
+					kind := wal.KindEvent
+					if ev.IsCTI() {
+						kind = wal.KindCTI
+					}
+					if _, err := log.Append(wal.Record{Kind: kind, Ev: ev}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := log.Close(); err != nil {
+					b.Fatal(err)
+				}
+				if err := os.Remove(filepath.Join(walDir, "append.wal")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+	})
+	// Pre-build the log to recover from: one durable run over the CIDR07
+	// workload, crashed without Finish (the recovery-relevant shape).
+	replayPath := filepath.Join(walDir, "replay.wal")
+	if err := func() error {
+		sys, err := cedr.Open(replayPath)
+		if err != nil {
+			return err
+		}
+		if _, err := sys.RegisterAt(cidrQuery, consistency.Middle()); err != nil {
+			return err
+		}
+		for _, ev := range patternDelivered {
+			sys.Push(ev)
+		}
+		return sys.Close()
+	}(); err != nil {
+		return err
+	}
+	entries = append(entries, entry{
+		name:   "wal_recovery_replay",
+		events: len(patternDelivered),
+		bench: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys, err := cedr.Open(replayPath)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(sys.Queries()) != 1 {
+					b.Fatal("recovery lost the query")
+				}
+				if err := sys.Close(); err != nil {
+					b.Fatal(err)
+				}
 			}
 		},
 	})

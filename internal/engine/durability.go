@@ -1,0 +1,303 @@
+// Durability: the engine-side half of the crash-safety story.
+//
+// CEDR's runtime state is a deterministic function of the applied input
+// sequence — events, punctuation, registrations, and spec switches (the
+// consistency monitor and matcher tree are pinned byte-exact by the
+// differential suites). The durability layer therefore persists exactly
+// that sequence: every applied record goes to the write-ahead log
+// (internal/wal) before it is processed, and recovery is deterministic
+// replay — a fresh engine re-applies the recovered records and arrives at
+// the same operator state, the same output history (inserts, retractions,
+// punctuation), byte for byte.
+//
+// A snapshot is the same idea made portable: the magic header, the
+// watermark (sequence of the last applied record), and the engine's
+// journal of applied records, re-framed with the WAL's own record
+// encoding. A snapshot is self-contained — restoring from it does not
+// need the log file it was cut from, which is what permits WAL rotation:
+// snapshot, then point the engine at a fresh empty log.
+//
+// Failure model: fail-stop. Once a WAL append or fsync fails, the engine
+// refuses further input (input that cannot be made durable is not
+// processed) and Err reports the failure. Batched fsync means a crash may
+// lose the records since the last successful sync; recovery then replays
+// the shorter durable prefix — still byte-identical to a run over exactly
+// that prefix.
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/plan"
+	"repro/internal/wal"
+)
+
+// snapMagic is the snapshot file header; the version byte changes with the
+// record encoding.
+const snapMagic = "CEDRSNP\x01"
+
+// logAppend appends one record to the write-ahead log and the in-memory
+// journal, assigning the next engine sequence number. The caller holds
+// e.pushMu (so log order is apply order). It reports whether the record is
+// durable; on a WAL failure the engine fails stop and the caller must drop
+// the input rather than process it.
+func (e *Engine) logAppend(rec wal.Record) bool {
+	if e.walErr != nil || e.closed {
+		return false
+	}
+	rec.Seq = e.seq + 1
+	if _, err := e.log.Append(rec); err != nil {
+		e.walErr = fmt.Errorf("engine: wal append: %w", err)
+		return false
+	}
+	e.seq = rec.Seq
+	e.journal = append(e.journal, rec)
+	return true
+}
+
+// applyRecord re-applies one logged record during replay: the same code
+// paths as live operation, minus the logging (e.log is still nil, and
+// e.replaying suppresses the Register branch).
+func (e *Engine) applyRecord(rec wal.Record) error {
+	switch rec.Kind {
+	case wal.KindEvent, wal.KindCTI:
+		for _, q := range e.snapshot() {
+			q.Push(rec.Ev)
+		}
+	case wal.KindRegister:
+		d := plan.Durable{
+			Src:              rec.Src,
+			HasSpec:          rec.Opts.HasSpec,
+			Spec:             rec.Opts.Spec,
+			Shards:           rec.Opts.Shards,
+			NoSpecialization: rec.Opts.NoSpecialization,
+			NoPushdown:       rec.Opts.NoPushdown,
+		}
+		p, err := plan.Compile(d.Src, d.Options()...)
+		if err != nil {
+			return fmt.Errorf("engine: restore: recompile %q: %w", d.Src, err)
+		}
+		e.Register(p)
+	case wal.KindSpec:
+		qs := e.snapshot()
+		if rec.Query < 0 || rec.Query >= len(qs) {
+			return fmt.Errorf("engine: restore: spec switch for unknown query %d", rec.Query)
+		}
+		qs[rec.Query].setSpecApply(rec.Spec)
+	case wal.KindFinish:
+		e.mu.Lock()
+		e.finished = true
+		e.mu.Unlock()
+		for _, q := range e.snapshot() {
+			q.Finish()
+		}
+	default:
+		return fmt.Errorf("engine: restore: unknown record kind %d", rec.Kind)
+	}
+	e.seq = rec.Seq
+	e.journal = append(e.journal, rec)
+	return nil
+}
+
+// Restore builds a durable engine by deterministic replay: the snapshot's
+// records first (if snap is non-nil), then every recovered log record past
+// the snapshot watermark, then the log is attached for appending. With a
+// nil snapshot and a fresh (empty) log this is simply how a durable engine
+// is born. The recovered engine's queries, operator state, result
+// histories, and metrics are byte-identical to the original engine's at
+// the moment the last durable record was applied.
+//
+// The log must be opened by the caller (wal.Open / wal.New — opening
+// recovers and truncates any torn tail) and is owned by the engine from
+// here on: Close closes it.
+func Restore(snap io.Reader, log *wal.Log, opts ...Option) (*Engine, error) {
+	if log == nil {
+		return nil, fmt.Errorf("engine: restore requires an open write-ahead log")
+	}
+	e := New(opts...)
+	e.replaying = true
+	if snap != nil {
+		if err := e.replaySnapshot(snap); err != nil {
+			e.shutdownQueries()
+			return nil, err
+		}
+	}
+	for _, rec := range log.Recovered() {
+		if rec.Seq <= e.seq {
+			continue // already applied via the snapshot
+		}
+		if err := e.applyRecord(rec); err != nil {
+			e.shutdownQueries()
+			return nil, err
+		}
+	}
+	// Sharded queries process asynchronously; drain them so the restored
+	// engine's visible results reflect the entire replayed history before
+	// the caller sees it.
+	for _, q := range e.snapshot() {
+		q.drainShards()
+	}
+	e.replaying = false
+	e.log = log
+	return e, nil
+}
+
+// replaySnapshot decodes and applies a snapshot. Unlike WAL recovery —
+// where a torn tail is expected and silently truncated — a damaged
+// snapshot is a hard error: it was written atomically, so corruption
+// means the restore must not proceed on a silently shortened history.
+func (e *Engine) replaySnapshot(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("engine: snapshot read: %w", err)
+	}
+	headLen := len(snapMagic) + 8
+	if len(data) < headLen || string(data[:len(snapMagic)]) != snapMagic {
+		return fmt.Errorf("engine: not a CEDR snapshot")
+	}
+	watermark := binary.LittleEndian.Uint64(data[len(snapMagic):headLen])
+	body := data[headLen:]
+	if len(body) < len(wal.Magic) {
+		return fmt.Errorf("engine: snapshot truncated inside record header")
+	}
+	recs, good, err := wal.ReadAll(bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if good != int64(len(body)) {
+		return fmt.Errorf("engine: snapshot corrupt: %d of %d record bytes decode", good, len(body))
+	}
+	for _, rec := range recs {
+		if err := e.applyRecord(rec); err != nil {
+			return err
+		}
+	}
+	if e.seq != watermark {
+		return fmt.Errorf("engine: snapshot watermark %d does not match record tail %d", watermark, e.seq)
+	}
+	return nil
+}
+
+// Snapshot writes the engine's durable state to w: header, watermark, and
+// the journal of applied records. It refuses while any registered query
+// was built directly from operators (no source text to re-compile — the
+// snapshot could not restore it) and after a WAL failure. The log is
+// synced first, so everything the snapshot claims is also on disk in the
+// log; afterwards the WAL may be rotated (Restore from this snapshot plus
+// a fresh empty log).
+//
+// Callers must not Push concurrently with Snapshot (it holds the engine's
+// durable-append lock, so a concurrent Push would block, not corrupt).
+func (e *Engine) Snapshot(w io.Writer) error {
+	e.pushMu.Lock()
+	defer e.pushMu.Unlock()
+	if e.log == nil {
+		return fmt.Errorf("engine: snapshot requires a durable engine (engine.Restore)")
+	}
+	if e.walErr != nil {
+		return e.walErr
+	}
+	e.mu.RLock()
+	nonDur := append([]string(nil), e.nonDur...)
+	e.mu.RUnlock()
+	if len(nonDur) > 0 {
+		return fmt.Errorf("engine: snapshot refused: queries %v were built directly from operators and cannot be restored", nonDur)
+	}
+	if err := e.log.Sync(); err != nil {
+		e.walErr = fmt.Errorf("engine: wal sync: %w", err)
+		return e.walErr
+	}
+	buf := make([]byte, 0, 64+64*len(e.journal))
+	buf = append(buf, snapMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, e.seq)
+	buf = append(buf, wal.Magic...)
+	var err error
+	for _, rec := range e.journal {
+		if buf, err = wal.AppendRecord(buf, rec); err != nil {
+			return err
+		}
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("engine: snapshot write: %w", err)
+	}
+	return nil
+}
+
+// Err reports the engine's durability failure, if any: the first WAL
+// append, fsync, or close error. A failed engine drops further input
+// (fail-stop) — the caller decides whether to crash, rotate the log, or
+// surface the error. Always nil on a non-durable engine.
+func (e *Engine) Err() error {
+	e.pushMu.Lock()
+	defer e.pushMu.Unlock()
+	if e.walErr != nil {
+		return e.walErr
+	}
+	if e.log != nil {
+		return e.log.Err()
+	}
+	return nil
+}
+
+// Close shuts the engine down: further input is dropped, every sharded
+// query's workers and merger exit, and the write-ahead log is synced and
+// closed. Close is a process-exit, not a logical completion — it does not
+// emit (or log) the queries' finish outputs, so a later Restore resumes
+// exactly where the log ends. Call Finish first for a completed output
+// history. Idempotent: the second and later calls are no-ops returning
+// the same error.
+func (e *Engine) Close() error {
+	e.pushMu.Lock()
+	if e.closed {
+		e.pushMu.Unlock()
+		return e.Err()
+	}
+	e.closed = true
+	e.pushMu.Unlock()
+	e.shutdownQueries()
+	if e.log != nil {
+		if cerr := e.log.Close(); cerr != nil {
+			e.pushMu.Lock()
+			if e.walErr == nil {
+				e.walErr = fmt.Errorf("engine: wal close: %w", cerr)
+			}
+			e.pushMu.Unlock()
+		}
+	}
+	return e.Err()
+}
+
+// shutdownQueries stops every query's goroutines without emitting their
+// finish outputs (see Query.shutdown).
+func (e *Engine) shutdownQueries() {
+	for _, q := range e.snapshot() {
+		q.shutdown()
+	}
+}
+
+// drainShards waits until a sharded query has processed and delivered
+// everything enqueued so far; a no-op on single-shard queries, which are
+// synchronous.
+func (q *Query) drainShards() {
+	if q.sh != nil {
+		q.sh.barrier()
+	}
+}
+
+// shutdown closes one query for engine shutdown: subsequent input is
+// dropped and delivery is muted, then the sharded runtime (if any) is
+// drained so its workers and merger exit. The monitors' finish outputs
+// are computed but discarded — they were never logged, so emitting them
+// would diverge from what recovery replays.
+func (q *Query) shutdown() {
+	q.mu.Lock()
+	q.finished = true
+	q.closed = true
+	q.mu.Unlock()
+	if q.sh != nil {
+		q.sh.finish()
+	}
+}

@@ -1,0 +1,442 @@
+// Crash-safety differentials: the engine is killed at every WAL record
+// boundary (and inside records, for torn tails) of a CIDR07 workload, the
+// survivor is recovered, the lost suffix re-sent, and the recovered output
+// history — inserts, retractions, punctuation, metrics — must be
+// byte-identical to the uninterrupted oracle run. Runs under -race in the
+// dedicated CI fault-injection job.
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/delivery"
+	"repro/internal/event"
+	"repro/internal/faultinject"
+	"repro/internal/leakcheck"
+	"repro/internal/plan"
+	"repro/internal/stream"
+	"repro/internal/temporal"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// durabilityWorkload is a small disordered machine-lifecycle stream — big
+// enough to exercise blocking, repair, and retraction; small enough that
+// crashing at every record boundary stays fast.
+func durabilityWorkload() stream.Stream {
+	src, _ := workload.MachineEvents(workload.Machines{
+		Seed:            7,
+		Machines:        4,
+		Cycles:          2,
+		RestartDeadline: 5 * temporal.Minute,
+		MissProb:        0.5,
+		CycleGap:        30 * temporal.Minute,
+	})
+	return delivery.Deliver(src, delivery.Disordered(7, temporal.Minute, 10*temporal.Minute, 0.2))
+}
+
+// driveOracle runs the uninterrupted durable reference: register, push the
+// first third, switch to strong consistency, push the second third, switch
+// back to middle, push the rest, finish.
+func driveOracle(t *testing.T, e *Engine, shards int, in stream.Stream) *Query {
+	t.Helper()
+	q, err := e.RegisterText(monitorQuery, plan.WithShards(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range in {
+		if i == len(in)/3 {
+			q.SetSpec(consistency.Strong())
+		}
+		if i == 2*len(in)/3 {
+			q.SetSpec(consistency.Middle())
+		}
+		e.Push(ev)
+	}
+	e.Finish()
+	return q
+}
+
+// redrive re-sends lost records through the engine's public API, playing
+// the role of the upstream client that resends unacknowledged input after
+// a crash.
+func redrive(t *testing.T, e *Engine, recs []wal.Record) {
+	t.Helper()
+	for _, rec := range recs {
+		switch rec.Kind {
+		case wal.KindEvent, wal.KindCTI:
+			e.Push(rec.Ev)
+		case wal.KindRegister:
+			d := plan.Durable{
+				Src:              rec.Src,
+				HasSpec:          rec.Opts.HasSpec,
+				Spec:             rec.Opts.Spec,
+				Shards:           rec.Opts.Shards,
+				NoSpecialization: rec.Opts.NoSpecialization,
+				NoPushdown:       rec.Opts.NoPushdown,
+			}
+			p, err := plan.Compile(d.Src, d.Options()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Register(p)
+		case wal.KindSpec:
+			e.Queries()[rec.Query].SetSpec(rec.Spec)
+		case wal.KindFinish:
+			e.Finish()
+		default:
+			t.Fatalf("unexpected record kind %v", rec.Kind)
+		}
+	}
+}
+
+// TestCrashRecoveryAtEveryRecordBoundary is the crash-point differential:
+// for shard counts 1 and 4, the oracle's WAL is cut at every record
+// boundary — plus a torn cut inside every record — and each survivor is
+// recovered and driven to completion. Every recovered history must equal
+// the oracle's byte for byte.
+func TestCrashRecoveryAtEveryRecordBoundary(t *testing.T) {
+	in := durabilityWorkload()
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			defer leakcheck.Check(t)()
+			dir := t.TempDir()
+			oraclePath := filepath.Join(dir, "oracle.wal")
+			log, err := wal.Open(oraclePath, wal.SyncEvery(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := Restore(nil, log)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := driveOracle(t, e, shards, in)
+			wantResults := q.Results()
+			wantMetrics := q.Metrics()
+			if err := e.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if len(wantResults) == 0 {
+				t.Fatal("oracle produced no output; the differential would be vacuous")
+			}
+
+			img, err := os.ReadFile(oraclePath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			records, good, err := wal.ReadAll(bytes.NewReader(img))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if good != int64(len(img)) {
+				t.Fatalf("oracle WAL has a %d-byte tail past the last record", int64(len(img))-good)
+			}
+			var cuts []int64
+			if _, err := wal.Scan(bytes.NewReader(img), func(_ wal.Record, start, end int64) error {
+				// Crash exactly at the boundary before this record, and torn
+				// three bytes into its frame.
+				cuts = append(cuts, start, start+3)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			cuts = append(cuts, int64(len(img))) // crash after the final record
+
+			crashPath := filepath.Join(dir, "crash.wal")
+			for _, cut := range cuts {
+				if err := os.WriteFile(crashPath, img[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				log2, err := wal.Open(crashPath, wal.SyncEvery(1))
+				if err != nil {
+					t.Fatalf("cut=%d: reopen: %v", cut, err)
+				}
+				survived := len(log2.Recovered())
+				e2, err := Restore(nil, log2)
+				if err != nil {
+					t.Fatalf("cut=%d: restore: %v", cut, err)
+				}
+				redrive(t, e2, records[survived:])
+				q2s := e2.Queries()
+				if len(q2s) != 1 {
+					t.Fatalf("cut=%d: recovered %d queries, want 1", cut, len(q2s))
+				}
+				compareStreams(t, fmt.Sprintf("cut=%d results", cut), q2s[0].Results(), wantResults)
+				if got := q2s[0].Metrics(); !reflect.DeepEqual(got, wantMetrics) {
+					t.Fatalf("cut=%d: metrics diverge:\n got %+v\nwant %+v", cut, got, wantMetrics)
+				}
+				if err := e2.Close(); err != nil {
+					t.Fatalf("cut=%d: close: %v", cut, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotRestoreRotation: a snapshot taken mid-stream restores (a)
+// against a fresh empty log — WAL rotation — with the remaining input
+// re-driven, and (b) against the original full log, where replay resumes
+// from the watermark with nothing re-sent. Both must reproduce the oracle
+// byte for byte.
+func TestSnapshotRestoreRotation(t *testing.T) {
+	defer leakcheck.Check(t)()
+	in := durabilityWorkload()
+	half := len(in) / 2
+	dir := t.TempDir()
+
+	log1, err := wal.Open(filepath.Join(dir, "full.wal"), wal.SyncEvery(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := Restore(nil, log1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1, err := e1.RegisterText(monitorQuery, plan.WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range in[:half] {
+		e1.Push(ev)
+	}
+	var snap bytes.Buffer
+	if err := e1.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	q1.drainShards() // sharded delivery is asynchronous; settle before reading
+	midResults := q1.Results()
+	for _, ev := range in[half:] {
+		e1.Push(ev)
+	}
+	e1.Finish()
+	wantResults := q1.Results()
+	if err := e1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// (a) Rotation: snapshot + fresh empty log; the client re-sends the
+	// input that postdates the snapshot.
+	log2, err := wal.Open(filepath.Join(dir, "rotated.wal"), wal.SyncEvery(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Restore(bytes.NewReader(snap.Bytes()), log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2 := e2.Queries()[0]
+	compareStreams(t, "post-snapshot restore", q2.Results(), midResults)
+	for _, ev := range in[half:] {
+		e2.Push(ev)
+	}
+	e2.Finish()
+	compareStreams(t, "rotated results", q2.Results(), wantResults)
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// (b) Snapshot + the original log: records at or before the watermark
+	// are skipped, the rest replay from the log.
+	log3, err := wal.Open(filepath.Join(dir, "full.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := Restore(bytes.NewReader(snap.Bytes()), log3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3 := e3.Queries()[0]
+	e3.Finish() // the oracle finished after its last logged record
+	compareStreams(t, "snapshot+log results", q3.Results(), wantResults)
+	if err := e3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRefusals: snapshots require a durable engine and refuse
+// while a hand-built (source-less) plan is registered, and a corrupt
+// snapshot is a hard restore error rather than a silent partial replay.
+func TestSnapshotRefusals(t *testing.T) {
+	defer leakcheck.Check(t)()
+	var buf bytes.Buffer
+	if err := New().Snapshot(&buf); err == nil {
+		t.Fatal("snapshot of a non-durable engine succeeded")
+	}
+
+	dir := t.TempDir()
+	log, err := wal.Open(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Restore(nil, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	// Hand-built plan: compiled stages but no source text.
+	hp, err := plan.Compile(monitorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := &plan.Plan{Name: "bare", Stages: hp.Stages, Spec: hp.Spec}
+	e.Register(bare)
+	if err := e.Snapshot(&buf); err == nil {
+		t.Fatal("snapshot succeeded with a source-less plan registered")
+	}
+
+	// Corrupt snapshot → hard error.
+	log2, err := wal.Open(filepath.Join(dir, "wal2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Restore(nil, log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.RegisterText(monitorQuery); err != nil {
+		t.Fatal(err)
+	}
+	e2.Push(event.NewCTI(1))
+	var snap bytes.Buffer
+	if err := e2.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bad := faultinject.FlipByte(snap.Bytes(), int64(snap.Len()-2))
+	log3, err := wal.Open(filepath.Join(dir, "wal3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bytes.NewReader(bad), log3); err == nil {
+		t.Fatal("restore from corrupt snapshot succeeded")
+	}
+	log3.Close()
+	torn := faultinject.TornTail(snap.Bytes(), 2)
+	log4, err := wal.Open(filepath.Join(dir, "wal4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(bytes.NewReader(torn), log4); err == nil {
+		t.Fatal("restore from torn snapshot succeeded")
+	}
+	log4.Close()
+}
+
+// TestEngineFailStopOnFsyncError: after an injected fsync failure the
+// engine reports the error and refuses further input — events that cannot
+// be made durable are never processed.
+func TestEngineFailStopOnFsyncError(t *testing.T) {
+	defer leakcheck.Check(t)()
+	f, err := os.Create(filepath.Join(t.TempDir(), "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := faultinject.NewFile(f)
+	ff.FailSyncAt = 2 // sync 1 covers the registration; fail the first event
+	log, err := wal.New(ff, wal.SyncEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Restore(nil, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := e.RegisterText(monitorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Err() != nil {
+		t.Fatalf("premature failure: %v", e.Err())
+	}
+	in := durabilityWorkload()
+	for _, ev := range in {
+		e.Push(ev)
+	}
+	e.Finish()
+	if e.Err() == nil {
+		t.Fatal("engine reports no error after fsync failure")
+	}
+	if got := q.Results(); len(got) != 0 {
+		t.Fatalf("%d results emitted from input that was never durable", len(got))
+	}
+	if err := e.Close(); err == nil {
+		t.Fatal("Close cleared the sticky durability error")
+	}
+	if err := e.Close(); err == nil {
+		t.Fatal("second Close cleared the sticky durability error")
+	}
+}
+
+// TestCrashDuringAppend drives a wal.Log over a crash-at-offset file: the
+// torn write reaches the disk, recovery truncates it, and replay of the
+// durable prefix matches an uninterrupted run over that prefix.
+func TestCrashDuringAppend(t *testing.T) {
+	defer leakcheck.Check(t)()
+	in := durabilityWorkload()
+	path := filepath.Join(t.TempDir(), "wal")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := faultinject.NewFile(f)
+	ff.CrashAtByte = 900
+	log, err := wal.New(ff, wal.SyncEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := Restore(nil, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterText(monitorQuery); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range in {
+		e.Push(ev) // the append past byte 900 crashes; later pushes drop
+	}
+	if e.Err() == nil {
+		t.Fatal("crash not surfaced")
+	}
+	e.Close()
+
+	// Recover the torn file.
+	log2, err := wal.Open(path, wal.SyncEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	durable := append([]wal.Record(nil), log2.Recovered()...)
+	if len(durable) == 0 {
+		t.Fatal("nothing durable before the crash point")
+	}
+	e2, err := Restore(nil, log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := e2.Queries()[0].Results()
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle over exactly the durable prefix.
+	oe := New()
+	var oq *Query
+	for _, rec := range durable {
+		switch rec.Kind {
+		case wal.KindRegister:
+			if oq, err = oe.RegisterText(rec.Src); err != nil {
+				t.Fatal(err)
+			}
+		case wal.KindEvent, wal.KindCTI:
+			oe.Push(rec.Ev)
+		}
+	}
+	compareStreams(t, "durable prefix replay", got, oq.Results())
+}

@@ -7,6 +7,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/consistency"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/operators"
 	"repro/internal/plan"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 // Engine hosts standing queries.
@@ -21,6 +23,19 @@ type Engine struct {
 	mu      sync.RWMutex
 	queries []*Query
 	shards  int // default shard count for queries that don't request one
+
+	// Durability (see durability.go). log is attached once, by Restore,
+	// before the engine is shared; nil means durability is off and the hot
+	// path stays exactly as before (one nil check per Push).
+	log       *wal.Log
+	journal   []wal.Record // applied records, for Snapshot; durable engines only
+	seq       uint64       // sequence of the last applied record
+	replaying bool         // Restore replay in progress: suppress re-logging
+	walErr    error        // first WAL failure; the engine fails stop
+	nonDur    []string     // names of queries that bypassed durable registration
+	pushMu    sync.Mutex   // durable engines: serializes log order = apply order
+	closed    bool
+	finished  bool
 }
 
 // Option adjusts engine construction.
@@ -54,7 +69,28 @@ func New(opts ...Option) *Engine {
 // passes partitionability analysis runs on the key-partitioned parallel
 // runtime (shard.go); all other plans run single-shard.
 func (e *Engine) Register(p *plan.Plan) *Query {
-	q := &Query{name: p.Name, plan: p}
+	// Durable engines log the registration ahead of installing it, so a
+	// recovered engine re-creates the query at the same position in the
+	// input sequence. Plans without source text cannot be re-compiled on
+	// recovery; they register, but Snapshot refuses until they are gone.
+	if e.log != nil && !e.replaying {
+		e.pushMu.Lock()
+		defer e.pushMu.Unlock()
+		if d, ok := p.Durable(); ok {
+			e.logAppend(wal.Record{Kind: wal.KindRegister, Src: d.Src, Opts: wal.RegOpts{
+				HasSpec:          d.HasSpec,
+				Spec:             d.Spec,
+				Shards:           d.Shards,
+				NoSpecialization: d.NoSpecialization,
+				NoPushdown:       d.NoPushdown,
+			}})
+		} else {
+			e.mu.Lock()
+			e.nonDur = append(e.nonDur, p.Name)
+			e.mu.Unlock()
+		}
+	}
+	q := &Query{name: p.Name, plan: p, eng: e}
 	n := p.Shards
 	if n == 0 {
 		n = e.shards
@@ -74,6 +110,7 @@ func (e *Engine) Register(p *plan.Plan) *Query {
 		if err == nil {
 			q.sh = sh
 			q.shards = n
+			sh.onFail = q.quarantine
 		}
 		// On error (hand-built plan that cannot be re-instantiated): fall
 		// back to single-shard execution below.
@@ -85,6 +122,7 @@ func (e *Engine) Register(p *plan.Plan) *Query {
 		}
 	}
 	e.mu.Lock()
+	q.idx = len(e.queries)
 	e.queries = append(e.queries, q)
 	e.mu.Unlock()
 	return q
@@ -132,23 +170,57 @@ func (e *Engine) Query(name string) (*Query, bool) {
 
 // Push delivers one physical item to every registered query. The query
 // list is snapshotted once per call — no per-event copying, and concurrent
-// Registers only take effect for subsequent pushes.
+// Registers only take effect for subsequent pushes. On a durable engine
+// the item is appended to the write-ahead log first; if the log has failed
+// (fsync error), the engine fails stop and drops the item — input that is
+// not durable is not processed.
 func (e *Engine) Push(ev event.Event) {
+	if e.log != nil {
+		e.pushMu.Lock()
+		defer e.pushMu.Unlock()
+		kind := wal.KindEvent
+		if ev.IsCTI() {
+			kind = wal.KindCTI
+		}
+		if !e.logAppend(wal.Record{Kind: kind, Ev: ev}) {
+			return
+		}
+	}
 	for _, q := range e.snapshot() {
 		q.Push(ev)
 	}
 }
 
-// Finish flushes every query.
+// Finish flushes every query. On a durable engine the flush is logged, so
+// recovery reproduces the completed output histories.
 func (e *Engine) Finish() {
+	if e.log != nil {
+		e.pushMu.Lock()
+		defer e.pushMu.Unlock()
+		e.mu.Lock()
+		first := !e.finished
+		e.finished = true
+		e.mu.Unlock()
+		if first && !e.logAppend(wal.Record{Kind: wal.KindFinish}) {
+			return
+		}
+	}
 	for _, q := range e.snapshot() {
 		q.Finish()
 	}
 }
 
 // Run pushes an entire physical stream and finishes; a convenience for
-// finite workloads. The query list is snapshotted once for the whole run.
+// finite workloads. The query list is snapshotted once for the whole run
+// (durable engines go through Push/Finish so every item is logged).
 func (e *Engine) Run(s stream.Stream) {
+	if e.log != nil {
+		for _, ev := range s {
+			e.Push(ev)
+		}
+		e.Finish()
+		return
+	}
 	qs := e.snapshot()
 	for _, ev := range s {
 		for _, q := range qs {
@@ -169,15 +241,53 @@ type Query struct {
 	monitors []*consistency.Monitor
 	sh       *sharded
 	shards   int
+	eng      *Engine // owning engine, for durable spec-change logging
+	idx      int     // position in the engine's query list (the WAL's query id)
 
 	mu       sync.Mutex
 	finished bool
+	closed   bool  // engine shutdown: delivery is muted (see Query.shutdown)
+	err      error // quarantine: first panic from a stage or subscriber
 	results  stream.Stream
 	subs     []func(event.Event)
 
 	// batchA/batchB are the double-buffered inter-stage batches reused by
 	// Push and Finish, so driving the chain allocates nothing per event.
 	batchA, batchB []event.Event
+}
+
+// Err returns the error that quarantined the query: the recovered panic of
+// an operator stage, shard worker, or subscriber callback. A quarantined
+// query stops processing input and emitting output, but its results up to
+// the failure remain readable; sibling queries are unaffected. Err is nil
+// while the query is healthy.
+func (q *Query) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// quarantine records the failure that isolates the query. The first error
+// wins; later ones (cascading noise from an already-broken pipeline) are
+// dropped.
+func (q *Query) quarantine(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.mu.Unlock()
+}
+
+// quarantineLocked is quarantine for callers already holding q.mu.
+func (q *Query) quarantineLocked(err error) {
+	if q.err == nil {
+		q.err = err
+	}
+}
+
+// recoverPanic converts a recovered panic value into the quarantine error.
+func recoverPanic(name, where string, r any) error {
+	return fmt.Errorf("engine: query %s quarantined: %s panicked: %v\n%s", name, where, r, debug.Stack())
 }
 
 // Name returns the query's registered name.
@@ -210,14 +320,27 @@ func (q *Query) Subscribe(fn func(event.Event)) {
 // execution mode.
 func (q *Query) Push(ev event.Event) []event.Event {
 	if q.sh != nil {
-		q.sh.push(ev)
+		q.mu.Lock()
+		dead := q.err != nil || q.closed
+		q.mu.Unlock()
+		if !dead {
+			q.sh.push(ev)
+		}
 		return nil
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.finished {
+	if q.finished || q.err != nil {
 		return nil
 	}
+	// The monitor chain runs under a recover barrier: a panicking operator
+	// quarantines this query (Err) instead of killing the process, and
+	// sibling queries sharing the engine keep running.
+	defer func() {
+		if r := recover(); r != nil {
+			q.quarantineLocked(recoverPanic(q.name, "operator stage", r))
+		}
+	}()
 	batch := append(q.batchA[:0], ev)
 	next := q.batchB[:0]
 	for _, m := range q.monitors {
@@ -246,10 +369,15 @@ func (q *Query) Finish() []event.Event {
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.finished {
+	if q.finished || q.err != nil {
 		return nil
 	}
 	q.finished = true
+	defer func() {
+		if r := recover(); r != nil {
+			q.quarantineLocked(recoverPanic(q.name, "operator stage", r))
+		}
+	}()
 	var final []event.Event
 	for i := range q.monitors {
 		batch := q.monitors[i].Finish()
@@ -267,11 +395,32 @@ func (q *Query) Finish() []event.Event {
 }
 
 func (q *Query) deliver(items []event.Event) {
+	// A closed engine discards unlogged late output; a quarantined query
+	// has stopped emitting (results up to the failure stay readable).
+	if q.closed || q.err != nil {
+		return
+	}
 	q.results = append(q.results, items...)
 	for _, fn := range q.subs {
-		for _, it := range items {
-			fn(it)
+		if q.err != nil {
+			return
 		}
+		q.deliverSafely(fn, items)
+	}
+}
+
+// deliverSafely invokes one subscriber over the batch under a recover
+// barrier: a panicking callback quarantines the query (remaining
+// subscribers and future input are skipped) instead of unwinding into the
+// engine or the shard merger.
+func (q *Query) deliverSafely(fn func(event.Event), items []event.Event) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.quarantineLocked(recoverPanic(q.name, "subscriber callback", r))
+		}
+	}()
+	for _, it := range items {
+		fn(it)
 	}
 }
 
@@ -314,15 +463,33 @@ func (q *Query) Metrics() []consistency.Metrics {
 // through the chain. On a sharded query the switch is enqueued and takes
 // effect at this position in the input sequence on every shard.
 func (q *Query) SetSpec(s consistency.Spec) {
+	if e := q.eng; e != nil && e.log != nil {
+		e.pushMu.Lock()
+		defer e.pushMu.Unlock()
+		if !e.replaying && !e.logAppend(wal.Record{Kind: wal.KindSpec, Query: q.idx, Spec: s}) {
+			return
+		}
+	}
+	q.setSpecApply(s)
+}
+
+// setSpecApply performs the switch without durable logging (the replay
+// path applies already-logged records through it).
+func (q *Query) setSpecApply(s consistency.Spec) {
 	if q.sh != nil {
 		q.sh.setSpec(s)
 		return
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.finished {
+	if q.finished || q.err != nil {
 		return
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			q.quarantineLocked(recoverPanic(q.name, "operator stage", r))
+		}
+	}()
 	for i, m := range q.monitors {
 		batch := m.SetSpec(s)
 		for j := i + 1; j < len(q.monitors); j++ {
@@ -359,6 +526,15 @@ func (q *Query) RunPipelined(src stream.Stream, buf int) stream.Stream {
 		out := make(chan event.Event, buf)
 		go func(in <-chan event.Event, out chan<- event.Event) {
 			defer close(out)
+			// A panicking stage quarantines the query and drains its input
+			// so upstream stages don't block on a full channel.
+			defer func() {
+				if r := recover(); r != nil {
+					q.quarantine(recoverPanic(q.name, "pipelined stage", r))
+					for range in {
+					}
+				}
+			}()
 			for ev := range in {
 				for _, o := range m.Push(0, ev) {
 					out <- o

@@ -7,6 +7,7 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/delivery"
 	"repro/internal/event"
+	"repro/internal/leakcheck"
 	"repro/internal/plan"
 	"repro/internal/stream"
 	"repro/internal/temporal"
@@ -76,6 +77,7 @@ func TestEndToEndConvergesUnderDisorder(t *testing.T) {
 func int64ToDur(d temporal.Duration) temporal.Duration { return d }
 
 func TestPipelinedMatchesSynchronous(t *testing.T) {
+	defer leakcheck.Check(t)()
 	src, _ := workload.MachineEvents(workload.DefaultMachines())
 	delivered := delivery.Deliver(src, delivery.Ordered(10*temporal.Minute))
 
@@ -271,6 +273,7 @@ func TestSlicedQuery(t *testing.T) {
 // the query list per push instead of locking and copying it per event, and
 // late-registered queries must only see subsequent events.
 func TestConcurrentRegisterAndPush(t *testing.T) {
+	defer leakcheck.Check(t)()
 	eng := New()
 	register := func() (*Query, error) {
 		p, err := plan.Compile(`EVENT Out WHEN ANY(E e)`)

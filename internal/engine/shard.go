@@ -21,6 +21,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/consistency"
@@ -73,6 +74,10 @@ type shardBurst struct {
 	// shard's own count).
 	state  [maxTracedStages]int32
 	shared [maxTracedStages]int32
+	// fail carries a worker panic to the merger. The failed worker stays in
+	// its loop emitting empty bursts, so the merger's per-seq alignment
+	// never skews and sibling shards keep draining.
+	fail error
 }
 
 type shardWorker struct {
@@ -99,6 +104,10 @@ type sharded struct {
 	route   func(event.Event) int
 	workers []*shardWorker
 	deliver func([]event.Event)
+	// onFail receives the first worker-panic error, from the merger
+	// goroutine, before delivery stops. The engine wires it to the query's
+	// quarantine. Set (if at all) before the first push.
+	onFail func(error)
 
 	mu       sync.Mutex // serializes seq assignment and channel send order
 	seq      int
@@ -281,12 +290,37 @@ func (s *sharded) metrics() []consistency.Metrics {
 }
 
 func (w *shardWorker) run() {
+	var failed error
 	for it := range w.in {
-		w.out <- w.process(it)
+		var b shardBurst
+		if failed == nil {
+			b, failed = w.processSafely(it)
+		} else {
+			// Drain mode: a panicked worker's operator state is unusable,
+			// but the merger still expects one burst per sequence number
+			// from every shard. Empty bursts keep the alignment and let
+			// healthy siblings drain; finish still terminates the loop.
+			b = shardBurst{seq: it.seq, kind: it.kind}
+		}
+		b.fail = failed
+		w.out <- b
 		if it.kind == itemFinish {
 			return
 		}
 	}
+}
+
+// processSafely runs process under a recover barrier: a panicking operator
+// yields an empty aligned burst carrying the error instead of killing the
+// process or deadlocking the merger.
+func (w *shardWorker) processSafely(it shardItem) (b shardBurst, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b = shardBurst{seq: it.seq, kind: it.kind}
+			err = fmt.Errorf("shard worker panicked: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return w.process(it), nil
 }
 
 // process drives one item through the shard's monitor chain. It is the
@@ -370,6 +404,7 @@ func (w *shardWorker) cascade(from, seq int, items []event.Event, tags [][]byte,
 func (s *sharded) mergeLoop() {
 	var mg delivery.Merger
 	var out []event.Event
+	var failed error
 	bursts := make([][]delivery.Tagged, s.n)
 	for {
 		var kind uint8
@@ -378,6 +413,14 @@ func (s *sharded) mergeLoop() {
 			b := <-w.out
 			bursts[i] = b.items
 			kind = b.kind
+			if b.fail != nil && failed == nil {
+				// First failure wins; the query is quarantined before any
+				// post-failure delivery could happen.
+				failed = b.fail
+				if s.onFail != nil {
+					s.onFail(failed)
+				}
+			}
 			for j := 0; j < s.stages && j < maxTracedStages; j++ {
 				sum[j] += int(b.state[j])
 				if i == 0 {
@@ -391,7 +434,19 @@ func (s *sharded) mergeLoop() {
 			}
 		}
 		if kind == itemBarrier {
+			// Barriers (and the finish handshake below) still complete after
+			// a failure — metrics, Finish, and engine shutdown must not hang
+			// on a quarantined query.
 			s.barrierCh <- struct{}{}
+			continue
+		}
+		if failed != nil {
+			// A partial merge would be wrong output, not late output: skip
+			// delivery entirely once any shard has failed.
+			if kind == itemFinish {
+				close(s.done)
+				return
+			}
 			continue
 		}
 		out = mg.Merge(out[:0], bursts...)
@@ -440,21 +495,30 @@ func routeForPlan(part plan.Partition, shards int) func(event.Event) int {
 // finite physical stream and returns the merged output plus the combined
 // metrics — the sharded counterpart of consistency.RunStreams. mk must
 // return a fresh, independent *single-port* operator instance on every
-// call (multi-port operators do not shard and cause a panic); route maps
-// each data event to its shard (see RouteByAttr, RouteByID).
+// call (multi-port operators do not shard and are reported as an error);
+// route maps each data event to its shard (see RouteByAttr, RouteByID).
+// A worker panic during the run is recovered and returned as an error
+// alongside the output merged up to the failure.
 func RunShardedOp(mk func() operators.Op, spec consistency.Spec, n int,
-	route func(event.Event) int, in stream.Stream) (stream.Stream, consistency.Metrics) {
+	route func(event.Event) int, in stream.Stream) (stream.Stream, consistency.Metrics, error) {
 	var out stream.Stream
 	sh, err := newSharded(n,
 		func(int) ([]operators.Op, error) { return []operators.Op{mk()}, nil },
 		spec, route,
 		func(items []event.Event) { out = append(out, items...) })
 	if err != nil {
-		panic(err) // the factory never fails, but a multi-port operator does
+		return nil, consistency.Metrics{}, err
 	}
+	// The merger calls onFail strictly before closing done, and finish
+	// waits on done, so reading failErr after finish is race-free.
+	var failErr error
+	sh.onFail = func(err error) { failErr = err }
 	for _, ev := range in {
 		sh.push(ev)
 	}
 	sh.finish()
-	return out, sh.metrics()[0]
+	if failErr != nil {
+		return out, consistency.Metrics{}, failErr
+	}
+	return out, sh.metrics()[0], nil
 }

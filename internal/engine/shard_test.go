@@ -9,6 +9,7 @@ import (
 	"repro/internal/consistency"
 	"repro/internal/delivery"
 	"repro/internal/event"
+	"repro/internal/leakcheck"
 	"repro/internal/operators"
 	"repro/internal/plan"
 	"repro/internal/stream"
@@ -199,6 +200,7 @@ func TestShardedSetSpecMidStream(t *testing.T) {
 // queries must reproduce the single-shard Results stream exactly, and the
 // partitioned metric counters must sum to the single-shard values.
 func TestShardedPlanEquivalence(t *testing.T) {
+	defer leakcheck.Check(t)()
 	queries := []struct {
 		name string
 		src  string
@@ -254,6 +256,7 @@ OUTPUT x.Machine_Id AS machine`},
 // RunPipelined on a sharded query streams through the shard pipeline and
 // must reproduce the single-shard result exactly, for random shard counts.
 func TestShardedRunPipelined(t *testing.T) {
+	defer leakcheck.Check(t)()
 	events, _ := workload.MachineEvents(workload.DefaultMachines())
 	delivered := delivery.Deliver(events,
 		delivery.Disordered(3, 10*temporal.Minute, 2*temporal.Minute, 0.2))
@@ -311,6 +314,7 @@ WHERE CorrelationKey(k, EQUAL) SC(first, consume)`, "first/last"},
 
 // Subscribers on sharded queries observe the merged deterministic order.
 func TestShardedSubscribe(t *testing.T) {
+	defer leakcheck.Check(t)()
 	events, expected := workload.MachineEvents(workload.DefaultMachines())
 	delivered := delivery.Deliver(events, delivery.Ordered(10*temporal.Minute))
 	e := New()
@@ -361,6 +365,7 @@ func TestCompileCacheIndependentInstances(t *testing.T) {
 // Finish closes a query on every execution mode: later pushes are dropped
 // on single-shard and sharded queries alike.
 func TestPushAfterFinishUniform(t *testing.T) {
+	defer leakcheck.Check(t)()
 	events, _ := workload.MachineEvents(workload.DefaultMachines())
 	delivered := delivery.Deliver(events, delivery.Ordered(10*temporal.Minute))
 	half := len(delivered) / 2
@@ -389,6 +394,7 @@ func TestPushAfterFinishUniform(t *testing.T) {
 // are in flight: exercises the compile cache and the Register/Push snapshot
 // under the race detector.
 func TestConcurrentRegisterTextAndPush(t *testing.T) {
+	defer leakcheck.Check(t)()
 	eng := New()
 	if _, err := eng.RegisterText(`EVENT Out WHEN ANY(E e)`); err != nil {
 		t.Fatal(err)

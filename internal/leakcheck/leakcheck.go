@@ -1,0 +1,38 @@
+// Package leakcheck is a hand-rolled goroutine-leak detector for tests:
+// it samples runtime.NumGoroutine before the test body and fails — with a
+// full stack dump — if the count has not returned to the baseline shortly
+// after. The engine, sharded-runtime, durability and quarantine tests wrap
+// themselves in it so a forgotten worker or a deadlocked merger cannot
+// land silently.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check captures the current goroutine count and returns a function to
+// defer: it waits up to two seconds for the count to drop back to the
+// baseline and fails the test with a stack dump if it does not.
+//
+//	defer leakcheck.Check(t)()
+func Check(t testing.TB) func() {
+	before := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Errorf("goroutine leak: %d before, %d after; stacks:\n%s", before, n, buf)
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}

@@ -26,6 +26,11 @@ type Plan struct {
 	Name   string
 	Stages []operators.Op
 	Spec   consistency.Spec
+	// Src is the CEDR query text the plan was compiled from ("" for plans
+	// built directly from operators). A non-empty Src plus the serializable
+	// options (Durable) is what the engine's write-ahead log records, so a
+	// recovered engine can re-compile the identical plan.
+	Src string
 	// Rewrites records which optimizer rules fired, for Explain.
 	Rewrites []string
 	// Shards is the requested shard count for key-partitioned parallel
@@ -135,6 +140,57 @@ func fromAnalysis(an *lang.Analysis, cfg config) (*Plan, error) {
 	return p, nil
 }
 
+// Durable is the serializable projection of a plan's construction: the
+// source text plus every compile option, sufficient to rebuild a
+// structurally identical plan in a fresh process. It is what the engine's
+// durability layer logs for each registration.
+type Durable struct {
+	Src              string
+	HasSpec          bool
+	Spec             consistency.Spec
+	Shards           int
+	NoSpecialization bool
+	NoPushdown       bool
+}
+
+// Durable returns the plan's serializable construction, or ok == false for
+// plans built directly from operators (no source text to re-compile).
+func (p *Plan) Durable() (Durable, bool) {
+	if p.Src == "" || p.an == nil {
+		return Durable{}, false
+	}
+	d := Durable{
+		Src:              p.Src,
+		Shards:           p.cfg.shards,
+		NoSpecialization: p.cfg.noSpecial,
+		NoPushdown:       p.cfg.noPushdown,
+	}
+	if p.cfg.spec != nil {
+		d.HasSpec = true
+		d.Spec = *p.cfg.spec
+	}
+	return d, true
+}
+
+// Options rebuilds the compile options a Durable records; Compile(d.Src,
+// d.Options()...) reproduces the original plan.
+func (d Durable) Options() []Option {
+	var opts []Option
+	if d.HasSpec {
+		opts = append(opts, WithSpec(d.Spec))
+	}
+	if d.Shards != 0 {
+		opts = append(opts, WithShards(d.Shards))
+	}
+	if d.NoSpecialization {
+		opts = append(opts, WithoutSpecialization())
+	}
+	if d.NoPushdown {
+		opts = append(opts, WithoutPushdown())
+	}
+	return opts
+}
+
 // Fresh re-instantiates the plan: a structurally identical plan whose
 // operator chain is a brand-new set of instances with empty state. The
 // sharded runtime builds one chain per shard this way — operator Clones may
@@ -146,7 +202,12 @@ func (p *Plan) Fresh() (*Plan, error) {
 	if p.an == nil {
 		return nil, fmt.Errorf("plan: %s was built directly from operators and cannot be re-instantiated", p.Name)
 	}
-	return fromAnalysis(p.an, p.cfg)
+	fp, err := fromAnalysis(p.an, p.cfg)
+	if err != nil {
+		return nil, err
+	}
+	fp.Src = p.Src
+	return fp, nil
 }
 
 func resolveSpec(an *lang.Analysis, cfg config) consistency.Spec {
@@ -230,5 +291,10 @@ func Compile(src string, opts ...Option) (*Plan, error) {
 		analysisCache[src] = an
 		cacheMu.Unlock()
 	}
-	return FromAnalysis(an, opts...)
+	p, err := FromAnalysis(an, opts...)
+	if err != nil {
+		return nil, err
+	}
+	p.Src = src
+	return p, nil
 }

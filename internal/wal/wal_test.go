@@ -1,0 +1,329 @@
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/event"
+	"repro/internal/faultinject"
+	"repro/internal/temporal"
+	"repro/internal/wal"
+)
+
+// sampleRecords covers every record kind and every payload value type the
+// encoding supports, including lineage and a retraction.
+func sampleRecords() []wal.Record {
+	ev := event.NewInsert(7, "INSTALL", 10, temporal.Infinity, event.Payload{
+		"Machine_Id": "m001",
+		"count":      int64(42),
+		"small":      3,
+		"load":       0.75,
+		"critical":   true,
+	})
+	ret := event.NewRetract(7, "INSTALL", 10, 20, event.Payload{"Machine_Id": "m001"})
+	composite := ev
+	composite.CBT = []event.ID{3, 5, 9}
+	composite.RT = 4
+	return []wal.Record{
+		{Kind: wal.KindRegister, Src: "EVENT E WHEN ANY(INSTALL x)", Opts: wal.RegOpts{
+			HasSpec: true, Spec: consistency.Strong(), Shards: 4, NoSpecialization: true, NoPushdown: true,
+		}},
+		{Kind: wal.KindEvent, Ev: ev},
+		{Kind: wal.KindEvent, Ev: ret},
+		{Kind: wal.KindEvent, Ev: composite},
+		{Kind: wal.KindCTI, Ev: event.NewCTI(25)},
+		{Kind: wal.KindSpec, Query: 0, Spec: consistency.Weak(3 * temporal.Minute)},
+		{Kind: wal.KindFinish},
+	}
+}
+
+// writeLog appends recs to a fresh WAL at path and closes it.
+func writeLog(t *testing.T, path string, recs []wal.Record) {
+	t.Helper()
+	l, err := wal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if _, err := l.Append(r); err != nil {
+			t.Fatalf("append %s: %v", r.Kind, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// withSeqs returns recs with the auto-assigned sequence numbers 1..n filled
+// in, for comparing against recovered records.
+func withSeqs(recs []wal.Record) []wal.Record {
+	out := append([]wal.Record(nil), recs...)
+	for i := range out {
+		out[i].Seq = uint64(i + 1)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	recs := sampleRecords()
+	writeLog(t, path, recs)
+
+	l, err := wal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	got := l.Recovered()
+	want := withSeqs(recs)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if l.LastSeq() != uint64(len(recs)) {
+		t.Fatalf("LastSeq = %d, want %d", l.LastSeq(), len(recs))
+	}
+}
+
+// recordRanges opens the log image and returns each record's [start, end)
+// byte range, so corruption tests can aim at exact frame offsets.
+func recordRanges(t *testing.T, img []byte) [][2]int64 {
+	t.Helper()
+	var ranges [][2]int64
+	if _, err := wal.Scan(bytes.NewReader(img), func(_ wal.Record, start, end int64) error {
+		ranges = append(ranges, [2]int64{start, end})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return ranges
+}
+
+// TestCorruptRecovery is the corrupt-WAL table: every mutation must recover
+// exactly the longest intact prefix, and the recovered log must accept new
+// appends (recovery truncates the torn tail rather than failing).
+func TestCorruptRecovery(t *testing.T) {
+	recs := sampleRecords()
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref")
+	writeLog(t, ref, recs)
+	img, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges := recordRanges(t, img)
+	if len(ranges) != len(recs) {
+		t.Fatalf("scan found %d records, want %d", len(ranges), len(recs))
+	}
+	last := ranges[len(ranges)-1]
+
+	tests := []struct {
+		name string
+		img  []byte
+		keep int // records expected to survive
+	}{
+		{"intact", img, len(recs)},
+		{"empty file", nil, 0},
+		{"torn magic", faultinject.TruncateAt(img, 3), 0},
+		{"magic only", faultinject.TruncateAt(img, int64(len(wal.Magic))), 0},
+		{"torn tail mid body", faultinject.TornTail(img, 3), len(recs) - 1},
+		{"torn tail one byte", faultinject.TornTail(img, 1), len(recs) - 1},
+		{"truncated length prefix", faultinject.TruncateAt(img, last[0]+2), len(recs) - 1},
+		{"flipped crc byte", faultinject.FlipByte(img, last[0]+4), len(recs) - 1},
+		{"flipped payload byte", faultinject.FlipByte(img, last[0]+8), len(recs) - 1},
+		{"flipped mid-log byte", faultinject.FlipByte(img, ranges[2][0]+8), 2},
+		{"truncated mid log", faultinject.TruncateAt(img, ranges[3][0]+5), 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(dir, "c_"+tc.name)
+			if err := os.WriteFile(path, tc.img, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, err := wal.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := l.Recovered()
+			want := withSeqs(recs)[:tc.keep]
+			if len(want) == 0 {
+				want = nil
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("recovered %d records, want %d:\n got %+v\nwant %+v", len(got), len(want), got, want)
+			}
+			// Append-after-recovery: the truncated log is a working log.
+			seq, err := l.Append(wal.Record{Kind: wal.KindFinish})
+			if err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if want := uint64(tc.keep + 1); seq != want {
+				t.Fatalf("post-recovery seq = %d, want %d", seq, want)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			// The re-recovered log sees the prefix plus the new record.
+			l2, err := wal.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if n := len(l2.Recovered()); n != tc.keep+1 {
+				t.Fatalf("after truncate+append: %d records, want %d", n, tc.keep+1)
+			}
+		})
+	}
+}
+
+func TestBadMagicIsHardError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-wal")
+	if err := os.WriteFile(path, []byte("GARBAGE!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wal.Open(path); err == nil {
+		t.Fatal("opening a non-WAL file succeeded; want bad-magic error")
+	}
+}
+
+// TestOutOfSequenceTail splices a stale record (lower seq) after a good one;
+// recovery must stop at the splice.
+func TestOutOfSequenceTail(t *testing.T) {
+	img := []byte(wal.Magic)
+	var err error
+	img, err = wal.AppendRecord(img, wal.Record{Seq: 5, Kind: wal.KindFinish})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err = wal.AppendRecord(img, wal.Record{Seq: 5, Kind: wal.KindFinish})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, good, err := wal.ReadAll(bytes.NewReader(img))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 5 {
+		t.Fatalf("recovered %+v, want one record with seq 5", recs)
+	}
+	if good >= int64(len(img)) {
+		t.Fatalf("good offset %d should exclude the stale tail (%d bytes)", good, len(img))
+	}
+}
+
+func TestAppendSeqValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	l, err := wal.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(wal.Record{Seq: 10, Kind: wal.KindFinish}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(wal.Record{Seq: 10, Kind: wal.KindFinish}); err == nil {
+		t.Fatal("duplicate sequence accepted")
+	}
+	if _, err := l.Append(wal.Record{Seq: 3, Kind: wal.KindFinish}); err == nil {
+		t.Fatal("regressing sequence accepted")
+	}
+	if seq, err := l.Append(wal.Record{Kind: wal.KindFinish}); err != nil || seq != 11 {
+		t.Fatalf("auto-assign after explicit seq: got %d, %v; want 11, nil", seq, err)
+	}
+}
+
+func TestSyncBatching(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := faultinject.NewFile(f)
+	l, err := wal.New(ff, wal.SyncEvery(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(wal.Record{Kind: wal.KindFinish}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 20 appends at every-8 batching: two automatic syncs, the rest pending.
+	if got := l.Syncs(); got != 2 {
+		t.Fatalf("after 20 appends: %d syncs, want 2", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Syncs(); got != 3 {
+		t.Fatalf("after close: %d syncs, want 3 (close flushes the tail)", got)
+	}
+	if ff.Syncs() != 3 {
+		t.Fatalf("file saw %d fsyncs, log reports 3", ff.Syncs())
+	}
+}
+
+// TestFsyncFailStop: after an injected fsync error the log rejects every
+// further append with the original error — records that cannot be made
+// durable are not accepted.
+func TestFsyncFailStop(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff := faultinject.NewFile(f)
+	ff.FailSyncAt = 2 // first sync writes the magic header; fail the next
+	l, err := wal.New(ff, wal.SyncEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(wal.Record{Kind: wal.KindFinish}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = l.Append(wal.Record{Kind: wal.KindFinish})
+	if !errors.Is(err, faultinject.ErrInjectedSync) {
+		t.Fatalf("append after failed fsync: %v, want ErrInjectedSync", err)
+	}
+	if _, err2 := l.Append(wal.Record{Kind: wal.KindFinish}); !errors.Is(err2, faultinject.ErrInjectedSync) {
+		t.Fatalf("log did not fail stop: %v", err2)
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() nil after fsync failure")
+	}
+}
+
+// TestCrashAtEveryByte drives a crash at every byte offset of a small log's
+// image and re-opens the survivor: recovery must always yield a prefix of
+// the intended records, never an error, never reordered or invented data.
+func TestCrashAtEveryByte(t *testing.T) {
+	recs := sampleRecords()
+	dir := t.TempDir()
+	ref := filepath.Join(dir, "ref")
+	writeLog(t, ref, recs)
+	img, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := withSeqs(recs)
+	path := filepath.Join(dir, "crash")
+	for cut := 0; cut <= len(img); cut++ {
+		if err := os.WriteFile(path, img[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := wal.Open(path)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		got := l.Recovered()
+		if len(got) > len(want) {
+			t.Fatalf("cut=%d: recovered %d records from a %d-record image", cut, len(got), len(want))
+		}
+		if !reflect.DeepEqual(got, append([]wal.Record(nil), want[:len(got)]...)) {
+			t.Fatalf("cut=%d: recovered records are not a prefix", cut)
+		}
+		l.Close()
+	}
+}
