@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -47,6 +48,9 @@ var gatedBenches = []string{
 	"pattern_keyindex",
 	"figure8_middle_disordered",
 	"monitor_repair_path",
+	"monitor_checkpoint",
+	"wal_append",
+	"wal_recovery_replay",
 }
 
 // gatedSet is the gated names as a set, optionally with the calibration
@@ -154,6 +158,36 @@ func runBenchSuite(dir string, seed int64, baselineDir string, update bool) erro
 	entries = append(entries, entry{name: "monitor_fast_path", events: len(fastDelivered), bench: fastFn})
 	repairDelivered, repairFn := monitor(true)
 	entries = append(entries, entry{name: "monitor_repair_path", events: len(repairDelivered), bench: repairFn})
+
+	// Checkpoint dimension: the delta-driven versioned path under a
+	// straggler-heavy stream — journal-mark snapshots, rollback-in-place
+	// repair, base-slide checkpointing — through a stateful incremental
+	// sequence matcher. This is the path the COW/undo-journal rewrite
+	// replaced clone-and-replay on; its floor is gated so checkpoint capture
+	// cannot silently regress back to O(state) copying.
+	ckptSrc, _ := workload.MachineEvents(workload.DefaultMachines())
+	ckptDelivered := delivery.Deliver(ckptSrc,
+		delivery.Disordered(seed, 30*temporal.Minute, 15*temporal.Minute, 0.2))
+	const ckptQuery = `EVENT Pairs WHEN SEQUENCE(INSTALL x, SHUTDOWN y, 12 hours)
+WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
+	ckptPlan, err := plan.Compile(ckptQuery)
+	if err != nil {
+		return err
+	}
+	entries = append(entries, entry{
+		name:   "monitor_checkpoint",
+		events: len(ckptDelivered),
+		bench: func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				m := consistency.NewMonitor(ckptPlan.Stages[0].Clone(), consistency.Middle())
+				for _, e := range ckptDelivered {
+					m.Push(0, e)
+				}
+				m.Finish()
+			}
+		},
+	})
 
 	// Shard dimension: the key-partitioned parallel runtime over a wide
 	// grouped-aggregation workload. On multi-core hosts this records the
@@ -397,6 +431,11 @@ WHERE {x.Machine_Id = y.Machine_Id} SC(each, consume)`
 		if sampled[e.name] {
 			runs = 3
 		}
+		// Settle the heap between entries: without this, allocation-heavy
+		// benchmarks inflate the GC pacing target for every entry after
+		// them, and the measured number depends on suite order rather than
+		// the code under test.
+		runtime.GC()
 		res := testing.Benchmark(e.bench)
 		for r := 1; r < runs; r++ {
 			again := testing.Benchmark(e.bench)

@@ -17,11 +17,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run carries the real main so profile writers (and any other defers) fire
+// before the process exits with a status code.
+func run() int {
 	fig := flag.Int("fig", 0, "figure to regenerate (8 or 9; 0 = all)")
 	baselines := flag.Bool("baselines", false, "run the Section 1 baseline comparison")
 	ablations := flag.Bool("ablations", false, "run the design ablations")
@@ -30,7 +36,40 @@ func main() {
 	baseline := flag.String("baseline", "", "directory of committed BENCH_*.json baselines; fail on >20% events/s regression")
 	update := flag.Bool("update-baselines", false, "run the bench suite and re-record the gated baseline JSONs in place (default dir bench/baselines)")
 	seed := flag.Int64("seed", 42, "delivery-simulator seed")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			f.Close()
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
+	}
 
 	if *bench || *update {
 		dir := *baseline
@@ -47,9 +86,9 @@ func main() {
 		}
 		if err := runBenchSuite(out, *seed, dir, *update); err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	all := *fig == 0 && !*baselines && !*ablations
@@ -88,4 +127,5 @@ func main() {
 			fmt.Printf("  n=%4d   reuse: %6d outputs   consume: %4d outputs\n", n, reuse, consume)
 		}
 	}
+	return 0
 }

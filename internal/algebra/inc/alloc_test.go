@@ -86,6 +86,59 @@ func TestAllocsSequenceHotPath(t *testing.T) {
 	}
 }
 
+// TestAllocsCOWClone pins Clone's copy-on-write promise: cloning an
+// operator with live state is a handle copy — one small struct — not a deep
+// copy of stores, indexes, and pending lists. The deep copy happens lazily
+// on the first mutation (ensureOwned), so a chain of clones that never
+// diverges stays O(1) per clone regardless of state size.
+func TestAllocsCOWClone(t *testing.T) {
+	mode := algebra.SCMode{Cons: algebra.Consume}
+	op := NewOp(allocSeqExpr(), mode, "Pairs")
+	for i, e := range allocSeqEvents(400) {
+		op.Process(0, e)
+		if i%16 == 15 {
+			op.Advance(e.V.Start)
+		}
+	}
+	var sink *Op
+	perClone := testing.AllocsPerRun(100, func() {
+		sink = op.Clone().(*Op)
+	})
+	_ = sink
+	const ceiling = 4.0
+	t.Logf("COW clone: %.2f allocs/clone at state size %d (ceiling %.0f)",
+		perClone, op.StateSize(), ceiling)
+	if perClone > ceiling {
+		t.Fatalf("Clone allocates %.2f per call at state size %d, above the pinned ceiling %.0f — the lazy copy-on-write path regressed to an eager deep copy", perClone, op.StateSize(), ceiling)
+	}
+}
+
+// TestAllocsJournalMark pins the Versioned capture cost: with the undo
+// journal on, Mark is a barrier append — O(changed since the last mark),
+// never O(state). At several hundred stored events a regression back to
+// snapshot-by-copy would show up as hundreds of allocations per mark; the
+// ceiling admits only the amortized journal-spine growth.
+func TestAllocsJournalMark(t *testing.T) {
+	mode := algebra.SCMode{Cons: algebra.Consume}
+	op := NewOp(allocSeqExpr(), mode, "Pairs")
+	op.Mark() // turn the journal on before state accumulates
+	for i, e := range allocSeqEvents(400) {
+		op.Process(0, e)
+		if i%16 == 15 {
+			op.Advance(e.V.Start)
+		}
+	}
+	perMark := testing.AllocsPerRun(200, func() {
+		op.Mark()
+	})
+	const ceiling = 3.0
+	t.Logf("journal mark: %.2f allocs/mark at state size %d (ceiling %.0f)",
+		perMark, op.StateSize(), ceiling)
+	if perMark > ceiling {
+		t.Fatalf("Mark allocates %.2f per call at state size %d, above the pinned ceiling %.0f — checkpoint capture is no longer O(changed)", perMark, op.StateSize(), ceiling)
+	}
+}
+
 // TestAllocsKeyedSequenceHotPath pins the same replay path with
 // correlation-key pushdown enabled: the key-indexed join must not cost
 // steady-state allocations beyond the flat path's — bucket lookups and the

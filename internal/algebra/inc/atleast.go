@@ -37,6 +37,7 @@ type atLeastNode struct {
 	ids    []event.ID      // contributor-ID scratch for the interned lookup
 	kd     delta           // reusable child-transition scratch
 	comb   *combCache      // interned composites, shared with clones
+	u      *undoLog
 }
 
 func newAtLeastNode(e algebra.AtLeastExpr, sh *shared, ctx buildCtx) *atLeastNode {
@@ -51,6 +52,7 @@ func newAtLeastNode(e algebra.AtLeastExpr, sh *shared, ctx buildCtx) *atLeastNod
 		sorted: make([]algebra.Match, e.N),
 		ids:    make([]event.ID, e.N),
 		comb:   newCombCache(),
+		u:      sh.u,
 	}
 	if a.key != nil {
 		a.klists = make([]keyedList, len(e.Kids))
@@ -96,22 +98,28 @@ func (a *atLeastNode) applyKid(i int, out *delta) {
 		}
 		if it.del {
 			if a.key != nil {
-				a.klists[i].remove(it.m, kv, def)
-			} else {
-				a.lists[i].removeMatch(it.m)
+				if a.klists[i].remove(it.m, kv, def) {
+					a.u.kListDel(&a.klists[i], &it.m, kv, def)
+				}
+			} else if a.lists[i].removeMatch(it.m) {
+				a.u.listDel(&a.lists[i], &it.m)
 			}
 			for _, oid := range a.uses[it.m.ID] {
 				if _, ok := a.outs[oid]; !ok {
 					continue
 				}
+				a.u.intMap(a.refs, oid)
 				a.refs[oid]--
 				if a.refs[oid] == 0 {
 					m := a.outs[oid]
+					a.u.matchMap(a.outs, oid)
 					delete(a.outs, oid)
+					a.u.intMap(a.refs, oid)
 					delete(a.refs, oid)
 					out.del(m)
 				}
 			}
+			a.u.usesDel(a.uses, it.m.ID)
 			delete(a.uses, it.m.ID)
 			continue
 		}
@@ -120,8 +128,10 @@ func (a *atLeastNode) applyKid(i int, out *delta) {
 		}
 		if a.key != nil {
 			a.klists[i].insert(it.m, kv, def)
+			a.u.kListIns(&a.klists[i], &it.m, kv, def)
 		} else {
 			a.lists[i].insert(it.m)
+			a.u.listIns(&a.lists[i], &it.m)
 		}
 	}
 }
@@ -201,8 +211,10 @@ func (a *atLeastNode) commit(sorted []algebra.Match, out *delta) {
 		a.ids[i] = sorted[i].ID
 	}
 	id := event.Pair(a.ids[:len(sorted)]...)
+	a.u.intMap(a.refs, id)
 	a.refs[id]++
 	for _, p := range sorted {
+		a.u.usesApp(a.uses, p.ID)
 		a.uses[p.ID] = append(a.uses[p.ID], id)
 	}
 	if a.refs[id] == 1 {
@@ -211,6 +223,7 @@ func (a *atLeastNode) commit(sorted []algebra.Match, out *delta) {
 			m = algebra.Combine(sorted, a.w)
 			a.comb.put(id, m)
 		}
+		a.u.matchMap(a.outs, id)
 		a.outs[id] = m
 		out.add(m)
 	}
@@ -228,6 +241,7 @@ func (a *atLeastNode) clone(sh *shared) node {
 		sorted: make([]algebra.Match, a.n),
 		ids:    make([]event.ID, a.n),
 		comb:   a.comb,
+		u:      sh.u,
 	}
 	for _, k := range a.kids {
 		c.kids = append(c.kids, k.clone(sh))

@@ -25,6 +25,7 @@ type atMostNode struct {
 	outs    map[event.ID]algebra.Match
 	refs    map[event.ID]int
 	kd      delta // reusable child-transition scratch
+	u       *undoLog
 }
 
 type amEntry struct {
@@ -41,6 +42,7 @@ func newAtMostNode(e algebra.AtMostExpr, sh *shared, ctx buildCtx) *atMostNode {
 		w:    e.W,
 		outs: map[event.ID]algebra.Match{},
 		refs: map[event.ID]int{},
+		u:    sh.u,
 	}
 	for _, k := range e.Kids {
 		a.kids = append(a.kids, build(k, sh, ctx))
@@ -91,11 +93,13 @@ func (a *atMostNode) apply(out *delta) {
 			}
 			gone := a.entries[i]
 			a.entries = append(a.entries[:i], a.entries[i+1:]...)
+			a.u.amDel(a, i, gone)
 			if gone.cnt <= a.n {
 				a.deref(gone.m, out)
 			}
 			// Anchors whose window [Vs, Vs+w) contained t lose one.
 			for j := a.lowerBound(t.Add(-a.w) + 1); j < len(a.entries) && a.entries[j].m.V.Start <= t; j++ {
+				a.u.amCnt(a, j, false)
 				a.entries[j].cnt--
 				if a.entries[j].cnt == a.n {
 					a.ref(a.entries[j].m, out)
@@ -109,11 +113,13 @@ func (a *atMostNode) apply(out *delta) {
 		copy(a.entries[i+1:], a.entries[i:])
 		a.entries[i] = amEntry{m: it.m} // place before searching: the array must be sorted
 		a.entries[i].cnt = a.lowerBound(t.Add(a.w)) - a.lowerBound(t)
+		a.u.amIns(a, i)
 		// Existing anchors whose window contains t gain one.
 		for j := a.lowerBound(t.Add(-a.w) + 1); j < len(a.entries) && a.entries[j].m.V.Start <= t; j++ {
 			if j == i {
 				continue
 			}
+			a.u.amCnt(a, j, true)
 			a.entries[j].cnt++
 			if a.entries[j].cnt == a.n+1 {
 				a.deref(a.entries[j].m, out)
@@ -136,8 +142,10 @@ func (a *atMostNode) transform(b algebra.Match) algebra.Match {
 
 func (a *atMostNode) ref(b algebra.Match, out *delta) {
 	m := a.transform(b)
+	a.u.intMap(a.refs, m.ID)
 	a.refs[m.ID]++
 	if a.refs[m.ID] == 1 {
+		a.u.matchMap(a.outs, m.ID)
 		a.outs[m.ID] = m
 		out.add(m)
 	}
@@ -145,9 +153,12 @@ func (a *atMostNode) ref(b algebra.Match, out *delta) {
 
 func (a *atMostNode) deref(b algebra.Match, out *delta) {
 	m := a.transform(b)
+	a.u.intMap(a.refs, m.ID)
 	a.refs[m.ID]--
 	if a.refs[m.ID] == 0 {
+		a.u.intMap(a.refs, m.ID)
 		delete(a.refs, m.ID)
+		a.u.matchMap(a.outs, m.ID)
 		delete(a.outs, m.ID)
 		out.del(m)
 	}
@@ -160,6 +171,7 @@ func (a *atMostNode) clone(sh *shared) node {
 		entries: append([]amEntry(nil), a.entries...),
 		outs:    make(map[event.ID]algebra.Match, len(a.outs)),
 		refs:    make(map[event.ID]int, len(a.refs)),
+		u:       sh.u,
 	}
 	for _, k := range a.kids {
 		c.kids = append(c.kids, k.clone(sh))

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/algebra"
 	"repro/internal/event"
+	"repro/internal/operators"
 	"repro/internal/temporal"
 )
 
@@ -14,9 +15,10 @@ import (
 // step-checker: fuzzer bytes decode into an operator shape × SC mode × key
 // domain × event script (inserts with controlled timestamps and keys,
 // aligned full removals, advances — including far jumps that force scope
-// pruning — and mid-stream clone swaps), which is then driven through the
-// incremental op and the frozen semi-naive oracle with byte-exact
-// comparison at every step. Keyed shapes run with WithJoinKey, so the
+// pruning — mid-stream clone swaps, and checkpoint capture/rollback/compact
+// over the undo journal), which is then driven through the incremental op
+// and the frozen semi-naive oracle with byte-exact comparison at every
+// step. Keyed shapes run with WithJoinKey, so the
 // pushdown's bucket seams (definite, wild and missing-attribute matches)
 // are fuzzed against the same oracle. Run it as a fuzzer with
 //
@@ -54,7 +56,7 @@ const (
 	fuzzOpInsertMax = 9  // 0..9: insert (weighted toward inserts)
 	fuzzOpRemove    = 10 // 10,11: aligned full removal
 	fuzzOpAdvance   = 12 // 12,13: small advance
-	fuzzOpClone     = 14 // swap both ops for their clones
+	fuzzOpClone     = 14 // version/clone ops, sub-selected by a%4 (see decode)
 	fuzzOpFarAdv    = 15 // far advance: forces watermark pruning
 )
 
@@ -63,7 +65,8 @@ func FuzzIncVsOracle(f *testing.F) {
 
 	// Seed corpus: every operator shape gets one script exercising all
 	// opcodes — inserts across keys and types (with one missing-attribute
-	// event), a removal, advances near and far, and a clone swap.
+	// event), a removal, advances near and far, a clone swap, and the
+	// checkpoint sub-opcodes (mark, rollback, compact).
 	script := []byte{
 		0x00, 0x05, 0x10, 0x09, 0x20, 0x0d, 0x30, 0x11, // 4 inserts, mixed types/keys
 		0x0c, 0x02, // advance
@@ -74,6 +77,17 @@ func FuzzIncVsOracle(f *testing.F) {
 		0x0f, 0x20, // far advance
 		0x80, 0x06, 0x10, 0x0a, // inserts after the prune
 		0x0c, 0x04, // advance
+		0x0e, 0x01, // mark #0
+		0x20, 0x09, 0x30, 0x12, // inserts past the mark
+		0x0c, 0x03, // advance past the mark
+		0x0e, 0x02, // rollback to mark #0 (j = 0)
+		0x40, 0x05, // re-insert along the new timeline
+		0x0e, 0x05, // mark #1 (a%4 == 1)
+		0x50, 0x0e, // insert
+		0x0e, 0x06, // rollback to mark #1 (a%4 == 2, j = 1)
+		0x0e, 0x07, // compact to mark #1 (a%4 == 3, j = 1)
+		0x60, 0x0d, // insert
+		0x0c, 0x05, // advance
 	}
 	for i, mode := 0, 0; i < len(shapes); i++ {
 		seed := append([]byte{byte(i), byte(mode), byte(i % 4)}, script...)
@@ -101,6 +115,22 @@ func FuzzIncVsOracle(f *testing.F) {
 		lastAdvance := temporal.MinTime
 		nextID := event.ID(1)
 		var removable []event.Event
+
+		// Retained checkpoint marks for the versioning sub-opcodes: the
+		// journal position paired with a frozen oracle clone plus the driver
+		// state needed to resume the script coherently after a rollback.
+		// Rolling back to marks[j] invalidates every later mark (the journal
+		// spine truncates and positions are reused), so the stack is cut to
+		// [:j+1]; a clone swap hands both sides fresh state with an empty
+		// journal, so it clears the stack entirely.
+		type fuzzMark struct {
+			v   operators.Version
+			o   *algebra.PatternOp
+			rem []event.Event
+			la  temporal.Time
+			vs  temporal.Time
+		}
+		var marks []fuzzMark
 
 		body := data[3:]
 		if len(body) > 512 {
@@ -153,8 +183,41 @@ func FuzzIncVsOracle(f *testing.F) {
 				checkStep(t, label+" advance", oracle, fast,
 					fast.Advance(adv), oracle.Advance(adv))
 			case op == fuzzOpClone:
-				oracle = oracle.Clone().(*algebra.PatternOp)
-				fast = fast.Clone().(*Op)
+				switch a % 4 {
+				case 0: // swap both ops for their clones
+					oracle = oracle.Clone().(*algebra.PatternOp)
+					fast = fast.Clone().(*Op)
+					marks = marks[:0]
+				case 1: // checkpoint capture: journal mark + frozen oracle
+					marks = append(marks, fuzzMark{
+						v:   fast.Mark(),
+						o:   oracle.Clone().(*algebra.PatternOp),
+						rem: append([]event.Event(nil), removable...),
+						la:  lastAdvance,
+						vs:  vs,
+					})
+				case 2: // rollback to a retained mark
+					if len(marks) == 0 {
+						continue
+					}
+					j := int(a>>2) % len(marks)
+					if !fast.Rollback(marks[j].v) {
+						t.Fatalf("%s rollback: retained mark %d refused", label, j)
+					}
+					oracle = marks[j].o.Clone().(*algebra.PatternOp)
+					removable = append(removable[:0], marks[j].rem...)
+					lastAdvance, vs = marks[j].la, marks[j].vs
+					marks = marks[:j+1]
+					checkStep(t, label+" rollback", oracle, fast, nil, nil)
+				default: // compact: drop undo history below a retained mark
+					if len(marks) == 0 {
+						continue
+					}
+					j := int(a>>2) % len(marks)
+					fast.Compact(marks[j].v)
+					marks = marks[j:]
+					checkStep(t, label+" compact", oracle, fast, nil, nil)
+				}
 			default: // far advance: pushes the watermark past live state
 				adv := vs.Add(temporal.Duration(a) + 64)
 				if adv > lastAdvance {

@@ -250,9 +250,13 @@ func (u *negNode) applyPos(out *delta) {
 			if !ok {
 				continue
 			}
+			u.sh.u.timeMap(u.loOf, it.m.ID)
 			delete(u.loOf, it.m.ID)
-			if c, found := u.candRemove(lo, it.m.ID, kv, def); found && c.blockers == 0 {
-				out.del(c.out)
+			if c, found := u.candRemove(lo, it.m.ID, kv, def); found {
+				u.sh.u.candDel(u, &c, kv, def)
+				if c.blockers == 0 {
+					out.del(c.out)
+				}
 			}
 			continue
 		}
@@ -279,6 +283,8 @@ func (u *negNode) applyPos(out *delta) {
 			u.knegs.scan(kv, def, count)
 		}
 		u.candAdd(c, kv, def)
+		u.sh.u.candAdd(u, c.lo, c.a.ID, kv, def)
+		u.sh.u.timeMap(u.loOf, c.a.ID)
 		u.loOf[c.a.ID] = c.lo
 		if c.blockers == 0 {
 			out.add(c.out)
@@ -298,13 +304,20 @@ func (u *negNode) applyNeg(out *delta) {
 			var removed bool
 			if u.key == nil {
 				removed = u.negs.removeMatch(it.m)
+				if removed {
+					u.sh.u.listDel(&u.negs, &it.m)
+				}
 			} else {
 				removed = u.knegs.remove(it.m, kv, def)
+				if removed {
+					u.sh.u.kListDel(&u.knegs, &it.m, kv, def)
+				}
 			}
 			if !removed {
 				continue
 			}
-			u.eachAffected(t, it.m, kv, def, func(c *negCand) {
+			u.eachAffected(t, it.m, kv, def, func(c *negCand, bucket int, bkv event.Value) {
+				u.sh.u.block(u, bucket, bkv, c.lo, c.a.ID, false)
 				c.blockers--
 				if c.blockers == 0 {
 					out.add(c.out)
@@ -314,10 +327,13 @@ func (u *negNode) applyNeg(out *delta) {
 		}
 		if u.key == nil {
 			u.negs.insert(it.m)
+			u.sh.u.listIns(&u.negs, &it.m)
 		} else {
 			u.knegs.insert(it.m, kv, def)
+			u.sh.u.kListIns(&u.knegs, &it.m, kv, def)
 		}
-		u.eachAffected(t, it.m, kv, def, func(c *negCand) {
+		u.eachAffected(t, it.m, kv, def, func(c *negCand, bucket int, bkv event.Value) {
+			u.sh.u.block(u, bucket, bkv, c.lo, c.a.ID, true)
 			c.blockers++
 			if c.blockers == 1 {
 				out.del(c.out)
@@ -329,9 +345,13 @@ func (u *negNode) applyNeg(out *delta) {
 // eachAffected visits every candidate whose interval strictly contains t
 // and whose correlation predicate matches the negative match. A definite
 // negative match visits its own key's candidates plus the wild ones; a
-// wild one visits everything, exactly as unkeyed.
-func (u *negNode) eachAffected(t temporal.Time, neg algebra.Match, kv event.Value, def bool, fn func(c *negCand)) {
-	visit := func(cs []negCand) {
+// wild one visits everything, exactly as unkeyed. The callback receives the
+// candidate's list identity (bucket kind + key) so a blocker-count mutation
+// can be journaled in a form the undo path can re-locate — candidate slices
+// reallocate, so a *negCand must never outlive the visit.
+func (u *negNode) eachAffected(t temporal.Time, neg algebra.Match, kv event.Value, def bool,
+	fn func(c *negCand, bucket int, bkv event.Value)) {
+	visit := func(cs []negCand, bucket int, bkv event.Value) {
 		// Any candidate with lo <= t - maxSpan has hi <= lo + maxSpan <= t.
 		from := sort.Search(len(cs), func(i int) bool { return cs[i].lo > t.Add(-u.maxSpan) })
 		for i := from; i < len(cs) && cs[i].lo < t; i++ {
@@ -340,12 +360,12 @@ func (u *negNode) eachAffected(t temporal.Time, neg algebra.Match, kv event.Valu
 				continue
 			}
 			if u.corr == nil || u.corr(c.a.Payload, neg.Payload) {
-				fn(c)
+				fn(c, bucket, bkv)
 			}
 		}
 	}
 	if u.key == nil {
-		visit(u.cands)
+		visit(u.cands, bkFlat, nil)
 		return
 	}
 	u.scanCands(kv, def, visit)
@@ -353,15 +373,15 @@ func (u *negNode) eachAffected(t temporal.Time, neg algebra.Match, kv event.Valu
 
 // scanCands is eachAffected's analog of keyedList.scan for the candidate
 // lists: the routing rule lives in one place per store shape.
-func (u *negNode) scanCands(kv event.Value, def bool, fn func([]negCand)) {
+func (u *negNode) scanCands(kv event.Value, def bool, fn func([]negCand, int, event.Value)) {
 	if def {
-		fn(u.kcands[kv])
+		fn(u.kcands[kv], bkKey, kv)
 	} else {
-		for _, cs := range u.kcands {
-			fn(cs)
+		for bkv, cs := range u.kcands {
+			fn(cs, bkKey, bkv)
 		}
 	}
-	fn(u.wcands)
+	fn(u.wcands, bkWild, nil)
 }
 
 func (u *negNode) clone(sh *shared) node {

@@ -69,12 +69,16 @@ func (d *delta) reset()              { d.items = d.items[:0] }
 
 // shared is tree-global state owned by the driving Op: the occurrence times
 // of the available (live, unconsumed) primitive events (UNLESS' nodes
-// resolve their anchor contributor through it at candidate-creation time)
-// and the correlation-key pushdown configuration (nil = unkeyed; see
-// key.go).
+// resolve their anchor contributor through it at candidate-creation time),
+// the correlation-key pushdown configuration (nil = unkeyed; see key.go),
+// and the operator's undo journal (journal.go), which every node copies at
+// build/clone time so its mutations can be journaled without an indirection
+// through sh on the hot path. u is always non-nil; it records nothing until
+// the first Mark turns it on.
 type shared struct {
 	vs  map[event.ID]temporal.Time
 	key *keyCfg
+	u   *undoLog
 }
 
 // buildCtx tracks where in the expression a node is being built, which
@@ -194,7 +198,7 @@ func allSupported(kids []algebra.Expr) bool {
 func build(x algebra.Expr, sh *shared, ctx buildCtx) node {
 	switch e := x.(type) {
 	case algebra.TypeExpr:
-		return newLeaf(e)
+		return newLeaf(e, sh)
 	case algebra.SequenceExpr:
 		return newSeqNode(e, sh, ctx)
 	case algebra.AtLeastExpr:
@@ -282,11 +286,12 @@ type leafNode struct {
 	// operator already saw — and any revival re-push after an un-consume —
 	// reuses the namespaced payload map instead of rebuilding it.
 	interned *combCache
+	u        *undoLog
 }
 
-func newLeaf(t algebra.TypeExpr) *leafNode {
+func newLeaf(t algebra.TypeExpr, sh *shared) *leafNode {
 	return &leafNode{t: t, prefix: t.Prefix(), live: map[event.ID]algebra.Match{},
-		minVs: temporal.Infinity, interned: newCombCache()}
+		minVs: temporal.Infinity, interned: newCombCache(), u: sh.u}
 }
 
 func (l *leafNode) push(e event.Event, out *delta) {
@@ -311,8 +316,10 @@ func (l *leafNode) push(e event.Event, out *delta) {
 		}
 		l.interned.put(e.ID, m)
 	}
+	l.u.matchMap(l.live, e.ID)
 	l.live[e.ID] = m
 	if m.V.Start < l.minVs {
+		l.u.leafMin(l)
 		l.minVs = m.V.Start
 	}
 	out.add(m)
@@ -320,6 +327,7 @@ func (l *leafNode) push(e event.Event, out *delta) {
 
 func (l *leafNode) remove(id event.ID, out *delta) {
 	if m, ok := l.live[id]; ok {
+		l.u.matchMap(l.live, id)
 		delete(l.live, id)
 		out.del(m)
 	}
@@ -329,9 +337,11 @@ func (l *leafNode) prune(horizon temporal.Time, out *delta) {
 	if horizon <= l.minVs {
 		return
 	}
+	l.u.leafMin(l)
 	low := temporal.Infinity
 	for id, m := range l.live {
 		if m.V.Start < horizon {
+			l.u.matchMap(l.live, id)
 			delete(l.live, id)
 			out.del(m)
 		} else if m.V.Start < low {
@@ -341,11 +351,12 @@ func (l *leafNode) prune(horizon temporal.Time, out *delta) {
 	l.minVs = low
 }
 
-func (l *leafNode) clone(*shared) node {
+func (l *leafNode) clone(sh *shared) node {
 	c := &leafNode{t: l.t, prefix: l.prefix,
 		live:     make(map[event.ID]algebra.Match, len(l.live)),
 		minVs:    l.minVs,
-		interned: l.interned}
+		interned: l.interned,
+		u:        sh.u}
 	for id, m := range l.live {
 		c.live[id] = m
 	}

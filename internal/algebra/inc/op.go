@@ -84,6 +84,12 @@ type Op struct {
 	lowVs   temporal.Time // min V.Start over store ∪ consumed
 	lowEmit temporal.Time // min LastVs over emitted
 
+	// aliased: this handle's state is structurally shared with at least one
+	// other handle (a lazy Clone). Every shared structure is frozen — any
+	// handle's first mutation deep-copies its own view first (ensureOwned),
+	// so Clone itself is O(1).
+	aliased bool
+
 	rootDelta delta             // reusable root-transition scratch
 	selBuf    []algebra.Match   // per-pass committed-selection scratch
 	consBuf   map[event.ID]bool // per-pass consumed-set scratch
@@ -173,7 +179,7 @@ func NewOp(expr algebra.Expr, mode algebra.SCMode, outType string, opts ...OpOpt
 		o(p)
 	}
 	p.trackVs = usesAnchorTimes(expr)
-	p.sh = &shared{vs: map[event.ID]temporal.Time{}, key: newKeyCfg(p.keyAttr)}
+	p.sh = &shared{vs: map[event.ID]temporal.Time{}, key: newKeyCfg(p.keyAttr), u: &undoLog{}}
 	p.root = build(expr, p.sh, buildCtx{pos: true})
 	return p
 }
@@ -236,9 +242,11 @@ const (
 
 // apply folds a root delta into the pending set.
 func (p *Op) apply(d *delta, src applySource) {
+	u := p.sh.u
 	for _, it := range d.items {
 		if it.del {
 			if i, ok := p.pending.slot(&it.m); ok {
+				u.pendDel(&p.pending, i)
 				p.pending.removeAt(i)
 				if i < p.stable {
 					p.stable = 0
@@ -258,6 +266,7 @@ func (p *Op) apply(d *delta, src applySource) {
 		}
 		i, exists := p.pending.slot(&it.m)
 		if exists {
+			u.pendSet(&p.pending, i)
 			p.pending.ms[i] = it.m
 			continue
 		}
@@ -270,6 +279,7 @@ func (p *Op) apply(d *delta, src applySource) {
 			p.stable = 0
 		}
 		p.pending.insertAt(i, it.m)
+		u.pendIns(&p.pending, i)
 		if it.m.FinalizeAt < p.minAddFin {
 			p.minAddFin = it.m.FinalizeAt
 		}
@@ -278,6 +288,7 @@ func (p *Op) apply(d *delta, src applySource) {
 
 // Process implements operators.Op.
 func (p *Op) Process(_ int, e event.Event) []event.Event {
+	p.ensureOwned()
 	if e.Kind == event.Retract {
 		if !e.V.Empty() {
 			return nil // lifetime shrink: pattern semantics see only Vs
@@ -292,11 +303,13 @@ func (p *Op) Process(_ int, e event.Event) []event.Event {
 	// (the monitor's repair diff leans on exactly that sharing), so the
 	// defensive deep clone the oracle performs buys nothing here — and the
 	// leaf re-namespaces the payload into a fresh map anyway.
+	p.sh.u.evMap(p.store, e.ID)
 	p.store[e.ID] = e
 	if e.V.Start < p.lowVs {
 		p.lowVs = e.V.Start
 	}
 	if p.trackVs && e.Kind == event.Insert {
+		p.sh.u.timeMap(p.sh.vs, e.ID)
 		p.sh.vs[e.ID] = e.V.Start
 	}
 	p.rootDelta.reset()
@@ -309,14 +322,21 @@ func (p *Op) Process(_ int, e event.Event) []event.Event {
 // the tree, retract dependent emitted outputs in deterministic commit
 // order, revive un-consumed contributors, and re-mature.
 func (p *Op) remove(id event.ID) []event.Event {
-	_, inStore := p.store[id]
-	_, wasConsumed := p.consumed[id]
+	sev, inStore := p.store[id]
+	cev, wasConsumed := p.consumed[id]
 	if !inStore && !wasConsumed {
 		return nil
+	}
+	if inStore {
+		p.sh.u.evMapKnown(p.store, id, sev)
+	}
+	if wasConsumed {
+		p.sh.u.evMapKnown(p.consumed, id, cev)
 	}
 	delete(p.store, id)
 	delete(p.consumed, id)
 	if p.trackVs {
+		p.sh.u.timeMap(p.sh.vs, id)
 		delete(p.sh.vs, id)
 	}
 	if inStore {
@@ -343,6 +363,7 @@ func (p *Op) remove(id event.ID) []event.Event {
 		r.Kind = event.Retract
 		r.V.End = r.V.Start
 		outs = append(outs, r)
+		p.sh.u.matchMap(p.emitted, m.ID)
 		delete(p.emitted, m.ID)
 		p.dirty = true
 		if wasConsumed || p.Mode.Cons == algebra.Consume {
@@ -351,9 +372,12 @@ func (p *Op) remove(id event.ID) []event.Event {
 					continue
 				}
 				if ev, ok := p.consumed[c]; ok {
+					p.sh.u.evMapKnown(p.consumed, c, ev)
 					delete(p.consumed, c)
+					p.sh.u.evMap(p.store, c)
 					p.store[c] = ev
 					if p.trackVs {
+						p.sh.u.timeMap(p.sh.vs, c)
 						p.sh.vs[c] = ev.V.Start
 					}
 					p.rootDelta.reset()
@@ -439,6 +463,7 @@ func (p *Op) mature() []event.Event {
 		if _, done := p.emitted[m.ID]; done {
 			continue
 		}
+		p.sh.u.matchMap(p.emitted, m.ID)
 		p.emitted[m.ID] = m
 		if m.LastVs < p.lowEmit {
 			p.lowEmit = m.LastVs
@@ -462,10 +487,13 @@ func (p *Op) consume(m algebra.Match) {
 		if !ok {
 			continue
 		}
+		p.sh.u.evMapKnown(p.store, id, ev)
 		delete(p.store, id)
 		if p.trackVs {
+			p.sh.u.timeMap(p.sh.vs, id)
 			delete(p.sh.vs, id)
 		}
+		p.sh.u.evMap(p.consumed, id)
 		p.consumed[id] = ev
 		p.rootDelta.reset()
 		p.root.remove(id, &p.rootDelta)
@@ -476,6 +504,7 @@ func (p *Op) consume(m algebra.Match) {
 // Advance implements operators.Op: move the certainty frontier, emit
 // finalized detections, prune state beyond the expression scope.
 func (p *Op) Advance(t temporal.Time) []event.Event {
+	p.ensureOwned()
 	if t > p.frontier {
 		p.frontier = t
 	}
@@ -494,8 +523,10 @@ func (p *Op) Advance(t temporal.Time) []event.Event {
 			low := temporal.Infinity
 			for id, e := range p.store {
 				if e.V.Start < horizon {
+					p.sh.u.evMapKnown(p.store, id, e)
 					delete(p.store, id)
 					if p.trackVs {
+						p.sh.u.timeMap(p.sh.vs, id)
 						delete(p.sh.vs, id)
 					}
 				} else if e.V.Start < low {
@@ -504,6 +535,7 @@ func (p *Op) Advance(t temporal.Time) []event.Event {
 			}
 			for id, e := range p.consumed {
 				if e.V.Start < horizon {
+					p.sh.u.evMapKnown(p.consumed, id, e)
 					delete(p.consumed, id)
 				} else if e.V.Start < low {
 					low = e.V.Start
@@ -515,6 +547,7 @@ func (p *Op) Advance(t temporal.Time) []event.Event {
 			low := temporal.Infinity
 			for id, m := range p.emitted {
 				if m.LastVs < horizon {
+					p.sh.u.matchMap(p.emitted, id)
 					delete(p.emitted, id)
 				} else if m.LastVs < low {
 					low = m.LastVs
@@ -523,7 +556,11 @@ func (p *Op) Advance(t temporal.Time) []event.Event {
 			p.lowEmit = low
 		}
 	} else {
-		p.sh = &shared{vs: map[event.ID]temporal.Time{}, key: p.sh.key}
+		// Wholesale reset: journal the replaced containers (the tree, the
+		// stores, the pending list) as one record, then rebuild. The new
+		// shared struct keeps the same journal.
+		p.sh.u.reset(p)
+		p.sh = &shared{vs: map[event.ID]temporal.Time{}, key: p.sh.key, u: p.sh.u}
 		p.root = build(p.Expr, p.sh, buildCtx{pos: true})
 		p.store = map[event.ID]event.Event{}
 		p.consumed = map[event.ID]event.Event{}
@@ -563,12 +600,45 @@ func (p *Op) OutputGuarantee(t temporal.Time) temporal.Time {
 // and consumed — the oracle keeps both in its store) plus emitted matches.
 func (p *Op) StateSize() int { return len(p.store) + len(p.consumed) + len(p.emitted) }
 
-// Clone implements operators.Op. The tree's interning caches are shared
-// with the clone (clones run sequentially — the Op contract); mutable
-// state is copied. Scratch buffers are not shared: each clone grows its
-// own on first use.
+// Clone implements operators.Op as an O(1) copy-on-write handle: the clone
+// and the original share every state structure, both marked aliased, and
+// whichever handle mutates first deep-copies its own view (ensureOwned).
+// The tree's interning caches are shared either way (clones run
+// sequentially — the Op contract). A clone never inherits scratch buffers:
+// it grows its own on first use.
+//
+// When the undo journal is on (the operator is serving as a Versioned
+// checkpoint target), Clone falls back to an eager deep copy with a fresh,
+// off journal: journal records point into the live structures, so those
+// may not be frozen under an aliased handle.
 func (p *Op) Clone() operators.Op {
-	sh := &shared{vs: make(map[event.ID]temporal.Time, len(p.sh.vs)), key: p.sh.key}
+	if p.sh.u.on {
+		return p.deepClone()
+	}
+	c := new(Op)
+	*c = *p
+	c.rootDelta = delta{}
+	c.selBuf, c.consBuf, c.outBuf, c.remBuf = nil, nil, nil, nil
+	c.aliased = true
+	p.aliased = true
+	return c
+}
+
+// ensureOwned makes the handle the sole owner of its state, deep-copying
+// the shared (frozen) structures on the first mutation after a lazy Clone.
+func (p *Op) ensureOwned() {
+	if p.aliased {
+		c := p.deepClone()
+		c.rootDelta = p.rootDelta
+		c.selBuf, c.consBuf, c.outBuf, c.remBuf = p.selBuf, p.consBuf, p.outBuf, p.remBuf
+		*p = *c
+	}
+}
+
+// deepClone is the eager copy: mutable state duplicated, interning caches
+// shared, a fresh (off) journal.
+func (p *Op) deepClone() *Op {
+	sh := &shared{vs: make(map[event.ID]temporal.Time, len(p.sh.vs)), key: p.sh.key, u: &undoLog{}}
 	for id, t := range p.sh.vs {
 		sh.vs[id] = t
 	}
@@ -603,4 +673,31 @@ func (p *Op) Clone() operators.Op {
 		c.emitted[id] = m
 	}
 	return c
+}
+
+// Mark implements operators.Versioned: an O(1) barrier append returning a
+// handle for the operator's current state. The first Mark turns the undo
+// journal on; from then on every state mutation appends its exact inverse.
+func (p *Op) Mark() operators.Version {
+	p.ensureOwned()
+	return operators.Version{Pos: p.sh.u.mark(p)}
+}
+
+// Rollback implements operators.Versioned: undo every mutation back to v,
+// in O(mutations since v). v stays valid and can be rolled back to again;
+// versions marked after v are invalidated.
+func (p *Op) Rollback(v operators.Version) bool {
+	if p.aliased || !p.sh.u.on {
+		return false
+	}
+	return p.sh.u.rollbackTo(v.Pos, p)
+}
+
+// Compact implements operators.Versioned: discard undo history strictly
+// below v, in O(discarded records).
+func (p *Op) Compact(v operators.Version) {
+	if p.aliased || !p.sh.u.on {
+		return
+	}
+	p.sh.u.compact(v.Pos)
 }

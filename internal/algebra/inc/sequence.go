@@ -35,6 +35,7 @@ type seqNode struct {
 	ids   []event.ID      // contributor-ID scratch for the interned lookup
 	kd    delta           // reusable child-transition scratch
 	comb  *combCache      // interned composites, shared with clones
+	u     *undoLog
 }
 
 func newSeqNode(e algebra.SequenceExpr, sh *shared, ctx buildCtx) *seqNode {
@@ -46,6 +47,7 @@ func newSeqNode(e algebra.SequenceExpr, sh *shared, ctx buildCtx) *seqNode {
 		parts: make([]algebra.Match, len(e.Kids)),
 		ids:   make([]event.ID, len(e.Kids)),
 		comb:  newCombCache(),
+		u:     sh.u,
 	}
 	if s.key != nil {
 		s.klists = make([]keyedList, len(e.Kids))
@@ -92,24 +94,30 @@ func (s *seqNode) applyKid(i int, out *delta) {
 		}
 		if it.del {
 			if s.key != nil {
-				s.klists[i].remove(it.m, kv, def)
-			} else {
-				s.lists[i].removeMatch(it.m)
+				if s.klists[i].remove(it.m, kv, def) {
+					s.u.kListDel(&s.klists[i], &it.m, kv, def)
+				}
+			} else if s.lists[i].removeMatch(it.m) {
+				s.u.listDel(&s.lists[i], &it.m)
 			}
 			for _, oid := range s.uses[it.m.ID] {
 				if m, ok := s.outs[oid]; ok {
+					s.u.matchMap(s.outs, oid)
 					delete(s.outs, oid)
 					out.del(m)
 				}
 			}
+			s.u.usesDel(s.uses, it.m.ID)
 			delete(s.uses, it.m.ID)
 			continue
 		}
 		s.enumerate(i, it.m, kv, def, out)
 		if s.key != nil {
 			s.klists[i].insert(it.m, kv, def)
+			s.u.kListIns(&s.klists[i], &it.m, kv, def)
 		} else {
 			s.lists[i].insert(it.m)
+			s.u.listIns(&s.lists[i], &it.m)
 		}
 	}
 }
@@ -185,8 +193,10 @@ func (s *seqNode) commit(out *delta) {
 		m = algebra.Combine(s.parts, s.w)
 		s.comb.put(id, m)
 	}
+	s.u.matchMap(s.outs, id)
 	s.outs[id] = m
 	for _, p := range s.parts {
+		s.u.usesApp(s.uses, p.ID)
 		s.uses[p.ID] = append(s.uses[p.ID], id)
 	}
 	out.add(m)
@@ -201,6 +211,7 @@ func (s *seqNode) clone(sh *shared) node {
 		parts: make([]algebra.Match, len(s.parts)),
 		ids:   make([]event.ID, len(s.ids)),
 		comb:  s.comb,
+		u:     sh.u,
 	}
 	for _, k := range s.kids {
 		c.kids = append(c.kids, k.clone(sh))

@@ -50,6 +50,11 @@ type PatternOp struct {
 	// consumed-filtered map scan. availIdx locates an event's slot.
 	avail    []event.Event
 	availIdx map[event.ID]int
+
+	// aliased marks a handle whose state containers are shared with at
+	// least one clone. Mutators materialize a private copy first
+	// (copy-on-first-write), so Clone itself is O(1).
+	aliased bool
 }
 
 // NewPatternOp builds the streaming operator for expr. outType names the
@@ -144,6 +149,7 @@ func (p *PatternOp) mature() []event.Event {
 
 // Process implements operators.Op.
 func (p *PatternOp) Process(_ int, e event.Event) []event.Event {
+	p.ensureOwned()
 	if e.Kind == event.Retract {
 		if !e.V.Empty() {
 			return nil // lifetime shrink: pattern semantics see only Vs
@@ -213,6 +219,7 @@ func (p *PatternOp) remove(id event.ID) []event.Event {
 // Advance implements operators.Op: move the certainty frontier, emit
 // finalized detections, prune state beyond every operator scope.
 func (p *PatternOp) Advance(t temporal.Time) []event.Event {
+	p.ensureOwned()
 	if t > p.frontier {
 		p.frontier = t
 	}
@@ -270,24 +277,45 @@ func (p *PatternOp) OutputGuarantee(t temporal.Time) temporal.Time {
 // StateSize implements operators.Op.
 func (p *PatternOp) StateSize() int { return len(p.store) + len(p.emitted) }
 
-// Clone implements operators.Op.
+// Clone implements operators.Op. The copy is O(1): both handles keep
+// sharing the state containers and mark themselves aliased; whichever
+// handle mutates first materializes a private copy (clones are driven
+// sequentially per the Op contract, so first-write is well-defined).
 func (p *PatternOp) Clone() operators.Op {
-	c := NewPatternOp(p.Expr, p.Mode, p.OutType)
-	c.frontier = p.frontier
-	for id, e := range p.store {
+	c := new(PatternOp)
+	*c = *p
+	p.aliased = true
+	c.aliased = true
+	return c
+}
+
+// ensureOwned materializes a private copy of state shared with clones; the
+// body is the former eager Clone. Handles that still alias the old
+// containers are untouched — they keep the state as of the share point.
+func (p *PatternOp) ensureOwned() {
+	if !p.aliased {
+		return
+	}
+	store, consumed, emitted := p.store, p.consumed, p.emitted
+	p.store = make(map[event.ID]event.Event, len(store))
+	p.consumed = make(map[event.ID]bool, len(consumed))
+	p.emitted = make(map[event.ID]Match, len(emitted))
+	p.avail = nil
+	p.availIdx = make(map[event.ID]int, len(store))
+	p.aliased = false
+	for id, e := range store {
 		ec := e.Clone()
-		c.store[id] = ec
-		if !p.consumed[id] {
-			c.availAdd(ec)
+		p.store[id] = ec
+		if !consumed[id] {
+			p.availAdd(ec)
 		}
 	}
-	for id, v := range p.consumed {
-		c.consumed[id] = v
+	for id, v := range consumed {
+		p.consumed[id] = v
 	}
-	for id, m := range p.emitted {
-		c.emitted[id] = m
+	for id, m := range emitted {
+		p.emitted[id] = m
 	}
-	return c
 }
 
 // SequenceOp is a specialized incremental implementation of

@@ -5,6 +5,8 @@ package consistency
 import (
 	"testing"
 
+	"repro/internal/algebra"
+	"repro/internal/algebra/inc"
 	"repro/internal/delivery"
 	"repro/internal/event"
 	"repro/internal/operators"
@@ -36,5 +38,51 @@ func TestAllocsMonitorFastPath(t *testing.T) {
 		perEvent, len(delivered), ceiling)
 	if perEvent > ceiling {
 		t.Fatalf("monitor fast path allocates %.2f/event, above the pinned ceiling %.0f", perEvent, ceiling)
+	}
+}
+
+// TestAllocsVersionedCheckpointCapture pins the tentpole claim of
+// delta-driven checkpointing: on the versioned path a repair snapshot is a
+// journal mark — O(changed since the last snapshot) — not a deep clone of
+// the operator. The proof is differential: the same stream runs with
+// snapshots disabled and at the most punishing cadence (a snapshot per
+// admitted item), and the per-event difference — the entire capture cost —
+// must stay a small constant, independent of the matcher's live state.
+// Under the old clone-and-replay scheme every capture deep-copied the
+// matcher's stores, costing tens of allocations per event on this
+// workload.
+func TestAllocsVersionedCheckpointCapture(t *testing.T) {
+	expr := algebra.SequenceExpr{Kids: []algebra.Expr{
+		algebra.TypeExpr{Type: "E", Alias: "a"},
+		algebra.TypeExpr{Type: "E", Alias: "b"},
+	}, W: 50}
+	src := make([]event.Event, 0, 600)
+	at := temporal.Time(0)
+	for i := 0; i < 600; i++ {
+		at = at.Add(temporal.Duration(i%5 + 1))
+		src = append(src, event.NewInsert(event.ID(i+1), "E", at,
+			temporal.Infinity, event.Payload{"i": int64(i)}))
+	}
+	delivered := delivery.Deliver(src, delivery.Ordered(20))
+
+	measure := func(cadence int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			m := NewMonitor(inc.NewOp(expr, algebra.SCMode{}, "out"), Middle(),
+				WithSnapshotCadence(cadence, 0))
+			for _, e := range delivered {
+				m.Push(0, e)
+			}
+			m.Finish()
+		}) / float64(len(delivered))
+	}
+	base := measure(0)  // snapshots disabled: pure processing cost
+	dense := measure(1) // a capture per admitted item
+	overhead := dense - base
+
+	const ceiling = 3.0
+	t.Logf("versioned capture: %.2f allocs/event disabled, %.2f at cadence 1 — capture overhead %.2f/event (ceiling %.0f)",
+		base, dense, overhead, ceiling)
+	if overhead > ceiling {
+		t.Fatalf("versioned checkpoint capture adds %.2f allocs/event at cadence 1 (%.2f vs %.2f baseline), above the pinned ceiling %.0f — snapshot capture is no longer O(changed)", overhead, dense, base, ceiling)
 	}
 }

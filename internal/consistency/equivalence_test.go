@@ -7,6 +7,8 @@ import (
 	"sort"
 	"testing"
 
+	"repro/internal/algebra"
+	"repro/internal/algebra/inc"
 	"repro/internal/delivery"
 	"repro/internal/event"
 	"repro/internal/operators"
@@ -149,6 +151,51 @@ func TestMonitorEquivalenceRandomized(t *testing.T) {
 			for _, spec := range levels {
 				label := fmt.Sprintf("trial %d op %s level %s", trial, name, spec.Name())
 				runBoth(t, label, NewMonitor(mk(), spec), newRefMonitor(mk(), spec), delivered, 0, Spec{})
+			}
+		}
+	}
+}
+
+// TestMonitorEquivalenceCheckpointCadences pins the monitor across the
+// snapshot-cadence grid — a mark per admitted item (1), tight (3), the
+// default (24), and disabled (0: every repair rebuilds from the checkpoint
+// state) — against the frozen seed reference, which has no snapshot cache
+// at all. The operator grid covers both checkpoint paths: the incremental
+// pattern op exercises the versioned path (journal marks, rollback repair,
+// base-slide checkpointing), the aggregate exercises the legacy
+// clone-and-replay path under the same option. Output and metrics must be
+// invariant under cadence.
+func TestMonitorEquivalenceCheckpointCadences(t *testing.T) {
+	seqEE := algebra.SequenceExpr{Kids: []algebra.Expr{
+		algebra.TypeExpr{Type: "E", Alias: "a"},
+		algebra.TypeExpr{Type: "E", Alias: "b"},
+	}, W: 25}
+	ops := map[string]func() operators.Op{
+		"inc-seq":    func() operators.Op { return inc.NewOp(seqEE, algebra.SCMode{}, "out") },
+		"count-by-g": func() operators.Op { return operators.NewAggregate(operators.Count, "", "g") },
+	}
+	names := make([]string, 0, len(ops))
+	for name := range ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cadences := []int{1, 3, 24, 0}
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewSource(4200 + int64(trial)))
+		src := randSource(rng, 120+rng.Intn(80))
+		delivered := delivery.Deliver(src, delivery.Disordered(rng.Int63(),
+			temporal.Duration(rng.Intn(80)+20), temporal.Duration(rng.Intn(60)+10),
+			0.15+rng.Float64()*0.3))
+		for _, name := range names {
+			mk := ops[name]
+			for _, spec := range []Spec{Strong(), Middle(), Weak(40), Level(10, 50)} {
+				for _, every := range cadences {
+					label := fmt.Sprintf("cadence trial %d op %s level %s every %d",
+						trial, name, spec.Name(), every)
+					runBoth(t, label,
+						NewMonitor(mk(), spec, WithSnapshotCadence(every, 0)),
+						newRefMonitor(mk(), spec), delivered, 0, Spec{})
+				}
 			}
 		}
 	}

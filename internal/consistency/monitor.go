@@ -74,8 +74,34 @@ import (
 //     the items elsewhere.
 type Monitor struct {
 	op   operators.Op // live operator
-	ckpt operators.Op // operator state as of the last absorbed guarantee
+	ckpt operators.Op // operator state as of the last absorbed guarantee (nil on the versioned path)
 	spec Spec
+
+	// The versioned checkpoint path (ISSUE 7): when the operator implements
+	// operators.Versioned (and is not stateless), the monitor stops keeping
+	// a second operator copy entirely. Checkpoints and repair snapshots
+	// become O(1) journal marks on the live operator:
+	//
+	//   - maybeSnapshot records vop.Mark() instead of op.Clone();
+	//   - repair rewinds the live operator with vop.Rollback instead of
+	//     cloning a snapshot and replaying the whole suffix;
+	//   - checkpointTo no longer re-Processes absorbed items into a ckpt
+	//     operator — it just slides the base version forward and compacts
+	//     the journal below it.
+	//
+	// base is the newest version at or below the absorbed boundary; tail is
+	// the index of the first log item after base's boundary. Items in
+	// [tail, head) are absorbed but physically retained: a repair falling
+	// back to base re-drives them with discarded output (their facts were
+	// already finalized), which reproduces the legacy checkpoint state.
+	vop  operators.Versioned
+	base operators.Version
+	tail int
+
+	// Snapshot cadence, tunable via WithSnapshotCadence (defaults
+	// snapEvery/maxSnaps). snapCadence <= 0 disables repair snapshots.
+	snapCadence int
+	snapBound   int
 
 	log     []logItem // log[head:] is the live window, sorted by (sync, seq)
 	head    int
@@ -153,10 +179,11 @@ const (
 )
 
 const (
-	// snapEvery is the repair-snapshot cadence in admitted items.
+	// snapEvery is the default repair-snapshot cadence in admitted items
+	// (override with WithSnapshotCadence).
 	snapEvery = 24
-	// maxSnaps bounds retained snapshots; the oldest are dropped first
-	// (deep stragglers fall back to the checkpoint).
+	// maxSnaps is the default bound on retained snapshots; the oldest are
+	// dropped first (deep stragglers fall back to the checkpoint).
 	maxSnaps = 16
 	// compactAt triggers log-window compaction once the absorbed prefix
 	// outweighs the live window.
@@ -185,6 +212,12 @@ type logItem struct {
 	// checkpointing must reproduce the same calls even if the level has
 	// changed since, so the policy travels with the item.
 	opt bool
+	// stateAfter is the operator's StateSize after this item was applied to
+	// the sorted prefix ending at it (maintained on the versioned path
+	// only; repair rewrites it for the replayed suffix). It lets
+	// checkpointTo report the exact checkpoint state size without holding a
+	// checkpoint operator to measure.
+	stateAfter int
 }
 
 func (li logItem) sync() temporal.Time {
@@ -234,8 +267,12 @@ type snapshot struct {
 	// repair can skip the staleness filter.
 	absSync temporal.Time
 	absSeq  int
-	op      operators.Op
-	tbl     map[event.ID]*netFact
+	// Exactly one of op/ver is meaningful: a deep operator clone on the
+	// legacy path, a journal version of the live operator on the versioned
+	// path (an O(1) handle instead of an O(state) copy).
+	op  operators.Op
+	ver operators.Version
+	tbl map[event.ID]*netFact
 }
 
 // Metrics quantifies the three axes of Figure 8 — blocking, state size and
@@ -280,23 +317,37 @@ func (m Metrics) MeanBlocking() float64 {
 	return float64(m.TotalBlocking) / float64(m.BlockedEvents)
 }
 
+// MonitorOption configures a Monitor beyond its consistency level.
+type MonitorOption func(*Monitor)
+
+// WithSnapshotCadence overrides the repair-snapshot policy: a snapshot
+// every `every` admitted items, keeping at most `max`. every <= 0 disables
+// snapshots entirely (repair always rebuilds from the checkpoint state);
+// max <= 0 keeps the default bound.
+func WithSnapshotCadence(every, max int) MonitorOption {
+	return func(m *Monitor) {
+		m.snapCadence = every
+		if max > 0 {
+			m.snapBound = max
+		}
+	}
+}
+
 // NewMonitor wraps op with a consistency monitor at the given level.
-func NewMonitor(op operators.Op, spec Spec) *Monitor {
+func NewMonitor(op operators.Op, spec Spec, opts ...MonitorOption) *Monitor {
 	portG := make([]temporal.Time, op.Arity())
 	for i := range portG {
 		portG[i] = temporal.MinTime
 	}
-	ckpt := op.Clone()
 	_, stateless := op.(operators.Stateless)
 	var advKey func([]byte, event.Event) []byte
 	if ao, ok := op.(operators.AdvanceOrdered); ok {
 		advKey = ao.AppendAdvanceKey
 	}
-	return &Monitor{
+	m := &Monitor{
 		stateless:      stateless,
 		advKey:         advKey,
 		op:             op,
-		ckpt:           ckpt,
 		spec:           spec,
 		emitted:        map[event.ID]*netFact{},
 		gen:            map[event.ID]uint64{},
@@ -306,8 +357,24 @@ func NewMonitor(op operators.Op, spec Spec) *Monitor {
 		processedSync:  temporal.MinTime,
 		absSync:        temporal.MinTime,
 		maxRetractSync: temporal.MinTime,
-		ckptState:      ckpt.StateSize(),
+		snapCadence:    snapEvery,
+		snapBound:      maxSnaps,
 	}
+	for _, o := range opts {
+		o(m)
+	}
+	if vop, ok := op.(operators.Versioned); ok && !stateless {
+		// Versioned path: no checkpoint operator at all. The genesis mark is
+		// the base — the empty prefix's state — and checkpointTo slides it
+		// forward as guarantees absorb the log.
+		m.vop = vop
+		m.base = vop.Mark()
+		m.ckptState = op.StateSize()
+	} else {
+		m.ckpt = op.Clone()
+		m.ckptState = m.ckpt.StateSize()
+	}
+	return m
 }
 
 // Spec returns the monitor's consistency level.
@@ -470,6 +537,9 @@ func (m *Monitor) pushCTI(port int, t temporal.Time, arrival []byte) {
 	}
 	m.insertLog(logItem{marker: true, t: g, key: key, seq: sq})
 	m.emit(key, sq, tagAdvance, m.op.Advance(g))
+	if m.vop != nil {
+		m.log[len(m.log)-1].stateAfter = m.op.StateSize()
+	}
 	// Absorb everything the guarantee finalizes into the checkpoint.
 	m.checkpointTo(g)
 	// Timed-out releases may also be due (the guarantee moved the frontier).
@@ -585,6 +655,9 @@ func (m *Monitor) admit(class byte, port int, e event.Event, probe bool, ext []b
 		if !probe {
 			m.emit(src, li.seq, tagProcess, m.op.Process(port, e))
 		}
+		if m.vop != nil {
+			m.log[len(m.log)-1].stateAfter = m.op.StateSize()
+		}
 		m.processedSync = src
 		m.maybeSnapshot()
 		return
@@ -677,9 +750,11 @@ func (m *Monitor) repairStateless(li logItem) bool {
 	return true
 }
 
-// repair rolls the operator back to the latest snapshot preceding the
-// straggler li (falling back to the checkpoint), replays the log suffix,
-// and emits the compensating deltas.
+// repair rewinds the operator to the latest snapshot preceding the
+// straggler li (falling back to the checkpoint state), replays the log
+// suffix, and emits the compensating deltas. On the versioned path the
+// rewind is a journal rollback of the live operator in place; on the legacy
+// path it clones the snapshot (or checkpoint) operator.
 func (m *Monitor) repair(li logItem) {
 	s, q := li.sync(), li.seq
 	// Snapshots whose prefix spans the straggler's position were built
@@ -695,6 +770,10 @@ func (m *Monitor) repair(li logItem) {
 		break
 	}
 	start := m.head
+	// replay marks where folding begins: items before it (absorbed items a
+	// versioned base rewind re-drives) have finalized facts, so their
+	// outputs are discarded exactly as checkpointTo discarded them.
+	replay := m.head
 	// bSync/bSeq is the replay's start boundary: facts whose producer is at
 	// or before it are inherited and cannot silently vanish, so the diff
 	// only needs to visit fold-touched ids plus live facts produced by the
@@ -703,7 +782,15 @@ func (m *Monitor) repair(li logItem) {
 	var fresh operators.Op
 	tbl := m.spare
 	if tbl == nil {
-		tbl = make(map[event.ID]*netFact, len(m.emitted)+8)
+		// Prefer a recycled snapshot table over a fresh allocation.
+		if n := len(m.tblPool); n > 0 {
+			tbl = m.tblPool[n-1]
+			m.tblPool[n-1] = nil
+			m.tblPool = m.tblPool[:n-1]
+			clear(tbl)
+		} else {
+			tbl = make(map[event.ID]*netFact, len(m.emitted)+8)
+		}
 	} else {
 		clear(tbl)
 	}
@@ -711,11 +798,19 @@ func (m *Monitor) repair(li logItem) {
 	m.dirty = m.dirty[:0]
 	if n := len(m.snaps); n > 0 {
 		sn := m.snaps[n-1]
-		fresh = sn.op.Clone()
+		if m.vop != nil {
+			if !m.vop.Rollback(sn.ver) {
+				panic("consistency: snapshot version no longer rollbackable")
+			}
+			fresh = m.op
+		} else {
+			fresh = sn.op.Clone()
+		}
 		for id, nf := range sn.tbl {
 			tbl[id] = nf
 		}
 		start = m.searchAfter(sn.bSync, sn.bSeq)
+		replay = start
 		bSync, bSeq = sn.bSync, sn.bSeq
 		if sn.absSync != m.absSync || sn.absSeq != m.absSeq {
 			// The snapshot predates a checkpoint; drop facts the checkpoint
@@ -727,6 +822,15 @@ func (m *Monitor) repair(li logItem) {
 				}
 			}
 		}
+	} else if m.vop != nil {
+		if !m.vop.Rollback(m.base) {
+			panic("consistency: base version no longer rollbackable")
+		}
+		fresh = m.op
+		// The base sits at or below the absorbed boundary: re-drive the
+		// retained absorbed items [tail, head) with discarded output to
+		// rebuild the checkpoint state, then fold the window as usual.
+		start = m.tail
 	} else {
 		fresh = m.ckpt.Clone()
 	}
@@ -734,25 +838,48 @@ func (m *Monitor) repair(li logItem) {
 	var created []map[event.ID]*netFact
 	for i := start; i < len(m.log); i++ {
 		item := m.log[i]
+		discard := i < replay
 		if item.marker {
-			m.foldInto(tbl, item.key, item.seq, fresh.Advance(item.t))
+			outs := fresh.Advance(item.t)
+			if !discard {
+				m.foldInto(tbl, item.key, item.seq, outs)
+			}
 		} else {
 			if item.opt {
-				m.foldInto(tbl, item.ev.Sync(), item.seq, fresh.Advance(item.ev.Sync()))
+				outs := fresh.Advance(item.ev.Sync())
+				if !discard {
+					m.foldInto(tbl, item.ev.Sync(), item.seq, outs)
+				}
 			}
 			if !item.probe {
-				m.foldInto(tbl, item.ev.Sync(), item.seq, fresh.Process(item.port, item.ev))
+				outs := fresh.Process(item.port, item.ev)
+				if !discard {
+					m.foldInto(tbl, item.ev.Sync(), item.seq, outs)
+				}
 			}
+		}
+		if m.vop != nil {
+			// The straggler shifted every later prefix: re-record the
+			// checkpoint state sizes along the new timeline.
+			m.log[i].stateAfter = fresh.StateSize()
+		}
+		if discard {
+			continue
 		}
 		// Re-seed the snapshot cache as the replay walks forward, so
 		// straggler bursts do not degenerate to checkpoint replays.
 		m.sinceSnap++
-		if m.sinceSnap >= snapEvery && i+1 < len(m.log) && m.wantSnapshots() {
+		if m.sinceSnap >= m.snapCadence && i+1 < len(m.log) && m.wantSnapshots() {
 			ct := m.copyTable(tbl)
 			created = append(created, ct)
-			m.addSnapshot(snapshot{bSync: item.sync(), bSeq: item.seq,
-				absSync: m.absSync, absSeq: m.absSeq,
-				op: fresh.Clone(), tbl: ct})
+			sn := snapshot{bSync: item.sync(), bSeq: item.seq,
+				absSync: m.absSync, absSeq: m.absSeq, tbl: ct}
+			if m.vop != nil {
+				sn.ver = m.vop.Mark()
+			} else {
+				sn.op = fresh.Clone()
+			}
+			m.addSnapshot(sn)
 			m.sinceSnap = 0
 		}
 	}
@@ -825,28 +952,36 @@ func (m *Monitor) wantSnapshots() bool {
 	// Snapshots only pay off where repair can happen: optimistic levels
 	// (B < ∞) with memory to repair (M > 0). Strong never replays; weak(0)
 	// drops every straggler. Stateless operators repair without replay, so
-	// they skip the cache entirely.
-	return m.spec.B != Unbounded && m.spec.M != 0 && !m.stateless
+	// they skip the cache entirely. A non-positive cadence disables the
+	// cache outright.
+	return m.spec.B != Unbounded && m.spec.M != 0 && !m.stateless && m.snapCadence > 0
 }
 
 // maybeSnapshot records a repair snapshot at the current end of the log
-// every snapEvery admitted items.
+// every snapCadence admitted items. On the versioned path the operator
+// part is an O(1) journal mark; only the net-fact table is copied.
 func (m *Monitor) maybeSnapshot() {
 	if !m.wantSnapshots() {
 		return
 	}
 	m.sinceSnap++
-	if m.sinceSnap < snapEvery || len(m.log) == m.head {
+	if m.sinceSnap < m.snapCadence || len(m.log) == m.head {
 		return
 	}
 	last := &m.log[len(m.log)-1]
-	m.addSnapshot(snapshot{bSync: last.sync(), bSeq: last.seq,
-		op: m.op.Clone(), tbl: m.copyTable(m.emitted)})
+	sn := snapshot{bSync: last.sync(), bSeq: last.seq, tbl: m.copyTable(m.emitted)}
+	if m.vop != nil {
+		sn.ver = m.vop.Mark()
+		sn.absSync, sn.absSeq = m.absSync, m.absSeq
+	} else {
+		sn.op = m.op.Clone()
+	}
+	m.addSnapshot(sn)
 	m.sinceSnap = 0
 }
 
 func (m *Monitor) addSnapshot(sn snapshot) {
-	if len(m.snaps) >= maxSnaps {
+	if len(m.snaps) >= m.snapBound {
 		m.recycle(m.snaps[0].tbl)
 		copy(m.snaps, m.snaps[1:])
 		m.snaps[len(m.snaps)-1] = sn
@@ -876,29 +1011,35 @@ func (m *Monitor) copyTable(tbl map[event.ID]*netFact) map[event.ID]*netFact {
 
 // recycle returns a snapshot table to the pool.
 func (m *Monitor) recycle(tbl map[event.ID]*netFact) {
-	if tbl == nil || len(m.tblPool) >= maxSnaps {
+	if tbl == nil || len(m.tblPool) >= m.snapBound {
 		return
 	}
 	m.tblPool = append(m.tblPool, tbl)
 }
 
-// checkpointTo absorbs every log item with Sync <= g into the checkpoint
+// checkpointTo absorbs every log item with Sync <= g into the checkpoint.
+// On the legacy path the items are re-Processed into the checkpoint
 // operator (with the same advance policy the live path used, so the two
-// stay identical). Instead of replaying the remaining suffix to rebuild the
-// net-emitted table, it drops the facts the absorbed prefix produced — each
-// fact records its source item's Sync — which is equivalent and O(table).
+// stay identical); on the versioned path no operator is driven at all —
+// the base version just slides forward to the newest mark at or below the
+// new boundary and the journal below it is compacted. Instead of replaying
+// the remaining suffix to rebuild the net-emitted table, it drops the
+// facts the absorbed prefix produced — each fact records its source item's
+// Sync — which is equivalent and O(table).
 func (m *Monitor) checkpointTo(g temporal.Time) {
 	cut := m.head
 	for cut < len(m.log) && m.log[cut].sync() <= g {
 		item := m.log[cut]
-		if item.marker {
-			m.ckpt.Advance(item.t)
-		} else {
-			if item.opt {
-				m.ckpt.Advance(item.ev.Sync())
-			}
-			if !item.probe {
-				m.ckpt.Process(item.port, item.ev)
+		if m.ckpt != nil {
+			if item.marker {
+				m.ckpt.Advance(item.t)
+			} else {
+				if item.opt {
+					m.ckpt.Advance(item.ev.Sync())
+				}
+				if !item.probe {
+					m.ckpt.Process(item.port, item.ev)
+				}
 			}
 		}
 		if item.probe {
@@ -912,25 +1053,46 @@ func (m *Monitor) checkpointTo(g temporal.Time) {
 	if cut == m.head {
 		return
 	}
-	// Snapshots that do not cover the absorbed prefix would need discarded
-	// log items to replay; drop them.
 	ls, lq := m.log[cut-1].sync(), m.log[cut-1].seq
-	keep := 0
-	for keep < len(m.snaps) {
-		sn := &m.snaps[keep]
-		if sn.bSync < ls || (sn.bSync == ls && sn.bSeq < lq) {
-			keep++
-			continue
-		}
-		break
-	}
-	if keep > 0 {
-		for i := 0; i < keep; i++ {
+	if m.vop != nil && cut == len(m.log) {
+		// Every window item is absorbed: the live operator state IS the new
+		// checkpoint. Re-mark the base here and drop the whole snapshot
+		// cache — every snapshot's prefix is covered by the new base, and
+		// compacting the journal to the fresh mark would invalidate their
+		// versions anyway.
+		for i := range m.snaps {
 			m.recycle(m.snaps[i].tbl)
+			m.snaps[i] = snapshot{}
 		}
-		n := copy(m.snaps, m.snaps[keep:])
-		clear(m.snaps[n:])
-		m.snaps = m.snaps[:n]
+		m.snaps = m.snaps[:0]
+		m.base = m.vop.Mark()
+		m.tail = cut
+	} else {
+		// Snapshots that do not cover the absorbed prefix would need
+		// discarded log items to replay; drop them. On the versioned path
+		// the newest dropped snapshot becomes the base: the closest journal
+		// position at or below the new absorbed boundary.
+		keep := 0
+		for keep < len(m.snaps) {
+			sn := &m.snaps[keep]
+			if sn.bSync < ls || (sn.bSync == ls && sn.bSeq < lq) {
+				keep++
+				continue
+			}
+			break
+		}
+		if keep > 0 {
+			if m.vop != nil {
+				m.base = m.snaps[keep-1].ver
+				m.tail = m.searchAfter(m.snaps[keep-1].bSync, m.snaps[keep-1].bSeq)
+			}
+			for i := 0; i < keep; i++ {
+				m.recycle(m.snaps[i].tbl)
+			}
+			n := copy(m.snaps, m.snaps[keep:])
+			clear(m.snaps[n:])
+			m.snaps = m.snaps[:n]
+		}
 	}
 	m.head = cut
 	m.absSync, m.absSeq = ls, lq
@@ -946,6 +1108,23 @@ func (m *Monitor) checkpointTo(g temporal.Time) {
 		if keyLE(nf.srcSync, nf.srcSeq, ls, lq) {
 			delete(m.emitted, id)
 		}
+	}
+	if m.vop != nil {
+		// The recorded post-item state size of the boundary item is exactly
+		// what a checkpoint operator would measure after absorbing the
+		// prefix.
+		m.ckptState = m.log[cut-1].stateAfter
+		m.vop.Compact(m.base)
+		// Amortized compaction of the log prefix below the base boundary
+		// (items in [tail, head) must stay: a base rewind re-drives them).
+		if m.tail >= compactAt && m.tail >= len(m.log)-m.tail {
+			n := copy(m.log, m.log[m.tail:])
+			clear(m.log[n:])
+			m.log = m.log[:n]
+			m.head -= m.tail
+			m.tail = 0
+		}
+		return
 	}
 	m.ckptState = m.ckpt.StateSize()
 	// Amortized compaction of the absorbed prefix.

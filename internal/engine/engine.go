@@ -106,7 +106,7 @@ func (e *Engine) Register(p *plan.Plan) *Query {
 			}
 			return fp.Stages, nil
 		}
-		sh, err := newSharded(n, stagesFor, p.Spec, routeForPlan(p.Part, n), q.deliverMerged)
+		sh, err := newSharded(n, stagesFor, p.Spec, routeForPlan(p.Part, n), q.deliverMerged, p.MonitorOpts...)
 		if err == nil {
 			q.sh = sh
 			q.shards = n
@@ -118,7 +118,7 @@ func (e *Engine) Register(p *plan.Plan) *Query {
 	if q.sh == nil {
 		q.shards = 1
 		for _, op := range p.Stages {
-			q.monitors = append(q.monitors, consistency.NewMonitor(op, p.Spec))
+			q.monitors = append(q.monitors, consistency.NewMonitor(op, p.Spec, p.MonitorOpts...))
 		}
 	}
 	e.mu.Lock()

@@ -127,7 +127,7 @@ type sharded struct {
 // receives merged output in deterministic order, on the merger goroutine.
 func newSharded(n int, stagesFor func(shard int) ([]operators.Op, error),
 	spec consistency.Spec, route func(event.Event) int,
-	deliver func([]event.Event)) (*sharded, error) {
+	deliver func([]event.Event), mopts ...consistency.MonitorOption) (*sharded, error) {
 	if n < 1 {
 		n = 1
 	}
@@ -157,7 +157,7 @@ func newSharded(n int, stagesFor func(shard int) ([]operators.Op, error),
 			out: make(chan shardBurst, shardChanBuf),
 		}
 		for _, op := range stages {
-			w.monitors = append(w.monitors, consistency.NewMonitor(op, spec))
+			w.monitors = append(w.monitors, consistency.NewMonitor(op, spec, mopts...))
 		}
 		s.workers = append(s.workers, w)
 	}

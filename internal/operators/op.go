@@ -62,6 +62,41 @@ type Op interface {
 	Clone() Op
 }
 
+// Version is a handle onto a point in a Versioned operator's mutation
+// history: an opaque position in its undo journal. Versions are ordered by
+// Pos (later marks have larger positions) and stay valid until a Rollback
+// ends below them or a Compact discards the history at or above them.
+type Version struct {
+	Pos uint64
+}
+
+// Versioned is implemented by operators that maintain an undo journal of
+// their own state mutations, so a caller can capture a point-in-time handle
+// in O(1) and later restore the operator to it in O(mutations since) —
+// instead of deep-cloning the whole state and replaying events into the
+// clone. The consistency monitor uses this for delta-driven checkpointing:
+// snapshots become Marks, rollback replaces clone-and-replay repair.
+//
+// The contract: Mark returns a handle for the operator's current state.
+// Rollback(v) restores the state the operator had when v was marked and
+// reports success; it fails (leaving state untouched) when v was
+// invalidated by an earlier deeper Rollback or by Compact. A successful
+// Rollback invalidates every version marked after v; v itself stays valid
+// and may be rolled back to again. Compact(v) declares that no version
+// older than v will ever be rolled back to, letting the operator discard
+// the journal below v.
+type Versioned interface {
+	Op
+	// Mark enables journaling (first call) and returns a handle for the
+	// current state.
+	Mark() Version
+	// Rollback restores the state at v, reporting success.
+	Rollback(v Version) bool
+	// Compact discards undo history strictly below v; v and every later
+	// version remain valid rollback targets.
+	Compact(v Version)
+}
+
 // Stateless marks operators whose Process output depends only on the input
 // event — no retained state, no Advance output, and output IDs derived
 // purely from the input. The consistency monitor repairs stragglers through

@@ -39,6 +39,11 @@ type Plan struct {
 	Shards int
 	// Part is the partitionability verdict (see partition.go).
 	Part Partition
+	// MonitorOpts configure the consistency monitors the engine wraps each
+	// stage in (e.g. repair-snapshot cadence). A tuning knob only — it never
+	// changes output — so it is deliberately not part of Durable: recovery
+	// rebuilds the plan with default cadence and identical results.
+	MonitorOpts []consistency.MonitorOption
 
 	// an and cfg are retained so Fresh can re-instantiate the operator
 	// chain; nil for hand-built plans.
@@ -55,6 +60,9 @@ type config struct {
 	noPushdown bool
 	outputName string
 	shards     int
+	snapSet    bool
+	snapEvery  int
+	snapMax    int
 }
 
 // WithSpec overrides the query's consistency clause.
@@ -76,6 +84,19 @@ func WithoutSpecialization() Option {
 // the pushdown's contribution.
 func WithoutPushdown() Option {
 	return func(c *config) { c.noPushdown = true }
+}
+
+// WithSnapshotCadence overrides the consistency monitors' repair-snapshot
+// policy for every stage: a snapshot every `every` admitted items, keeping
+// at most `max` (max <= 0 keeps the default bound). every <= 0 disables
+// snapshots, making every repair rebuild from the checkpoint state. Output
+// is identical at any cadence; only repair latency and memory shift.
+func WithSnapshotCadence(every, max int) Option {
+	return func(c *config) {
+		c.snapSet = true
+		c.snapEvery = every
+		c.snapMax = max
+	}
 }
 
 // WithShards requests key-partitioned execution over n parallel shards.
@@ -137,6 +158,10 @@ func fromAnalysis(an *lang.Analysis, cfg config) (*Plan, error) {
 
 	p.Spec = resolveSpec(an, cfg)
 	p.Part = partitionOf(an, p)
+	if cfg.snapSet {
+		p.MonitorOpts = append(p.MonitorOpts,
+			consistency.WithSnapshotCadence(cfg.snapEvery, cfg.snapMax))
+	}
 	return p, nil
 }
 
