@@ -149,9 +149,24 @@ type sysConfig struct {
 // single-shard output sequence. Queries whose plans do not decompose by key
 // (no grouping or EQUAL correlation key, multi-port heads, first/last
 // selection) transparently run on one shard. Per-query counts can be set
-// with plan.WithShards via RegisterOpts.
+// with plan.WithShards via RegisterOpts. Pass AutoShards to let each
+// registration pick its own count from the plan's estimated per-event
+// cost and the cores available — cheap plans stay single-shard instead of
+// paying more in handoff overhead than sharding returns.
 func WithShards(n int) Option {
 	return func(c *sysConfig) { c.eopts = append(c.eopts, engine.WithShards(n)) }
+}
+
+// AutoShards, passed to WithShards (or plan.WithShards via RegisterOpts),
+// selects the overhead-aware automatic shard count (see plan.AutoShards).
+const AutoShards = plan.AutoShards
+
+// WithBurst sets the sharded router's burst size — how many consecutive
+// input items accumulate per shard run before handoff to the workers
+// (0 = the default; negative flushes only on punctuation and control
+// items). Output is byte-identical at any burst size.
+func WithBurst(n int) Option {
+	return func(c *sysConfig) { c.eopts = append(c.eopts, engine.WithBurst(n)) }
 }
 
 // WithSyncEvery sets a durable system's fsync batching: the write-ahead

@@ -32,6 +32,7 @@ func run() int {
 	baselines := flag.Bool("baselines", false, "run the Section 1 baseline comparison")
 	ablations := flag.Bool("ablations", false, "run the design ablations")
 	bench := flag.Bool("bench", false, "run monitor micro-benchmarks and write BENCH_*.json")
+	cpus := flag.String("cpus", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4,8): run the multi-core sharded scaling suite and write BENCH_multicore_*.json")
 	benchOut := flag.String("benchout", ".", "directory for BENCH_*.json files")
 	baseline := flag.String("baseline", "", "directory of committed BENCH_*.json baselines; fail on >20% events/s regression")
 	update := flag.Bool("update-baselines", false, "run the bench suite and re-record the gated baseline JSONs in place (default dir bench/baselines)")
@@ -71,6 +72,18 @@ func run() int {
 		}()
 	}
 
+	if *cpus != "" {
+		list, err := parseCPUList(*cpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		if err := runMulticoreSuite(*benchOut, list); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		return 0
+	}
 	if *bench || *update {
 		dir := *baseline
 		out := *benchOut

@@ -46,6 +46,15 @@ type undoLog struct {
 	base uint64    // absolute position of recs[0]
 	recs []undoRec // the spine, in mutation order
 
+	// run stages the records of the open delta commit: appenders write
+	// here, and the Op's mutation entry points (Process/Advance/remove)
+	// flush the whole run onto the spine in one grown append per commit.
+	// Keeping the per-mutation appends off the big spine keeps the hot
+	// tree paths writing into one small, cache-resident buffer; the spine
+	// only sees batch-granular growth. Mark/Rollback/Compact flush
+	// defensively, so spine positions are always computed on a drained run.
+	run []undoRec
+
 	// Side payload stacks, LIFO-paired with the spine records that use them.
 	ms   []algebra.Match
 	evs  []event.Event
@@ -54,6 +63,12 @@ type undoLog struct {
 	idss [][]event.ID
 	scal []opScalars
 	rsts []resetState
+
+	// Absolute bottom positions of the payload stacks and of scal: how many
+	// entries compact has dropped from each. Together with the per-barrier
+	// top positions recorded at mark time they make compact's payload
+	// accounting O(1) instead of a per-record scan of the dropped prefix.
+	msDrop, evsDrop, csDrop, amsDrop, idssDrop, rstsDrop, scalDrop uint64
 }
 
 // undoRec is one spine record. The kind decides which fields are live; node
@@ -104,7 +119,9 @@ const (
 )
 
 // opScalars is the barrier payload: every Op scalar Rollback restores
-// wholesale.
+// wholesale, plus the absolute top positions of the payload stacks at mark
+// time — the spine prefix below the barrier owns exactly the stack
+// segments below these positions, which is all compact needs to know.
 type opScalars struct {
 	frontier     temporal.Time
 	minAddFin    temporal.Time
@@ -113,6 +130,8 @@ type opScalars struct {
 	stable       int
 	lowVs        temporal.Time
 	lowEmit      temporal.Time
+
+	nMs, nEvs, nCs, nAms, nIdss, nRsts uint64
 }
 
 // resetState is the jReset payload: the wholesale-replaced containers of an
@@ -142,7 +161,7 @@ func (u *undoLog) evMapSlow(m map[event.ID]event.Event, id event.ID) {
 	if existed {
 		u.evs = append(u.evs, old)
 	}
-	u.recs = append(u.recs, undoRec{kind: jEvMap, flag: existed, id: id, node: m})
+	u.run = append(u.run, undoRec{kind: jEvMap, flag: existed, id: id, node: m})
 }
 
 // evMapKnown is evMap for call sites that already hold the entry from a
@@ -151,7 +170,7 @@ func (u *undoLog) evMapSlow(m map[event.ID]event.Event, id event.ID) {
 func (u *undoLog) evMapKnown(m map[event.ID]event.Event, id event.ID, old event.Event) {
 	if u.on {
 		u.evs = append(u.evs, old)
-		u.recs = append(u.recs, undoRec{kind: jEvMap, flag: true, id: id, node: m})
+		u.run = append(u.run, undoRec{kind: jEvMap, flag: true, id: id, node: m})
 	}
 }
 
@@ -163,7 +182,7 @@ func (u *undoLog) timeMap(m map[event.ID]temporal.Time, id event.ID) {
 
 func (u *undoLog) timeMapSlow(m map[event.ID]temporal.Time, id event.ID) {
 	old, existed := m[id]
-	u.recs = append(u.recs, undoRec{kind: jTimeMap, flag: existed, id: id, t: old, node: m})
+	u.run = append(u.run, undoRec{kind: jTimeMap, flag: existed, id: id, t: old, node: m})
 }
 
 func (u *undoLog) intMap(m map[event.ID]int, id event.ID) {
@@ -174,7 +193,7 @@ func (u *undoLog) intMap(m map[event.ID]int, id event.ID) {
 
 func (u *undoLog) intMapSlow(m map[event.ID]int, id event.ID) {
 	old, existed := m[id]
-	u.recs = append(u.recs, undoRec{kind: jIntMap, flag: existed, id: id, i: old, node: m})
+	u.run = append(u.run, undoRec{kind: jIntMap, flag: existed, id: id, i: old, node: m})
 }
 
 func (u *undoLog) matchMap(m map[event.ID]algebra.Match, id event.ID) {
@@ -188,7 +207,7 @@ func (u *undoLog) matchMapSlow(m map[event.ID]algebra.Match, id event.ID) {
 	if existed {
 		u.ms = append(u.ms, old)
 	}
-	u.recs = append(u.recs, undoRec{kind: jMatchMap, flag: existed, id: id, node: m})
+	u.run = append(u.run, undoRec{kind: jMatchMap, flag: existed, id: id, node: m})
 }
 
 func (u *undoLog) listIns(l *matchList, m *algebra.Match) {
@@ -205,7 +224,7 @@ func (u *undoLog) listDel(l *matchList, m *algebra.Match) {
 
 func (u *undoLog) listSlow(kind uint8, l *matchList, m *algebra.Match) {
 	u.ms = append(u.ms, *m)
-	u.recs = append(u.recs, undoRec{kind: kind, node: l})
+	u.run = append(u.run, undoRec{kind: kind, node: l})
 }
 
 func (u *undoLog) kListIns(l *keyedList, m *algebra.Match, kv event.Value, def bool) {
@@ -222,12 +241,12 @@ func (u *undoLog) kListDel(l *keyedList, m *algebra.Match, kv event.Value, def b
 
 func (u *undoLog) kListSlow(kind uint8, l *keyedList, m *algebra.Match, kv event.Value, def bool) {
 	u.ms = append(u.ms, *m)
-	u.recs = append(u.recs, undoRec{kind: kind, flag: def, kv: kv, node: l})
+	u.run = append(u.run, undoRec{kind: kind, flag: def, kv: kv, node: l})
 }
 
 func (u *undoLog) pendIns(l *pendingList, i int) {
 	if u.on {
-		u.recs = append(u.recs, undoRec{kind: jPendIns, i: i, node: l})
+		u.run = append(u.run, undoRec{kind: jPendIns, i: i, node: l})
 	}
 }
 
@@ -245,7 +264,7 @@ func (u *undoLog) pendSet(l *pendingList, i int) {
 
 func (u *undoLog) pendSlow(kind uint8, l *pendingList, i int) {
 	u.ms = append(u.ms, l.ms[i])
-	u.recs = append(u.recs, undoRec{kind: kind, i: i, node: l})
+	u.run = append(u.run, undoRec{kind: kind, i: i, node: l})
 }
 
 func (u *undoLog) usesApp(m map[event.ID][]event.ID, id event.ID) {
@@ -256,7 +275,7 @@ func (u *undoLog) usesApp(m map[event.ID][]event.ID, id event.ID) {
 
 func (u *undoLog) usesAppSlow(m map[event.ID][]event.ID, id event.ID) {
 	old, existed := m[id]
-	u.recs = append(u.recs, undoRec{kind: jUsesApp, flag: existed, i: len(old), id: id, node: m})
+	u.run = append(u.run, undoRec{kind: jUsesApp, flag: existed, i: len(old), id: id, node: m})
 }
 
 func (u *undoLog) usesDel(m map[event.ID][]event.ID, id event.ID) {
@@ -271,12 +290,12 @@ func (u *undoLog) usesDelSlow(m map[event.ID][]event.ID, id event.ID) {
 		return
 	}
 	u.idss = append(u.idss, old)
-	u.recs = append(u.recs, undoRec{kind: jUsesDel, id: id, node: m})
+	u.run = append(u.run, undoRec{kind: jUsesDel, id: id, node: m})
 }
 
 func (u *undoLog) amIns(n *atMostNode, i int) {
 	if u.on {
-		u.recs = append(u.recs, undoRec{kind: jAmIns, i: i, node: n})
+		u.run = append(u.run, undoRec{kind: jAmIns, i: i, node: n})
 	}
 }
 
@@ -288,18 +307,18 @@ func (u *undoLog) amDel(n *atMostNode, i int, e amEntry) {
 
 func (u *undoLog) amDelSlow(n *atMostNode, i int, e amEntry) {
 	u.ams = append(u.ams, e)
-	u.recs = append(u.recs, undoRec{kind: jAmDel, i: i, node: n})
+	u.run = append(u.run, undoRec{kind: jAmDel, i: i, node: n})
 }
 
 func (u *undoLog) amCnt(n *atMostNode, i int, inc bool) {
 	if u.on {
-		u.recs = append(u.recs, undoRec{kind: jAmCnt, i: i, flag: inc, node: n})
+		u.run = append(u.run, undoRec{kind: jAmCnt, i: i, flag: inc, node: n})
 	}
 }
 
 func (u *undoLog) candAdd(n *negNode, lo temporal.Time, id event.ID, kv event.Value, def bool) {
 	if u.on {
-		u.recs = append(u.recs, undoRec{kind: jCandAdd, t: lo, id: id, kv: kv, flag: def, node: n})
+		u.run = append(u.run, undoRec{kind: jCandAdd, t: lo, id: id, kv: kv, flag: def, node: n})
 	}
 }
 
@@ -311,18 +330,18 @@ func (u *undoLog) candDel(n *negNode, c *negCand, kv event.Value, def bool) {
 
 func (u *undoLog) candDelSlow(n *negNode, c *negCand, kv event.Value, def bool) {
 	u.cs = append(u.cs, *c)
-	u.recs = append(u.recs, undoRec{kind: jCandDel, kv: kv, flag: def, node: n})
+	u.run = append(u.run, undoRec{kind: jCandDel, kv: kv, flag: def, node: n})
 }
 
 func (u *undoLog) block(n *negNode, bucket int, bkv event.Value, lo temporal.Time, id event.ID, inc bool) {
 	if u.on {
-		u.recs = append(u.recs, undoRec{kind: jBlock, i: bucket, kv: bkv, t: lo, id: id, flag: inc, node: n})
+		u.run = append(u.run, undoRec{kind: jBlock, i: bucket, kv: bkv, t: lo, id: id, flag: inc, node: n})
 	}
 }
 
 func (u *undoLog) leafMin(l *leafNode) {
 	if u.on {
-		u.recs = append(u.recs, undoRec{kind: jLeafMin, t: l.minVs, node: l})
+		u.run = append(u.run, undoRec{kind: jLeafMin, t: l.minVs, node: l})
 	}
 }
 
@@ -336,16 +355,27 @@ func (u *undoLog) resetSlow(p *Op) {
 	u.rsts = append(u.rsts, resetState{
 		sh: p.sh, root: p.root, store: p.store, consumed: p.consumed, pending: p.pending.ms,
 	})
-	u.recs = append(u.recs, undoRec{kind: jReset, node: p})
+	u.run = append(u.run, undoRec{kind: jReset, node: p})
 }
 
 // ---- barrier / rollback / compact ----
+
+// flush drains the staged run onto the spine. The Op calls it once per
+// mutation entry point (delta commit); mark, rollbackTo and compact call
+// it defensively so every spine position is computed on a drained run.
+func (u *undoLog) flush() {
+	if len(u.run) > 0 {
+		u.recs = append(u.recs, u.run...)
+		u.run = u.run[:0]
+	}
+}
 
 // mark snapshots the Op scalars and appends a barrier, returning the
 // absolute spine position just past it. Journaling turns on at the first
 // mark.
 func (u *undoLog) mark(p *Op) uint64 {
 	u.on = true
+	u.flush()
 	u.scal = append(u.scal, opScalars{
 		frontier:     p.frontier,
 		minAddFin:    p.minAddFin,
@@ -354,8 +384,18 @@ func (u *undoLog) mark(p *Op) uint64 {
 		stable:       p.stable,
 		lowVs:        p.lowVs,
 		lowEmit:      p.lowEmit,
+
+		nMs:   u.msDrop + uint64(len(u.ms)),
+		nEvs:  u.evsDrop + uint64(len(u.evs)),
+		nCs:   u.csDrop + uint64(len(u.cs)),
+		nAms:  u.amsDrop + uint64(len(u.ams)),
+		nIdss: u.idssDrop + uint64(len(u.idss)),
+		nRsts: u.rstsDrop + uint64(len(u.rsts)),
 	})
-	u.recs = append(u.recs, undoRec{kind: jBarrier})
+	// The barrier record remembers its scal entry's absolute index, so
+	// compact can find the recorded stack positions without counting the
+	// barriers below it.
+	u.recs = append(u.recs, undoRec{kind: jBarrier, i: int(u.scalDrop) + len(u.scal) - 1})
 	return u.base + uint64(len(u.recs))
 }
 
@@ -364,6 +404,7 @@ func (u *undoLog) mark(p *Op) uint64 {
 // The barrier itself is peeked, not popped, so the same position can be
 // rolled back to again.
 func (u *undoLog) rollbackTo(pos uint64, p *Op) bool {
+	u.flush()
 	if pos < u.base+1 || pos > u.base+uint64(len(u.recs)) {
 		return false
 	}
@@ -394,6 +435,7 @@ func (u *undoLog) rollbackTo(pos uint64, p *Op) bool {
 // rollback target. Cost is O(dropped), which the caller amortizes over the
 // mutations that created the dropped records.
 func (u *undoLog) compact(pos uint64) {
+	u.flush()
 	if pos < u.base+1 || pos > u.base+uint64(len(u.recs)) {
 		return
 	}
@@ -401,42 +443,33 @@ func (u *undoLog) compact(pos uint64) {
 	if bar <= 0 || u.recs[bar].kind != jBarrier {
 		return
 	}
-	// Count dropped payload usage per stack (the dropped records' pops).
-	var drop [6]int
-	bars := 0
-	for i := 0; i < bar; i++ {
-		switch r := &u.recs[i]; r.kind {
-		case jBarrier:
-			bars++
-		case jEvMap:
-			if r.flag {
-				drop[1]++
-			}
-		case jMatchMap:
-			if r.flag {
-				drop[0]++
-			}
-		case jListIns, jListDel, jKListIns, jKListDel, jPendDel, jPendSet:
-			drop[0]++
-		case jUsesDel:
-			drop[4]++
-		case jAmDel:
-			drop[3]++
-		case jCandDel:
-			drop[2]++
-		case jReset:
-			drop[5]++
-		}
-	}
+	// The barrier's scal entry recorded the absolute stack-top positions at
+	// mark time; the dropped prefix owns exactly the stack segments below
+	// them, so the payload accounting is O(1) — no per-record scan.
+	s := &u.scal[u.recs[bar].i-int(u.scalDrop)]
+	dMs := int(s.nMs - u.msDrop)
+	dEvs := int(s.nEvs - u.evsDrop)
+	dCs := int(s.nCs - u.csDrop)
+	dAms := int(s.nAms - u.amsDrop)
+	dIdss := int(s.nIdss - u.idssDrop)
+	dRsts := int(s.nRsts - u.rstsDrop)
+	bars := u.recs[bar].i - int(u.scalDrop)
 	u.recs = u.recs[:copy(u.recs, u.recs[bar:])]
 	u.base += uint64(bar)
-	u.ms = u.ms[:copy(u.ms, u.ms[drop[0]:])]
-	u.evs = u.evs[:copy(u.evs, u.evs[drop[1]:])]
-	u.cs = u.cs[:copy(u.cs, u.cs[drop[2]:])]
-	u.ams = u.ams[:copy(u.ams, u.ams[drop[3]:])]
-	u.idss = u.idss[:copy(u.idss, u.idss[drop[4]:])]
-	u.rsts = u.rsts[:copy(u.rsts, u.rsts[drop[5]:])]
+	u.ms = u.ms[:copy(u.ms, u.ms[dMs:])]
+	u.evs = u.evs[:copy(u.evs, u.evs[dEvs:])]
+	u.cs = u.cs[:copy(u.cs, u.cs[dCs:])]
+	u.ams = u.ams[:copy(u.ams, u.ams[dAms:])]
+	u.idss = u.idss[:copy(u.idss, u.idss[dIdss:])]
+	u.rsts = u.rsts[:copy(u.rsts, u.rsts[dRsts:])]
 	u.scal = u.scal[:copy(u.scal, u.scal[bars:])]
+	u.msDrop += uint64(dMs)
+	u.evsDrop += uint64(dEvs)
+	u.csDrop += uint64(dCs)
+	u.amsDrop += uint64(dAms)
+	u.idssDrop += uint64(dIdss)
+	u.rstsDrop += uint64(dRsts)
+	u.scalDrop += uint64(bars)
 }
 
 // popMatch pops the ms stack top.

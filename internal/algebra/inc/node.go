@@ -142,7 +142,10 @@ type combCache struct {
 	m map[event.ID]algebra.Match
 }
 
-func newCombCache() *combCache { return &combCache{m: make(map[event.ID]algebra.Match, 64)} }
+// The map is lazily initialized: keyed fan-out builds one tree per
+// correlation key, and most per-key leaves intern only a handful of
+// matches (or none), so pre-sizing here dominated the allocation profile.
+func newCombCache() *combCache { return &combCache{} }
 
 func (c *combCache) get(id event.ID) (algebra.Match, bool) {
 	m, ok := c.m[id]
@@ -150,7 +153,9 @@ func (c *combCache) get(id event.ID) (algebra.Match, bool) {
 }
 
 func (c *combCache) put(id event.ID, m algebra.Match) {
-	if len(c.m) >= internCap {
+	if c.m == nil {
+		c.m = make(map[event.ID]algebra.Match, 64)
+	} else if len(c.m) >= internCap {
 		clear(c.m)
 	}
 	c.m[id] = m

@@ -315,7 +315,9 @@ func (p *Op) Process(_ int, e event.Event) []event.Event {
 	p.rootDelta.reset()
 	p.root.push(e, &p.rootDelta)
 	p.apply(&p.rootDelta, srcInsert)
-	return p.mature()
+	outs := p.mature()
+	p.sh.u.flush()
+	return outs
 }
 
 // remove handles a full removal of a primitive event: cascade it through
@@ -389,6 +391,7 @@ func (p *Op) remove(id event.ID) []event.Event {
 	}
 	outs = append(outs, p.mature()...)
 	p.remBuf = outs[:0]
+	p.sh.u.flush()
 	return outs
 }
 
@@ -571,6 +574,7 @@ func (p *Op) Advance(t temporal.Time) []event.Event {
 		p.minFutureFin = temporal.Infinity
 		p.lowVs = temporal.Infinity
 	}
+	p.sh.u.flush()
 	return outs
 }
 
@@ -599,6 +603,11 @@ func (p *Op) OutputGuarantee(t temporal.Time) temporal.Time {
 // StateSize implements operators.Op: retained primitive events (available
 // and consumed — the oracle keeps both in its store) plus emitted matches.
 func (p *Op) StateSize() int { return len(p.store) + len(p.consumed) + len(p.emitted) }
+
+// PerEventCostNs implements operators.CostHint for the overhead-aware
+// shard-count heuristic: the delta tree's cost scales with the
+// expression's join and negation structure.
+func (p *Op) PerEventCostNs() int { return algebra.ExprCostNs(p.Expr) }
 
 // Clone implements operators.Op as an O(1) copy-on-write handle: the clone
 // and the original share every state structure, both marked aliased, and

@@ -132,6 +132,7 @@ type Monitor struct {
 	// Sharded-execution support (see PushTagged). All of it is inert — and
 	// free — on the plain Push path.
 	tagging   bool   // current call wants order tags
+	sink      *Burst // batch accumulator for the *Into variants (nil = legacy)
 	trigger   []byte // tag prefix the current call's outputs nest under
 	curClass  byte
 	curSync   temporal.Time
@@ -383,6 +384,11 @@ func (m *Monitor) Spec() Spec { return m.spec }
 // Metrics returns a snapshot of the monitor's counters.
 func (m *Monitor) Metrics() Metrics { return m.met }
 
+// CurState returns the live state-size counter alone, without copying the
+// full Metrics struct — the sharded runtime samples it once per input item
+// for its per-item state traces, where the struct copy is measurable.
+func (m *Monitor) CurState() int { return m.met.CurState }
+
 // Guarantee returns the current combined input guarantee.
 func (m *Monitor) Guarantee() temporal.Time { return m.guarantee }
 
@@ -399,7 +405,7 @@ func (m *Monitor) WindowMarkers() int { return m.markerLog }
 // bound may release buffered events, which are returned. The returned slice
 // is valid until the next call on this monitor.
 func (m *Monitor) SetSpec(s Spec) []event.Event {
-	out, _ := m.setSpec(s, nil, nil)
+	out, _ := m.setSpec(s, nil, nil, nil)
 	return out
 }
 
@@ -407,16 +413,22 @@ func (m *Monitor) SetSpec(s Spec) []event.Event {
 // order tags (see PushTagged). Both returned slices are valid until the
 // next call on this monitor.
 func (m *Monitor) SetSpecTagged(s Spec, arrival, trigger []byte) ([]event.Event, [][]byte) {
-	return m.setSpec(s, arrival, trigger)
+	return m.setSpec(s, arrival, trigger, nil)
 }
 
-func (m *Monitor) setSpec(s Spec, arrival, trigger []byte) ([]event.Event, [][]byte) {
-	m.beginCall(arrival, trigger)
+// SetSpecTaggedInto is SetSpecTagged appending into a caller-owned Burst
+// (see PushTaggedInto).
+func (m *Monitor) SetSpecTaggedInto(s Spec, arrival, trigger []byte, sink *Burst) {
+	m.setSpec(s, arrival, trigger, sink)
+}
+
+func (m *Monitor) setSpec(s Spec, arrival, trigger []byte, sink *Burst) ([]event.Event, [][]byte) {
+	m.beginCall(arrival, trigger, sink)
 	m.spec = s
 	m.releaseTimedOut()
 	m.trimMemory()
 	m.sampleState()
-	return m.stampOut(), m.tags
+	return m.endCall()
 }
 
 // Push delivers one physical stream item (data or CTI) to port. The item's
@@ -424,7 +436,7 @@ func (m *Monitor) setSpec(s Spec, arrival, trigger []byte) ([]event.Event, [][]b
 // items, stamped with the current CEDR time. The returned slice is valid
 // until the next call on this monitor.
 func (m *Monitor) Push(port int, e event.Event) []event.Event {
-	out, _ := m.push(port, e, nil, nil, false)
+	out, _ := m.push(port, e, nil, nil, false, nil)
 	return out
 }
 
@@ -443,14 +455,24 @@ func (m *Monitor) Push(port int, e event.Event) []event.Event {
 // a single un-sharded monitor would have emitted (internal/delivery's merge
 // stage does this). Both returned slices are valid until the next call.
 func (m *Monitor) PushTagged(port int, e event.Event, arrival, trigger []byte, probe bool) ([]event.Event, [][]byte) {
-	return m.push(port, e, arrival, trigger, probe)
+	return m.push(port, e, arrival, trigger, probe, nil)
 }
 
-func (m *Monitor) push(port int, e event.Event, arrival, trigger []byte, probe bool) ([]event.Event, [][]byte) {
+// PushTaggedInto is PushTagged for batched sharded execution: instead of
+// returning per-call slices with freshly allocated tags, it appends this
+// call's outputs (CEDR-time-stamped) and their order tags to sink, with
+// the tag bytes carved from sink.Arena. A worker accumulates a whole run
+// of input items into one Burst this way without any per-output
+// allocation once the burst's buffers have grown.
+func (m *Monitor) PushTaggedInto(port int, e event.Event, arrival, trigger []byte, probe bool, sink *Burst) {
+	m.push(port, e, arrival, trigger, probe, sink)
+}
+
+func (m *Monitor) push(port int, e event.Event, arrival, trigger []byte, probe bool, sink *Burst) ([]event.Event, [][]byte) {
 	if port < 0 || port >= len(m.portG) {
 		return nil, nil
 	}
-	m.beginCall(arrival, trigger)
+	m.beginCall(arrival, trigger, sink)
 	if e.C.Start > m.now {
 		m.now = e.C.Start
 	}
@@ -465,16 +487,33 @@ func (m *Monitor) push(port int, e event.Event, arrival, trigger []byte, probe b
 	}
 	m.trimMemory()
 	m.sampleState()
-	return m.stampOut(), m.tags
+	return m.endCall()
 }
 
 // beginCall resets the output buffer and arms or disarms tagging for one
 // externally driven call.
-func (m *Monitor) beginCall(arrival, trigger []byte) {
+func (m *Monitor) beginCall(arrival, trigger []byte, sink *Burst) {
 	m.out = m.out[:0]
 	m.tagging = arrival != nil
+	m.sink = sink
 	m.trigger = trigger
 	m.tags = m.tags[:0]
+}
+
+// endCall finishes one externally driven call. On the legacy tagged path
+// it returns the stamped output buffer and the per-call tag slice; on the
+// batch path (a sink armed by beginCall) it appends the stamped outputs to
+// the sink — whose tags accumulated there directly — and returns nil.
+func (m *Monitor) endCall() ([]event.Event, [][]byte) {
+	if s := m.sink; s != nil {
+		m.sink = nil
+		for i := range m.out {
+			m.out[i].C = temporal.From(m.now)
+		}
+		s.Evs = append(s.Evs, m.out...)
+		return nil, nil
+	}
+	return m.stampOut(), m.tags
 }
 
 // appendTag records the order tag of the output item just appended to
@@ -485,10 +524,22 @@ func (m *Monitor) appendTag(phase byte, id event.ID, ev *event.Event) {
 	if !m.tagging {
 		return
 	}
+	if s := m.sink; s != nil {
+		off := len(s.Arena)
+		s.Arena = m.buildTag(s.Arena, phase, id, ev)
+		s.Tags = append(s.Tags, s.Arena[off:len(s.Arena):len(s.Arena)])
+		return
+	}
 	// Worst-case size: class + sync (9) + escaped arrival (2·len+2) + phase
 	// + the widest subkey (PatternOp's 32-byte advance key), rounded up so
 	// one allocation always suffices.
 	t := make([]byte, 0, len(m.trigger)+2*len(m.curArr)+48)
+	m.tags = append(m.tags, m.buildTag(t, phase, id, ev))
+}
+
+// buildTag appends one order tag's bytes to t and returns the extended
+// slice.
+func (m *Monitor) buildTag(t []byte, phase byte, id event.ID, ev *event.Event) []byte {
 	t = append(t, m.trigger...)
 	t = append(t, m.curClass)
 	t = ordkey.AppendInt(t, int64(m.curSync))
@@ -502,7 +553,7 @@ func (m *Monitor) appendTag(phase byte, id event.ID, ev *event.Event) {
 			t = m.advKey(t, *ev)
 		}
 	}
-	m.tags = append(m.tags, t)
+	return t
 }
 
 func (m *Monitor) pushCTI(port int, t temporal.Time, arrival []byte) {
@@ -932,7 +983,18 @@ func (m *Monitor) insertLog(li logItem) {
 			m.maxRetractSync, m.maxRetractSeq = s, li.seq
 		}
 	}
-	i := m.searchAfter(li.sync(), li.seq)
+	ls := li.sync()
+	// Fast path: the item extends the window in order (the overwhelmingly
+	// common case — every admit fast-path item and every released buffer
+	// entry lands here), so the binary search and the shift are skipped.
+	if n := len(m.log); n == m.head {
+		m.log = append(m.log, li)
+		return
+	} else if ts := m.log[n-1].sync(); ts < ls || (ts == ls && m.log[n-1].seq <= li.seq) {
+		m.log = append(m.log, li)
+		return
+	}
+	i := m.searchAfter(ls, li.seq)
 	m.log = append(m.log, logItem{})
 	copy(m.log[i+1:], m.log[i:])
 	m.log[i] = li
@@ -1346,18 +1408,24 @@ func (m *Monitor) sampleState() {
 // infinity, flushing blocking operators. The returned items complete the
 // output history and are valid until the next call on this monitor.
 func (m *Monitor) Finish() []event.Event {
-	out, _ := m.finish(nil, nil)
+	out, _ := m.finish(nil, nil, nil)
 	return out
 }
 
 // FinishTagged is Finish for sharded execution (see PushTagged). Both
 // returned slices are valid until the next call on this monitor.
 func (m *Monitor) FinishTagged(arrival, trigger []byte) ([]event.Event, [][]byte) {
-	return m.finish(arrival, trigger)
+	return m.finish(arrival, trigger, nil)
 }
 
-func (m *Monitor) finish(arrival, trigger []byte) ([]event.Event, [][]byte) {
-	m.beginCall(arrival, trigger)
+// FinishTaggedInto is FinishTagged appending into a caller-owned Burst
+// (see PushTaggedInto).
+func (m *Monitor) FinishTaggedInto(arrival, trigger []byte, sink *Burst) {
+	m.finish(arrival, trigger, sink)
+}
+
+func (m *Monitor) finish(arrival, trigger []byte, sink *Burst) ([]event.Event, [][]byte) {
+	m.beginCall(arrival, trigger, sink)
 	for _, be := range m.buffer {
 		if be.probe {
 			m.probeBuf--
@@ -1376,5 +1444,5 @@ func (m *Monitor) finish(arrival, trigger []byte) ([]event.Event, [][]byte) {
 	m.out = append(m.out, event.NewCTI(temporal.Infinity))
 	m.appendTag(tagCTI, 0, nil)
 	m.sampleState()
-	return m.stampOut(), m.tags
+	return m.endCall()
 }

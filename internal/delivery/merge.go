@@ -48,16 +48,46 @@ func (m *Merger) Merge(dst []event.Event, bursts ...[]Tagged) []event.Event {
 		return dst
 	}
 	all := m.scratch[:0]
-	perm := m.perm[:0]
 	for _, b := range bursts {
 		all = append(all, b...)
 	}
-	for i := 0; i < total; i++ {
+	return m.mergeAll(dst, all)
+}
+
+// MergeTagged is Merge over the batched handoff representation: per shard,
+// a run of output events with a parallel tag slice (as accumulated by the
+// consistency monitors' *TaggedInto path) instead of a []Tagged. The
+// per-shard slices must cover the same single input item; slices are read
+// but not retained.
+func (m *Merger) MergeTagged(dst []event.Event, evs [][]event.Event, tags [][][]byte) []event.Event {
+	total := 0
+	for _, sl := range evs {
+		total += len(sl)
+	}
+	if total == 0 {
+		return dst
+	}
+	if len(evs) == 1 {
+		return append(dst, evs[0]...)
+	}
+	all := m.scratch[:0]
+	for i, sl := range evs {
+		ts := tags[i]
+		for k := range sl {
+			all = append(all, Tagged{Ev: sl[k], Tag: ts[k]})
+		}
+	}
+	return m.mergeAll(dst, all)
+}
+
+// mergeAll sorts the concatenated shard outputs by tag (stably, so equal
+// tags keep shard order and each shard's emission order survives), drops
+// sibling shards' redundant punctuation, and appends the result to dst.
+func (m *Merger) mergeAll(dst []event.Event, all []Tagged) []event.Event {
+	perm := m.perm[:0]
+	for i := range all {
 		perm = append(perm, i)
 	}
-	// Stable over the shard-concatenation order: equal tags keep shard
-	// order, and within a shard the burst order (which is the shard's
-	// emission order) is preserved.
 	sort.SliceStable(perm, func(i, j int) bool {
 		return bytes.Compare(all[perm[i]].Tag, all[perm[j]].Tag) < 0
 	})

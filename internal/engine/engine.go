@@ -23,6 +23,7 @@ type Engine struct {
 	mu      sync.RWMutex
 	queries []*Query
 	shards  int // default shard count for queries that don't request one
+	burst   int // router burst size for sharded queries (0 = DefaultBurst)
 
 	// Durability (see durability.go). log is attached once, by Restore,
 	// before the engine is shared; nil means durability is off and the hot
@@ -43,9 +44,19 @@ type Option func(*Engine)
 
 // WithShards sets the default shard count for registered queries whose
 // plans are key-partitionable and do not request an explicit count via
-// plan.WithShards.
+// plan.WithShards. Pass plan.AutoShards to let each registration pick its
+// count from the plan's cost estimate and the available cores.
 func WithShards(n int) Option {
 	return func(e *Engine) { e.shards = n }
+}
+
+// WithBurst sets the sharded router's burst size: the number of
+// consecutive input items accumulated per shard run before handoff
+// (0 = DefaultBurst, negative = flush only on punctuation and control
+// items). Output is byte-identical at any burst size; only handoff
+// amortization and latency shift.
+func WithBurst(n int) Option {
+	return func(e *Engine) { e.burst = n }
 }
 
 // New creates an empty engine.
@@ -95,6 +106,9 @@ func (e *Engine) Register(p *plan.Plan) *Query {
 	if n == 0 {
 		n = e.shards
 	}
+	if n == plan.AutoShards {
+		n = autoShards(p)
+	}
 	if n > 1 && p.Part.OK() {
 		stagesFor := func(shard int) ([]operators.Op, error) {
 			if shard == 0 {
@@ -106,7 +120,7 @@ func (e *Engine) Register(p *plan.Plan) *Query {
 			}
 			return fp.Stages, nil
 		}
-		sh, err := newSharded(n, stagesFor, p.Spec, routeForPlan(p.Part, n), q.deliverMerged, p.MonitorOpts...)
+		sh, err := newSharded(n, e.burst, stagesFor, p.Spec, routeForPlan(p.Part, n), q.deliverMerged, p.MonitorOpts...)
 		if err == nil {
 			q.sh = sh
 			q.shards = n

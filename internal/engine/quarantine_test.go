@@ -141,6 +141,50 @@ func TestShardedWorkerPanicIsolation(t *testing.T) {
 	compareStreams(t, "pre-failure prefix", out, healthy[:len(out)])
 }
 
+// TestShardedWorkerPanicEveryBurstOffset: with a tiny router burst, sweep
+// the panic trigger across several bursts' worth of Process calls so the
+// failure lands at every intra-run offset — first item of a run, every
+// middle position, and the run boundary itself. The PanicOp counter is
+// shared across worker clones, so each sweep value arms exactly one
+// global call site. Whatever the offset, the worker must hand the merger
+// an aligned (empty-output) burst, the merged output must be a prefix of
+// the healthy run, and finish must drain without deadlock.
+func TestShardedWorkerPanicEveryBurstOffset(t *testing.T) {
+	defer leakcheck.Check(t)()
+	const (
+		shards = 3
+		burst  = 4
+	)
+	cfg := workload.Uniform{Seed: 7, Events: 240, Groups: 9, Spacing: 4, Lifetime: 10}
+	in := delivery.Deliver(workload.UniformEvents(cfg), delivery.Ordered(8))
+	mk := func() operators.Op { return operators.NewAggregate(operators.Count, "", "g") }
+
+	healthy, _, err := RunShardedOpBurst(mk, consistency.Middle(), shards, burst,
+		RouteByAttr("g", shards), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 full bursts per shard: offsets 0..burst-1 within a run are all hit
+	// on every worker, several times over.
+	for after := 1; after <= 4*shards*burst; after++ {
+		armed := faultinject.NewPanicOp(mk(), after)
+		out, _, err := RunShardedOpBurst(
+			func() operators.Op { return armed.Clone() },
+			consistency.Middle(), shards, burst, RouteByAttr("g", shards), in)
+		if err == nil {
+			t.Fatalf("after=%d: worker panic not surfaced", after)
+		}
+		if !strings.Contains(err.Error(), "shard worker panicked") {
+			t.Fatalf("after=%d: unexpected error: %v", after, err)
+		}
+		if len(out) > len(healthy) {
+			t.Fatalf("after=%d: failed run emitted more (%d) than the healthy run (%d)",
+				after, len(out), len(healthy))
+		}
+		compareStreams(t, "pre-failure prefix", out, healthy[:len(out)])
+	}
+}
+
 // TestShardedQueryWorkerPanicQuarantines: the engine-level wiring — a
 // worker panic under a sharded standing query quarantines that query via
 // onFail, Finish still drains, and a single-shard sibling is untouched.

@@ -15,6 +15,17 @@
 //	router ──► ─┼─ worker 1: monitors ─┼─► merger ──► results + subscribers
 //	 (hash key) └─ worker …: monitors ─┘   (order tags)
 //
+// Handoff is batched: the router accumulates per-shard *runs* of
+// consecutive items and flushes a run to every worker at identical global
+// sequence boundaries — when the run reaches the burst size, on
+// punctuation, on spec switches, and at barriers/finish. Workers process a
+// whole run per channel receive into one aggregated burst (outputs, order
+// tags in a shared arena, per-item state trace), and the merger
+// reconstructs the per-event deterministic order by merging the aligned
+// runs item by item. Run and burst buffers cycle through per-worker free
+// lists, so steady-state handoff does not allocate and a slow consumer
+// exerts backpressure on the router.
+//
 // The pipeline is asynchronous: Push enqueues and returns, Finish drains.
 // Results() exposes a deterministic prefix at any time.
 package engine
@@ -36,7 +47,7 @@ import (
 
 // Shard item kinds. Every worker receives every sequence number exactly
 // once (data on the owning shard, a probe elsewhere; control items are
-// broadcast), which is what lets the merger align bursts without extra
+// broadcast), which is what lets the merger align runs without extra
 // bookkeeping.
 const (
 	itemData uint8 = iota
@@ -48,7 +59,17 @@ const (
 )
 
 const (
-	shardChanBuf = 1024
+	// DefaultBurst is the router's default flush bound: the number of
+	// consecutive input items accumulated per shard run before handoff.
+	// Large enough to amortize the channel round-trip and merge setup over
+	// many events, small enough to keep latency and buffer footprint modest.
+	DefaultBurst = 64
+	// runBufs is the number of run and burst buffers cycling per worker:
+	// one being filled by the router, up to two in flight, one being
+	// consumed. The free lists double as backpressure — a router that gets
+	// ahead of a worker (or a worker ahead of the merger) blocks on the
+	// free list instead of growing a queue.
+	runBufs = 4
 	// maxTracedStages bounds the per-stage state trace carried in each
 	// burst (inline, allocation-free). Plans have at most three stages.
 	maxTracedStages = 8
@@ -56,39 +77,83 @@ const (
 
 type shardItem struct {
 	kind uint8
-	seq  int
 	ev   event.Event
 	spec consistency.Spec
 }
 
-type shardBurst struct {
-	seq   int
-	kind  uint8
-	items []delivery.Tagged
-	// state[j] is stage j's monitor state size after this item, minus the
-	// guarantee markers in its log window; shared[j] is that marker count.
-	// Broadcast punctuation is logged once per shard but contributes once to
-	// the single-shard state, so the merger sums state across shards and
-	// adds one shard's shared count — reproducing the single-shard monitor's
-	// per-push state samples exactly (probes are already excluded from every
-	// shard's own count).
+// shardRun is one router→worker handoff unit: a run of consecutive input
+// items. items[k] has global sequence number first+k; the router flushes
+// all workers at identical boundaries, so the k-th item of every shard's
+// run is the same input item (data on the owner, a probe elsewhere).
+type shardRun struct {
+	first int
+	items []shardItem
+}
+
+// stageState is one input item's per-stage monitor state sample (see
+// shardBurst.states).
+type stageState struct {
 	state  [maxTracedStages]int32
 	shared [maxTracedStages]int32
-	// fail carries a worker panic to the merger. The failed worker stays in
-	// its loop emitting empty bursts, so the merger's per-seq alignment
-	// never skews and sibling shards keep draining.
+}
+
+// shardBurst is one worker→merger handoff unit: the aggregated tagged
+// outputs of a whole shard run.
+type shardBurst struct {
+	first int   // sequence number of the run's first input item
+	n     int   // input items covered
+	kind  uint8 // kind of the run's last item (the flush cause)
+	// out accumulates the final stage's outputs and order tags for the
+	// whole run; ends[k] is the exclusive end offset of item k's outputs,
+	// so the merger can merge the aligned runs item by item (tags are only
+	// globally ordered within one input item).
+	out  consistency.Burst
+	ends []int32
+	// states[k] is the per-stage state sample after item k: state[j] is
+	// stage j's monitor state minus the guarantee markers in its log
+	// window; shared[j] is that marker count. Broadcast punctuation is
+	// logged once per shard but contributes once to the single-shard
+	// state, so the merger sums state across shards and adds one shard's
+	// shared count — reproducing the single-shard monitor's per-push state
+	// samples exactly (probes are already excluded from every shard's own
+	// count).
+	states []stageState
+	// fail carries a worker panic to the merger. The failed worker stays
+	// in its loop emitting aligned empty bursts, so the merger's run
+	// alignment never skews and healthy siblings keep draining.
 	fail error
+}
+
+// reset empties the burst for reuse, retaining capacity.
+func (b *shardBurst) reset() {
+	b.clearOutputs()
+	b.fail = nil
+}
+
+// clearOutputs drops the burst's outputs and traces but keeps its run
+// header (first/n/kind) — the shape a failed worker's aligned empty
+// response takes.
+func (b *shardBurst) clearOutputs() {
+	b.out.Reset()
+	b.ends = b.ends[:0]
+	b.states = b.states[:0]
 }
 
 type shardWorker struct {
 	monitors []*consistency.Monitor
-	in       chan shardItem
-	out      chan shardBurst
-	arr      []byte // arrival-key scratch (stage 0)
-	trig     []byte // per-stage tag-prefix scratch (SetSpec/Finish)
-	// Per-cascade-depth reusable batch scratch (see cascade).
-	evScratch  [][]event.Event
-	tagScratch [][][]byte
+	in       chan *shardRun
+	out      chan *shardBurst
+	// Free lists for the run and burst buffers cycling through this
+	// worker's pipeline (see runBufs).
+	freeRuns   chan *shardRun
+	freeBursts chan *shardBurst
+
+	arr  []byte // arrival-key scratch (stage 0)
+	trig []byte // per-stage tag-prefix scratch (SetSpec/Finish)
+	// mid[i] accumulates stage i's outputs while the cascade feeds them to
+	// stage i+1; arrScratch[i] is the downstream arrival-key scratch per
+	// cascade depth.
+	mid        []*consistency.Burst
 	arrScratch [][]byte
 }
 
@@ -101,6 +166,7 @@ type shardWorker struct {
 type sharded struct {
 	n       int
 	stages  int
+	burst   int // flush bound; <= 0 flushes only on control items
 	route   func(event.Event) int
 	workers []*shardWorker
 	deliver func([]event.Event)
@@ -109,9 +175,13 @@ type sharded struct {
 	// quarantine. Set (if at all) before the first push.
 	onFail func(error)
 
-	mu       sync.Mutex // serializes seq assignment and channel send order
+	mu       sync.Mutex // serializes seq assignment and run handoff order
 	seq      int
 	finished bool
+	// pending[i] is worker i's run being filled; all pending runs hold the
+	// same pendLen items (the per-shard views of the same input items).
+	pending []*shardRun
+	pendLen int
 
 	done      chan struct{}
 	barrierCh chan struct{}
@@ -121,18 +191,24 @@ type sharded struct {
 	maxState [maxTracedStages]int
 }
 
-// newSharded builds and starts the sharded runtime. stagesFor must return
-// an independent, freshly instantiated operator chain per shard (operator
-// Clones may share scratch and are not safe across goroutines). deliver
-// receives merged output in deterministic order, on the merger goroutine.
-func newSharded(n int, stagesFor func(shard int) ([]operators.Op, error),
+// newSharded builds and starts the sharded runtime. burst is the router's
+// flush bound (0 = DefaultBurst, negative = unbounded: flush only on
+// punctuation/control). stagesFor must return an independent, freshly
+// instantiated operator chain per shard (operator Clones may share scratch
+// and are not safe across goroutines). deliver receives merged output in
+// deterministic order, on the merger goroutine.
+func newSharded(n, burst int, stagesFor func(shard int) ([]operators.Op, error),
 	spec consistency.Spec, route func(event.Event) int,
 	deliver func([]event.Event), mopts ...consistency.MonitorOption) (*sharded, error) {
 	if n < 1 {
 		n = 1
 	}
+	if burst == 0 {
+		burst = DefaultBurst
+	}
 	s := &sharded{
 		n:         n,
+		burst:     burst,
 		route:     route,
 		deliver:   deliver,
 		done:      make(chan struct{}),
@@ -153,13 +229,32 @@ func newSharded(n int, stagesFor func(shard int) ([]operators.Op, error),
 			return nil, fmt.Errorf("engine: sharded execution requires a single-port head operator")
 		}
 		w := &shardWorker{
-			in:  make(chan shardItem, shardChanBuf),
-			out: make(chan shardBurst, shardChanBuf),
+			in:         make(chan *shardRun, runBufs),
+			out:        make(chan *shardBurst, runBufs),
+			freeRuns:   make(chan *shardRun, runBufs),
+			freeBursts: make(chan *shardBurst, runBufs),
 		}
 		for _, op := range stages {
 			w.monitors = append(w.monitors, consistency.NewMonitor(op, spec, mopts...))
 		}
+		w.mid = make([]*consistency.Burst, len(stages))
+		w.arrScratch = make([][]byte, len(stages))
+		for j := range w.mid {
+			w.mid[j] = new(consistency.Burst)
+		}
+		// Run buffers start empty and grow on first use: the free lists
+		// recycle them, so append growth is a warmup cost only and the
+		// steady state stays allocation-free either way — while plans that
+		// never see a full burst (or are registered and quickly finished)
+		// skip the up-front burst-sized allocations entirely.
+		for k := 0; k < runBufs-1; k++ {
+			w.freeRuns <- new(shardRun)
+		}
+		for k := 0; k < runBufs; k++ {
+			w.freeBursts <- new(shardBurst)
+		}
 		s.workers = append(s.workers, w)
+		s.pending = append(s.pending, new(shardRun))
 	}
 	s.stages = len(s.workers[0].monitors)
 	for _, w := range s.workers {
@@ -169,8 +264,9 @@ func newSharded(n int, stagesFor func(shard int) ([]operators.Op, error),
 	return s, nil
 }
 
-// push routes one physical item: punctuation broadcasts, data goes to the
-// key's shard with advance probes everywhere else.
+// push routes one physical item: punctuation broadcasts (and flushes —
+// punctuation is a natural batch boundary), data goes to the key's shard
+// with advance probes everywhere else.
 func (s *sharded) push(ev event.Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -179,11 +275,18 @@ func (s *sharded) push(ev event.Event) {
 	}
 	seq := s.seq
 	s.seq++
-	if ev.IsCTI() {
-		it := shardItem{kind: itemCTI, seq: seq, ev: ev}
-		for _, w := range s.workers {
-			w.in <- it
+	if s.pendLen == 0 {
+		for _, r := range s.pending {
+			r.first = seq
 		}
+	}
+	if ev.IsCTI() {
+		it := shardItem{kind: itemCTI, ev: ev}
+		for _, r := range s.pending {
+			r.items = append(r.items, it)
+		}
+		s.pendLen++
+		s.flushLocked()
 		return
 	}
 	owner := 0
@@ -193,13 +296,50 @@ func (s *sharded) push(ev event.Event) {
 	// The probe mirrors the event's Sync and CEDR arrival time; sibling
 	// monitors advance (and stamp output) exactly as the owner does.
 	probe := event.Event{V: temporal.From(ev.Sync()), C: ev.C}
-	for i, w := range s.workers {
+	for i, r := range s.pending {
 		if i == owner {
-			w.in <- shardItem{kind: itemData, seq: seq, ev: ev}
+			r.items = append(r.items, shardItem{kind: itemData, ev: ev})
 		} else {
-			w.in <- shardItem{kind: itemProbe, seq: seq, ev: probe}
+			r.items = append(r.items, shardItem{kind: itemProbe, ev: probe})
 		}
 	}
+	s.pendLen++
+	if s.burst > 0 && s.pendLen >= s.burst {
+		s.flushLocked()
+	}
+}
+
+// control appends a broadcast control item and flushes the pending runs,
+// so the control item is always the last item of its run. Caller holds mu.
+func (s *sharded) control(kind uint8, spec consistency.Spec) {
+	if s.pendLen == 0 {
+		for _, r := range s.pending {
+			r.first = s.seq
+		}
+	}
+	it := shardItem{kind: kind, spec: spec}
+	s.seq++
+	for _, r := range s.pending {
+		r.items = append(r.items, it)
+	}
+	s.pendLen++
+	s.flushLocked()
+}
+
+// flushLocked hands the pending runs to the workers and refills the
+// pending slots from the free lists (blocking there is the backpressure).
+// Caller holds mu.
+func (s *sharded) flushLocked() {
+	if s.pendLen == 0 {
+		return
+	}
+	for i, w := range s.workers {
+		w.in <- s.pending[i]
+		r := <-w.freeRuns
+		r.items = r.items[:0]
+		s.pending[i] = r
+	}
+	s.pendLen = 0
 }
 
 // setSpec broadcasts a consistency-level switch; it takes effect at this
@@ -210,24 +350,17 @@ func (s *sharded) setSpec(spec consistency.Spec) {
 	if s.finished {
 		return
 	}
-	it := shardItem{kind: itemSetSpec, seq: s.seq, spec: spec}
-	s.seq++
-	for _, w := range s.workers {
-		w.in <- it
-	}
+	s.control(itemSetSpec, spec)
 }
 
 // finish flushes every shard, waits for the merger to drain, and returns
-// the merged finish outputs.
+// the merged output of the final run (any still-pending items plus the
+// finish flush itself).
 func (s *sharded) finish() []event.Event {
 	s.mu.Lock()
 	if !s.finished {
 		s.finished = true
-		it := shardItem{kind: itemFinish, seq: s.seq}
-		s.seq++
-		for _, w := range s.workers {
-			w.in <- it
-		}
+		s.control(itemFinish, consistency.Spec{})
 	}
 	s.mu.Unlock()
 	<-s.done
@@ -243,11 +376,7 @@ func (s *sharded) barrier() {
 		<-s.done
 		return
 	}
-	it := shardItem{kind: itemBarrier, seq: s.seq}
-	s.seq++
-	for _, w := range s.workers {
-		w.in <- it
-	}
+	s.control(itemBarrier, consistency.Spec{})
 	s.mu.Unlock()
 	<-s.barrierCh
 }
@@ -291,128 +420,147 @@ func (s *sharded) metrics() []consistency.Metrics {
 
 func (w *shardWorker) run() {
 	var failed error
-	for it := range w.in {
-		var b shardBurst
+	for r := range w.in {
+		b := <-w.freeBursts
+		b.reset()
+		last := r.items[len(r.items)-1].kind
+		b.first, b.n, b.kind = r.first, len(r.items), last
 		if failed == nil {
-			b, failed = w.processSafely(it)
-		} else {
-			// Drain mode: a panicked worker's operator state is unusable,
-			// but the merger still expects one burst per sequence number
+			failed = w.processRunSafely(r, b)
+		}
+		if failed != nil {
+			// Drain mode (and the failing run itself): a panicked worker's
+			// operator state is unusable and its partial outputs must not
+			// leak, but the merger still expects one aligned burst per run
 			// from every shard. Empty bursts keep the alignment and let
 			// healthy siblings drain; finish still terminates the loop.
-			b = shardBurst{seq: it.seq, kind: it.kind}
+			b.clearOutputs()
 		}
 		b.fail = failed
+		w.freeRuns <- r
 		w.out <- b
-		if it.kind == itemFinish {
+		if last == itemFinish {
 			return
 		}
 	}
 }
 
-// processSafely runs process under a recover barrier: a panicking operator
-// yields an empty aligned burst carrying the error instead of killing the
-// process or deadlocking the merger.
-func (w *shardWorker) processSafely(it shardItem) (b shardBurst, err error) {
+// processRunSafely drives one run through the monitor chain under a
+// recover barrier: a panicking operator — at any intra-run offset — yields
+// an error (and the caller sends an aligned empty burst) instead of
+// killing the process or deadlocking the merger.
+func (w *shardWorker) processRunSafely(r *shardRun, b *shardBurst) (err error) {
 	defer func() {
-		if r := recover(); r != nil {
-			b = shardBurst{seq: it.seq, kind: it.kind}
-			err = fmt.Errorf("shard worker panicked: %v\n%s", r, debug.Stack())
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("shard worker panicked: %v\n%s", rec, debug.Stack())
 		}
 	}()
-	return w.process(it), nil
+	for k := range r.items {
+		w.process(r.first+k, r.items[k], b)
+	}
+	return nil
 }
 
-// process drives one item through the shard's monitor chain. It is the
-// worker loop's body, callable synchronously (the critical-path benchmark
-// times a shard's full item sequence this way, without channel overhead).
-func (w *shardWorker) process(it shardItem) shardBurst {
-	b := shardBurst{seq: it.seq, kind: it.kind}
+// process drives one item through the shard's monitor chain, appending its
+// outputs and trace to b. It is the worker loop's per-item body, callable
+// synchronously (the critical-path benchmark times a shard's full item
+// sequence this way, without channel overhead).
+func (w *shardWorker) process(seq int, it shardItem, b *shardBurst) {
 	switch it.kind {
 	case itemData, itemProbe, itemCTI:
-		w.arr = ordkey.AppendUint(w.arr[:0], uint64(it.seq))
-		outs, tags := w.monitors[0].PushTagged(0, it.ev, w.arr, nil, it.kind == itemProbe)
-		b.items = w.cascade(1, it.seq, outs, tags, b.items)
-	case itemSetSpec:
+		w.arr = ordkey.AppendUint(w.arr[:0], uint64(seq))
+		if len(w.monitors) == 1 {
+			w.monitors[0].PushTaggedInto(0, it.ev, w.arr, nil, it.kind == itemProbe, &b.out)
+		} else {
+			mid := w.mid[0]
+			mid.Reset()
+			w.monitors[0].PushTaggedInto(0, it.ev, w.arr, nil, it.kind == itemProbe, mid)
+			w.cascade(1, seq, mid, b)
+		}
+	case itemSetSpec, itemFinish:
 		// Mirror the single-shard Query.SetSpec cascade: each stage's
 		// released output flows through the remaining stages, stage by
 		// stage, under a per-stage tag prefix.
 		for i := range w.monitors {
 			w.trig = ordkey.AppendUint(w.trig[:0], uint64(i))
-			w.arr = ordkey.AppendUint(w.arr[:0], uint64(it.seq))
-			outs, tags := w.monitors[i].SetSpecTagged(it.spec, w.arr, w.trig)
-			b.items = w.cascade(i+1, it.seq, outs, tags, b.items)
-		}
-	case itemFinish:
-		for i := range w.monitors {
-			w.trig = ordkey.AppendUint(w.trig[:0], uint64(i))
-			w.arr = ordkey.AppendUint(w.arr[:0], uint64(it.seq))
-			outs, tags := w.monitors[i].FinishTagged(w.arr, w.trig)
-			b.items = w.cascade(i+1, it.seq, outs, tags, b.items)
+			w.arr = ordkey.AppendUint(w.arr[:0], uint64(seq))
+			last := i == len(w.monitors)-1
+			sink := &b.out
+			if !last {
+				sink = w.mid[i]
+				sink.Reset()
+			}
+			if it.kind == itemSetSpec {
+				w.monitors[i].SetSpecTaggedInto(it.spec, w.arr, w.trig, sink)
+			} else {
+				w.monitors[i].FinishTaggedInto(w.arr, w.trig, sink)
+			}
+			if !last {
+				w.cascade(i+1, seq, sink, b)
+			}
 		}
 	case itemBarrier:
-		// State is unchanged; the burst itself is the synchronization.
+		// State is unchanged; the run round-trip is the synchronization.
 	}
+	b.ends = append(b.ends, int32(b.out.Len()))
+	var st stageState
 	for j, m := range w.monitors {
 		if j >= maxTracedStages {
 			break
 		}
 		mk := int32(m.WindowMarkers())
-		b.state[j] = int32(m.Metrics().CurState) - mk
-		b.shared[j] = mk
+		st.state[j] = int32(m.CurState()) - mk
+		st.shared[j] = mk
 	}
-	return b
+	b.states = append(b.states, st)
 }
 
-// cascade drives items (with their order tags) through the monitors from
-// stage `from` on, collecting the final stage's tagged outputs. Each item's
-// outputs nest under its tag, so the merged cross-shard order reproduces
-// the single-shard stage-by-stage cascade exactly.
-func (w *shardWorker) cascade(from, seq int, items []event.Event, tags [][]byte, acc []delivery.Tagged) []delivery.Tagged {
-	if from >= len(w.monitors) {
-		for k := range items {
-			acc = append(acc, delivery.Tagged{Ev: items[k], Tag: tags[k]})
-		}
-		return acc
+// cascade drives the outputs accumulated in src (stage from-1's burst)
+// through the monitors from stage `from` on, appending the final stage's
+// tagged outputs to b. Each item's outputs nest under its tag, so the
+// merged cross-shard order reproduces the single-shard stage-by-stage
+// cascade exactly.
+func (w *shardWorker) cascade(from, seq int, src *consistency.Burst, b *shardBurst) {
+	last := from == len(w.monitors)-1
+	var mid *consistency.Burst
+	if !last {
+		mid = w.mid[from]
 	}
-	// The monitor owns the returned slices until its next call; move the
-	// batch into per-depth reusable scratch before pushing follow-up items
-	// into the same stage. (The tag byte arrays themselves are freshly
-	// allocated per call and safe to hold.)
-	for len(w.evScratch) <= from {
-		w.evScratch = append(w.evScratch, nil)
-		w.tagScratch = append(w.tagScratch, nil)
-		w.arrScratch = append(w.arrScratch, nil)
-	}
-	evs := append(w.evScratch[from][:0], items...)
-	tgs := append(w.tagScratch[from][:0], tags...)
-	w.evScratch[from], w.tagScratch[from] = evs, tgs
-	for k := range evs {
+	for k := range src.Evs {
 		// The downstream arrival key is (input seq, upstream tag): globally
-		// ordered across shards and bursts, because upstream tags are.
+		// ordered across shards and runs, because upstream tags are ordered
+		// within one input item.
 		arr := ordkey.AppendUint(w.arrScratch[from][:0], uint64(seq))
-		arr = append(arr, tgs[k]...)
+		arr = append(arr, src.Tags[k]...)
 		w.arrScratch[from] = arr
-		outs, otags := w.monitors[from].PushTagged(0, evs[k], arr, tgs[k], false)
-		acc = w.cascade(from+1, seq, outs, otags, acc)
+		if last {
+			w.monitors[from].PushTaggedInto(0, src.Evs[k], arr, src.Tags[k], false, &b.out)
+		} else {
+			mid.Reset()
+			w.monitors[from].PushTaggedInto(0, src.Evs[k], arr, src.Tags[k], false, mid)
+			w.cascade(from+1, seq, mid, b)
+		}
 	}
-	return acc
 }
 
-// mergeLoop gathers each input item's bursts from all shards, merges them
-// into the single-shard emission order, and delivers.
+// mergeLoop gathers each run's bursts from all shards, merges the aligned
+// per-item output slices into the single-shard emission order, and
+// delivers once per run.
 func (s *sharded) mergeLoop() {
 	var mg delivery.Merger
 	var out []event.Event
 	var failed error
-	bursts := make([][]delivery.Tagged, s.n)
+	bs := make([]*shardBurst, s.n)
+	evs := make([][]event.Event, s.n)
+	tags := make([][][]byte, s.n)
 	for {
 		var kind uint8
-		var sum [maxTracedStages]int
+		var n int
 		for i, w := range s.workers {
 			b := <-w.out
-			bursts[i] = b.items
+			bs[i] = b
 			kind = b.kind
+			n = b.n
 			if b.fail != nil && failed == nil {
 				// First failure wins; the query is quarantined before any
 				// post-failure delivery could happen.
@@ -421,43 +569,74 @@ func (s *sharded) mergeLoop() {
 					s.onFail(failed)
 				}
 			}
-			for j := 0; j < s.stages && j < maxTracedStages; j++ {
-				sum[j] += int(b.state[j])
-				if i == 0 {
-					sum[j] += int(b.shared[j])
+		}
+		out = out[:0]
+		if failed == nil {
+			for k := 0; k < n; k++ {
+				// Per-item cross-shard state trace (see shardBurst.states).
+				var sum [maxTracedStages]int
+				for i, b := range bs {
+					if k >= len(b.states) {
+						continue
+					}
+					st := &b.states[k]
+					for j := 0; j < s.stages && j < maxTracedStages; j++ {
+						sum[j] += int(st.state[j])
+						if i == 0 {
+							sum[j] += int(st.shared[j])
+						}
+					}
 				}
+				for j := 0; j < s.stages && j < maxTracedStages; j++ {
+					if sum[j] > s.maxState[j] {
+						s.maxState[j] = sum[j]
+					}
+				}
+				// Tags are only globally ordered within one input item, so
+				// merge the aligned runs item by item.
+				for i, b := range bs {
+					start, end := 0, 0
+					if k < len(b.ends) {
+						end = int(b.ends[k])
+						if k > 0 {
+							start = int(b.ends[k-1])
+						}
+					}
+					evs[i] = b.out.Evs[start:end]
+					tags[i] = b.out.Tags[start:end]
+				}
+				out = mg.MergeTagged(out, evs, tags)
 			}
 		}
-		for j := 0; j < s.stages && j < maxTracedStages; j++ {
-			if sum[j] > s.maxState[j] {
-				s.maxState[j] = sum[j]
-			}
+		// Merged events are value copies; the burst buffers can cycle back
+		// to the workers before delivery runs.
+		for i, w := range s.workers {
+			w.freeBursts <- bs[i]
+			bs[i] = nil
 		}
-		if kind == itemBarrier {
-			// Barriers (and the finish handshake below) still complete after
-			// a failure — metrics, Finish, and engine shutdown must not hang
-			// on a quarantined query.
+		switch kind {
+		case itemBarrier:
+			// Deliver the run's output before the handshake, then keep
+			// going. Barriers (and the finish handshake below) still
+			// complete after a failure — metrics, Finish, and engine
+			// shutdown must not hang on a quarantined query.
+			if failed == nil && len(out) > 0 {
+				s.deliver(out)
+			}
 			s.barrierCh <- struct{}{}
-			continue
-		}
-		if failed != nil {
-			// A partial merge would be wrong output, not late output: skip
-			// delivery entirely once any shard has failed.
-			if kind == itemFinish {
-				close(s.done)
-				return
+		case itemFinish:
+			if failed == nil {
+				s.finishOut = append([]event.Event(nil), out...)
+				s.deliver(s.finishOut)
 			}
-			continue
-		}
-		out = mg.Merge(out[:0], bursts...)
-		if kind == itemFinish {
-			s.finishOut = append([]event.Event(nil), out...)
-			s.deliver(s.finishOut)
 			close(s.done)
 			return
-		}
-		if len(out) > 0 {
-			s.deliver(out)
+		default:
+			// A partial merge after a failure would be wrong output, not
+			// late output: skip delivery entirely once any shard failed.
+			if failed == nil && len(out) > 0 {
+				s.deliver(out)
+			}
 		}
 	}
 }
@@ -501,8 +680,17 @@ func routeForPlan(part plan.Partition, shards int) func(event.Event) int {
 // alongside the output merged up to the failure.
 func RunShardedOp(mk func() operators.Op, spec consistency.Spec, n int,
 	route func(event.Event) int, in stream.Stream) (stream.Stream, consistency.Metrics, error) {
+	return RunShardedOpBurst(mk, spec, n, 0, route, in)
+}
+
+// RunShardedOpBurst is RunShardedOp with an explicit router burst size
+// (0 = DefaultBurst, negative = flush only on punctuation/control); the
+// burst-grid differential tests sweep it to prove run boundaries are
+// semantics-free.
+func RunShardedOpBurst(mk func() operators.Op, spec consistency.Spec, n, burst int,
+	route func(event.Event) int, in stream.Stream) (stream.Stream, consistency.Metrics, error) {
 	var out stream.Stream
-	sh, err := newSharded(n,
+	sh, err := newSharded(n, burst,
 		func(int) ([]operators.Op, error) { return []operators.Op{mk()}, nil },
 		spec, route,
 		func(items []event.Event) { out = append(out, items...) })

@@ -45,12 +45,16 @@ func BenchmarkShardCriticalPath(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					var slowest time.Duration
 					for s := 0; s < shards; s++ {
-						w := &shardWorker{monitors: []*consistency.Monitor{
-							consistency.NewMonitor(operators.NewAggregate(operators.Count, "", "g"), consistency.Middle()),
-						}}
+						w := benchWorker()
+						var burst shardBurst
 						start := time.Now()
-						for _, it := range perShard[s] {
-							w.process(it)
+						for seq, it := range perShard[s] {
+							// Reset at run boundaries, as the worker loop
+							// does per handoff.
+							if seq%DefaultBurst == 0 {
+								burst.reset()
+							}
+							w.process(seq, it, &burst)
 						}
 						if d := time.Since(start); d > slowest {
 							slowest = d
@@ -64,14 +68,26 @@ func BenchmarkShardCriticalPath(b *testing.B) {
 	}
 }
 
+// benchWorker builds a single-stage worker for synchronous driving (no
+// channels or free lists).
+func benchWorker() *shardWorker {
+	w := &shardWorker{monitors: []*consistency.Monitor{
+		consistency.NewMonitor(operators.NewAggregate(operators.Count, "", "g"), consistency.Middle()),
+	}}
+	w.mid = []*consistency.Burst{new(consistency.Burst)}
+	w.arrScratch = make([][]byte, 1)
+	return w
+}
+
 // shardItemSequences precomputes, per shard, the exact item sequence the
-// router would deliver.
+// router would deliver; item k carries global sequence number k on every
+// shard.
 func shardItemSequences(in stream.Stream, shards int, route func(event.Event) int) [][]shardItem {
 	out := make([][]shardItem, shards)
-	for seq, ev := range in {
+	for _, ev := range in {
 		if ev.IsCTI() {
 			for s := 0; s < shards; s++ {
-				out[s] = append(out[s], shardItem{kind: itemCTI, seq: seq, ev: ev})
+				out[s] = append(out[s], shardItem{kind: itemCTI, ev: ev})
 			}
 			continue
 		}
@@ -79,13 +95,13 @@ func shardItemSequences(in stream.Stream, shards int, route func(event.Event) in
 		probe := event.Event{V: temporal.From(ev.Sync()), C: ev.C}
 		for s := 0; s < shards; s++ {
 			if s == owner {
-				out[s] = append(out[s], shardItem{kind: itemData, seq: seq, ev: ev})
+				out[s] = append(out[s], shardItem{kind: itemData, ev: ev})
 			} else {
-				out[s] = append(out[s], shardItem{kind: itemProbe, seq: seq, ev: probe})
+				out[s] = append(out[s], shardItem{kind: itemProbe, ev: probe})
 			}
 		}
 	}
-	fin := shardItem{kind: itemFinish, seq: len(in)}
+	fin := shardItem{kind: itemFinish}
 	for s := 0; s < shards; s++ {
 		out[s] = append(out[s], fin)
 	}
@@ -94,7 +110,7 @@ func shardItemSequences(in stream.Stream, shards int, route func(event.Event) in
 
 // BenchmarkShardMergeStage isolates the merge stage's own cost: the tagged
 // bursts of a sharded run are captured once, then replayed through the
-// Merger.
+// Merger's per-item burst merge.
 func BenchmarkShardMergeStage(b *testing.B) {
 	cfg := workload.DefaultUniform()
 	cfg.Events = 4000
@@ -104,23 +120,36 @@ func BenchmarkShardMergeStage(b *testing.B) {
 			30*temporal.Duration(cfg.Spacing), 0.1))
 	const shards = 4
 	perShard := shardItemSequences(delivered, shards, RouteByAttr("g", shards))
-	bursts := make([][][]delivery.Tagged, len(perShard[0]))
+	items := len(perShard[0])
+	// Per shard, one unbounded burst covering the whole sequence; ends
+	// gives the per-item slices the merger consumes.
+	full := make([]*shardBurst, shards)
 	for s := 0; s < shards; s++ {
-		w := &shardWorker{monitors: []*consistency.Monitor{
-			consistency.NewMonitor(operators.NewAggregate(operators.Count, "", "g"), consistency.Middle()),
-		}}
-		for k, it := range perShard[s] {
-			bursts[k] = append(bursts[k], w.process(it).items)
+		w := benchWorker()
+		full[s] = new(shardBurst)
+		for seq, it := range perShard[s] {
+			w.process(seq, it, full[s])
 		}
 	}
+	evs := make([][]event.Event, shards)
+	tags := make([][][]byte, shards)
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		var mg delivery.Merger
 		var out []event.Event
 		total := 0
-		for _, bs := range bursts {
-			out = mg.Merge(out[:0], bs...)
+		for k := 0; k < items; k++ {
+			for s, fb := range full {
+				start := 0
+				if k > 0 {
+					start = int(fb.ends[k-1])
+				}
+				end := int(fb.ends[k])
+				evs[s] = fb.out.Evs[start:end]
+				tags[s] = fb.out.Tags[start:end]
+			}
+			out = mg.MergeTagged(out[:0], evs, tags)
 			total += len(out)
 		}
 		if total == 0 {

@@ -1,0 +1,180 @@
+// Runtime-shape tests for the batched sharded runtime: the auto-shard
+// heuristic's decision table, the alloc-free steady-state handoff
+// guarantee, and a true multi-core smoke run (raised GOMAXPROCS, race-
+// checked in CI's fault-injection job).
+package engine
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/consistency"
+	"repro/internal/delivery"
+	"repro/internal/event"
+	"repro/internal/leakcheck"
+	"repro/internal/operators"
+	"repro/internal/plan"
+	"repro/internal/stream"
+	"repro/internal/workload"
+)
+
+// TestAutoShardHeuristic pins the WithShards(AutoShards) decision table:
+// non-partitionable and cheap plans never shard, a single-core process
+// never shards, and a heavy partitionable plan gets its cost-amortized
+// width clamped to the cores actually available.
+func TestAutoShardHeuristic(t *testing.T) {
+	heavy, err := plan.Compile(monitorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !heavy.Part.OK() || heavy.CostNs() < 2*shardTaxNs {
+		t.Fatalf("fixture drifted: monitorQuery part=%v cost=%d", heavy.Part, heavy.CostNs())
+	}
+	flat, err := plan.Compile(`EVENT Seq WHEN SEQUENCE(A a, B b, 10)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cheap := &plan.Plan{
+		Name:   "cheap",
+		Stages: []operators.Op{operators.NewAggregate(operators.Count, "", "g")},
+		Spec:   consistency.Middle(),
+		Part:   plan.Partition{Mode: plan.PartitionByAttr, Attr: "g"},
+	}
+	if cheap.CostNs() >= 2*shardTaxNs {
+		t.Fatalf("fixture drifted: cheap plan costs %d", cheap.CostNs())
+	}
+
+	// The single-core branch is reachable on any host by narrowing
+	// GOMAXPROCS: even the heavy plan must refuse to shard.
+	prev := runtime.GOMAXPROCS(1)
+	if got := autoShards(heavy); got != 1 {
+		runtime.GOMAXPROCS(prev)
+		t.Fatalf("heavy plan on 1 core: %d shards, want 1", got)
+	}
+	runtime.GOMAXPROCS(prev)
+
+	// The remaining rows depend on the live core count the same way
+	// production resolution does.
+	cores := runtime.GOMAXPROCS(0)
+	if c := runtime.NumCPU(); c < cores {
+		cores = c
+	}
+	want := heavy.CostNs() / shardTaxNs
+	if want > cores {
+		want = cores
+	}
+	if want > maxAutoShards {
+		want = maxAutoShards
+	}
+	if cores < 2 {
+		want = 1
+	}
+	if got := autoShards(heavy); got != want {
+		t.Fatalf("heavy plan on %d cores: %d shards, want %d", cores, got, want)
+	}
+	if cores >= 2 && want < 2 {
+		t.Fatalf("heavy plan failed to earn a second shard on %d cores", cores)
+	}
+	if got := autoShards(flat); got != 1 {
+		t.Fatalf("non-partitionable plan: %d shards, want 1", got)
+	}
+	if got := autoShards(cheap); got != 1 {
+		t.Fatalf("cheap plan: %d shards, want 1", got)
+	}
+
+	// Registration-level wiring: AutoShards resolves to the same verdict.
+	e := New()
+	defer e.Close()
+	q, err := e.RegisterText(monitorQuery, plan.WithShards(plan.AutoShards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Shards(); got != want {
+		t.Fatalf("AutoShards registration: %d shards, want %d", got, want)
+	}
+}
+
+// TestShardedHandoffAllocFree pins the batched handoff's steady state at
+// zero allocations per run: once the free-list buffers have cycled and the
+// monitor log has grown its capacity, routing a full burst of data plus
+// its CTI through router → workers → merger must not allocate. A
+// never-matching Select keeps output out of the measurement, so the number
+// is the handoff machinery alone.
+func TestShardedHandoffAllocFree(t *testing.T) {
+	defer leakcheck.Check(t)()
+	const (
+		shards = 4
+		burst  = 8
+	)
+	sh, err := newSharded(shards, burst,
+		func(int) ([]operators.Op, error) {
+			return []operators.Op{operators.NewSelect(func(event.Payload) bool { return false })}, nil
+		},
+		consistency.Middle(), RouteByAttr("g", shards),
+		func([]event.Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.Uniform{Seed: 9, Events: 4096, Groups: 8, Spacing: 4, Lifetime: 10}
+	in := delivery.Deliver(workload.UniformEvents(cfg), delivery.Ordered(8))
+	var data stream.Stream
+	for _, ev := range in {
+		if !ev.IsCTI() {
+			data = append(data, ev)
+		}
+	}
+	if len(data) < 2048 {
+		t.Fatalf("workload too small: %d data events", len(data))
+	}
+	// Warmup: cycle every run/burst buffer several times and let the
+	// monitor logs reach their steady capacity.
+	next := 0
+	feed := func(n int) {
+		for i := 0; i < n; i++ {
+			sh.push(data[next%len(data)])
+			next++
+		}
+	}
+	feed(1024)
+	cti := event.NewCTI(data[len(data)-1].Sync())
+	sh.push(cti)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		feed(shards * burst)
+		sh.push(cti)
+	})
+	sh.finish()
+	// The monitor's repair log grows by append, so its doubling reallocs
+	// amortize to (well under) one per run over the measurement window;
+	// everything else must be free.
+	if allocs > 1 {
+		t.Fatalf("steady-state handoff allocates %.1f per run, want <= 1", allocs)
+	}
+}
+
+// TestShardedMultiCoreSmoke runs the full sharded query path with
+// GOMAXPROCS raised above one so router, workers, and merger execute
+// truly concurrently (and under -race in CI's fault-injection job), then
+// checks the merged output is byte-identical to the single-shard oracle
+// and every goroutine drains.
+func TestShardedMultiCoreSmoke(t *testing.T) {
+	defer leakcheck.Check(t)()
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	in := durabilityWorkload()
+	e := New()
+	q, err := e.RegisterText(monitorQuery, plan.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Shards() != 4 {
+		t.Fatalf("query runs %d shards, want 4", q.Shards())
+	}
+	e.Run(in)
+	if q.Err() != nil {
+		t.Fatal(q.Err())
+	}
+	oracle := run(t, monitorQuery, in)
+	compareStreams(t, "multi-core smoke", q.Results(), oracle.Results())
+}

@@ -82,12 +82,18 @@ func runPlainOp(mk func() operators.Op, spec consistency.Spec, in stream.Stream,
 	return out, m.Metrics()
 }
 
+// shardBurstGrid is the router burst-size sweep the differential grids run
+// under: single-item handoff, a bound that straddles run boundaries
+// unevenly, the default, and unbounded (flush only on punctuation and
+// control items). Output must be byte-identical across all of them.
+var shardBurstGrid = []int{1, 7, DefaultBurst, -1}
+
 // runShardedOpSwitch drives the sharded runtime over the same sequence.
-func runShardedOpSwitch(mk func() operators.Op, spec consistency.Spec, n int,
+func runShardedOpSwitch(mk func() operators.Op, spec consistency.Spec, n, burst int,
 	route func(event.Event) int, in stream.Stream,
 	switchAt int, switchTo consistency.Spec) (stream.Stream, consistency.Metrics) {
 	var out stream.Stream
-	sh, err := newSharded(n,
+	sh, err := newSharded(n, burst,
 		func(int) ([]operators.Op, error) { return []operators.Op{mk()}, nil },
 		spec, route,
 		func(items []event.Event) { out = append(out, items...) })
@@ -153,12 +159,18 @@ func TestShardedOpEquivalence(t *testing.T) {
 			consistency.Level(temporal.Duration(rng.Intn(30)), consistency.Unbounded),
 			consistency.Level(temporal.Duration(rng.Intn(20)), temporal.Duration(rng.Intn(80)+20)),
 		}
-		for _, tc := range cases {
-			for _, spec := range levels {
+		for ci, tc := range cases {
+			for li, spec := range levels {
 				want, wantMet := runPlainOp(tc.mk, spec, delivered, 0, consistency.Spec{})
-				for _, n := range []int{1, 2, 4, 8} {
-					label := fmt.Sprintf("trial %d op %s level %s shards %d", trial, tc.name, spec.Name(), n)
-					got, gotMet := runShardedOpSwitch(tc.mk, spec, n, tc.route(n), delivered, 0, consistency.Spec{})
+				for ni, n := range []int{1, 2, 4, 8} {
+					// Every (trial, op, level, shards) cell runs under a
+					// burst size from the grid, rotated so each size covers
+					// every op, level and shard count across the suite; the
+					// dedicated sweeps below additionally run the full
+					// cross-product on one op.
+					burst := shardBurstGrid[(trial+ci+li+ni)%len(shardBurstGrid)]
+					label := fmt.Sprintf("trial %d op %s level %s shards %d burst %d", trial, tc.name, spec.Name(), n, burst)
+					got, gotMet := runShardedOpSwitch(tc.mk, spec, n, burst, tc.route(n), delivered, 0, consistency.Spec{})
 					compareStreams(t, label, got, want)
 					if gotMet != wantMet {
 						t.Fatalf("%s: metrics diverge\n got: %+v\nwant: %+v", label, gotMet, wantMet)
@@ -186,12 +198,43 @@ func TestShardedSetSpecMidStream(t *testing.T) {
 		to := levels[rng.Intn(len(levels))]
 		at := len(delivered)/3 + rng.Intn(len(delivered)/3)
 		n := 1 + rng.Intn(8)
-		label := fmt.Sprintf("switch trial %d %s->%s@%d shards %d", trial, from.Name(), to.Name(), at, n)
 		want, wantMet := runPlainOp(mk, from, delivered, at, to)
-		got, gotMet := runShardedOpSwitch(mk, from, n, RouteByAttr("g", n), delivered, at, to)
-		compareStreams(t, label, got, want)
-		if gotMet != wantMet {
-			t.Fatalf("%s: metrics diverge\n got: %+v\nwant: %+v", label, gotMet, wantMet)
+		for _, burst := range shardBurstGrid {
+			label := fmt.Sprintf("switch trial %d %s->%s@%d shards %d burst %d", trial, from.Name(), to.Name(), at, n, burst)
+			got, gotMet := runShardedOpSwitch(mk, from, n, burst, RouteByAttr("g", n), delivered, at, to)
+			compareStreams(t, label, got, want)
+			if gotMet != wantMet {
+				t.Fatalf("%s: metrics diverge\n got: %+v\nwant: %+v", label, gotMet, wantMet)
+			}
+		}
+	}
+}
+
+// The full burst-size cross-product on one op: shards × burst × disorder,
+// with Corrections in the stream so retract routing crosses run
+// boundaries. Proves the router's flush boundaries are semantics-free.
+func TestShardedBurstGridEquivalence(t *testing.T) {
+	mk := func() operators.Op { return operators.NewAggregate(operators.Count, "", "g") }
+	for trial := 0; trial < 2; trial++ {
+		rng := rand.New(rand.NewSource(606 + int64(trial)))
+		src := workload.Corrections(rng.Int63(), 0.3, shardRandSource(rng, 200))
+		var cfg delivery.Config
+		if trial == 0 {
+			cfg = delivery.Ordered(temporal.Duration(rng.Intn(40) + 5))
+		} else {
+			cfg = delivery.Disordered(rng.Int63(), 80, 40, 0.3)
+		}
+		delivered := delivery.Deliver(src, cfg)
+		want, wantMet := runPlainOp(mk, consistency.Middle(), delivered, 0, consistency.Spec{})
+		for _, n := range []int{1, 2, 4, 8} {
+			for _, burst := range shardBurstGrid {
+				label := fmt.Sprintf("burst grid trial %d shards %d burst %d", trial, n, burst)
+				got, gotMet := runShardedOpSwitch(mk, consistency.Middle(), n, burst, RouteByAttr("g", n), delivered, 0, consistency.Spec{})
+				compareStreams(t, label, got, want)
+				if gotMet != wantMet {
+					t.Fatalf("%s: metrics diverge\n got: %+v\nwant: %+v", label, gotMet, wantMet)
+				}
+			}
 		}
 	}
 }

@@ -400,16 +400,17 @@ func (a *Aggregate) OutputGuarantee(t temporal.Time) temporal.Time { return t }
 // StateSize implements Op.
 func (a *Aggregate) StateSize() int { return len(a.live) }
 
-// Clone implements Op. Live entries are immutable and shared by pointer;
-// the payload-interning cache and Advance scratch are shared outright —
-// clones under one monitor are only ever used sequentially.
+// Clone implements Op. Live entries are immutable and shared by pointer,
+// but the Advance scratch and the payload-interning cache are per-clone:
+// the sharded runtime hands clones to concurrently running workers, so
+// mutable working state must not be shared (the scratch reallocates
+// lazily, the cache simply refills).
 func (a *Aggregate) Clone() Op {
 	c := &Aggregate{Kind: a.Kind, Field: a.Field, GroupBy: a.GroupBy, As: a.As,
 		name:     a.name,
 		frontier: a.frontier,
 		live:     make(map[event.ID]*event.Event, len(a.live)),
-		scratch:  a.scratch,
-		payloads: a.payloads,
+		payloads: make(map[payloadKey]event.Payload, 64),
 	}
 	for id, e := range a.live {
 		c.live[id] = e

@@ -106,6 +106,37 @@ type Stateless interface {
 	StatelessOp()
 }
 
+// CostHint is implemented by operators that can estimate their per-event
+// processing cost. The engine's overhead-aware shard-count heuristic uses
+// it to decide how many shards a plan's work can amortize: sharding an
+// operator whose per-event cost is below the router/merge handoff tax
+// makes it slower, not faster.
+type CostHint interface {
+	// PerEventCostNs is the estimated cost of processing one event, in
+	// nanoseconds. A coarse class estimate — calibrated against the
+	// cedrbench single-core suite — not a measurement.
+	PerEventCostNs() int
+}
+
+// Per-event cost classes for operators without their own hint, in
+// nanoseconds (calibrated against the cedrbench single-core suite).
+const (
+	costStateless = 150 // Select/Project/Slice: predicate or map per event
+	costDefault   = 700 // stateful default: aggregates, joins, difference
+)
+
+// CostOf estimates an operator's per-event processing cost in nanoseconds
+// (see CostHint).
+func CostOf(op Op) int {
+	if h, ok := op.(CostHint); ok {
+		return h.PerEventCostNs()
+	}
+	if _, ok := op.(Stateless); ok {
+		return costStateless
+	}
+	return costDefault
+}
+
 // AdvanceOrdered is implemented by key-decomposable operators that emit
 // output from Advance. One Advance call on an un-sharded instance emits
 // outputs for every key in a deterministic cross-key order (the grouped

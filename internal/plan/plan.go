@@ -99,9 +99,18 @@ func WithSnapshotCadence(every, max int) Option {
 	}
 }
 
-// WithShards requests key-partitioned execution over n parallel shards.
-// Plans whose partitionability analysis fails (Part) run single-shard
-// regardless; Explain shows the verdict.
+// AutoShards, passed to WithShards (or the engine's default), asks the
+// engine to pick the shard count at registration: it weighs the plan's
+// estimated per-event operator cost (CostNs) against the sharded runtime's
+// handoff tax and the cores actually available (GOMAXPROCS/NumCPU), and
+// refuses to shard plans whose per-shard work could not amortize the
+// overhead — cheap plans stay single-shard instead of regressing.
+const AutoShards = -1
+
+// WithShards requests key-partitioned execution over n parallel shards
+// (or the engine-chosen count, for AutoShards). Plans whose
+// partitionability analysis fails (Part) run single-shard regardless;
+// Explain shows the verdict.
 func WithShards(n int) Option {
 	return func(c *config) { c.shards = n }
 }
@@ -261,6 +270,18 @@ func resolveSpec(an *lang.Analysis, cfg config) consistency.Spec {
 		}
 		return consistency.Level(b, m)
 	}
+}
+
+// CostNs estimates the plan's per-event processing cost in nanoseconds:
+// the sum of its stages' operator cost classes (operators.CostOf). The
+// engine's auto-shard heuristic compares it to the sharded runtime's
+// per-event handoff tax.
+func (p *Plan) CostNs() int {
+	c := 0
+	for _, op := range p.Stages {
+		c += operators.CostOf(op)
+	}
+	return c
 }
 
 // Explain renders the plan.

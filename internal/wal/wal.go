@@ -363,7 +363,9 @@ func DecodePayload(payload []byte) (Record, error) {
 		rec.Opts.NoSpecialization = flags&2 != 0
 		rec.Opts.NoPushdown = flags&4 != 0
 		rec.Opts.Spec = r.spec()
-		rec.Opts.Shards = int(r.u32())
+		// Signed round-trip: plan.AutoShards is a negative sentinel and
+		// must survive the u32 framing.
+		rec.Opts.Shards = int(int32(r.u32()))
 	case KindSpec:
 		rec.Query = int(r.u32())
 		rec.Spec = r.spec()
