@@ -130,7 +130,7 @@ SC(each, consume)`
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sys := New()
-		query, err := sys.RegisterAt(q, Middle())
+		query, err := sys.Register(q, WithSpec(Middle()))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -435,7 +435,7 @@ SC(each, consume)`
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := New()
-				query, err := sys.RegisterOpts(q, plan.WithSpec(Middle()), plan.WithShards(shards))
+				query, err := sys.Register(q, WithSpec(Middle()), WithShards(shards))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -135,30 +135,69 @@ type System struct {
 	eng *engine.Engine
 }
 
-// Option configures a System.
-type Option func(*sysConfig)
+// Option configures a System (New, Open, Restore). WithShards also
+// satisfies QueryOption, so the same constructor serves both scopes.
+type Option interface {
+	applySys(*sysConfig)
+}
+
+// QueryOption configures one registration (Register). Options: WithSpec,
+// WithShards, WithTemplate, WithoutSharing.
+type QueryOption interface {
+	applyQuery(*queryConfig)
+}
 
 type sysConfig struct {
 	eopts []engine.Option
 	wopts []wal.LogOption
 }
 
-// WithShards makes every registered query whose plan is key-partitionable
-// run as n parallel shards — one goroutine, operator chain and consistency
-// monitor per key partition, behind a merge stage that reproduces the exact
-// single-shard output sequence. Queries whose plans do not decompose by key
-// (no grouping or EQUAL correlation key, multi-port heads, first/last
-// selection) transparently run on one shard. Per-query counts can be set
-// with plan.WithShards via RegisterOpts. Pass AutoShards to let each
-// registration pick its own count from the plan's estimated per-event
-// cost and the cores available — cheap plans stay single-shard instead of
-// paying more in handoff overhead than sharding returns.
-func WithShards(n int) Option {
-	return func(c *sysConfig) { c.eopts = append(c.eopts, engine.WithShards(n)) }
+type queryConfig struct {
+	popts []plan.Option
+	share bool
 }
 
-// AutoShards, passed to WithShards (or plan.WithShards via RegisterOpts),
-// selects the overhead-aware automatic shard count (see plan.AutoShards).
+// sysOption and queryOption adapt plain functions to the option
+// interfaces; dualOption serves constructors valid in both scopes.
+type sysOption func(*sysConfig)
+
+func (o sysOption) applySys(c *sysConfig) { o(c) }
+
+type queryOption func(*queryConfig)
+
+func (o queryOption) applyQuery(c *queryConfig) { o(c) }
+
+type dualOption struct {
+	sys func(*sysConfig)
+	qry func(*queryConfig)
+}
+
+func (o dualOption) applySys(c *sysConfig)     { o.sys(c) }
+func (o dualOption) applyQuery(c *queryConfig) { o.qry(c) }
+
+// WithShards makes a query whose plan is key-partitionable run as n
+// parallel shards — one goroutine, operator chain and consistency monitor
+// per key partition, behind a merge stage that reproduces the exact
+// single-shard output sequence. Queries whose plans do not decompose by key
+// (no grouping or EQUAL correlation key, multi-port heads, first/last
+// selection) transparently run on one shard. Passed to New/Open/Restore it
+// sets the default for every registration; passed to Register it applies to
+// that query alone. Pass AutoShards to pick the count from the plan's
+// estimated per-event cost and the cores available — cheap plans stay
+// single-shard instead of paying more in handoff overhead than sharding
+// returns.
+func WithShards(n int) interface {
+	Option
+	QueryOption
+} {
+	return dualOption{
+		sys: func(c *sysConfig) { c.eopts = append(c.eopts, engine.WithShards(n)) },
+		qry: func(c *queryConfig) { c.popts = append(c.popts, plan.WithShards(n)) },
+	}
+}
+
+// AutoShards, passed to WithShards, selects the overhead-aware automatic
+// shard count (see plan.AutoShards).
 const AutoShards = plan.AutoShards
 
 // WithBurst sets the sharded router's burst size — how many consecutive
@@ -166,7 +205,21 @@ const AutoShards = plan.AutoShards
 // (0 = the default; negative flushes only on punctuation and control
 // items). Output is byte-identical at any burst size.
 func WithBurst(n int) Option {
-	return func(c *sysConfig) { c.eopts = append(c.eopts, engine.WithBurst(n)) }
+	return sysOption(func(c *sysConfig) { c.eopts = append(c.eopts, engine.WithBurst(n)) })
+}
+
+// WithRouting enables the standing-query fabric's cross-query routing
+// index: each pushed data event is delivered only to the query groups that
+// can possibly match it — by event TYPE, and for key-specialized queries
+// (a [attr Equal 'literal'] filter, or a template binding) by key value —
+// instead of touching every registered query. Punctuation is still
+// broadcast. Queries whose plans the analyzer cannot prove routable fall
+// into a conservative always-deliver bucket. Routing changes what a query
+// observes as its input stream (as if pre-filtered to events its plan can
+// react to), so emission stamps of blocking output and per-stage input
+// counters may differ from an unrouted run; the detected alert set cannot.
+func WithRouting() Option {
+	return sysOption(func(c *sysConfig) { c.eopts = append(c.eopts, engine.WithRouting()) })
 }
 
 // WithSyncEvery sets a durable system's fsync batching: the write-ahead
@@ -176,7 +229,32 @@ func WithBurst(n int) Option {
 // durable prefix is still byte-identical to a run over exactly that
 // prefix. Ignored by New (no log).
 func WithSyncEvery(n int) Option {
-	return func(c *sysConfig) { c.wopts = append(c.wopts, wal.SyncEvery(n)) }
+	return sysOption(func(c *sysConfig) { c.wopts = append(c.wopts, wal.SyncEvery(n)) })
+}
+
+// WithSpec registers the query at an explicit consistency level,
+// overriding any CONSISTENCY clause in its text.
+func WithSpec(spec Spec) QueryOption {
+	return queryOption(func(c *queryConfig) { c.popts = append(c.popts, plan.WithSpec(spec)) })
+}
+
+// WithTemplate registers the query as an instance of a parameterized
+// template: every $name placeholder in the query text is bound to
+// params["name"]. The template is parsed and analyzed once per binding
+// set; instances that share a binding set (and the rest of the sharing
+// identity) share one executing chain, so a fleet of per-user instances
+// costs one compilation per template and one execution per distinct
+// binding.
+func WithTemplate(params Payload) QueryOption {
+	return queryOption(func(c *queryConfig) { c.popts = append(c.popts, plan.WithBindings(params)) })
+}
+
+// WithoutSharing gives the registration a private execution chain even if
+// an identical query is already standing. Use it when the query must not
+// be affected by a sibling's SetConsistency, or must observe output from
+// its own registration point with chain-level isolation.
+func WithoutSharing() QueryOption {
+	return queryOption(func(c *queryConfig) { c.share = false })
 }
 
 // New creates an empty, non-durable system: nothing is persisted, and
@@ -184,7 +262,7 @@ func WithSyncEvery(n int) Option {
 func New(opts ...Option) *System {
 	var cfg sysConfig
 	for _, o := range opts {
-		o(&cfg)
+		o.applySys(&cfg)
 	}
 	return &System{eng: engine.New(cfg.eopts...)}
 }
@@ -210,7 +288,7 @@ func Open(path string, opts ...Option) (*System, error) {
 func Restore(snapshot io.Reader, walPath string, opts ...Option) (*System, error) {
 	var cfg sysConfig
 	for _, o := range opts {
-		o(&cfg)
+		o.applySys(&cfg)
 	}
 	log, err := wal.Open(walPath, cfg.wopts...)
 	if err != nil {
@@ -224,29 +302,50 @@ func Restore(snapshot io.Reader, walPath string, opts ...Option) (*System, error
 	return &System{eng: eng}, nil
 }
 
-// Register compiles CEDR query text and installs it as a standing query.
-func (s *System) Register(src string) (*Query, error) {
-	q, err := s.eng.RegisterText(src)
+// Register compiles CEDR query text and installs it as a standing query,
+// configured by query options (WithSpec, WithShards, WithTemplate,
+// WithoutSharing).
+//
+// Registrations share by default: when an identical query is already
+// standing — same text, same resolved consistency level, same shard and
+// rewrite configuration, same template bindings — the new registration does
+// not build a second execution pipeline; it attaches to the standing one as
+// an independent endpoint (own Results, Subscribe callbacks, Err) and
+// observes output from its attachment point onward. A registration-time
+// SetConsistency or Finish issued through any endpoint applies to the whole
+// shared group; WithoutSharing opts a registration out.
+func (s *System) Register(src string, opts ...QueryOption) (*Query, error) {
+	cfg := queryConfig{share: true}
+	for _, o := range opts {
+		o.applyQuery(&cfg)
+	}
+	popts := cfg.popts
+	if cfg.share {
+		popts = append(popts, plan.WithSharing())
+	}
+	q, err := s.eng.RegisterText(src, popts...)
 	if err != nil {
 		return nil, err
 	}
 	return &Query{q: q}, nil
 }
 
-// RegisterAt registers a query with an explicit consistency level,
-// overriding any CONSISTENCY clause.
+// RegisterAt registers a query with an explicit consistency level.
+//
+// Deprecated: use Register(src, WithSpec(spec)).
 func (s *System) RegisterAt(src string, spec Spec) (*Query, error) {
-	q, err := s.eng.RegisterText(src, plan.WithSpec(spec))
-	if err != nil {
-		return nil, err
-	}
-	return &Query{q: q}, nil
+	return s.Register(src, WithSpec(spec))
 }
 
 // RegisterOpts registers a query with explicit plan options (for example
 // plan.WithSpec, plan.WithShards).
+//
+// Deprecated: use Register with query options (WithSpec, WithShards, ...).
 func (s *System) RegisterOpts(src string, opts ...plan.Option) (*Query, error) {
-	q, err := s.eng.RegisterText(src, opts...)
+	cfg := queryConfig{share: true}
+	cfg.popts = append(cfg.popts, opts...)
+	popts := append(cfg.popts, plan.WithSharing())
+	q, err := s.eng.RegisterText(src, popts...)
 	if err != nil {
 		return nil, err
 	}
@@ -347,11 +446,26 @@ func (q *Query) Metrics() []Metrics { return q.q.Metrics() }
 // sibling queries on the same system are unaffected.
 func (q *Query) Err() error { return q.q.Err() }
 
-// Subscribe registers a synchronous callback for every output item.
+// Subscribe registers a synchronous callback for every output item
+// delivered to this query from now on.
 func (q *Query) Subscribe(fn func(Event)) { q.q.Subscribe(fn) }
 
-// SetConsistency switches the query's consistency level at runtime.
+// SetConsistency switches the query's consistency level at runtime. On a
+// shared registration the switch applies to the whole group — every
+// endpoint of the standing query observes the released output.
 func (q *Query) SetConsistency(spec Spec) { q.q.SetSpec(spec) }
+
+// Unregister removes the standing query: its accumulated Results stay
+// readable, subscribers receive nothing further, and when it was the last
+// registration of a shared group the underlying execution pipeline is torn
+// down (goroutines exit, input is no longer delivered to it). On a durable
+// system the unregistration is logged, so recovery reproduces it.
+// Idempotent.
+func (q *Query) Unregister() { q.q.Unregister() }
+
+// Shared reports whether the query runs on a joinable shared chain
+// (registered without WithoutSharing and eligible for sharing).
+func (q *Query) Shared() bool { return q.q.Shared() }
 
 // Shards returns the number of parallel shards the query runs on (1 unless
 // sharding was requested and the plan is key-partitionable).

@@ -49,7 +49,7 @@ func MustDuration(t *testing.T, s string) Duration {
 
 func TestPublicAPIConsistencyOverride(t *testing.T) {
 	sys := New()
-	q, err := sys.RegisterAt(missedRestart, Strong())
+	q, err := sys.Register(missedRestart, WithSpec(Strong()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestPublicAPIConsistencyOverride(t *testing.T) {
 
 func TestPublicAPIMiddleRepairsUnderDisorder(t *testing.T) {
 	sys := New()
-	q, err := sys.RegisterAt(missedRestart, Middle())
+	q, err := sys.Register(missedRestart, WithSpec(Middle()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,5 +232,74 @@ func TestPublicAPIQuarantine(t *testing.T) {
 	}
 	if got := len(sibling.Alerts()); got != expected {
 		t.Fatalf("sibling: %d alerts, want %d", got, expected)
+	}
+}
+
+const missedRestartTmpl = `
+EVENT MissedRestart
+WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours),
+            RESTART AS z, 5 minutes)
+WHERE CorrelationKey(Machine_Id, EQUAL) AND [Machine_Id Equal $m]
+SC(each, consume)
+CONSISTENCY middle`
+
+// TestPublicAPIFabricTemplates: a fleet of per-machine template instances
+// over a routed engine detects exactly the alerts one fleet-wide query
+// would; identical instances share a chain, WithoutSharing opts out, and
+// Unregister removes one endpoint without disturbing its siblings.
+func TestPublicAPIFabricTemplates(t *testing.T) {
+	sys := New(WithRouting())
+	var fleet []*Query
+	for m := 0; m < 10; m++ {
+		q, err := sys.Register(missedRestartTmpl,
+			WithTemplate(Payload{"m": workload.MachineID(m)}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet = append(fleet, q)
+	}
+	twin, err := sys.Register(missedRestartTmpl, WithTemplate(Payload{"m": "m000"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := sys.Register(missedRestartTmpl,
+		WithTemplate(Payload{"m": "m000"}), WithoutSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !twin.Shared() {
+		t.Error("identical template instance did not share")
+	}
+	if solo.Shared() {
+		t.Error("WithoutSharing instance shared anyway")
+	}
+
+	src, expected := workload.MachineEvents(workload.DefaultMachines())
+	sys.Run(Deliver(src, OrderedDelivery(MustDuration(t, "10 minutes"))))
+
+	total := 0
+	for _, q := range fleet {
+		total += len(q.Alerts())
+	}
+	if total != expected {
+		t.Errorf("routed fleet detected %d alerts, fleet-wide query detects %d", total, expected)
+	}
+	if got, want := len(twin.Alerts()), len(fleet[0].Alerts()); got != want {
+		t.Errorf("shared twin: %d alerts, sibling has %d", got, want)
+	}
+	if got, want := len(solo.Alerts()), len(fleet[0].Alerts()); got != want {
+		t.Errorf("unshared copy: %d alerts, shared runs have %d", got, want)
+	}
+
+	before := len(sys.Queries())
+	twin.Unregister()
+	if got := len(sys.Queries()); got != before-1 {
+		t.Errorf("Queries() = %d after Unregister, want %d", got, before-1)
+	}
+	if fleet[0].Err() != nil {
+		t.Fatal(fleet[0].Err())
+	}
+	if sys.Err() != nil {
+		t.Fatal(sys.Err())
 	}
 }

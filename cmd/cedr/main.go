@@ -52,11 +52,11 @@ func main() {
 	case "":
 		q, err = sys.Register(string(src))
 	case "strong":
-		q, err = sys.RegisterAt(string(src), cedr.Strong())
+		q, err = sys.Register(string(src), cedr.WithSpec(cedr.Strong()))
 	case "middle":
-		q, err = sys.RegisterAt(string(src), cedr.Middle())
+		q, err = sys.Register(string(src), cedr.WithSpec(cedr.Middle()))
 	case "weak":
-		q, err = sys.RegisterAt(string(src), cedr.Weak(temporal.Duration(*weakM)))
+		q, err = sys.Register(string(src), cedr.WithSpec(cedr.Weak(temporal.Duration(*weakM))))
 	default:
 		must(fmt.Errorf("unknown consistency level %q", *level))
 	}

@@ -14,7 +14,6 @@ import (
 	cedr "repro"
 	"repro/internal/consistency"
 	"repro/internal/delivery"
-	"repro/internal/plan"
 	"repro/internal/stream"
 	"repro/internal/temporal"
 	"repro/internal/workload"
@@ -90,8 +89,8 @@ func runMulticoreSuite(dir string, cpus []int) error {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := cedr.New()
-				q, err := sys.RegisterOpts(cidrQuery,
-					plan.WithSpec(consistency.Middle()), plan.WithShards(shards))
+				q, err := sys.Register(cidrQuery,
+					cedr.WithSpec(consistency.Middle()), cedr.WithShards(shards))
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -39,7 +39,7 @@ func main() {
 
 	for _, spec := range []cedr.Spec{cedr.Weak(0), cedr.Middle()} {
 		sys := cedr.New()
-		q, err := sys.RegisterAt(avgQuery, spec)
+		q, err := sys.Register(avgQuery, cedr.WithSpec(spec))
 		if err != nil {
 			panic(err)
 		}

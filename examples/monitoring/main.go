@@ -28,7 +28,7 @@ SC(each, consume)`
 
 func main() {
 	sys := cedr.New()
-	q, err := sys.RegisterAt(cidr07, cedr.Middle())
+	q, err := sys.Register(cidr07, cedr.WithSpec(cedr.Middle()))
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,130 @@
+package consistency
+
+import (
+	"testing"
+
+	"repro/internal/event"
+)
+
+func batch(names ...string) []event.Event {
+	out := make([]event.Event, len(names))
+	for i, n := range names {
+		out[i] = event.Event{Type: n}
+	}
+	return out
+}
+
+type sink struct {
+	items []event.Event
+	tags  []uint64
+	fails []any
+}
+
+func (s *sink) attach(f *Fanout) *Endpoint {
+	return f.Attach(func(items []event.Event, first uint64) {
+		for i, ev := range items {
+			s.items = append(s.items, ev)
+			s.tags = append(s.tags, first+uint64(i))
+		}
+	}, func(r any) { s.fails = append(s.fails, r) })
+}
+
+// TestFanoutOrderTags: every delivered item carries its position in the
+// chain's cumulative output sequence, across batches and endpoints.
+func TestFanoutOrderTags(t *testing.T) {
+	var f Fanout
+	a, b := &sink{}, &sink{}
+	a.attach(&f)
+	b.attach(&f)
+
+	f.Deliver(batch("e0", "e1", "e2"))
+	f.Deliver(nil) // empty batches don't advance the position
+	f.Deliver(batch("e3"))
+
+	if f.Emitted() != 4 {
+		t.Fatalf("Emitted = %d, want 4", f.Emitted())
+	}
+	for _, s := range []*sink{a, b} {
+		if len(s.items) != 4 {
+			t.Fatalf("endpoint saw %d items, want 4", len(s.items))
+		}
+		for i, tag := range s.tags {
+			if tag != uint64(i) {
+				t.Fatalf("tags = %v, want 0..3", s.tags)
+			}
+		}
+	}
+}
+
+// TestFanoutLateAttach: an endpoint attached mid-stream starts at the
+// current chain position — its first tag is Emitted() at attach time.
+func TestFanoutLateAttach(t *testing.T) {
+	var f Fanout
+	early := &sink{}
+	early.attach(&f)
+	f.Deliver(batch("e0", "e1"))
+
+	late := &sink{}
+	late.attach(&f)
+	f.Deliver(batch("e2", "e3"))
+
+	if len(late.items) != 2 || late.tags[0] != 2 || late.tags[1] != 3 {
+		t.Fatalf("late endpoint tags = %v, want [2 3]", late.tags)
+	}
+	// The late endpoint's stream is the suffix of the early one's.
+	if early.items[2].Type != late.items[0].Type || early.tags[2] != late.tags[0] {
+		t.Fatal("late endpoint diverged from sibling suffix")
+	}
+}
+
+// TestFanoutPanicIsolation: a panicking endpoint is quarantined alone —
+// OnFail fires once, siblings keep receiving, and the chain position still
+// advances past the failed delivery.
+func TestFanoutPanicIsolation(t *testing.T) {
+	var f Fanout
+	good := &sink{}
+	good.attach(&f)
+	var fails []any
+	bomb := f.Attach(func([]event.Event, uint64) { panic("boom") },
+		func(r any) { fails = append(fails, r) })
+
+	f.Deliver(batch("e0"))
+	f.Deliver(batch("e1"))
+
+	if len(fails) != 1 || fails[0] != "boom" {
+		t.Fatalf("OnFail calls = %v, want one boom", fails)
+	}
+	if !bomb.Dead() {
+		t.Error("panicked endpoint not marked dead")
+	}
+	if len(good.items) != 2 || good.tags[1] != 1 {
+		t.Fatalf("sibling disturbed: items=%d tags=%v", len(good.items), good.tags)
+	}
+	if f.Len() != 2 || f.Live() != 1 {
+		t.Errorf("Len=%d Live=%d, want 2/1", f.Len(), f.Live())
+	}
+}
+
+// TestFanoutDetach: a detached endpoint receives nothing further and drops
+// out of the reference count; detaching an unknown endpoint is a no-op.
+func TestFanoutDetach(t *testing.T) {
+	var f Fanout
+	a, b := &sink{}, &sink{}
+	epA := a.attach(&f)
+	b.attach(&f)
+
+	f.Deliver(batch("e0"))
+	f.Detach(epA)
+	f.Detach(epA) // already gone — ignored
+	f.Deliver(batch("e1"))
+
+	if len(a.items) != 1 {
+		t.Fatalf("detached endpoint still receiving: %d items", len(a.items))
+	}
+	if len(b.items) != 2 {
+		t.Fatalf("survivor saw %d items, want 2", len(b.items))
+	}
+	if f.Len() != 1 || f.Live() != 1 {
+		t.Errorf("Len=%d Live=%d after detach, want 1/1", f.Len(), f.Live())
+	}
+}

@@ -64,9 +64,7 @@ func (e *Engine) logAppend(rec wal.Record) bool {
 func (e *Engine) applyRecord(rec wal.Record) error {
 	switch rec.Kind {
 	case wal.KindEvent, wal.KindCTI:
-		for _, q := range e.snapshot() {
-			q.Push(rec.Ev)
-		}
+		e.fanout(rec.Ev)
 	case wal.KindRegister:
 		d := plan.Durable{
 			Src:              rec.Src,
@@ -75,6 +73,8 @@ func (e *Engine) applyRecord(rec wal.Record) error {
 			Shards:           rec.Opts.Shards,
 			NoSpecialization: rec.Opts.NoSpecialization,
 			NoPushdown:       rec.Opts.NoPushdown,
+			Share:            rec.Opts.Share,
+			Bindings:         rec.Opts.Bindings,
 		}
 		p, err := plan.Compile(d.Src, d.Options()...)
 		if err != nil {
@@ -87,12 +87,18 @@ func (e *Engine) applyRecord(rec wal.Record) error {
 			return fmt.Errorf("engine: restore: spec switch for unknown query %d", rec.Query)
 		}
 		qs[rec.Query].setSpecApply(rec.Spec)
+	case wal.KindUnregister:
+		qs := e.snapshot()
+		if rec.Query < 0 || rec.Query >= len(qs) {
+			return fmt.Errorf("engine: restore: unregistration of unknown query %d", rec.Query)
+		}
+		qs[rec.Query].unregisterApply()
 	case wal.KindFinish:
 		e.mu.Lock()
 		e.finished = true
 		e.mu.Unlock()
-		for _, q := range e.snapshot() {
-			q.Finish()
+		for _, ch := range e.chainsSnapshot() {
+			ch.finish()
 		}
 	default:
 		return fmt.Errorf("engine: restore: unknown record kind %d", rec.Kind)
@@ -134,11 +140,11 @@ func Restore(snap io.Reader, log *wal.Log, opts ...Option) (*Engine, error) {
 			return nil, err
 		}
 	}
-	// Sharded queries process asynchronously; drain them so the restored
+	// Sharded chains process asynchronously; drain them so the restored
 	// engine's visible results reflect the entire replayed history before
 	// the caller sees it.
-	for _, q := range e.snapshot() {
-		q.drainShards()
+	for _, ch := range e.chainsSnapshot() {
+		ch.drain()
 	}
 	e.replaying = false
 	e.log = log
@@ -270,34 +276,18 @@ func (e *Engine) Close() error {
 	return e.Err()
 }
 
-// shutdownQueries stops every query's goroutines without emitting their
-// finish outputs (see Query.shutdown).
-func (e *Engine) shutdownQueries() {
-	for _, q := range e.snapshot() {
-		q.shutdown()
-	}
-}
-
-// drainShards waits until a sharded query has processed and delivered
-// everything enqueued so far; a no-op on single-shard queries, which are
-// synchronous.
-func (q *Query) drainShards() {
-	if q.sh != nil {
-		q.sh.barrier()
-	}
-}
-
-// shutdown closes one query for engine shutdown: subsequent input is
-// dropped and delivery is muted, then the sharded runtime (if any) is
-// drained so its workers and merger exit. The monitors' finish outputs
-// are computed but discarded — they were never logged, so emitting them
+// shutdownQueries stops every chain's goroutines without emitting finish
+// outputs (see chain.shutdown) — they were never logged, so emitting them
 // would diverge from what recovery replays.
-func (q *Query) shutdown() {
-	q.mu.Lock()
-	q.finished = true
-	q.closed = true
-	q.mu.Unlock()
-	if q.sh != nil {
-		q.sh.finish()
+func (e *Engine) shutdownQueries() {
+	for _, ch := range e.chainsSnapshot() {
+		ch.shutdown()
 	}
+}
+
+// drainShards waits until the query's sharded chain has processed and
+// delivered everything enqueued so far; a no-op on single-shard queries,
+// which are synchronous.
+func (q *Query) drainShards() {
+	q.ch.drain()
 }

@@ -3,6 +3,15 @@
 // chain of consistency-monitored operators, and collects outputs and
 // metrics. Queries may run synchronously (deterministic, used by tests and
 // benchmarks) or as a goroutine-per-stage pipeline connected by channels.
+//
+// Standing-query fabric: registration is split into two layers. A *chain*
+// is one executing operator pipeline (single-shard monitors or the sharded
+// runtime) plus a consistency.Fanout of subscriber endpoints; a *Query* is
+// one registered endpoint. Plans compiled with plan.WithSharing that carry
+// the same sharing identity (plan.ShareKey) attach to one shared chain, so
+// N identical registrations cost one execution; each Query still has its
+// own Results, Subscribe callbacks, and Err. Lock order across the layers
+// is fixed: pushMu → Engine.mu → chain.mu → Query.mu.
 package engine
 
 import (
@@ -21,9 +30,13 @@ import (
 // Engine hosts standing queries.
 type Engine struct {
 	mu      sync.RWMutex
-	queries []*Query
-	shards  int // default shard count for queries that don't request one
-	burst   int // router burst size for sharded queries (0 = DefaultBurst)
+	queries []*Query          // every registration ever, tombstoned on unregister (stable WAL indices)
+	chains  []*chain          // live execution chains; removal copies (snapshots stay valid)
+	groups  map[string]*chain // sharing identity → its chain
+	shards  int               // default shard count for queries that don't request one
+	burst   int               // router burst size for sharded queries (0 = DefaultBurst)
+	routing bool
+	fabric  *fabric // non-nil iff WithRouting
 
 	// Durability (see durability.go). log is attached once, by Restore,
 	// before the engine is shared; nil means durability is off and the hot
@@ -59,11 +72,27 @@ func WithBurst(n int) Option {
 	return func(e *Engine) { e.burst = n }
 }
 
+// WithRouting enables the fabric's cross-query routing index: each pushed
+// data event is delivered only to the chains whose plans can possibly match
+// it (by event TYPE and, for key-specialized plans, by routing-key value);
+// punctuation is still broadcast. Routing changes the delivery semantics a
+// chain observes — it behaves as if its input stream had been pre-filtered
+// to the events its plan can react to — so a routed engine is compared
+// against routed independents, never against an unrouted run (emission
+// stamps on blocked output can differ; detected alerts cannot). See
+// fabric.go.
+func WithRouting() Option {
+	return func(e *Engine) { e.routing = true }
+}
+
 // New creates an empty engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.routing {
+		e.fabric = newFabric()
 	}
 	return e
 }
@@ -73,8 +102,14 @@ func New(opts ...Option) *Engine {
 // Ordering guarantee: Register is safe to call concurrently with Push. The
 // new query observes every item pushed after Register returns and none
 // pushed before it was called; items pushed concurrently with the call may
-// or may not be observed (each in-flight Push snapshots the query list
+// or may not be observed (each in-flight Push snapshots the chain list
 // once, so a query never sees a suffix of one Push's fan-out).
+//
+// A plan compiled with plan.WithSharing whose sharing identity matches an
+// already-registered chain does not build a second pipeline: the new query
+// attaches as another endpoint of the existing chain, observing its output
+// from the attachment point onward (pub/sub semantics over the warm chain's
+// accumulated state). All other plans get a private chain.
 //
 // A plan that requests shards (plan.WithShards, or the engine default) and
 // passes partitionability analysis runs on the key-partitioned parallel
@@ -84,24 +119,68 @@ func (e *Engine) Register(p *plan.Plan) *Query {
 	// recovered engine re-creates the query at the same position in the
 	// input sequence. Plans without source text cannot be re-compiled on
 	// recovery; they register, but Snapshot refuses until they are gone.
+	durable := false
 	if e.log != nil && !e.replaying {
 		e.pushMu.Lock()
 		defer e.pushMu.Unlock()
 		if d, ok := p.Durable(); ok {
+			durable = true
 			e.logAppend(wal.Record{Kind: wal.KindRegister, Src: d.Src, Opts: wal.RegOpts{
 				HasSpec:          d.HasSpec,
 				Spec:             d.Spec,
 				Shards:           d.Shards,
 				NoSpecialization: d.NoSpecialization,
 				NoPushdown:       d.NoPushdown,
+				Share:            d.Share,
+				Bindings:         d.Bindings,
 			}})
-		} else {
-			e.mu.Lock()
-			e.nonDur = append(e.nonDur, p.Name)
-			e.mu.Unlock()
 		}
 	}
-	q := &Query{name: p.Name, plan: p, eng: e}
+
+	e.mu.Lock()
+	var ch *chain
+	key := ""
+	if p.Share {
+		if k, ok := p.ShareKey(); ok {
+			key = k
+			ch = e.groups[key]
+		}
+	}
+	fresh := ch == nil
+	if fresh {
+		ch = e.buildChain(p)
+		ch.key = key
+	}
+	q := &Query{name: p.Name, eng: e, ch: ch, idx: len(e.queries)}
+	if e.log != nil && !e.replaying && !durable {
+		q.nonDur = true
+		e.nonDur = append(e.nonDur, p.Name)
+	}
+	e.queries = append(e.queries, q)
+	// Attach before publishing the chain, so a fresh chain never emits into
+	// an empty fanout (no output-loss window for the first endpoint).
+	ch.attach(q)
+	if fresh {
+		e.chains = append(e.chains, ch)
+		if key != "" {
+			if e.groups == nil {
+				e.groups = map[string]*chain{}
+			}
+			e.groups[key] = ch
+		}
+		if e.fabric != nil {
+			e.fabric.add(ch)
+		}
+	}
+	e.mu.Unlock()
+	return q
+}
+
+// buildChain constructs the executing pipeline for a plan: the sharded
+// runtime when shards are requested and the plan partitions, a single-shard
+// monitor chain otherwise.
+func (e *Engine) buildChain(p *plan.Plan) *chain {
+	ch := &chain{name: p.Name, plan: p, eng: e}
 	n := p.Shards
 	if n == 0 {
 		n = e.shards
@@ -120,31 +199,29 @@ func (e *Engine) Register(p *plan.Plan) *Query {
 			}
 			return fp.Stages, nil
 		}
-		sh, err := newSharded(n, e.burst, stagesFor, p.Spec, routeForPlan(p.Part, n), q.deliverMerged, p.MonitorOpts...)
+		sh, err := newSharded(n, e.burst, stagesFor, p.Spec, routeForPlan(p.Part, n), ch.deliverMerged, p.MonitorOpts...)
 		if err == nil {
-			q.sh = sh
-			q.shards = n
-			sh.onFail = q.quarantine
+			ch.sh = sh
+			ch.shards = n
+			sh.onFail = ch.quarantine
 		}
 		// On error (hand-built plan that cannot be re-instantiated): fall
 		// back to single-shard execution below.
 	}
-	if q.sh == nil {
-		q.shards = 1
+	if ch.sh == nil {
+		ch.shards = 1
 		for _, op := range p.Stages {
-			q.monitors = append(q.monitors, consistency.NewMonitor(op, p.Spec, p.MonitorOpts...))
+			ch.monitors = append(ch.monitors, consistency.NewMonitor(op, p.Spec, p.MonitorOpts...))
 		}
 	}
-	e.mu.Lock()
-	q.idx = len(e.queries)
-	e.queries = append(e.queries, q)
-	e.mu.Unlock()
-	return q
+	return ch
 }
 
 // RegisterText compiles CEDR query text and registers it. Compilation is
 // cached by source text (plan.Compile), so re-registering the same query —
-// on this engine or another — skips parsing and semantic analysis.
+// on this engine or another — skips parsing and semantic analysis; with
+// plan.WithSharing it also skips execution (the registrations share one
+// chain).
 func (e *Engine) RegisterText(src string, opts ...plan.Option) (*Query, error) {
 	p, err := plan.Compile(src, opts...)
 	if err != nil {
@@ -153,16 +230,27 @@ func (e *Engine) RegisterText(src string, opts ...plan.Option) (*Query, error) {
 	return e.Register(p), nil
 }
 
-// Queries lists the registered queries.
+// Queries lists the registered queries (unregistered ones excluded).
 func (e *Engine) Queries() []*Query {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return append([]*Query(nil), e.queries...)
+	out := make([]*Query, 0, len(e.queries))
+	for _, q := range e.queries {
+		q.mu.Lock()
+		gone := q.unregistered
+		q.mu.Unlock()
+		if !gone {
+			out = append(out, q)
+		}
+	}
+	return out
 }
 
-// snapshot returns the current query list without copying. Register only
-// ever appends (the backing array is never mutated in place), so the
-// returned slice stays valid after the lock is released.
+// snapshot returns the full registration list — including unregistered
+// tombstones — without copying. Register only ever appends (the backing
+// array is never mutated in place), so the returned slice stays valid after
+// the lock is released. Indexing into it with a WAL query id is always
+// in-bounds for ids the log produced.
 func (e *Engine) snapshot() []*Query {
 	e.mu.RLock()
 	qs := e.queries
@@ -170,24 +258,39 @@ func (e *Engine) snapshot() []*Query {
 	return qs
 }
 
+// chainsSnapshot returns the live chain list without copying. Register
+// appends; Unregister replaces the slice wholesale (copy-on-write), so a
+// snapshot taken before a removal still sees a consistent list.
+func (e *Engine) chainsSnapshot() []*chain {
+	e.mu.RLock()
+	cs := e.chains
+	e.mu.RUnlock()
+	return cs
+}
+
 // Query returns the named query, if registered.
 func (e *Engine) Query(name string) (*Query, bool) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	for _, q := range e.queries {
-		if q.name == name {
+		q.mu.Lock()
+		gone := q.unregistered
+		q.mu.Unlock()
+		if q.name == name && !gone {
 			return q, true
 		}
 	}
 	return nil, false
 }
 
-// Push delivers one physical item to every registered query. The query
-// list is snapshotted once per call — no per-event copying, and concurrent
-// Registers only take effect for subsequent pushes. On a durable engine
-// the item is appended to the write-ahead log first; if the log has failed
-// (fsync error), the engine fails stop and drops the item — input that is
-// not durable is not processed.
+// Push delivers one physical item to the registered queries. Without
+// routing every chain sees every item; with WithRouting data items go
+// through the fabric's routing index and punctuation is broadcast. The
+// chain list is snapshotted once per call — no per-event copying, and
+// concurrent Registers only take effect for subsequent pushes. On a durable
+// engine the item is appended to the write-ahead log first; if the log has
+// failed (fsync error), the engine fails stop and drops the item — input
+// that is not durable is not processed.
 func (e *Engine) Push(ev event.Event) {
 	if e.log != nil {
 		e.pushMu.Lock()
@@ -200,8 +303,25 @@ func (e *Engine) Push(ev event.Event) {
 			return
 		}
 	}
-	for _, q := range e.snapshot() {
-		q.Push(ev)
+	e.fanout(ev)
+}
+
+// routeBufCap sizes the stack buffer Push routes through; events matching
+// more chains spill to the heap, correctness unaffected.
+const routeBufCap = 128
+
+// fanout hands one item to every chain that must see it. This is the
+// shared delivery step of Push, Run, and WAL replay.
+func (e *Engine) fanout(ev event.Event) {
+	if e.fabric != nil && !ev.IsCTI() {
+		var buf [routeBufCap]*chain
+		for _, ch := range e.fabric.route(ev, buf[:0]) {
+			ch.push(ev)
+		}
+		return
+	}
+	for _, ch := range e.chainsSnapshot() {
+		ch.push(ev)
 	}
 }
 
@@ -219,14 +339,15 @@ func (e *Engine) Finish() {
 			return
 		}
 	}
-	for _, q := range e.snapshot() {
-		q.Finish()
+	for _, ch := range e.chainsSnapshot() {
+		ch.finish()
 	}
 }
 
 // Run pushes an entire physical stream and finishes; a convenience for
-// finite workloads. The query list is snapshotted once for the whole run
-// (durable engines go through Push/Finish so every item is logged).
+// finite workloads. The chain list is snapshotted once for the whole run
+// (durable engines go through Push/Finish so every item is logged; routed
+// engines go through the fabric per item).
 func (e *Engine) Run(s stream.Stream) {
 	if e.log != nil {
 		for _, ev := range s {
@@ -235,55 +356,310 @@ func (e *Engine) Run(s stream.Stream) {
 		e.Finish()
 		return
 	}
-	qs := e.snapshot()
+	if e.fabric != nil {
+		for _, ev := range s {
+			e.fanout(ev)
+		}
+		for _, ch := range e.chainsSnapshot() {
+			ch.finish()
+		}
+		return
+	}
+	chains := e.chainsSnapshot()
 	for _, ev := range s {
-		for _, q := range qs {
-			q.Push(ev)
+		for _, ch := range chains {
+			ch.push(ev)
 		}
 	}
-	for _, q := range qs {
-		q.Finish()
+	for _, ch := range chains {
+		ch.finish()
 	}
 }
 
-// Query is one standing query: a chain of consistency monitors, or — when
-// the plan is key-partitionable and shards were requested — a sharded
-// parallel runtime of N such chains behind a deterministic merge.
-type Query struct {
-	name     string
+// chain is one executing operator pipeline — a chain of consistency
+// monitors, or the sharded parallel runtime behind a deterministic merge —
+// fanning its output out to the attached query endpoints. A private chain
+// has exactly one endpoint for its whole life; a shared chain (key != "")
+// gains and loses endpoints as identical plans register and unregister.
+type chain struct {
+	name     string // name of the first registrant, for quarantine errors
 	plan     *plan.Plan
 	monitors []*consistency.Monitor
 	sh       *sharded
 	shards   int
-	eng      *Engine // owning engine, for durable spec-change logging
-	idx      int     // position in the engine's query list (the WAL's query id)
+	eng      *Engine
+	key      string // sharing identity ("" = private, never joined)
 
 	mu       sync.Mutex
 	finished bool
-	closed   bool  // engine shutdown: delivery is muted (see Query.shutdown)
-	err      error // quarantine: first panic from a stage or subscriber
-	results  stream.Stream
-	subs     []func(event.Event)
+	closed   bool  // engine shutdown or last-endpoint teardown: delivery muted
+	err      error // chain-level quarantine: operator stage or shard worker panic
+	live     int   // healthy endpoints; at 0 the chain stops consuming input
+	fan      consistency.Fanout
 
 	// batchA/batchB are the double-buffered inter-stage batches reused by
-	// Push and Finish, so driving the chain allocates nothing per event.
+	// push and finish, so driving the chain allocates nothing per event.
 	batchA, batchB []event.Event
 }
 
-// Err returns the error that quarantined the query: the recovered panic of
-// an operator stage, shard worker, or subscriber callback. A quarantined
-// query stops processing input and emitting output, but its results up to
-// the failure remain readable; sibling queries are unaffected. Err is nil
-// while the query is healthy.
-func (q *Query) Err() error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.err
+// attach adds q as an endpoint. The endpoint's failure handler runs on the
+// delivery path under ch.mu: a panicking subscriber callback quarantines
+// the endpoint alone — sibling endpoints on the same chain keep receiving.
+func (ch *chain) attach(q *Query) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	q.ep = ch.fan.Attach(q.endpointDeliver, func(r any) {
+		ch.live--
+		q.quarantine(recoverPanic(q.name, "subscriber callback", r))
+	})
+	ch.live++
 }
 
-// quarantine records the failure that isolates the query. The first error
+// detach removes q's endpoint and reports whether the chain is now
+// unreferenced (no endpoints at all — dead ones still count as references
+// until their queries unregister). Caller holds e.mu.
+func (ch *chain) detach(q *Query) bool {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if q.ep == nil {
+		return ch.fan.Len() == 0
+	}
+	if !q.ep.Dead() {
+		ch.live--
+	}
+	ch.fan.Detach(q.ep)
+	q.ep = nil
+	return ch.fan.Len() == 0
+}
+
+// push feeds one physical item through the pipeline, delivering any final-
+// stage output to the endpoints, and returns that output (nil on sharded
+// chains, which enqueue asynchronously). The returned slice is reused by
+// the next push; callers must copy what they keep.
+func (ch *chain) push(ev event.Event) []event.Event {
+	if ch.sh != nil {
+		ch.mu.Lock()
+		dead := ch.err != nil || ch.closed || ch.live == 0
+		ch.mu.Unlock()
+		if !dead {
+			ch.sh.push(ev)
+		}
+		return nil
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.finished || ch.err != nil || ch.live == 0 {
+		return nil
+	}
+	// The monitor chain runs under a recover barrier: a panicking operator
+	// quarantines this chain (every endpoint's Err) instead of killing the
+	// process, and sibling chains sharing the engine keep running.
+	defer func() {
+		if r := recover(); r != nil {
+			ch.quarantineLocked(recoverPanic(ch.name, "operator stage", r))
+		}
+	}()
+	batch := append(ch.batchA[:0], ev)
+	next := ch.batchB[:0]
+	for _, m := range ch.monitors {
+		next = next[:0]
+		for _, item := range batch {
+			next = append(next, m.Push(0, item)...)
+		}
+		batch, next = next, batch
+		if len(batch) == 0 {
+			ch.batchA, ch.batchB = batch, next
+			return nil
+		}
+	}
+	ch.batchA, ch.batchB = batch, next
+	ch.deliverLocked(batch)
+	return batch
+}
+
+// finish flushes the pipeline and closes it: each stage's Finish output
+// cascades through the remaining stages, and subsequent pushes are dropped.
+// On a sharded chain it drains every shard and the merge stage before
+// returning the merged finish outputs.
+func (ch *chain) finish() []event.Event {
+	if ch.sh != nil {
+		return ch.sh.finish()
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.finished || ch.err != nil {
+		return nil
+	}
+	ch.finished = true
+	defer func() {
+		if r := recover(); r != nil {
+			ch.quarantineLocked(recoverPanic(ch.name, "operator stage", r))
+		}
+	}()
+	var final []event.Event
+	for i := range ch.monitors {
+		batch := ch.monitors[i].Finish()
+		for j := i + 1; j < len(ch.monitors); j++ {
+			var next []event.Event
+			for _, item := range batch {
+				next = append(next, ch.monitors[j].Push(0, item)...)
+			}
+			batch = next
+		}
+		final = append(final, batch...)
+	}
+	ch.deliverLocked(final)
+	return final
+}
+
+// deliverLocked fans one output batch out to the endpoints. Caller holds
+// ch.mu. A closed chain discards late output; a chain-quarantined one has
+// stopped emitting (each endpoint's results up to the failure stay
+// readable).
+func (ch *chain) deliverLocked(items []event.Event) {
+	if ch.closed || ch.err != nil || len(items) == 0 {
+		return
+	}
+	ch.fan.Deliver(items)
+}
+
+// deliverMerged is the sharded runtime's delivery callback; it runs on the
+// merger goroutine (subscriber callbacks therefore run there too).
+func (ch *chain) deliverMerged(items []event.Event) {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	ch.deliverLocked(items)
+}
+
+// quarantine records a chain-level failure (operator stage or shard
+// worker): every endpoint of the chain fails together. The first error
 // wins; later ones (cascading noise from an already-broken pipeline) are
 // dropped.
+func (ch *chain) quarantine(err error) {
+	ch.mu.Lock()
+	ch.quarantineLocked(err)
+	ch.mu.Unlock()
+}
+
+// quarantineLocked is quarantine for callers already holding ch.mu.
+func (ch *chain) quarantineLocked(err error) {
+	if ch.err == nil {
+		ch.err = err
+	}
+}
+
+// Err returns the chain-level quarantine error, if any.
+func (ch *chain) Err() error {
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.err
+}
+
+// metrics returns per-stage monitor metrics (see Query.Metrics).
+func (ch *chain) metrics() []consistency.Metrics {
+	if ch.sh != nil {
+		return ch.sh.metrics()
+	}
+	out := make([]consistency.Metrics, len(ch.monitors))
+	for i, m := range ch.monitors {
+		out[i] = m.Metrics()
+	}
+	return out
+}
+
+// setSpecApply switches the chain's consistency level without durable
+// logging (the replay path applies already-logged records through it).
+func (ch *chain) setSpecApply(s consistency.Spec) {
+	if ch.sh != nil {
+		ch.sh.setSpec(s)
+		return
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	if ch.finished || ch.err != nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			ch.quarantineLocked(recoverPanic(ch.name, "operator stage", r))
+		}
+	}()
+	for i, m := range ch.monitors {
+		batch := m.SetSpec(s)
+		for j := i + 1; j < len(ch.monitors); j++ {
+			var next []event.Event
+			for _, item := range batch {
+				next = append(next, ch.monitors[j].Push(0, item)...)
+			}
+			batch = next
+		}
+		ch.deliverLocked(batch)
+	}
+}
+
+// drain waits until a sharded chain has processed and delivered everything
+// enqueued so far; a no-op on single-shard chains, which are synchronous.
+func (ch *chain) drain() {
+	if ch.sh != nil {
+		ch.sh.barrier()
+	}
+}
+
+// shutdown closes the chain without emitting finish outputs: subsequent
+// input is dropped and delivery is muted, then the sharded runtime (if
+// any) is drained so its workers and merger exit. Used by engine shutdown
+// and by the last endpoint's Unregister.
+func (ch *chain) shutdown() {
+	ch.mu.Lock()
+	ch.finished = true
+	ch.closed = true
+	ch.mu.Unlock()
+	if ch.sh != nil {
+		ch.sh.finish()
+	}
+}
+
+// Query is one registered standing query: an endpoint of an executing
+// chain. On a private chain the query is the chain's only consumer; on a
+// shared chain it is one of N endpoints receiving the same output
+// sequence. Results, subscriber callbacks, order tags, and subscriber-
+// panic quarantine are per-endpoint; Push, Finish, SetSpec, and Metrics
+// address the underlying chain (on a shared chain they affect the whole
+// group — documented on each method).
+type Query struct {
+	name   string
+	eng    *Engine // owning engine, for durable logging and unregistration
+	ch     *chain
+	idx    int  // position in the engine's registration list (the WAL's query id)
+	nonDur bool // registration bypassed the WAL (plan had no source text)
+
+	mu           sync.Mutex
+	unregistered bool
+	err          error // endpoint quarantine: this query's subscriber panicked
+	results      stream.Stream
+	tags         []uint64 // chain order tag of each results[i]
+	subs         []func(event.Event)
+	ep           *consistency.Endpoint
+}
+
+// Err returns the error that quarantined the query: the recovered panic of
+// this query's subscriber callback (endpoint-level — siblings sharing the
+// chain are unaffected), or of an operator stage or shard worker (chain-
+// level — every query on the chain reports it). A quarantined query stops
+// accumulating output, but its results up to the failure remain readable;
+// queries on other chains are unaffected. Err is nil while the query is
+// healthy.
+func (q *Query) Err() error {
+	q.mu.Lock()
+	err := q.err
+	q.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return q.ch.Err()
+}
+
+// quarantine records the endpoint failure. The first error wins.
 func (q *Query) quarantine(err error) {
 	q.mu.Lock()
 	if q.err == nil {
@@ -292,39 +668,62 @@ func (q *Query) quarantine(err error) {
 	q.mu.Unlock()
 }
 
-// quarantineLocked is quarantine for callers already holding q.mu.
-func (q *Query) quarantineLocked(err error) {
-	if q.err == nil {
-		q.err = err
-	}
-}
-
 // recoverPanic converts a recovered panic value into the quarantine error.
 func recoverPanic(name, where string, r any) error {
 	return fmt.Errorf("engine: query %s quarantined: %s panicked: %v\n%s", name, where, r, debug.Stack())
 }
 
+// endpointDeliver is the query's Fanout callback: it records the batch and
+// its chain order tags and runs the subscriber callbacks. It runs under
+// ch.mu (and takes q.mu), on the pushing goroutine for single-shard chains
+// and on the merger goroutine for sharded ones. A subscriber panic unwinds
+// out of here into the Fanout's recover barrier, which quarantines this
+// endpoint only; the batch items appended before the panic stay recorded.
+func (q *Query) endpointDeliver(items []event.Event, firstTag uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil || q.unregistered {
+		return
+	}
+	q.results = append(q.results, items...)
+	for i := range items {
+		q.tags = append(q.tags, firstTag+uint64(i))
+	}
+	for _, fn := range q.subs {
+		for _, it := range items {
+			fn(it)
+		}
+	}
+}
+
 // Name returns the query's registered name.
 func (q *Query) Name() string { return q.name }
 
-// Plan returns the compiled plan.
-func (q *Query) Plan() *plan.Plan { return q.plan }
+// Plan returns the compiled plan the query's chain executes.
+func (q *Query) Plan() *plan.Plan { return q.ch.plan }
 
-// Shards returns the number of parallel shards the query runs on (1 for
-// single-shard execution).
-func (q *Query) Shards() int { return q.shards }
+// Shards returns the number of parallel shards the query's chain runs on
+// (1 for single-shard execution).
+func (q *Query) Shards() int { return q.ch.shards }
+
+// Shared reports whether the query's chain is joinable by identical
+// registrations (it may still have only one endpoint).
+func (q *Query) Shared() bool { return q.ch.key != "" }
 
 // Subscribe adds a callback invoked for every output item (including
-// punctuation). Callbacks run synchronously on the pushing goroutine.
+// punctuation) delivered to this endpoint. Callbacks run synchronously on
+// the delivering goroutine. A callback added after the chain has already
+// emitted output sees only subsequent output.
 func (q *Query) Subscribe(fn func(event.Event)) {
 	q.mu.Lock()
 	q.subs = append(q.subs, fn)
 	q.mu.Unlock()
 }
 
-// Push feeds one physical item through the monitor chain and returns the
-// final-stage outputs. The returned slice is reused by the next Push on
-// this query; callers must copy what they keep.
+// Push feeds one physical item through the query's chain and returns the
+// final-stage outputs. On a shared chain the item is processed once and
+// every endpoint observes the output. The returned slice is reused by the
+// next Push on this chain; callers must copy what they keep.
 //
 // On a sharded query Push only enqueues (shards run asynchronously) and
 // returns nil; merged output reaches Results and subscribers in
@@ -333,120 +732,16 @@ func (q *Query) Subscribe(fn func(event.Event)) {
 // Finish closes the query: items pushed afterwards are dropped, on every
 // execution mode.
 func (q *Query) Push(ev event.Event) []event.Event {
-	if q.sh != nil {
-		q.mu.Lock()
-		dead := q.err != nil || q.closed
-		q.mu.Unlock()
-		if !dead {
-			q.sh.push(ev)
-		}
-		return nil
-	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.finished || q.err != nil {
-		return nil
-	}
-	// The monitor chain runs under a recover barrier: a panicking operator
-	// quarantines this query (Err) instead of killing the process, and
-	// sibling queries sharing the engine keep running.
-	defer func() {
-		if r := recover(); r != nil {
-			q.quarantineLocked(recoverPanic(q.name, "operator stage", r))
-		}
-	}()
-	batch := append(q.batchA[:0], ev)
-	next := q.batchB[:0]
-	for _, m := range q.monitors {
-		next = next[:0]
-		for _, item := range batch {
-			next = append(next, m.Push(0, item)...)
-		}
-		batch, next = next, batch
-		if len(batch) == 0 {
-			q.batchA, q.batchB = batch, next
-			return nil
-		}
-	}
-	q.batchA, q.batchB = batch, next
-	q.deliver(batch)
-	return batch
+	return q.ch.push(ev)
 }
 
-// Finish flushes the chain and closes the query: each stage's Finish
-// output cascades through the remaining stages, and subsequent pushes are
-// dropped. On a sharded query it drains every shard and the merge stage
-// before returning the merged finish outputs.
+// Finish flushes the query's chain and closes it (on a shared chain, for
+// every endpoint). See chain.finish.
 func (q *Query) Finish() []event.Event {
-	if q.sh != nil {
-		return q.sh.finish()
-	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.finished || q.err != nil {
-		return nil
-	}
-	q.finished = true
-	defer func() {
-		if r := recover(); r != nil {
-			q.quarantineLocked(recoverPanic(q.name, "operator stage", r))
-		}
-	}()
-	var final []event.Event
-	for i := range q.monitors {
-		batch := q.monitors[i].Finish()
-		for j := i + 1; j < len(q.monitors); j++ {
-			var next []event.Event
-			for _, item := range batch {
-				next = append(next, q.monitors[j].Push(0, item)...)
-			}
-			batch = next
-		}
-		final = append(final, batch...)
-	}
-	q.deliver(final)
-	return final
+	return q.ch.finish()
 }
 
-func (q *Query) deliver(items []event.Event) {
-	// A closed engine discards unlogged late output; a quarantined query
-	// has stopped emitting (results up to the failure stay readable).
-	if q.closed || q.err != nil {
-		return
-	}
-	q.results = append(q.results, items...)
-	for _, fn := range q.subs {
-		if q.err != nil {
-			return
-		}
-		q.deliverSafely(fn, items)
-	}
-}
-
-// deliverSafely invokes one subscriber over the batch under a recover
-// barrier: a panicking callback quarantines the query (remaining
-// subscribers and future input are skipped) instead of unwinding into the
-// engine or the shard merger.
-func (q *Query) deliverSafely(fn func(event.Event), items []event.Event) {
-	defer func() {
-		if r := recover(); r != nil {
-			q.quarantineLocked(recoverPanic(q.name, "subscriber callback", r))
-		}
-	}()
-	for _, it := range items {
-		fn(it)
-	}
-}
-
-// deliverMerged is the sharded runtime's delivery callback; it runs on the
-// merger goroutine (subscriber callbacks therefore run there too).
-func (q *Query) deliverMerged(items []event.Event) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.deliver(items)
-}
-
-// Results returns everything the query has emitted so far (data and
+// Results returns everything delivered to this endpoint so far (data and
 // punctuation), in emission order.
 func (q *Query) Results() stream.Stream {
 	q.mu.Lock()
@@ -454,28 +749,36 @@ func (q *Query) Results() stream.Stream {
 	return append(stream.Stream(nil), q.results...)
 }
 
-// Metrics returns per-stage monitor metrics. On a sharded query it waits
-// for the shards to drain everything pushed so far, then combines the
+// Tags returns the chain output position of each Results item: Tags()[i]
+// is the cumulative index the chain assigned to Results()[i]. On an
+// endpoint attached at registration the tags are 0,1,2,…; an endpoint
+// attached to a warm shared chain starts at the chain's position at attach
+// time. An independently-executed copy of the same plan over the same
+// input assigns the same positions — the fabric's order-identity witness.
+func (q *Query) Tags() []uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]uint64(nil), q.tags...)
+}
+
+// Metrics returns per-stage monitor metrics of the query's chain (shared
+// endpoints observe identical metrics). On a sharded query it waits for
+// the shards to drain everything pushed so far, then combines the
 // per-shard counters into the single-shard equivalents (callers must not
 // Push concurrently). Combined counters and the head stage's state axes
 // match single-shard execution exactly; downstream stages' MaxState is
 // sampled once per input item and may under-read momentary intra-item
 // peaks a single-shard run would catch.
 func (q *Query) Metrics() []consistency.Metrics {
-	if q.sh != nil {
-		return q.sh.metrics()
-	}
-	out := make([]consistency.Metrics, len(q.monitors))
-	for i, m := range q.monitors {
-		out[i] = m.Metrics()
-	}
-	return out
+	return q.ch.metrics()
 }
 
 // SetSpec switches the query's consistency level at runtime (Section 5's
 // consistency-sensitive adaptation); released buffered output cascades
-// through the chain. On a sharded query the switch is enqueued and takes
-// effect at this position in the input sequence on every shard.
+// through the chain. On a shared chain the switch applies to the whole
+// group — every endpoint observes the released output. On a sharded query
+// the switch is enqueued and takes effect at this position in the input
+// sequence on every shard.
 func (q *Query) SetSpec(s consistency.Spec) {
 	if e := q.eng; e != nil && e.log != nil {
 		e.pushMu.Lock()
@@ -490,30 +793,76 @@ func (q *Query) SetSpec(s consistency.Spec) {
 // setSpecApply performs the switch without durable logging (the replay
 // path applies already-logged records through it).
 func (q *Query) setSpecApply(s consistency.Spec) {
-	if q.sh != nil {
-		q.sh.setSpec(s)
-		return
-	}
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.finished || q.err != nil {
-		return
-	}
-	defer func() {
-		if r := recover(); r != nil {
-			q.quarantineLocked(recoverPanic(q.name, "operator stage", r))
-		}
-	}()
-	for i, m := range q.monitors {
-		batch := m.SetSpec(s)
-		for j := i + 1; j < len(q.monitors); j++ {
-			var next []event.Event
-			for _, item := range batch {
-				next = append(next, q.monitors[j].Push(0, item)...)
+	q.ch.setSpecApply(s)
+}
+
+// Unregister removes the standing query. The endpoint detaches — its
+// accumulated Results stay readable, subscribers receive nothing further —
+// and when it was the chain's last reference the chain itself is torn
+// down: input is no longer delivered to it and the sharded runtime's
+// goroutines exit. On a shared chain with remaining endpoints execution
+// continues undisturbed. On a durable engine the unregistration is logged
+// ahead of taking effect, so recovery reproduces it at the same position
+// in the input sequence. Idempotent.
+func (q *Query) Unregister() {
+	e := q.eng
+	if e != nil && e.log != nil {
+		e.pushMu.Lock()
+		defer e.pushMu.Unlock()
+		if !e.replaying && !q.nonDur {
+			if !e.logAppend(wal.Record{Kind: wal.KindUnregister, Query: q.idx}) {
+				return
 			}
-			batch = next
 		}
-		q.deliver(batch)
+	}
+	q.unregisterApply()
+}
+
+// unregisterApply detaches the endpoint without durable logging (the
+// replay path applies already-logged records through it), tearing the
+// chain down when the last reference goes.
+func (q *Query) unregisterApply() {
+	e := q.eng
+	e.mu.Lock()
+	q.mu.Lock()
+	already := q.unregistered
+	q.unregistered = true
+	q.mu.Unlock()
+	if already {
+		e.mu.Unlock()
+		return
+	}
+	if q.nonDur {
+		// Release this registration's snapshot refusal.
+		for i, name := range e.nonDur {
+			if name == q.name {
+				e.nonDur = append(e.nonDur[:i], e.nonDur[i+1:]...)
+				break
+			}
+		}
+	}
+	ch := q.ch
+	last := ch.detach(q)
+	if last {
+		for i, c := range e.chains {
+			if c == ch {
+				// Copy-on-write removal: in-flight Push snapshots keep their
+				// (stale but consistent) list; the three-index slice forces a
+				// fresh backing array.
+				e.chains = append(e.chains[:i:i], e.chains[i+1:]...)
+				break
+			}
+		}
+		if ch.key != "" {
+			delete(e.groups, ch.key)
+		}
+		if e.fabric != nil {
+			e.fabric.remove(ch)
+		}
+	}
+	e.mu.Unlock()
+	if last {
+		ch.shutdown()
 	}
 }
 
@@ -524,27 +873,28 @@ func (q *Query) setSpecApply(s consistency.Spec) {
 // goroutine pipeline (worker-per-shard plus a merger); there the source is
 // streamed through the shard router and the merged output returned.
 func (q *Query) RunPipelined(src stream.Stream, buf int) stream.Stream {
-	if q.sh != nil {
+	ch := q.ch
+	if ch.sh != nil {
 		for _, ev := range src {
-			q.sh.push(ev)
+			ch.sh.push(ev)
 		}
-		q.sh.finish()
+		ch.sh.finish()
 		return q.Results()
 	}
 	if buf <= 0 {
 		buf = 64
 	}
 	in := src.Chan(buf)
-	for _, m := range q.monitors {
+	for _, m := range ch.monitors {
 		m := m
 		out := make(chan event.Event, buf)
 		go func(in <-chan event.Event, out chan<- event.Event) {
 			defer close(out)
-			// A panicking stage quarantines the query and drains its input
+			// A panicking stage quarantines the chain and drains its input
 			// so upstream stages don't block on a full channel.
 			defer func() {
 				if r := recover(); r != nil {
-					q.quarantine(recoverPanic(q.name, "pipelined stage", r))
+					ch.quarantine(recoverPanic(ch.name, "pipelined stage", r))
 					for range in {
 					}
 				}
@@ -561,16 +911,16 @@ func (q *Query) RunPipelined(src stream.Stream, buf int) stream.Stream {
 		in = out
 	}
 	results := stream.Collect(in)
-	q.mu.Lock()
-	q.results = append(q.results, results...)
-	q.mu.Unlock()
+	ch.mu.Lock()
+	ch.deliverLocked(results)
+	ch.mu.Unlock()
 	return results
 }
 
 // String implements fmt.Stringer.
 func (q *Query) String() string {
-	if q.shards > 1 {
-		return fmt.Sprintf("query %s: %s × %d shards", q.name, q.plan.Spec.Name(), q.shards)
+	if q.ch.shards > 1 {
+		return fmt.Sprintf("query %s: %s × %d shards", q.name, q.ch.plan.Spec.Name(), q.ch.shards)
 	}
-	return fmt.Sprintf("query %s: %s", q.name, q.plan.Spec.Name())
+	return fmt.Sprintf("query %s: %s", q.name, q.ch.plan.Spec.Name())
 }

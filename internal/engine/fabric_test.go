@@ -1,0 +1,503 @@
+// Standing-query fabric differentials: a fleet of shared-plan queries must
+// be byte-identical — outputs, order tags, metrics — to the same queries
+// registered on independent engines, with routing on and off, across spec
+// switches, stragglers, and mid-stream unregistration. Plus the fabric's
+// structural guarantees: chain dedup, routing-index buckets, zero-alloc
+// routing, last-reference teardown, and durable unregistration. Runs under
+// -race in the dedicated CI fault-injection job.
+package engine
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/consistency"
+	"repro/internal/event"
+	"repro/internal/leakcheck"
+	"repro/internal/plan"
+	"repro/internal/wal"
+)
+
+// keyedTemplate is the CIDR07 query narrowed to one machine via a template
+// parameter: binding m selects the routing key.
+const keyedTemplate = `
+EVENT MissedRestart
+WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours),
+            RESTART AS z, 5 minutes)
+WHERE CorrelationKey(Machine_Id, EQUAL) AND [Machine_Id Equal $m]
+SC(each, consume)
+`
+
+func bindM(id string) plan.Option {
+	return plan.WithBindings(map[string]event.Value{"m": id})
+}
+
+// TestFabricDifferentialFleet is the fabric's byte-identity witness: a
+// fleet engine hosting shared trios, template instances, and an unrelated
+// plain query is driven against one independent engine per query over the
+// same disordered input, with a mid-stream consistency switch on the shared
+// trio, a mid-stream unregistration of one template sibling, and a late
+// (warm) attachment. Every endpoint's results, order tags, and metrics
+// must match its independent twin exactly — routing off and on.
+func TestFabricDifferentialFleet(t *testing.T) {
+	defer leakcheck.Check(t)()
+	in := durabilityWorkload()
+	specs := []struct {
+		src  string
+		opts []plan.Option
+	}{
+		{monitorQuery, nil},                           // 0 ┐ shared trio:
+		{monitorQuery, nil},                           // 1 │ one chain,
+		{monitorQuery, nil},                           // 2 ┘ three endpoints
+		{keyedTemplate, []plan.Option{bindM("m000")}}, // 3 ┐ template pair,
+		{keyedTemplate, []plan.Option{bindM("m000")}}, // 4 ┘ one chain
+		{keyedTemplate, []plan.Option{bindM("m001")}}, // 5: own chain
+		{`EVENT AnyInstall WHEN ANY(INSTALL i)`, nil}, // 6: plain
+	}
+	specSwitchAt := len(in) / 3
+	unregisterAt := 2 * len(in) / 3
+
+	for _, routing := range []bool{false, true} {
+		label := map[bool]string{false: "unrouted", true: "routed"}[routing]
+		var eopts []Option
+		if routing {
+			eopts = append(eopts, WithRouting())
+		}
+
+		fleet := New(eopts...)
+		var fq []*Query
+		for _, s := range specs {
+			q, err := fleet.RegisterText(s.src, append(s.opts, plan.WithSharing())...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fq = append(fq, q)
+		}
+		if fq[0].ch != fq[1].ch || fq[1].ch != fq[2].ch {
+			t.Fatal("shared trio did not dedup onto one chain")
+		}
+		if fq[3].ch != fq[4].ch || fq[3].ch == fq[5].ch {
+			t.Fatal("template instances grouped wrong")
+		}
+
+		var ind []*Engine
+		var iq []*Query
+		for _, s := range specs {
+			e := New(eopts...)
+			q, err := e.RegisterText(s.src, append(s.opts, plan.WithSharing())...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ind = append(ind, e)
+			iq = append(iq, q)
+		}
+
+		var late *Query
+		for i, ev := range in {
+			if i == specSwitchAt {
+				// The switch addresses the shared chain, so it applies to the
+				// whole trio; mirror it on all three independents.
+				fq[0].SetSpec(consistency.Strong())
+				for _, j := range []int{0, 1, 2} {
+					iq[j].SetSpec(consistency.Strong())
+				}
+				// Late warm attachment to the trio's chain.
+				var err error
+				late, err = fleet.RegisterText(monitorQuery, plan.WithSharing())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if late.ch != fq[0].ch {
+					t.Fatal("late registration did not join the warm chain")
+				}
+			}
+			if i == unregisterAt {
+				fq[4].Unregister()
+				fq[4].Unregister() // idempotent
+			}
+			fleet.Push(ev)
+			for j, e := range ind {
+				if j == 4 && i >= unregisterAt {
+					continue // frozen twin: the unregistered endpoint's prefix
+				}
+				e.Push(ev)
+			}
+		}
+		fleet.Finish()
+		for j, e := range ind {
+			if j != 4 {
+				e.Finish()
+			}
+		}
+
+		for j := range specs {
+			compareStreams(t, label+" results", fq[j].Results(), iq[j].Results())
+			if !reflect.DeepEqual(fq[j].Tags(), iq[j].Tags()) {
+				t.Errorf("%s: query %d order tags diverge", label, j)
+			}
+			// The unregistered endpoint's results are frozen at its prefix,
+			// but Metrics reads the (still running) shared chain — skip it.
+			if j != 4 && !reflect.DeepEqual(fq[j].Metrics(), iq[j].Metrics()) {
+				t.Errorf("%s: query %d metrics diverge", label, j)
+			}
+		}
+		// The late endpoint saw exactly the suffix of its sibling's output,
+		// tagged with the sibling's positions.
+		full, fullTags := fq[0].Results(), fq[0].Tags()
+		off := len(full) - len(late.Results())
+		compareStreams(t, label+" late attach", late.Results(), full[off:])
+		if lt := late.Tags(); len(lt) > 0 && lt[0] != fullTags[off] {
+			t.Errorf("%s: late endpoint first tag %d, want %d", label, lt[0], fullTags[off])
+		}
+		if got, want := len(fleet.Queries()), len(specs); got != want {
+			t.Errorf("%s: %d live queries after unregister, want %d", label, got, want)
+		}
+	}
+}
+
+// TestFabricRoutingIndexBuckets pins the routing index's delivery sets:
+// keyed events reach only their group (plus type-plain and always-deliver
+// chains), wild and retracted events reach the whole family, unknown types
+// reach only the always bucket.
+func TestFabricRoutingIndexBuckets(t *testing.T) {
+	e := New(WithRouting())
+	reg := func(src string, opts ...plan.Option) *Query {
+		t.Helper()
+		q, err := e.RegisterText(src, append(opts, plan.WithSharing())...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	plain := reg(`EVENT AnyInstall WHEN ANY(INSTALL i)`)
+	k0 := reg(keyedTemplate, bindM("m000"))
+	k1 := reg(keyedTemplate, bindM("m001"))
+
+	route := func(ev event.Event) map[*chain]bool {
+		got := map[*chain]bool{}
+		for _, ch := range e.fabric.route(ev, nil) {
+			got[ch] = true
+		}
+		return got
+	}
+	install := func(id int, payload event.Payload) event.Event {
+		return event.NewInsert(event.ID(id), "INSTALL", 0, 10, payload)
+	}
+
+	set := route(install(1, event.Payload{"Machine_Id": "m000"}))
+	if !set[plain.ch] || !set[k0.ch] || set[k1.ch] {
+		t.Errorf("keyed INSTALL m000 routed to wrong set: %v", set)
+	}
+	set = route(install(2, event.Payload{"Machine_Id": "m999"}))
+	if !set[plain.ch] || set[k0.ch] || set[k1.ch] {
+		t.Errorf("unmatched key routed to wrong set: %v", set)
+	}
+	set = route(install(3, event.Payload{"other": 1}))
+	if !set[plain.ch] || !set[k0.ch] || !set[k1.ch] {
+		t.Errorf("wild (missing attr) INSTALL must reach the whole family: %v", set)
+	}
+	set = route(event.NewRetract(1, "INSTALL", 0, 0, nil))
+	if !set[plain.ch] || !set[k0.ch] || !set[k1.ch] {
+		t.Errorf("retraction must route conservatively: %v", set)
+	}
+	set = route(event.NewInsert(4, "UNRELATED", 0, 10, nil))
+	if len(set) != 0 {
+		t.Errorf("unknown type routed to %d chains, want 0", len(set))
+	}
+
+	// A hand-built plan has no input alphabet: always delivered.
+	p, err := plan.Compile(monitorQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := e.Register(&plan.Plan{Name: "bare", Stages: p.Stages, Spec: p.Spec})
+	set = route(event.NewInsert(5, "UNRELATED", 0, 10, nil))
+	if !set[bare.ch] || len(set) != 1 {
+		t.Errorf("always bucket wrong: %v", set)
+	}
+
+	// Unregistering prunes every bucket.
+	k0.Unregister()
+	bare.Unregister()
+	set = route(install(6, event.Payload{"Machine_Id": "m000"}))
+	if set[k0.ch] || set[bare.ch] {
+		t.Errorf("unregistered chains still routed: %v", set)
+	}
+}
+
+// TestFabricRoutingAllocs pins the per-event routing step at zero heap
+// allocations when the match set fits the caller's buffer.
+func TestFabricRoutingAllocs(t *testing.T) {
+	e := New(WithRouting())
+	for _, id := range []string{"m000", "m001", "m002"} {
+		if _, err := e.RegisterText(keyedTemplate, bindM(id), plan.WithSharing()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev := event.NewInsert(1, "INSTALL", 0, 10, event.Payload{"Machine_Id": "m001"})
+	buf := make([]*chain, 0, routeBufCap)
+	var n int
+	allocs := testing.AllocsPerRun(200, func() {
+		n = len(e.fabric.route(ev, buf[:0]))
+	})
+	if n != 1 {
+		t.Fatalf("routed to %d chains, want 1", n)
+	}
+	if allocs != 0 {
+		t.Errorf("routing step allocates %.1f per event, want 0", allocs)
+	}
+}
+
+// TestFabricTemplateInstanceIdentity pins the sharing identity: same
+// bindings share a chain, different bindings or different configuration do
+// not, and opting out of sharing always builds a private chain.
+func TestFabricTemplateInstanceIdentity(t *testing.T) {
+	e := New()
+	reg := func(opts ...plan.Option) *Query {
+		t.Helper()
+		q, err := e.RegisterText(keyedTemplate, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	a := reg(bindM("m000"), plan.WithSharing())
+	b := reg(bindM("m000"), plan.WithSharing())
+	c := reg(bindM("m001"), plan.WithSharing())
+	d := reg(bindM("m000"), plan.WithSharing(), plan.WithSpec(consistency.Strong()))
+	private := reg(bindM("m000"))
+	if a.ch != b.ch {
+		t.Error("identical bindings did not share")
+	}
+	if a.ch == c.ch {
+		t.Error("different bindings shared a chain")
+	}
+	if a.ch == d.ch {
+		t.Error("different spec shared a chain")
+	}
+	if a.ch == private.ch {
+		t.Error("unshared registration joined a chain")
+	}
+	if !a.Shared() || private.Shared() {
+		t.Error("Shared() misreports")
+	}
+	if _, err := e.RegisterText(keyedTemplate, plan.WithSharing()); err == nil {
+		t.Error("unbound template parameter accepted")
+	}
+}
+
+// TestFabricUnregisterTeardown: endpoints detach independently; the last
+// reference tears the shared sharded chain down and every goroutine exits
+// (leakcheck). The surviving sibling's output is unaffected by its peer's
+// departure.
+func TestFabricUnregisterTeardown(t *testing.T) {
+	defer leakcheck.Check(t)()
+	in := durabilityWorkload()
+	e := New()
+	q1, err := e.RegisterText(monitorQuery, plan.WithShards(4), plan.WithSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := e.RegisterText(monitorQuery, plan.WithShards(4), plan.WithSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.ch != q2.ch {
+		t.Fatal("sharded twins did not share")
+	}
+	half := len(in) / 2
+	for _, ev := range in[:half] {
+		e.Push(ev)
+	}
+	q1.drainShards()
+	frozen := len(q1.Results())
+	q1.Unregister()
+	for _, ev := range in[half:] {
+		e.Push(ev)
+	}
+	e.Finish()
+	if got := len(q1.Results()); got != frozen {
+		t.Errorf("unregistered endpoint kept accumulating: %d -> %d", frozen, got)
+	}
+	oracle := run(t, monitorQuery, in)
+	compareStreams(t, "surviving sibling", q2.Results(), oracle.Results())
+	q2.Unregister() // last reference: chain torn down, workers exit
+	if len(e.Queries()) != 0 {
+		t.Errorf("%d queries remain after full unregistration", len(e.Queries()))
+	}
+	e.Push(in[0]) // dropped, not delivered to anything
+}
+
+// TestFabricUnregisterDurableRoundTrip: registrations, template bindings,
+// and unregistrations replay from the WAL — the recovered engine has the
+// same live queries with byte-identical histories, and a snapshot cut
+// after the unregistration restores the same state against a fresh log.
+func TestFabricUnregisterDurableRoundTrip(t *testing.T) {
+	defer leakcheck.Check(t)()
+	dir := t.TempDir()
+	in := durabilityWorkload()
+	half := len(in) / 2
+
+	log1, err := wal.Open(filepath.Join(dir, "fabric.wal"), wal.SyncEvery(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := Restore(nil, log1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, err := e1.RegisterText(monitorQuery, plan.WithSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := e1.RegisterText(monitorQuery, plan.WithSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qt, err := e1.RegisterText(keyedTemplate, bindM("m000"), plan.WithSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa.ch != qb.ch {
+		t.Fatal("durable twins did not share")
+	}
+	for _, ev := range in[:half] {
+		e1.Push(ev)
+	}
+	qb.Unregister()
+	for _, ev := range in[half:] {
+		e1.Push(ev)
+	}
+	wantA, wantB, wantT := qa.Results(), qb.Results(), qt.Results()
+	// Crash: no Finish, no Close — the log is all that survives.
+
+	log2, err := wal.Open(filepath.Join(dir, "fabric.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Restore(nil, log2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	live := e2.Queries()
+	if len(live) != 2 {
+		t.Fatalf("recovered %d live queries, want 2 (one was unregistered)", len(live))
+	}
+	compareStreams(t, "recovered shared survivor", live[0].Results(), wantA)
+	compareStreams(t, "recovered template", live[1].Results(), wantT)
+	// The tombstoned registration replayed too: frozen at the unregister.
+	compareStreams(t, "recovered tombstone", e2.snapshot()[1].Results(), wantB)
+	if live[0].ch != e2.snapshot()[1].ch {
+		t.Error("recovered survivor and tombstone no longer share lineage")
+	}
+
+	var snap bytes.Buffer
+	if err := e2.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	log3, err := wal.Open(filepath.Join(dir, "rotated.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e3, err := Restore(&snap, log3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e3.Close()
+	if got := len(e3.Queries()); got != 2 {
+		t.Fatalf("snapshot restore: %d live queries, want 2", got)
+	}
+	compareStreams(t, "rotated survivor", e3.Queries()[0].Results(), wantA)
+}
+
+// TestFabricConcurrentSubscribeUnregister is the race smoke test: endpoints
+// join, subscribe, and leave a shared chain while pushes are in flight.
+// Success is the absence of data races (-race), deadlocks, and leaks.
+func TestFabricConcurrentSubscribeUnregister(t *testing.T) {
+	defer leakcheck.Check(t)()
+	in := durabilityWorkload()
+	e := New(WithRouting())
+	anchor, err := e.RegisterText(monitorQuery, plan.WithSharing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range in {
+				e.Push(ev)
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q, err := e.RegisterText(monitorQuery, plan.WithSharing())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				q.Subscribe(func(event.Event) {})
+				_ = q.Results()
+				q.Unregister()
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if anchor.Err() != nil {
+		t.Fatal(anchor.Err())
+	}
+	e.Finish()
+	if len(anchor.Results()) == 0 {
+		t.Fatal("anchor query emitted nothing")
+	}
+}
+
+// TestFabricSharingThroughput: a fleet of identical standing queries on
+// the fabric must outrun the same fleet on private chains by a wide margin
+// (the full 10× criterion at 10k queries is gated in cedrbench; this is
+// the in-tree sanity floor at a size cheap enough for the test suite).
+func TestFabricSharingThroughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	const fleet = 1500
+	in := durabilityWorkload()
+
+	elapse := func(opts ...plan.Option) time.Duration {
+		e := New()
+		for i := 0; i < fleet; i++ {
+			if _, err := e.RegisterText(monitorQuery, opts...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		start := time.Now()
+		e.Run(in)
+		return time.Since(start)
+	}
+	shared := elapse(plan.WithSharing())
+	private := elapse()
+	t.Logf("fleet=%d events=%d shared=%v private=%v speedup=%.1fx",
+		fleet, len(in), shared, private, float64(private)/float64(shared))
+	if private < 4*shared {
+		t.Errorf("sharing speedup only %.1fx (shared %v, private %v), want ≥4x",
+			float64(private)/float64(shared), shared, private)
+	}
+}

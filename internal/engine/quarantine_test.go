@@ -207,9 +207,9 @@ func TestShardedQueryWorkerPanicQuarantines(t *testing.T) {
 	// own early trigger (the swap happens before any push, so each worker
 	// goroutine owns its op). Several workers may panic; the first failure
 	// wins and the rest must be absorbed without deadlock.
-	for _, w := range q.sh.workers {
+	for _, w := range q.ch.sh.workers {
 		w.monitors[0] = consistency.NewMonitor(
-			faultinject.NewPanicOp(mustStages(t)[0], 3), q.plan.Spec)
+			faultinject.NewPanicOp(mustStages(t)[0], 3), q.ch.plan.Spec)
 	}
 
 	e.Run(in)

@@ -46,13 +46,16 @@ type OpNode struct {
 
 func (OpNode) pattern() {}
 
-// Term is one side of a comparison predicate: either an alias.attribute
-// reference or a literal.
+// Term is one side of a comparison predicate: an alias.attribute
+// reference, a literal, or an unbound template parameter ($name).
 type Term struct {
 	Alias string
 	Attr  string
 	Lit   event.Value
 	IsLit bool
+	// Param is the template parameter name for a $name placeholder; Bind
+	// replaces it with a literal before analysis.
+	Param string
 }
 
 // Pred is a WHERE-clause predicate.
@@ -66,6 +69,9 @@ type Pred struct {
 	CorrAttr string
 	CorrMode string      // EQUAL, UNIQUE
 	CorrLit  event.Value // non-nil for the [attr Equal 'lit'] shorthand
+	// CorrParam is the template parameter name of an [attr Equal $name]
+	// shorthand; Bind resolves it into CorrLit.
+	CorrParam string
 }
 
 // IsCorrKey reports whether the predicate is a correlation-key shorthand.

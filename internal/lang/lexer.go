@@ -18,7 +18,7 @@ const (
 	tokIdent
 	tokNumber
 	tokString
-	tokPunct // ( ) { } [ ] , . @ #
+	tokPunct // ( ) { } [ ] , . @ # $
 	tokOp    // = != < <= > >=
 )
 
@@ -65,7 +65,7 @@ func lex(src string) ([]token, error) {
 			if err := l.lexString(c); err != nil {
 				return nil, err
 			}
-		case strings.ContainsRune("(){}[],.@#", rune(c)):
+		case strings.ContainsRune("(){}[],.@#$", rune(c)):
 			l.emit(tokPunct, string(c))
 			l.pos++
 		case c == '=':

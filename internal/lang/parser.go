@@ -323,13 +323,23 @@ func (p *parser) parsePred() (Pred, error) {
 		return Pred{CorrAttr: attr, CorrMode: mode}, nil
 
 	case p.acceptPunct("["):
-		// [attr Equal 'literal']
+		// [attr Equal 'literal'] or [attr Equal $param]
 		attr, err := p.expectIdent()
 		if err != nil {
 			return Pred{}, err
 		}
 		if !p.acceptKeyword("Equal") {
 			return Pred{}, p.errf("expected Equal")
+		}
+		if p.acceptPunct("$") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return Pred{}, err
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return Pred{}, err
+			}
+			return Pred{CorrAttr: attr, CorrMode: "EQUAL", CorrParam: name}, nil
 		}
 		lit, err := p.parseLiteral()
 		if err != nil {
@@ -362,6 +372,17 @@ func (p *parser) parseTerm() (Term, error) {
 			return Term{}, err
 		}
 		return Term{Lit: lit, IsLit: true}, nil
+	case tokPunct:
+		if p.acceptPunct("$") {
+			name, err := p.expectIdent()
+			if err != nil {
+				return Term{}, err
+			}
+			// A parameter term is a literal whose value arrives at binding
+			// time (Bind); IsLit stays false until then so site analysis
+			// does not run on it.
+			return Term{Param: name}, nil
+		}
 	}
 	return Term{}, p.errf("expected term")
 }

@@ -48,6 +48,26 @@ type Analysis struct {
 	// the key-partitioned sharded runtime (PartitionAttr's decomposition
 	// claim, which such composites violate) may rely on the attribute.
 	DupPositiveAlias bool
+	// InputTypes lists the event TYPEs the pattern references (positive and
+	// negative sites alike), deduplicated in appearance order. The engine's
+	// cross-query routing fabric uses it as the coarse discrimination axis:
+	// an event whose Type appears in no registered query's InputTypes is
+	// never delivered to that query.
+	InputTypes []string
+	// RouteKeyAttr/RouteKeyVal, when RouteKeyAttr is non-empty, assert that
+	// a data event carrying a definite payload value for RouteKeyAttr that
+	// is not ValueEqual to RouteKeyVal cannot change this query's detected
+	// output: it can neither contribute to a surviving detection (the
+	// [attr Equal 'lit'] positive test rejects any composite holding such a
+	// value) nor block or cancel one (the shorthand's correlation predicate
+	// compares every blocker value against the literal directly, before any
+	// composite values). Events missing the attribute — and retractions —
+	// stay wild and must still be delivered. The claim is refused (empty
+	// attr) for duplicate positive aliases (prime-renamed payload keys
+	// escape the predicates) and for patterns containing ATMOST, whose
+	// count-based suppression observes events before the top-level filter.
+	RouteKeyAttr string
+	RouteKeyVal  event.Value
 }
 
 // site identifies where an alias is bound: site 0 is the positive part of
@@ -58,8 +78,12 @@ type binding struct {
 	prefix string
 }
 
-// Analyze binds and checks a parsed query.
+// Analyze binds and checks a parsed query. Templates (queries with $name
+// placeholders) must be instantiated first — see AnalyzeBound.
 func Analyze(q *Query) (*Analysis, error) {
+	if params := Params(q); len(params) != 0 {
+		return nil, fmt.Errorf("lang: query %s has unbound template parameters %v (register with bindings)", q.Name, params)
+	}
 	a := &Analysis{Query: q}
 
 	// Pass 1: enumerate negation sites and bind aliases.
@@ -149,6 +173,16 @@ func Analyze(q *Query) (*Analysis, error) {
 				out[name] = p[key]
 			}
 			return out
+		}
+	}
+
+	a.InputTypes = inputTypes(q.When)
+	if !b.dupPos && !hasOp(q.When, "ATMOST") {
+		for _, pred := range q.Where {
+			if pred.IsCorrKey() && pred.CorrMode == "EQUAL" && pred.CorrLit != nil {
+				a.RouteKeyAttr, a.RouteKeyVal = pred.CorrAttr, pred.CorrLit
+				break
+			}
 		}
 	}
 
@@ -577,6 +611,45 @@ func conjoinCorr(cs []algebra.CorrPred) algebra.CorrPred {
 		}
 		return true
 	}
+}
+
+// inputTypes collects the event TYPEs the pattern references, deduplicated
+// in appearance order.
+func inputTypes(n PatternNode) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(PatternNode)
+	walk = func(n PatternNode) {
+		switch x := n.(type) {
+		case TypeNode:
+			if !seen[x.Type] {
+				seen[x.Type] = true
+				out = append(out, x.Type)
+			}
+		case OpNode:
+			for _, k := range x.Kids {
+				walk(k)
+			}
+		}
+	}
+	walk(n)
+	return out
+}
+
+// hasOp reports whether the pattern contains the named operator anywhere.
+func hasOp(n PatternNode, op string) bool {
+	switch x := n.(type) {
+	case OpNode:
+		if x.Op == op {
+			return true
+		}
+		for _, k := range x.Kids {
+			if hasOp(k, op) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // Compile is the front door: parse + analyze.

@@ -1,0 +1,106 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/event"
+)
+
+// Template parameters: a query text may leave literal positions open as
+// $name placeholders — in comparison terms ({x.severity > $threshold}) and
+// in the correlation shorthand ([Machine_Id Equal $machine]). Such a text
+// parses once into a template; each per-user instance is produced by Bind,
+// which substitutes a literal value for every placeholder and costs a
+// shallow copy of the WHERE clause rather than a re-parse. The standing-
+// query fabric leans on this: thousands of instances of one template share
+// the parsed form, and an [attr Equal $param] binding doubles as the
+// instance's routing key (Analysis.RouteKeyAttr/RouteKeyVal).
+
+// Params returns the template parameter names referenced by the query, in
+// sorted order, deduplicated. Empty for a plain (fully bound) query.
+func Params(q *Query) []string {
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" {
+			seen[name] = true
+		}
+	}
+	for _, pred := range q.Where {
+		add(pred.CorrParam)
+		add(pred.L.Param)
+		add(pred.R.Param)
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bind instantiates a template: every $name placeholder is replaced by
+// bindings[name], producing a new Query that shares the parsed pattern tree
+// (treated as immutable) but owns its WHERE clause. Every parameter must be
+// bound and every binding must name a parameter — a silent partial binding
+// would register a query that matches nothing it was meant to.
+func Bind(q *Query, bindings map[string]event.Value) (*Query, error) {
+	params := Params(q)
+	if len(params) == 0 && len(bindings) == 0 {
+		return q, nil
+	}
+	used := map[string]bool{}
+	resolve := func(name string) (event.Value, error) {
+		v, ok := bindings[name]
+		if !ok {
+			return nil, fmt.Errorf("lang: unbound template parameter $%s", name)
+		}
+		if v == nil {
+			return nil, fmt.Errorf("lang: template parameter $%s bound to nil", name)
+		}
+		used[name] = true
+		return v, nil
+	}
+	bound := *q
+	bound.Where = make([]Pred, len(q.Where))
+	for i, pred := range q.Where {
+		p := pred
+		if p.CorrParam != "" {
+			v, err := resolve(p.CorrParam)
+			if err != nil {
+				return nil, err
+			}
+			p.CorrLit, p.CorrParam = v, ""
+		}
+		for _, t := range []*Term{&p.L, &p.R} {
+			if t.Param == "" {
+				continue
+			}
+			v, err := resolve(t.Param)
+			if err != nil {
+				return nil, err
+			}
+			t.Lit, t.IsLit, t.Param = v, true, ""
+		}
+		bound.Where[i] = p
+	}
+	for name := range bindings {
+		if !used[name] {
+			return nil, fmt.Errorf("lang: binding %q does not name a template parameter (have %v)", name, params)
+		}
+	}
+	return &bound, nil
+}
+
+// AnalyzeBound binds a parsed template and analyzes the instance. For a
+// plain query with no bindings it is exactly Analyze.
+func AnalyzeBound(q *Query, bindings map[string]event.Value) (*Analysis, error) {
+	bound, err := Bind(q, bindings)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(bound)
+}

@@ -1,0 +1,119 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/event"
+)
+
+const paramQuery = `
+EVENT MissedRestart
+WHEN UNLESS(SEQUENCE(INSTALL x, SHUTDOWN AS y, 12 hours),
+            RESTART AS z, 5 minutes)
+WHERE CorrelationKey(Machine_Id, EQUAL) AND [Machine_Id Equal $m]
+SC(each, consume)
+`
+
+func TestTemplateParams(t *testing.T) {
+	q, err := Parse(paramQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Params(q); len(got) != 1 || got[0] != "m" {
+		t.Fatalf("Params = %v, want [m]", got)
+	}
+	q2, err := Parse(`EVENT E WHEN ANY(R r) WHERE {r.temp > $hi} AND {r.temp < $lo}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Params(q2); len(got) != 2 || got[0] != "hi" || got[1] != "lo" {
+		t.Fatalf("Params = %v, want [hi lo] (sorted)", got)
+	}
+	plain, err := Parse(`EVENT E WHEN ANY(R r)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Params(plain); len(got) != 0 {
+		t.Fatalf("plain query has params %v", got)
+	}
+}
+
+func TestTemplateBind(t *testing.T) {
+	q, err := Parse(paramQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := Bind(q, map[string]event.Value{"m": "m007"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Params(bound); len(got) != 0 {
+		t.Fatalf("bound query still has params %v", got)
+	}
+	var lit event.Value
+	for _, p := range bound.Where {
+		if p.IsCorrKey() && p.CorrLit != nil {
+			lit = p.CorrLit
+		}
+	}
+	if lit != "m007" {
+		t.Fatalf("binding not substituted: CorrLit = %v", lit)
+	}
+	// The template itself is untouched (Bind copies).
+	if got := Params(q); len(got) != 1 {
+		t.Fatalf("Bind mutated the template: params now %v", got)
+	}
+
+	if _, err := Bind(q, nil); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Errorf("missing binding accepted: %v", err)
+	}
+	if _, err := Bind(q, map[string]event.Value{"m": nil}); err == nil {
+		t.Error("nil binding value accepted")
+	}
+	if _, err := Bind(q, map[string]event.Value{"m": "x", "extra": 1}); err == nil {
+		t.Error("binding for unknown parameter accepted")
+	}
+}
+
+func TestTemplateAnalyzeRequiresBindings(t *testing.T) {
+	if _, err := Compile(paramQuery); err == nil || !strings.Contains(err.Error(), "unbound template parameters") {
+		t.Errorf("unbound template compiled: %v", err)
+	}
+	q, err := Parse(paramQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := AnalyzeBound(q, map[string]event.Value{"m": "m007"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.RouteKeyAttr != "Machine_Id" || an.RouteKeyVal != "m007" {
+		t.Errorf("route key = (%s, %v), want (Machine_Id, m007)", an.RouteKeyAttr, an.RouteKeyVal)
+	}
+}
+
+func TestRouteKeyExtraction(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		attr string // "" = must refuse
+	}{
+		{"literal shorthand", `EVENT E WHEN SEQUENCE(A a, B b, 100) WHERE [mid Equal 'X1']`, "mid"},
+		{"no literal", `EVENT E WHEN SEQUENCE(A a, B b, 100) WHERE CorrelationKey(mid, EQUAL)`, ""},
+		{"atmost refused", `EVENT E WHEN ATMOST(2, SEQUENCE(A a, B b, 100), 200) WHERE [mid Equal 'X1']`, ""},
+		{"dup alias refused", `EVENT E WHEN SEQUENCE(A m, A m, 100) WHERE [mid Equal 'X1']`, ""},
+	}
+	for _, tc := range cases {
+		an, err := Compile(tc.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if an.RouteKeyAttr != tc.attr {
+			t.Errorf("%s: RouteKeyAttr = %q, want %q", tc.name, an.RouteKeyAttr, tc.attr)
+		}
+		if len(an.InputTypes) == 0 {
+			t.Errorf("%s: no input types collected", tc.name)
+		}
+	}
+}

@@ -8,12 +8,14 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
 	"repro/internal/algebra"
 	"repro/internal/algebra/inc"
 	"repro/internal/consistency"
+	"repro/internal/event"
 	"repro/internal/lang"
 	"repro/internal/operators"
 	"repro/internal/temporal"
@@ -44,6 +46,21 @@ type Plan struct {
 	// changes output — so it is deliberately not part of Durable: recovery
 	// rebuilds the plan with default cadence and identical results.
 	MonitorOpts []consistency.MonitorOption
+	// Share marks the plan as shareable: the engine may attach this
+	// registration to an already-running chain with the same identity
+	// (ShareKey) instead of instantiating new operators. See WithSharing.
+	Share bool
+	// Bindings are the template parameter values this plan was instantiated
+	// with (WithBindings); nil for plain queries. They are part of the
+	// plan's durable construction and its sharing identity.
+	Bindings map[string]event.Value
+	// RouteTypes / RouteKeyAttr / RouteKeyVal mirror the analysis's routing
+	// metadata (lang.Analysis.InputTypes, RouteKeyAttr, RouteKeyVal) for
+	// the engine's cross-query fabric; RouteTypes nil means the input
+	// alphabet is unknown and the plan must see every event.
+	RouteTypes   []string
+	RouteKeyAttr string
+	RouteKeyVal  event.Value
 
 	// an and cfg are retained so Fresh can re-instantiate the operator
 	// chain; nil for hand-built plans.
@@ -63,6 +80,8 @@ type config struct {
 	snapSet    bool
 	snapEvery  int
 	snapMax    int
+	share      bool
+	bindings   map[string]event.Value
 }
 
 // WithSpec overrides the query's consistency clause.
@@ -115,6 +134,35 @@ func WithShards(n int) Option {
 	return func(c *config) { c.shards = n }
 }
 
+// WithSharing marks the plan shareable: when another registration with the
+// same identity (ShareKey — source text, bindings, spec, shards, rewrite
+// switches) is already running on the engine, this registration attaches
+// to its chain as an additional subscriber endpoint instead of building new
+// operators. A late attach joins the shared execution in progress — it
+// observes outputs from the attach point onward, over state the chain
+// accumulated before it (pub/sub semantics). Plans built directly from
+// operators never share.
+func WithSharing() Option {
+	return func(c *config) { c.share = true }
+}
+
+// WithBindings instantiates a query template: every $name placeholder in
+// the source text is replaced by bindings[name] at compile time. The parsed
+// template is cached by source text, so stamping out many instances costs
+// one parse plus a per-instance semantic analysis. Bindings become part of
+// the plan's durable construction and sharing identity.
+func WithBindings(bindings map[string]event.Value) Option {
+	return func(c *config) {
+		if len(bindings) == 0 {
+			return
+		}
+		c.bindings = make(map[string]event.Value, len(bindings))
+		for k, v := range bindings {
+			c.bindings[k] = v
+		}
+	}
+}
+
 // FromAnalysis compiles an analyzed query. The analysis is treated as
 // immutable and may be shared (the compile cache and per-shard plan
 // instantiation both rely on this); every call builds fresh operator
@@ -128,7 +176,17 @@ func FromAnalysis(an *lang.Analysis, opts ...Option) (*Plan, error) {
 }
 
 func fromAnalysis(an *lang.Analysis, cfg config) (*Plan, error) {
-	p := &Plan{Name: an.Query.Name, an: an, cfg: cfg, Shards: cfg.shards}
+	p := &Plan{
+		Name:         an.Query.Name,
+		an:           an,
+		cfg:          cfg,
+		Shards:       cfg.shards,
+		Share:        cfg.share,
+		Bindings:     cfg.bindings,
+		RouteTypes:   an.InputTypes,
+		RouteKeyAttr: an.RouteKeyAttr,
+		RouteKeyVal:  an.RouteKeyVal,
+	}
 
 	// Pattern stage: every pattern query runs on the incremental matcher
 	// tree (internal/algebra/inc), which covers the full §3.3 grammar with
@@ -185,6 +243,8 @@ type Durable struct {
 	Shards           int
 	NoSpecialization bool
 	NoPushdown       bool
+	Share            bool
+	Bindings         map[string]event.Value
 }
 
 // Durable returns the plan's serializable construction, or ok == false for
@@ -198,6 +258,8 @@ func (p *Plan) Durable() (Durable, bool) {
 		Shards:           p.cfg.shards,
 		NoSpecialization: p.cfg.noSpecial,
 		NoPushdown:       p.cfg.noPushdown,
+		Share:            p.cfg.share,
+		Bindings:         p.cfg.bindings,
 	}
 	if p.cfg.spec != nil {
 		d.HasSpec = true
@@ -222,7 +284,51 @@ func (d Durable) Options() []Option {
 	if d.NoPushdown {
 		opts = append(opts, WithoutPushdown())
 	}
+	if d.Share {
+		opts = append(opts, WithSharing())
+	}
+	if len(d.Bindings) > 0 {
+		opts = append(opts, WithBindings(d.Bindings))
+	}
 	return opts
+}
+
+// ShareKey is the plan's execution-sharing identity: two registrations
+// whose keys are equal would build byte-identically behaving operator
+// chains, so the engine may run them on one shared chain. The key covers
+// the source text, the template bindings, the resolved consistency spec,
+// the requested shard count, the rewrite switches, and the snapshot
+// cadence. ok is false for hand-built plans (no source identity) — they
+// never share.
+func (p *Plan) ShareKey() (string, bool) {
+	if p.Src == "" || p.an == nil {
+		return "", false
+	}
+	c := p.cfg
+	return fmt.Sprintf("%s\x1f%d,%d\x1f%d\x1f%t,%t\x1f%t,%d,%d\x1f%s",
+		p.Src, p.Spec.B, p.Spec.M, c.shards, c.noSpecial, c.noPushdown,
+		c.snapSet, c.snapEvery, c.snapMax, canonBindings(c.bindings)), true
+}
+
+// canonBindings renders bindings deterministically (sorted keys, dynamic
+// type included so int64(1) and "1" stay distinct identities).
+func canonBindings(b map[string]event.Value) string {
+	if len(b) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		fmt.Fprintf(&sb, "%s=%T:%v", k, b[k], b[k])
+	}
+	return sb.String()
 }
 
 // Fresh re-instantiates the plan: a structurally identical plan whose
@@ -311,36 +417,72 @@ func (p *Plan) Explain() string {
 var (
 	cacheMu       sync.RWMutex
 	analysisCache = map[string]*lang.Analysis{}
+	templateCache = map[string]*lang.Query{}
 )
 
-// analysisCacheCap bounds the cache; pathological workloads that compile
-// unbounded distinct sources reset it rather than growing without bound.
+// analysisCacheCap bounds each cache; pathological workloads that compile
+// unbounded distinct sources (or bindings) reset it rather than growing
+// without bound.
 const analysisCacheCap = 512
 
 // Compile is the front door: CEDR text to executable plan. Results are
-// cached by source text: repeated compilations of the same query reuse the
-// semantic analysis and only re-instantiate operators.
+// cached by source text (plus bindings, for template instances): repeated
+// compilations reuse the semantic analysis and only re-instantiate
+// operators, and template instances additionally share one parse of the
+// template text across all bindings.
 func Compile(src string, opts ...Option) (*Plan, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	key := src
+	if len(cfg.bindings) > 0 {
+		key = src + "\x1f" + canonBindings(cfg.bindings)
+	}
 	cacheMu.RLock()
-	an := analysisCache[src]
+	an := analysisCache[key]
 	cacheMu.RUnlock()
 	if an == nil {
 		var err error
-		an, err = lang.Compile(src)
-		if err != nil {
+		if an, err = analyze(src, cfg.bindings); err != nil {
 			return nil, err
 		}
 		cacheMu.Lock()
 		if len(analysisCache) >= analysisCacheCap {
 			clear(analysisCache)
 		}
-		analysisCache[src] = an
+		analysisCache[key] = an
 		cacheMu.Unlock()
 	}
-	p, err := FromAnalysis(an, opts...)
+	p, err := fromAnalysis(an, cfg)
 	if err != nil {
 		return nil, err
 	}
 	p.Src = src
 	return p, nil
+}
+
+// analyze runs the language front end on a cache miss. Plain queries go
+// through lang.Compile; template instances parse once (templateCache) and
+// bind per instance.
+func analyze(src string, bindings map[string]event.Value) (*lang.Analysis, error) {
+	if len(bindings) == 0 {
+		return lang.Compile(src)
+	}
+	cacheMu.RLock()
+	q := templateCache[src]
+	cacheMu.RUnlock()
+	if q == nil {
+		var err error
+		if q, err = lang.Parse(src); err != nil {
+			return nil, err
+		}
+		cacheMu.Lock()
+		if len(templateCache) >= analysisCacheCap {
+			clear(templateCache)
+		}
+		templateCache[src] = q
+		cacheMu.Unlock()
+	}
+	return lang.AnalyzeBound(q, bindings)
 }

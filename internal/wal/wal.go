@@ -52,6 +52,9 @@ const (
 	// KindFinish is the engine-level flush that completes every query's
 	// output history.
 	KindFinish
+	// KindUnregister removes one standing query (by its registration index);
+	// the last reference on a shared chain tears the chain down.
+	KindUnregister
 )
 
 // String implements fmt.Stringer.
@@ -67,24 +70,31 @@ func (k Kind) String() string {
 		return "spec"
 	case KindFinish:
 		return "finish"
+	case KindUnregister:
+		return "unregister"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
 }
 
 // RegOpts are the serializable plan options of a durable registration —
-// exactly the knobs plan.Compile accepts (see plan.Durable).
+// exactly the knobs plan.Compile accepts (see plan.Durable). Share and
+// Bindings are encoded behind flag bits a pre-fabric decoder never set, so
+// old-format registration records decode unchanged (Share false, Bindings
+// nil).
 type RegOpts struct {
 	HasSpec          bool
 	Spec             consistency.Spec
 	Shards           int
 	NoSpecialization bool
 	NoPushdown       bool
+	Share            bool
+	Bindings         map[string]event.Value
 }
 
 // Record is one log entry. Which fields are meaningful depends on Kind:
 // Ev for KindEvent/KindCTI; Src and Opts for KindRegister; Query and Spec
-// for KindSpec; none for KindFinish.
+// for KindSpec; Query for KindUnregister; none for KindFinish.
 type Record struct {
 	Seq  uint64
 	Kind Kind
@@ -215,12 +225,35 @@ func AppendRecord(dst []byte, r Record) ([]byte, error) {
 		if r.Opts.NoPushdown {
 			flags |= 4
 		}
+		if r.Opts.Share {
+			flags |= 8
+		}
+		if len(r.Opts.Bindings) > 0 {
+			flags |= 16
+		}
 		dst = append(dst, flags)
 		dst = appendSpec(dst, r.Opts.Spec)
 		dst = appendU32(dst, uint32(r.Opts.Shards))
+		if len(r.Opts.Bindings) > 0 {
+			// Sorted names: deterministic bytes for a given registration.
+			names := make([]string, 0, len(r.Opts.Bindings))
+			for name := range r.Opts.Bindings {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			dst = appendU32(dst, uint32(len(names)))
+			for _, name := range names {
+				dst = appendStr(dst, name)
+				if dst, err = appendValue(dst, r.Opts.Bindings[name]); err != nil {
+					return dst[:head], err
+				}
+			}
+		}
 	case KindSpec:
 		dst = appendU32(dst, uint32(r.Query))
 		dst = appendSpec(dst, r.Spec)
+	case KindUnregister:
+		dst = appendU32(dst, uint32(r.Query))
 	case KindFinish:
 	default:
 		return dst[:head], fmt.Errorf("wal: cannot encode record kind %d", r.Kind)
@@ -362,13 +395,33 @@ func DecodePayload(payload []byte) (Record, error) {
 		rec.Opts.HasSpec = flags&1 != 0
 		rec.Opts.NoSpecialization = flags&2 != 0
 		rec.Opts.NoPushdown = flags&4 != 0
+		rec.Opts.Share = flags&8 != 0
 		rec.Opts.Spec = r.spec()
 		// Signed round-trip: plan.AutoShards is a negative sentinel and
 		// must survive the u32 framing.
 		rec.Opts.Shards = int(int32(r.u32()))
+		if flags&16 != 0 {
+			// Template bindings trail the fixed fields; records written
+			// before the fabric end at Shards and never set the flag, so
+			// they decode through the branch above unchanged.
+			n := int(r.u32())
+			if r.err == nil && n > len(r.b)-r.off {
+				r.err = fmt.Errorf("wal: binding count %d exceeds record bounds", n)
+				break
+			}
+			if n > 0 {
+				rec.Opts.Bindings = make(map[string]event.Value, n)
+				for i := 0; i < n; i++ {
+					name := r.str()
+					rec.Opts.Bindings[name] = r.value()
+				}
+			}
+		}
 	case KindSpec:
 		rec.Query = int(r.u32())
 		rec.Spec = r.spec()
+	case KindUnregister:
+		rec.Query = int(r.u32())
 	case KindFinish:
 	default:
 		return rec, fmt.Errorf("wal: unknown record kind %d", rec.Kind)

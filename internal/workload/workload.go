@@ -42,6 +42,12 @@ func DefaultMachines() Machines {
 	}
 }
 
+// MachineID is the Machine_Id payload value for machine m. Template
+// bindings that route on Machine_Id (the standing-query fabric benchmarks
+// and tests) must produce values with this exact format, so it is the one
+// definition both the generator and its consumers share.
+func MachineID(m int) string { return fmt.Sprintf("m%03d", m) }
+
 // MachineEvents generates INSTALL/SHUTDOWN/RESTART telemetry. It returns
 // the stream (Sync-ordered) and the number of alerts the §3.1 query should
 // raise (machines that missed the restart deadline).
@@ -51,7 +57,7 @@ func MachineEvents(cfg Machines) (stream.Stream, int) {
 	var s stream.Stream
 	expected := 0
 	for m := 0; m < cfg.Machines; m++ {
-		id := fmt.Sprintf("m%03d", m)
+		id := MachineID(m)
 		at := temporal.Time(int64(m) * int64(temporal.Minute))
 		for c := 0; c < cfg.Cycles; c++ {
 			payload := event.Payload{"Machine_Id": id}
