@@ -376,6 +376,18 @@ func (s *System) Run(in Stream) { s.eng.Run(in) }
 // Finish flushes all queries, completing their output histories.
 func (s *System) Finish() { s.eng.Finish() }
 
+// Drain waits until every sharded query has processed and delivered
+// everything pushed so far (single-shard queries are synchronous). After
+// Drain, Results and subscribers reflect every prior Push.
+func (s *System) Drain() { s.eng.Drain() }
+
+// Sync flushes and fsyncs the write-ahead log — the durability point for
+// everything pushed so far. A no-op on a non-durable (New) system; on
+// failure the system fails stop and Err reports it. The network server's
+// sync verb calls this so a client can obtain an explicit durability
+// guarantee mid-stream.
+func (s *System) Sync() error { return s.eng.SyncWAL() }
+
 // Snapshot writes the system's durable state — the watermarked journal of
 // applied records — to w. Restore(snapshot, freshLog) resumes from it
 // without the original log file, which is how the WAL is rotated. It
@@ -449,6 +461,23 @@ func (q *Query) Err() error { return q.q.Err() }
 // Subscribe registers a synchronous callback for every output item
 // delivered to this query from now on.
 func (q *Query) Subscribe(fn func(Event)) { q.q.Subscribe(fn) }
+
+// SubscribeTagged registers a synchronous callback receiving every output
+// item together with its chain order tag (see Tags). With replay set the
+// callback first receives the query's accumulated output, atomically with
+// the registration — no gap or duplication against concurrent delivery.
+func (q *Query) SubscribeTagged(replay bool, fn func(Event, uint64)) {
+	q.q.SubscribeTagged(replay, fn)
+}
+
+// Tags returns the chain output position of each Results item: Tags()[i]
+// is the cumulative index the executing chain assigned to Results()[i].
+// Endpoints attached at registration count from 0; an endpoint attached
+// to a warm shared chain starts at the chain's position at attach time.
+// An independent execution of the same plan over the same input assigns
+// identical positions, so tags let a remote subscriber verify it observed
+// exactly the in-process output sequence.
+func (q *Query) Tags() []uint64 { return q.q.Tags() }
 
 // SetConsistency switches the query's consistency level at runtime. On a
 // shared registration the switch applies to the whole group — every

@@ -1,74 +1,135 @@
-// Command cedr runs a CEDR query over an event file.
+// Command cedr runs CEDR queries — over an event file (batch mode), or
+// as a long-running network server (serve mode).
+//
+// Batch:
 //
 //	cedr -query q.cedr -events events.csv [-consistency strong|middle|weak] \
-//	     [-cti 1000] [-metrics]
+//	     [-cti 1000] [-wal cedr.wal] [-metrics]
 //
-// The event file is CSV: one event per line,
+// Serve:
+//
+//	cedr serve -listen :4617 [-http :8080] [-wal cedr.wal]
+//
+// The event file is CSV (one event per line, see internal/eventio):
 //
 //	kind,id,type,vs,ve,field=value,...
 //
-// where kind is "insert", "retract" or "cti" (cti lines use only vs), and
-// ve may be "inf". Values parse as int64 when possible, otherwise float64,
-// otherwise string. Lines starting with '#' are comments. Events are
-// pushed in file order with arrival times 0,1,2,...; pass -cti N to inject
-// a provider sync point every N ticks of Sync time instead of reading CTIs
-// from the file.
+// where kind is "insert", "retract" or "cti" (cti lines use only vs),
+// and ve may be "inf". Values parse as int64, then float64, then the
+// booleans "true"/"false", otherwise string; quote a value ('true' or
+// "1.5") to force a string. Lines starting with '#' are comments and
+// lines may be up to 1 MiB long. Files ending in .json or .ndjson use
+// the canonical event JSON instead. Events are pushed in file order
+// with arrival times 0,1,2,...; pass -cti N to inject a provider sync
+// point every N ticks of Sync time instead of reading CTIs from the
+// file.
+//
+// Exit status: 0 on success; 1 when the run fails, including a query
+// quarantined by a panic or input the write-ahead log could not make
+// durable — errors a subscriber would otherwise never see on stdout;
+// 2 on usage errors.
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	cedr "repro"
 	"repro/internal/delivery"
+	"repro/internal/eventio"
 	"repro/internal/stream"
 	"repro/internal/temporal"
 )
 
+// testHook lets tests inject faults (a panicking subscriber, an
+// unloggable event) between registration and the run, to pin the exit
+// status contract for quarantine and durability failures. Nil outside
+// tests.
+var testHook func(*cedr.System, *cedr.Query)
+
 func main() {
-	queryPath := flag.String("query", "", "path to the .cedr query file")
-	eventsPath := flag.String("events", "", "path to the CSV event file")
-	level := flag.String("consistency", "", "override: strong, middle, weak")
-	weakM := flag.Int64("weakM", 0, "memory bound (ticks) for -consistency weak")
-	ctiEvery := flag.Int64("cti", 0, "inject a sync point every N ticks of Sync time")
-	showMetrics := flag.Bool("metrics", false, "print monitor metrics")
-	explain := flag.Bool("explain", false, "print the compiled plan and exit")
-	flag.Parse()
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "serve" {
+		os.Exit(runServe(args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(runBatch(args, os.Stdout, os.Stderr))
+}
+
+// runBatch is batch mode: register one query, push one event file,
+// print the output. Factored from main so the exit-status contract —
+// in particular that quarantine and durability errors are reported and
+// non-zero, not silently swallowed — is testable in-process.
+func runBatch(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cedr", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	queryPath := fs.String("query", "", "path to the .cedr query file")
+	eventsPath := fs.String("events", "", "path to the event file (.csv, .json, .ndjson)")
+	level := fs.String("consistency", "", "override: strong, middle, weak")
+	weakM := fs.Int64("weakM", 0, "memory bound (ticks) for -consistency weak")
+	ctiEvery := fs.Int64("cti", 0, "inject a sync point every N ticks of Sync time")
+	walPath := fs.String("wal", "", "write-ahead log path (durable run; replays existing records first)")
+	showMetrics := fs.Bool("metrics", false, "print monitor metrics")
+	explain := fs.Bool("explain", false, "print the compiled plan and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "cedr:", err)
+		return 1
+	}
 
 	if *queryPath == "" || (*eventsPath == "" && !*explain) {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	src, err := os.ReadFile(*queryPath)
-	must(err)
+	if err != nil {
+		return fail(err)
+	}
 
-	sys := cedr.New()
-	var q *cedr.Query
+	var sys *cedr.System
+	if *walPath != "" {
+		if sys, err = cedr.Open(*walPath); err != nil {
+			return fail(err)
+		}
+		defer sys.Close()
+	} else {
+		sys = cedr.New()
+	}
+
+	var opts []cedr.QueryOption
 	switch *level {
 	case "":
-		q, err = sys.Register(string(src))
 	case "strong":
-		q, err = sys.Register(string(src), cedr.WithSpec(cedr.Strong()))
+		opts = append(opts, cedr.WithSpec(cedr.Strong()))
 	case "middle":
-		q, err = sys.Register(string(src), cedr.WithSpec(cedr.Middle()))
+		opts = append(opts, cedr.WithSpec(cedr.Middle()))
 	case "weak":
-		q, err = sys.Register(string(src), cedr.WithSpec(cedr.Weak(temporal.Duration(*weakM))))
+		opts = append(opts, cedr.WithSpec(cedr.Weak(temporal.Duration(*weakM))))
 	default:
-		must(fmt.Errorf("unknown consistency level %q", *level))
+		return fail(fmt.Errorf("unknown consistency level %q", *level))
 	}
-	must(err)
+	q, err := sys.Register(string(src), opts...)
+	if err != nil {
+		return fail(err)
+	}
+	if testHook != nil {
+		testHook(sys, q)
+	}
 
 	if *explain {
-		fmt.Print(q.Explain())
-		return
+		fmt.Fprint(stdout, q.Explain())
+		return 0
 	}
 
 	events, err := readEvents(*eventsPath)
-	must(err)
+	if err != nil {
+		return fail(err)
+	}
 	if *ctiEvery > 0 {
 		events = delivery.Deliver(events.SortBySync(),
 			delivery.Ordered(temporal.Duration(*ctiEvery)))
@@ -80,112 +141,49 @@ func main() {
 		if e.IsCTI() {
 			return
 		}
-		fmt.Printf("%s\n", e)
+		fmt.Fprintf(stdout, "%s\n", e)
 	})
 	sys.Run(events)
 
+	// A quarantined query or a failed write-ahead log produces partial
+	// output that looks complete; surface both as a non-zero exit.
+	if err := q.Err(); err != nil {
+		return fail(fmt.Errorf("query quarantined: %w", err))
+	}
+	if err := sys.Err(); err != nil {
+		return fail(fmt.Errorf("durability failure: %w", err))
+	}
+
 	alerts := q.Alerts()
-	fmt.Printf("-- %d surviving detection(s)\n", len(alerts))
+	fmt.Fprintf(stdout, "-- %d surviving detection(s)\n", len(alerts))
 	if *showMetrics {
 		for i, m := range q.Metrics() {
-			fmt.Printf("-- stage %d: in=%d out=%d retractions=%d blocked=%d maxState=%d replays=%d dropped=%d\n",
+			fmt.Fprintf(stdout, "-- stage %d: in=%d out=%d retractions=%d blocked=%d maxState=%d replays=%d dropped=%d\n",
 				i, m.InputEvents, m.OutputEvents(), m.OutputRetractions,
 				m.BlockedEvents, m.MaxState, m.Replays, m.Dropped)
 		}
 	}
+	if *walPath != "" {
+		if err := sys.Close(); err != nil {
+			return fail(fmt.Errorf("durability failure: %w", err))
+		}
+	}
+	return 0
 }
 
+// readEvents loads an event file, choosing the codec by extension:
+// .json/.ndjson the canonical event JSON, everything else the CSV line
+// format. Long lines (up to eventio.MaxLine) and boolean payload values
+// are handled by the shared decoder.
 func readEvents(path string) (stream.Stream, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var out stream.Stream
-	sc := bufio.NewScanner(f)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		ev, err := parseLine(line)
-		if err != nil {
-			return nil, fmt.Errorf("%s:%d: %v", path, lineNo, err)
-		}
-		out = append(out, ev)
+	lower := strings.ToLower(path)
+	if strings.HasSuffix(lower, ".json") || strings.HasSuffix(lower, ".ndjson") {
+		return eventio.ReadJSONStream(f, path)
 	}
-	return out, sc.Err()
-}
-
-func parseLine(line string) (cedr.Event, error) {
-	parts := strings.Split(line, ",")
-	kind := strings.ToLower(strings.TrimSpace(parts[0]))
-	if kind == "cti" {
-		if len(parts) < 2 {
-			return cedr.Event{}, fmt.Errorf("cti needs a timestamp")
-		}
-		t, err := strconv.ParseInt(strings.TrimSpace(parts[1]), 10, 64)
-		if err != nil {
-			return cedr.Event{}, err
-		}
-		return cedr.NewCTI(cedr.Time(t)), nil
-	}
-	if len(parts) < 5 {
-		return cedr.Event{}, fmt.Errorf("need kind,id,type,vs,ve")
-	}
-	id, err := strconv.ParseUint(strings.TrimSpace(parts[1]), 10, 64)
-	if err != nil {
-		return cedr.Event{}, fmt.Errorf("bad id: %v", err)
-	}
-	typ := strings.TrimSpace(parts[2])
-	vs, err := strconv.ParseInt(strings.TrimSpace(parts[3]), 10, 64)
-	if err != nil {
-		return cedr.Event{}, fmt.Errorf("bad vs: %v", err)
-	}
-	ve := cedr.Forever
-	if s := strings.TrimSpace(parts[4]); s != "inf" && s != "∞" {
-		v, err := strconv.ParseInt(s, 10, 64)
-		if err != nil {
-			return cedr.Event{}, fmt.Errorf("bad ve: %v", err)
-		}
-		ve = cedr.Time(v)
-	}
-	payload := cedr.Payload{}
-	for _, kv := range parts[5:] {
-		kv = strings.TrimSpace(kv)
-		if kv == "" {
-			continue
-		}
-		i := strings.IndexByte(kv, '=')
-		if i < 0 {
-			return cedr.Event{}, fmt.Errorf("bad field %q", kv)
-		}
-		payload[kv[:i]] = parseValue(kv[i+1:])
-	}
-	switch kind {
-	case "insert":
-		return cedr.NewEvent(cedr.ID(id), typ, cedr.Time(vs), ve, payload), nil
-	case "retract":
-		return cedr.NewRetraction(cedr.ID(id), typ, cedr.Time(vs), ve, payload), nil
-	}
-	return cedr.Event{}, fmt.Errorf("unknown kind %q", kind)
-}
-
-func parseValue(s string) any {
-	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
-		return n
-	}
-	if f, err := strconv.ParseFloat(s, 64); err == nil {
-		return f
-	}
-	return s
-}
-
-func must(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "cedr:", err)
-		os.Exit(1)
-	}
+	return eventio.ReadCSV(f, path)
 }

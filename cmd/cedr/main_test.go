@@ -1,0 +1,240 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	cedr "repro"
+)
+
+const quickstartQuery = `
+EVENT StuckHot
+WHEN UNLESS(HOT h, COOL c, 10 seconds)
+WHERE {h.sensor = c.sensor}
+CONSISTENCY middle`
+
+const quickstartCSV = `# sensor A cools in time; B never cools; C cools too late
+insert,1,HOT,1000,inf,sensor=A
+insert,2,COOL,4000,inf,sensor=A
+insert,3,HOT,2000,inf,sensor=B
+insert,4,HOT,5000,inf,sensor=C
+insert,5,COOL,20000,inf,sensor=C
+`
+
+// writeFiles lays out a query and events file in a fresh directory.
+func writeFiles(t *testing.T, query, events, eventsName string) (qPath, ePath string) {
+	t.Helper()
+	dir := t.TempDir()
+	qPath = filepath.Join(dir, "q.cedr")
+	ePath = filepath.Join(dir, eventsName)
+	if err := os.WriteFile(qPath, []byte(query), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(ePath, []byte(events), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return qPath, ePath
+}
+
+// run invokes runBatch capturing output.
+func run(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = runBatch(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestBatchQuickstart(t *testing.T) {
+	q, e := writeFiles(t, quickstartQuery, quickstartCSV, "events.csv")
+	code, out, errb := run(t, "-query", q, "-events", e, "-cti", "5000")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "-- 2 surviving detection(s)") {
+		t.Fatalf("expected 2 detections, got:\n%s", out)
+	}
+	if strings.Count(out, "StuckHot") < 2 {
+		t.Fatalf("expected StuckHot output lines, got:\n%s", out)
+	}
+}
+
+// TestBatchJSONEvents runs the same stream through the JSON codec path.
+func TestBatchJSONEvents(t *testing.T) {
+	events := `{"kind":"insert","id":1,"type":"HOT","vs":1000,"payload":{"sensor":"A"}}
+{"kind":"insert","id":2,"type":"COOL","vs":4000,"payload":{"sensor":"A"}}
+{"kind":"insert","id":3,"type":"HOT","vs":2000,"payload":{"sensor":"B"}}
+{"kind":"insert","id":4,"type":"HOT","vs":5000,"payload":{"sensor":"C"}}
+{"kind":"insert","id":5,"type":"COOL","vs":20000,"payload":{"sensor":"C"}}
+`
+	q, e := writeFiles(t, quickstartQuery, events, "events.ndjson")
+	code, out, errb := run(t, "-query", q, "-events", e, "-cti", "5000")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "-- 2 surviving detection(s)") {
+		t.Fatalf("expected 2 detections, got:\n%s", out)
+	}
+}
+
+// TestBatchLongLines pins the scanner-limit fix: a CSV line far past
+// bufio.Scanner's 64KB default must load. The pre-fix reader errored
+// with "token too long" on any event over the default buffer.
+func TestBatchLongLines(t *testing.T) {
+	big := strings.Repeat("x", 200*1024)
+	events := quickstartCSV + "insert,6,HOT,30000,inf,sensor=D,blob=" + big + "\n"
+	q, e := writeFiles(t, quickstartQuery, events, "events.csv")
+	code, out, errb := run(t, "-query", q, "-events", e, "-cti", "5000")
+	if code != 0 {
+		t.Fatalf("exit %d on a 200KB line (old 64KB scanner limit?), stderr %q", code, errb)
+	}
+	// Sensor D never cools: one more detection.
+	if !strings.Contains(out, "-- 3 surviving detection(s)") {
+		t.Fatalf("expected 3 detections, got:\n%s", out)
+	}
+}
+
+// TestBatchBooleanPayload pins the parseValue fix at the CLI seam.
+func TestBatchBooleanPayload(t *testing.T) {
+	// Query-text string literals are single-quoted, so {h.armed = 'true'}
+	// compares against the *string* "true". An unquoted CSV true must
+	// parse as a boolean and not match it; the quoted CSV form 'true'
+	// forces the string and does. The pre-fix parser read unquoted true
+	// as the string "true" (and kept the quotes of 'true' verbatim), so
+	// it detected the two boolean events instead of the one string event.
+	t.Run("string-literal-vs-bool", func(t *testing.T) {
+		query := `
+EVENT Armed
+WHEN HOT h
+WHERE {h.armed = 'true'}
+CONSISTENCY middle`
+		events := `insert,1,HOT,1000,inf,armed=true
+insert,2,HOT,2000,inf,armed=true
+insert,3,HOT,3000,inf,armed='true'
+`
+		q, e := writeFiles(t, query, events, "events.csv")
+		code, out, errb := run(t, "-query", q, "-events", e, "-cti", "5000")
+		if code != 0 {
+			t.Fatalf("exit %d, stderr %q", code, errb)
+		}
+		if !strings.Contains(out, "-- 1 surviving detection(s)") {
+			t.Fatalf("want exactly the quoted (string) event detected, got:\n%s", out)
+		}
+	})
+	// Booleans are first-class in correlation: a bool true correlates
+	// with a bool true, and not with the string "true".
+	t.Run("bool-correlation", func(t *testing.T) {
+		query := `
+EVENT StuckArmed
+WHEN UNLESS(HOT h, COOL c, 10 seconds)
+WHERE {h.armed = c.armed}
+CONSISTENCY middle`
+		events := `insert,1,HOT,1000,inf,armed=true
+insert,2,COOL,4000,inf,armed=true
+insert,3,HOT,2000,inf,armed=false
+insert,4,COOL,5000,inf,armed='false'
+`
+		q, e := writeFiles(t, query, events, "events.csv")
+		code, out, errb := run(t, "-query", q, "-events", e, "-cti", "5000")
+		if code != 0 {
+			t.Fatalf("exit %d, stderr %q", code, errb)
+		}
+		if !strings.Contains(out, "-- 1 surviving detection(s)") {
+			t.Fatalf("expected only the bool-vs-string mismatch to survive, got:\n%s", out)
+		}
+	})
+}
+
+// TestBatchErrorsCarryLineNumbers pins the located decode error.
+func TestBatchErrorsCarryLineNumbers(t *testing.T) {
+	events := "insert,1,HOT,1000,inf,sensor=A\ninsert,notanid,HOT,2000,inf\n"
+	q, e := writeFiles(t, quickstartQuery, events, "events.csv")
+	code, _, errb := run(t, "-query", q, "-events", e)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errb, ":2:") {
+		t.Fatalf("error does not locate line 2: %q", errb)
+	}
+}
+
+func TestBatchUsage(t *testing.T) {
+	if code, _, _ := run(t); code != 2 {
+		t.Fatalf("missing flags: exit %d, want 2", code)
+	}
+}
+
+// TestBatchQuarantineExitsNonZero pins the Query.Err check: a query
+// quarantined mid-run (here by a panicking subscriber) must fail the
+// process, not exit 0 with partial output. The pre-fix CLI never
+// consulted Err and reported success.
+func TestBatchQuarantineExitsNonZero(t *testing.T) {
+	testHook = func(sys *cedr.System, q *cedr.Query) {
+		q.Subscribe(func(e cedr.Event) {
+			if !e.IsCTI() {
+				panic("subscriber exploded")
+			}
+		})
+	}
+	defer func() { testHook = nil }()
+	q, e := writeFiles(t, quickstartQuery, quickstartCSV, "events.csv")
+	code, _, errb := run(t, "-query", q, "-events", e, "-cti", "5000")
+	if code != 1 {
+		t.Fatalf("quarantined run exited %d, want 1 (stderr %q)", code, errb)
+	}
+	if !strings.Contains(errb, "query quarantined") || !strings.Contains(errb, "subscriber exploded") {
+		t.Fatalf("stderr does not name the quarantine: %q", errb)
+	}
+}
+
+// TestBatchDurabilityFailureExitsNonZero pins the System.Err check: when
+// the write-ahead log cannot accept a record the system fails stop, and
+// the CLI must exit non-zero naming the failure rather than printing a
+// clean summary over a truncated durable history.
+func TestBatchDurabilityFailureExitsNonZero(t *testing.T) {
+	testHook = func(sys *cedr.System, q *cedr.Query) {
+		// A payload value outside the WAL's value domains: the append
+		// fails, tripping fail-stop before any file I/O misbehaves.
+		sys.Push(cedr.NewEvent(99, "HOT", 0, cedr.Forever,
+			cedr.Payload{"bad": []string{"not", "loggable"}}))
+	}
+	defer func() { testHook = nil }()
+	wal := filepath.Join(t.TempDir(), "cedr.wal")
+	q, e := writeFiles(t, quickstartQuery, quickstartCSV, "events.csv")
+	code, _, errb := run(t, "-query", q, "-events", e, "-cti", "5000", "-wal", wal)
+	if code != 1 {
+		t.Fatalf("failed-WAL run exited %d, want 1 (stderr %q)", code, errb)
+	}
+	if !strings.Contains(errb, "durability failure") {
+		t.Fatalf("stderr does not name the durability failure: %q", errb)
+	}
+}
+
+// TestBatchDurableRun sanity-checks the -wal flag's happy path: the run
+// succeeds and leaves a non-empty log behind.
+func TestBatchDurableRun(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "cedr.wal")
+	q, e := writeFiles(t, quickstartQuery, quickstartCSV, "events.csv")
+	code, out, errb := run(t, "-query", q, "-events", e, "-cti", "5000", "-wal", wal)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.Contains(out, "-- 2 surviving detection(s)") {
+		t.Fatalf("expected 2 detections, got:\n%s", out)
+	}
+	if fi, err := os.Stat(wal); err != nil || fi.Size() == 0 {
+		t.Fatalf("write-ahead log missing or empty: %v", err)
+	}
+}
+
+func TestBatchExplain(t *testing.T) {
+	q, _ := writeFiles(t, quickstartQuery, quickstartCSV, "events.csv")
+	code, out, errb := run(t, "-query", q, "-explain")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if out == "" {
+		t.Fatal("explain printed nothing")
+	}
+}

@@ -33,6 +33,10 @@ type BenchResult struct {
 	EventsPerS  float64 `json:"events_per_sec,omitempty"`
 	BytesPerOp  int64   `json:"bytes_op"`
 	AllocsPerOp int64   `json:"allocs_op"`
+	// P99LatencyNs is the 99th-percentile closed-loop latency, set only
+	// by the -serve-bench suite (omitempty keeps every other artifact
+	// byte-compatible).
+	P99LatencyNs float64 `json:"p99_latency_ns,omitempty"`
 	// Multi-core scaling fields, set only by the -cpus suite (omitempty
 	// keeps the single-core baseline JSONs byte-compatible): the
 	// GOMAXPROCS the entry ran under, the shard count, and the speedup

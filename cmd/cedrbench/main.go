@@ -5,6 +5,7 @@
 //	cedrbench -baselines   # Section 1: CEDR vs point-DSMS vs pub/sub
 //	cedrbench -ablations   # DESIGN.md ablations (consumption, …)
 //	cedrbench -bench       # micro-benchmarks -> machine-readable BENCH_*.json
+//	cedrbench -serve-bench # network-server loopback throughput/latency suite
 //	cedrbench -update-baselines  # re-record the gated perf floors in bench/baselines
 //	cedrbench              # everything (tables only; -bench stays opt-in)
 //
@@ -33,6 +34,7 @@ func run() int {
 	ablations := flag.Bool("ablations", false, "run the design ablations")
 	bench := flag.Bool("bench", false, "run monitor micro-benchmarks and write BENCH_*.json")
 	cpus := flag.String("cpus", "", "comma-separated GOMAXPROCS values (e.g. 1,2,4,8): run the multi-core sharded scaling suite and write BENCH_multicore_*.json")
+	serveBench := flag.Bool("serve-bench", false, "run the network-server loopback suite and write BENCH_server_loopback_*.json")
 	benchOut := flag.String("benchout", ".", "directory for BENCH_*.json files")
 	baseline := flag.String("baseline", "", "directory of committed BENCH_*.json baselines; fail on >20% events/s regression")
 	update := flag.Bool("update-baselines", false, "run the bench suite and re-record the gated baseline JSONs in place (default dir bench/baselines)")
@@ -72,6 +74,13 @@ func run() int {
 		}()
 	}
 
+	if *serveBench {
+		if err := runServeBench(*benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+		return 0
+	}
 	if *cpus != "" {
 		list, err := parseCPUList(*cpus)
 		if err != nil {

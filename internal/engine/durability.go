@@ -248,6 +248,38 @@ func (e *Engine) Err() error {
 	return nil
 }
 
+// Drain waits until every sharded chain has processed and delivered
+// everything pushed so far; single-shard chains are synchronous, so after
+// Drain returns the engine's visible results reflect every prior Push.
+// The network server's sync verb is built on this: a client that drains
+// has observed (or will observe, via its subscription queue) every output
+// its pushes produced.
+func (e *Engine) Drain() {
+	for _, ch := range e.chainsSnapshot() {
+		ch.drain()
+	}
+}
+
+// SyncWAL flushes and fsyncs the write-ahead log — the durability point
+// for everything pushed so far. A no-op on non-durable engines. On
+// failure the engine fails stop, exactly as a batched-append sync failure
+// would.
+func (e *Engine) SyncWAL() error {
+	e.pushMu.Lock()
+	defer e.pushMu.Unlock()
+	if e.walErr != nil {
+		return e.walErr
+	}
+	if e.log == nil || e.closed {
+		return nil
+	}
+	if err := e.log.Sync(); err != nil {
+		e.walErr = fmt.Errorf("engine: wal sync: %w", err)
+		return e.walErr
+	}
+	return nil
+}
+
 // Close shuts the engine down: further input is dropped, every sharded
 // query's workers and merger exit, and the write-ahead log is synced and
 // closed. Close is a process-exit, not a logical completion — it does not

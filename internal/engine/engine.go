@@ -639,6 +639,7 @@ type Query struct {
 	results      stream.Stream
 	tags         []uint64 // chain order tag of each results[i]
 	subs         []func(event.Event)
+	tsubs        []func(event.Event, uint64)
 	ep           *consistency.Endpoint
 }
 
@@ -694,6 +695,11 @@ func (q *Query) endpointDeliver(items []event.Event, firstTag uint64) {
 			fn(it)
 		}
 	}
+	for _, fn := range q.tsubs {
+		for i, it := range items {
+			fn(it, firstTag+uint64(i))
+		}
+	}
 }
 
 // Name returns the query's registered name.
@@ -717,6 +723,24 @@ func (q *Query) Shared() bool { return q.ch.key != "" }
 func (q *Query) Subscribe(fn func(event.Event)) {
 	q.mu.Lock()
 	q.subs = append(q.subs, fn)
+	q.mu.Unlock()
+}
+
+// SubscribeTagged adds a callback invoked for every output item delivered
+// to this endpoint together with the item's chain order tag. With replay
+// set, the callback first receives everything the endpoint has already
+// accumulated — atomically with the registration, so the combined sequence
+// is exactly the endpoint's output from its attachment point, with no gap
+// or duplication against concurrent delivery. The network server uses this
+// to frame a remote subscriber's stream identically to an in-process one.
+func (q *Query) SubscribeTagged(replay bool, fn func(event.Event, uint64)) {
+	q.mu.Lock()
+	if replay {
+		for i, e := range q.results {
+			fn(e, q.tags[i])
+		}
+	}
+	q.tsubs = append(q.tsubs, fn)
 	q.mu.Unlock()
 }
 

@@ -379,6 +379,36 @@ func (r *byteReader) event() event.Event {
 	return e
 }
 
+// AppendEvent encodes one event in the WAL's event body encoding onto
+// dst. The network protocol frames events with exactly this encoding, so
+// a served event and its logged record share one codec (and one set of
+// round-trip proofs).
+func AppendEvent(dst []byte, e event.Event) ([]byte, error) {
+	return appendEvent(dst, e)
+}
+
+// DecodeEvent decodes an event produced by AppendEvent from the front of
+// b, returning the number of bytes consumed.
+func DecodeEvent(b []byte) (event.Event, int, error) {
+	r := byteReader{b: b}
+	e := r.event()
+	return e, r.off, r.err
+}
+
+// AppendValue encodes one payload value in the WAL's tagged value
+// encoding (exported for the network protocol's template bindings).
+func AppendValue(dst []byte, v event.Value) ([]byte, error) {
+	return appendValue(dst, v)
+}
+
+// DecodeValue decodes a value produced by AppendValue from the front of
+// b, returning the number of bytes consumed.
+func DecodeValue(b []byte) (event.Value, int, error) {
+	r := byteReader{b: b}
+	v := r.value()
+	return v, r.off, r.err
+}
+
 // DecodePayload decodes one record payload (seq + kind + body, the
 // checksummed region of a frame).
 func DecodePayload(payload []byte) (Record, error) {
